@@ -1,0 +1,167 @@
+"""E9 — availability versus correctness (the Section 1.1 motivation).
+
+Runs the *same* airline workload schedule through:
+
+* the SHARD cluster — every transaction is initiated locally and
+  immediately (100% served, zero submission latency), at the price of a
+  bounded integrity cost during partitions;
+* the primary-copy serializable baseline — integrity is perfect, but
+  clients partitioned away from the primary are rejected, and remote
+  clients pay a round trip;
+* a majority-quorum serializable baseline — integrity perfect, clients
+  on the majority side of a partition stay available, every client pays
+  a quorum round trip.
+
+Sweeps the partition duration and reports served fraction, latency and
+the realized integrity costs — the quantified version of the paper's
+"penalty is paid for this extra availability".
+"""
+
+import random
+
+from common import run_once, save_tables
+
+from repro.apps.airline import (
+    AirlineState,
+    MoveUp,
+    Request,
+    make_airline_application,
+)
+from repro.apps.airline.simulation import AirlineScenario, run_airline_scenario
+from repro.harness import Table
+from repro.network import PartitionSchedule, UniformDelay
+from repro.serializable import PrimaryCopySystem, QuorumSystem
+from repro.sim.metrics import mean
+
+CAPACITY = 10
+DURATION = 90.0
+DURATIONS = (0, 20, 40, 70)
+N_NODES = 3
+
+
+def _partitions(partition_duration):
+    if partition_duration == 0:
+        return None
+    return PartitionSchedule.split(
+        10, 10 + partition_duration, [0], [1, 2]
+    )
+
+
+def _schedule(seed):
+    """A deterministic submission schedule shared by both systems."""
+    rng = random.Random(seed)
+    schedule = []
+    t = 0.0
+    person = 0
+    while t < DURATION:
+        t += rng.expovariate(1.0)
+        node = rng.randrange(N_NODES)
+        person += 1
+        schedule.append((t, node, Request(f"P{person}")))
+        if rng.random() < 0.5:
+            schedule.append((t + 0.1, node, MoveUp(CAPACITY)))
+    return schedule
+
+
+def _run_shard(seed, partition_duration):
+    run = run_airline_scenario(
+        AirlineScenario(
+            capacity=CAPACITY,
+            n_nodes=N_NODES,
+            duration=DURATION,
+            seed=seed,
+            partitions=_partitions(partition_duration),
+        )
+    )
+    app = make_airline_application(capacity=CAPACITY)
+    e = run.execution
+    worst = max(app.cost(s) for s in e.actual_states)
+    served = len(e)
+    submitted = run.requests_submitted + run.movers_submitted
+    return served / submitted if submitted else 1.0, 0.0, worst
+
+
+def _run_primary(seed, partition_duration):
+    system = PrimaryCopySystem(
+        AirlineState(),
+        n_nodes=N_NODES,
+        delay=UniformDelay(0.2, 1.0),
+        partitions=_partitions(partition_duration),
+        seed=seed,
+    )
+    for at, node, txn in _schedule(seed):
+        system.submit(node, txn, at=at)
+    system.run()
+    app = make_airline_application(capacity=CAPACITY)
+    return (
+        system.stats.availability,
+        mean(system.latencies()),
+        app.cost(system.state),
+    )
+
+
+def _run_quorum(seed, partition_duration):
+    system = QuorumSystem(
+        AirlineState(),
+        n_nodes=N_NODES,
+        delay=UniformDelay(0.2, 1.0),
+        partitions=_partitions(partition_duration),
+        seed=seed,
+    )
+    for at, node, txn in _schedule(seed):
+        system.submit(node, txn, at=at)
+    system.run()
+    app = make_airline_application(capacity=CAPACITY)
+    return (
+        system.stats.availability,
+        mean(system.latencies),
+        app.cost(system.state),
+    )
+
+
+def _experiment():
+    table = Table(
+        "E9: availability vs integrity, same workload, partition sweep",
+        ["partition (s)", "system", "served fraction", "mean latency",
+         "max total cost ($)"],
+    )
+    shard_avail = {}
+    primary_avail = {}
+    quorum_avail = {}
+    shard_cost = {}
+    for duration in DURATIONS:
+        served, latency, cost = _run_shard(31, duration)
+        shard_avail[duration] = served
+        shard_cost[duration] = cost
+        table.add(duration, "SHARD", round(served, 3), latency, cost)
+        served, latency, cost = _run_primary(31, duration)
+        primary_avail[duration] = served
+        table.add(duration, "primary-copy", round(served, 3),
+                  round(latency, 2), cost)
+        served, latency, cost = _run_quorum(31, duration)
+        quorum_avail[duration] = served
+        table.add(duration, "majority-quorum", round(served, 3),
+                  round(latency, 2), cost)
+    return table, (shard_avail, primary_avail, quorum_avail, shard_cost)
+
+
+def test_e9_availability(benchmark):
+    table, (shard_avail, primary_avail, quorum_avail, shard_cost) = run_once(
+        benchmark, _experiment
+    )
+    save_tables("E9_availability", [table])
+    # the quorum baseline sits between primary-copy and SHARD on the
+    # availability axis (clients on the majority side keep working).
+    for duration in DURATIONS:
+        assert primary_avail[duration] <= quorum_avail[duration] + 1e-9
+        assert quorum_avail[duration] <= 1.0
+    assert quorum_avail[70] < 1.0
+    # SHARD serves everything, always.
+    assert all(v == 1.0 for v in shard_avail.values())
+    # the primary-copy baseline loses availability under partitions,
+    # monotonically in their duration.
+    assert primary_avail[0] == 1.0
+    assert primary_avail[70] < primary_avail[20] < 1.0
+    # and SHARD's price: a bounded, nonzero integrity cost shows up only
+    # when partitions force stale decisions.
+    assert shard_cost[0] <= shard_cost[70]

@@ -1,0 +1,108 @@
+"""E4 — compensating transactions repair costs (Lemmas 1, 12; Cor 2, 13).
+
+Drives the database into badly overbooked / underbooked states, then
+extends the execution with an atomic suffix of compensating transactions
+(MOVE_DOWNs / MOVE_UPs) whose first member sees a subsequence missing k
+of the indices.  Checks Corollary 13: the post-suffix cost is at most
+f(k) — with f the constraint's 900k / 300k bound — and reports how many
+compensators the repair needed.
+"""
+
+from common import run_once, save_tables
+
+from repro.apps.airline import AirlineState, Request, make_airline_application
+from repro.apps.airline.theorems import (
+    corollary13_overbooking,
+    corollary13_underbooking,
+)
+from repro.core import ExecutionBuilder
+from repro.harness import Table
+
+CAPACITY = 10
+KS = (0, 1, 2, 4)
+
+
+def _overbooked_execution():
+    """An execution whose *final* state is overbooked by 4: every MOVE_UP
+    sees only its own passenger's request (maximally divergent agents),
+    so each seats a different passenger."""
+    builder = ExecutionBuilder(AirlineState())
+    from repro.apps.airline import MoveUp
+
+    for i in range(CAPACITY + 4):
+        request_index = builder.add(Request(f"P{i}"))
+        builder.add(MoveUp(CAPACITY), prefix=(request_index,))
+    return builder.build()
+
+
+def _underbooked_execution():
+    """Requests only: maximally underbooked."""
+    builder = ExecutionBuilder(AirlineState())
+    for i in range(25):
+        builder.add(Request(f"P{i}"))
+    return builder.build()
+
+
+def _experiment():
+    app = make_airline_application(capacity=CAPACITY)
+    over = _overbooked_execution()
+    under = _underbooked_execution()
+
+    t1 = Table(
+        "E4a: MOVE_DOWN suffix repairs overbooking (Cor 13.1)",
+        ["k missing", "cost before", "f(k)=900k", "cost after", "suffix len",
+         "holds"],
+    )
+    rows1 = []
+    for k in KS:
+        kept = tuple(over.indices)[: len(over) - k]
+        report = corollary13_overbooking(over, kept, CAPACITY)
+        after = report.details.get(
+            "cost_after_suffix", report.details.get("cost", 0.0)
+        )
+        t1.add(
+            k,
+            app.cost(over.final_state, "overbooking"),
+            900 * k,
+            after,
+            report.details["suffix_len"],
+            report.holds,
+        )
+        rows1.append((k, after, report.holds))
+
+    t2 = Table(
+        "E4b: MOVE_UP suffix repairs underbooking (Cor 13.2)",
+        ["k missing", "cost before", "f(k)=300k", "cost after", "suffix len",
+         "holds"],
+    )
+    rows2 = []
+    for k in KS:
+        kept = tuple(under.indices)[: len(under) - k]
+        report = corollary13_underbooking(under, kept, CAPACITY)
+        after = report.details.get(
+            "cost_after_suffix", report.details.get("cost", 0.0)
+        )
+        t2.add(
+            k,
+            app.cost(under.final_state, "underbooking"),
+            300 * k,
+            after,
+            report.details["suffix_len"],
+            report.holds,
+        )
+        rows2.append((k, after, report.holds))
+
+    return (t1, t2), (rows1, rows2, over, under, app)
+
+
+def test_e4_compensation(benchmark):
+    (tables, payload) = run_once(benchmark, _experiment)
+    save_tables("E4_compensation", tables)
+    rows1, rows2, over, under, app = payload
+    assert app.cost(under.final_state, "underbooking") > 0
+    for k, after, holds in rows1:
+        assert holds
+        assert after <= 900 * k + 1e-9
+    for k, after, holds in rows2:
+        assert holds
+        assert after <= 300 * k + 1e-9

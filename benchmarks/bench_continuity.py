@@ -1,0 +1,147 @@
+"""E10 — the "continuous flavor" and the deferred probabilistic analysis.
+
+The paper's closing claim: "small changes in available information lead
+to small perturbations in correctness conditions" — in contrast to
+serializability's all-or-nothing character.  Two experiments:
+
+* **continuity sweep** — degrade the information regime gradually
+  (anti-entropy interval with flooding off) and measure both the realized
+  deficit k* of the MOVE_UPs and the worst overbooking cost: cost moves
+  gradually with information, and every run respects 900·k*;
+* **part (2) of Section 1.3** — across many seeds, form the empirical
+  distribution of k* and compose it with the conditional bound to produce
+  statements of the paper's desired form "with probability p, the cost
+  remains at most c".
+"""
+
+from common import run_once, save_tables
+
+from repro.analysis import (
+    CalibrationPoint,
+    KDistribution,
+    compose,
+    verify_conditional,
+)
+from repro.apps.airline import make_airline_application, overbooking_bound
+from repro.apps.airline.simulation import AirlineScenario, run_airline_scenario
+from repro.harness import Table
+from repro.network import BroadcastConfig
+
+CAPACITY = 10
+INTERVALS = (0.5, 2.0, 8.0, 20.0)
+SEEDS = range(8)
+
+
+def _run(seed, interval):
+    return run_airline_scenario(
+        AirlineScenario(
+            capacity=CAPACITY,
+            n_nodes=3,
+            duration=60,
+            seed=seed,
+            request_rate=1.5,
+            broadcast=BroadcastConfig(
+                flood=False, anti_entropy_interval=interval
+            ),
+        )
+    )
+
+
+def _mover_k(execution):
+    return max(
+        (execution.deficit(i) for i in execution.indices
+         if execution.transactions[i].name == "MOVE_UP"),
+        default=0,
+    )
+
+
+def _experiment():
+    app = make_airline_application(capacity=CAPACITY)
+    bound = overbooking_bound()
+
+    t1 = Table(
+        "E10a: continuity — cost tracks information (gossip interval sweep)",
+        ["gossip interval (s)", "mean mover k*", "max mover k*",
+         "worst overbooking ($)", "900k* respected"],
+    )
+    points_by_interval = {}
+    for interval in INTERVALS:
+        points = []
+        for seed in SEEDS:
+            run = _run(seed, interval)
+            e = run.execution
+            k_star = _mover_k(e)
+            worst = max(app.cost(s, "overbooking") for s in e.actual_states)
+            points.append(CalibrationPoint(k_star, worst))
+        points_by_interval[interval] = points
+        mean_k = sum(p.k_star for p in points) / len(points)
+        max_k = max(p.k_star for p in points)
+        worst_cost = max(p.max_cost for p in points)
+        t1.add(interval, round(mean_k, 1), max_k, worst_cost,
+               verify_conditional(points, bound))
+
+    # part (2): empirical P(k* <= k) at the middling regime, composed
+    # with the conditional bound.
+    calibration = points_by_interval[INTERVALS[2]]
+    dist = KDistribution(tuple(p.k_star for p in calibration))
+    t2 = Table(
+        "E10b: probabilistic composition, gossip interval "
+        f"{INTERVALS[2]}s ({len(SEEDS)} runs)",
+        ["k", "P(k* <= k)", "=> P(overbooking <= $)"],
+    )
+    for pb in compose(dist, bound):
+        t2.add(pb.k, round(pb.probability, 3), pb.cost_limit)
+
+    # the same composition with the Theorem 20 witness-refined k* — the
+    # paper's own remedy for the plain bound's looseness.
+    from repro.analysis import refined_deficits
+
+    refined_samples = []
+    refined_points = []
+    for seed in SEEDS:
+        run = _run(seed, INTERVALS[2])
+        refined = refined_deficits(run.execution)
+        movers = [
+            i for i in run.execution.indices
+            if run.execution.transactions[i].name == "MOVE_UP"
+        ]
+        k_ref = max((refined.overbooking[i] for i in movers), default=0)
+        worst = max(
+            app.cost(s, "overbooking")
+            for s in run.execution.actual_states
+        )
+        refined_samples.append(k_ref)
+        refined_points.append(CalibrationPoint(k_ref, worst))
+    refined_dist = KDistribution(tuple(refined_samples))
+    t3 = Table(
+        "E10c: same composition with Theorem 20's refined k*",
+        ["refined k", "P(k* <= k)", "=> P(overbooking <= $)"],
+    )
+    for pb in compose(refined_dist, bound):
+        t3.add(pb.k, round(pb.probability, 3), pb.cost_limit)
+
+    return (t1, t2, t3), (points_by_interval, refined_points)
+
+
+def test_e10_continuity(benchmark):
+    tables, (points_by_interval, refined_points) = run_once(
+        benchmark, _experiment
+    )
+    save_tables("E10_continuity", list(tables))
+    bound = overbooking_bound()
+    # the conditional theorem leaves an empirical footprint on EVERY run.
+    for points in points_by_interval.values():
+        assert verify_conditional(points, bound)
+    # the refined-k conditional holds too, and is much tighter.
+    assert verify_conditional(refined_points, bound)
+    plain_max = max(
+        p.k_star for p in points_by_interval[INTERVALS[2]]
+    )
+    refined_max = max(p.k_star for p in refined_points)
+    assert refined_max < plain_max
+    # continuity: information deficit grows with the gossip interval.
+    mean_k = {
+        interval: sum(p.k_star for p in pts) / len(pts)
+        for interval, pts in points_by_interval.items()
+    }
+    assert mean_k[INTERVALS[0]] < mean_k[INTERVALS[-1]]

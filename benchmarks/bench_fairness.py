@@ -1,0 +1,127 @@
+"""E7 — fairness (Theorems 25, 27 and the Section 5.5 redesign).
+
+Measures request-order inversions in the final state of simulated runs
+where the moving agent learns about requests out of order (a partition
+separates one group of requesters from the agent):
+
+* baseline design, centralized movers: inversions occur — the final
+  order is fixed by when the *agent* learned about the requests
+  (Theorem 25), not by request time;
+* timestamped redesign (Section 5.5): the same schedule yields zero
+  inversions — priority follows request timestamps;
+* Theorem 25 is checked on every run (once the agent sees both requests
+  its apparent order is final), and Theorem 27 on the scripted
+  t-bounded-delay construction.
+"""
+
+from common import run_once, save_tables
+
+from repro.analysis import final_order_inversions
+from repro.apps.airline import precedes
+from repro.apps.airline.priority import known
+from repro.apps.airline.simulation import AirlineScenario, run_airline_scenario
+from repro.apps.airline.theorems import theorem25
+from repro.apps.airline.timestamped import (
+    TSAirlineState,
+    ts_known,
+    ts_precedes,
+)
+from repro.harness import Table
+from repro.network import PartitionSchedule
+
+CAPACITY = 6
+SEEDS = range(5)
+
+
+def _scenario(seed, design):
+    # the agent (node 0) is cut off from nodes 1-2 for most of the run,
+    # so requests arriving there reach it late and out of order.
+    partitions = PartitionSchedule.split(10, 60, [0], [1, 2])
+    return AirlineScenario(
+        capacity=CAPACITY,
+        n_nodes=3,
+        duration=80,
+        seed=seed,
+        request_rate=0.8,
+        cancel_fraction=0.0,
+        partitions=partitions,
+        mover_nodes=[0],
+        design=design,
+    )
+
+
+def _experiment():
+    table = Table(
+        "E7: request-order inversions in the final state (centralized agent,"
+        " 50s partition)",
+        ["design", "seed", "comparable pairs", "inversions",
+         "Thm25 holds (all pairs)"],
+    )
+    totals = {"baseline": 0, "timestamped": 0}
+    thm25_all = True
+    for design in ("baseline", "timestamped"):
+        for seed in SEEDS:
+            run = run_airline_scenario(_scenario(seed, design))
+            e = run.execution
+            if design == "baseline":
+                report = final_order_inversions(
+                    e, precedes, known, by_real_time=True
+                )
+                # check Theorem 25 on every requester pair.
+                people = sorted(
+                    {t.params[0] for t in e.transactions
+                     if t.name == "REQUEST"}
+                )
+                ok = all(
+                    theorem25(e, p, q).holds
+                    for i, p in enumerate(people)
+                    for q in people[i + 1:]
+                )
+                thm25_all &= ok
+            else:
+                report = final_order_inversions(
+                    e, ts_precedes, ts_known, by_real_time=True
+                )
+                ok = None
+            totals[design] += report.inversions
+            table.add(design, seed, report.comparable_pairs,
+                      report.inversions, ok)
+    t27 = _theorem27_table()
+    return (table, t27[0]), (totals, thm25_all, t27[1])
+
+
+def _theorem27_table():
+    """Theorem 27 on orderly, t-bounded-delay constructions: a request
+    gap of at least t forces priority; a smaller gap does not."""
+    from repro.apps.airline import AirlineState, MoveDown, MoveUp, Request
+    from repro.apps.airline.theorems import theorem27
+    from repro.core import ExecutionBuilder, TimedExecution
+
+    table = Table(
+        "E7b: Theorem 27 (t-bounded delay, orderly): gap >= t fixes order",
+        ["request gap", "t", "hypotheses hold", "P < Q throughout", "holds"],
+    )
+    all_hold = True
+    for gap in (2.0, 10.0):
+        b = ExecutionBuilder(AirlineState())
+        times = [0.0, gap, gap + 10, gap + 20, gap + 30]
+        txns = [Request("P"), Request("Q"), MoveUp(1), MoveUp(1), MoveDown(1)]
+        for txn, at in zip(txns, times):
+            b.add(txn, time=at)
+        e = TimedExecution(b.build(), times)
+        report = theorem27(e, 5.0, "P", "Q")
+        all_hold &= bool(report.holds)
+        table.add(gap, 5.0, report.hypothesis_holds,
+                  report.conclusion_holds, report.holds)
+    return table, all_hold
+
+
+def test_e7_fairness(benchmark):
+    tables, (totals, thm25_all, thm27_all) = run_once(benchmark, _experiment)
+    save_tables("E7_fairness", list(tables))
+    assert thm25_all, "Theorem 25 violated on a simulated run"
+    assert thm27_all, "Theorem 27 violated on the scripted construction"
+    # the baseline design inverts request order under the partition...
+    assert totals["baseline"] > 0
+    # ...the Section 5.5 redesign eliminates the inversions entirely.
+    assert totals["timestamped"] == 0

@@ -1,0 +1,194 @@
+"""E13 — mixed-mode operation and the distributed agent (Sections 3.2, 6).
+
+Section 6 asks for "an application system in which certain critical
+transactions run serializably, while the others run in a highly
+available manner".  This bench compares four mover policies on the same
+partitioned airline workload:
+
+* **decentralized** — every node runs its own movers (fully available,
+  overbooking-prone);
+* **token agent, block** — movers serialized through a migrating token;
+  unreachable token ⇒ rejection (Theorem 22's guarantee, availability
+  price);
+* **token agent, local** — same, but falls back to local execution when
+  the token is unreachable (availability restored, guarantee forfeited);
+* **synchronized** — every mover first pulls all nodes' knowledge
+  (near-complete prefixes; rejected during partitions).
+
+And, separately, banking audits in both modes: available audits report
+stale totals with error bounded by what their deficit can hide;
+synchronized audits are exact but unavailable during partitions.
+"""
+
+import random
+
+from common import run_once, save_tables
+
+from repro.apps.airline import (
+    AirlineState,
+    MoveUp,
+    Request,
+    make_airline_application,
+)
+from repro.apps.banking import (
+    AUDIT_REPORT,
+    Audit,
+    Deposit,
+    INITIAL_BANK_STATE,
+    Withdraw,
+)
+from repro.harness import Table
+from repro.network import PartitionSchedule
+from repro.shard import ClusterConfig, ShardCluster
+from repro.sim.metrics import mean
+
+CAPACITY = 6
+DURATION = 80.0
+PARTITION = PartitionSchedule.split(10, 60, [0], [1, 2])
+
+
+def _drive_movers(policy, seed):
+    """Identical request schedule; movers dispatched per policy."""
+    cluster = ShardCluster(
+        AirlineState(),
+        ClusterConfig(n_nodes=3, seed=seed, partitions=PARTITION),
+    )
+    agent = None
+    if policy in ("token-block", "token-local"):
+        agent = cluster.create_agent(
+            home=0,
+            policy="block" if policy == "token-block" else "local",
+            timeout=5.0,
+        )
+    rng = random.Random(seed)
+    t, person = 0.0, 0
+    movers_requested = 0
+    while t < DURATION:
+        t += rng.expovariate(1.0)
+        person += 1
+        cluster.submit(rng.randrange(3), Request(f"P{person}"), at=t)
+        if rng.random() < 0.6:
+            node = rng.randrange(3)
+            at = t + 0.1
+            movers_requested += 1
+            if policy == "decentralized":
+                cluster.submit(node, MoveUp(CAPACITY), at=at)
+            elif policy in ("token-block", "token-local"):
+                cluster.sim.schedule_at(
+                    at, lambda n=node: agent.submit(n, MoveUp(CAPACITY))
+                )
+            else:  # synchronized
+                cluster.sim.schedule_at(
+                    at,
+                    lambda n=node: cluster.submit_synchronized(
+                        n, MoveUp(CAPACITY), timeout=5.0
+                    ),
+                )
+    cluster.run(until=DURATION + 20)
+    cluster.quiesce()
+    e = cluster.extract_execution()
+    app = make_airline_application(capacity=CAPACITY)
+    worst = max(app.cost(s, "overbooking") for s in e.actual_states)
+    if policy == "decentralized":
+        served, latency = movers_requested, 0.0
+    elif agent is not None:
+        served = agent.stats.served_with_token + agent.stats.served_locally
+        latency = mean(agent.stats.latencies)
+    else:
+        served = cluster.sync.stats.served
+        latency = mean(cluster.sync.stats.latencies)
+    return served / movers_requested, latency, worst
+
+
+def _audit_modes(seed):
+    """Available vs synchronized audits on a partitioned bank."""
+    cluster = ShardCluster(
+        INITIAL_BANK_STATE,
+        ClusterConfig(n_nodes=3, seed=seed, partitions=PARTITION),
+    )
+    rng = random.Random(seed)
+    t = 0.0
+    for account in ("alice", "bob"):
+        cluster.submit(0, Deposit(account, 200), at=0.0)
+    while t < DURATION:
+        t += rng.expovariate(1.5)
+        account = rng.choice(("alice", "bob"))
+        if rng.random() < 0.5:
+            cluster.submit(rng.randrange(3), Deposit(account, rng.randint(1, 9)), at=t)
+        else:
+            cluster.submit(rng.randrange(3), Withdraw(account, rng.randint(1, 9)), at=t)
+    audit_times = [20.0, 40.0, 70.0]
+    for at in audit_times:
+        cluster.submit(1, Audit(), at=at)  # available mode
+        cluster.sim.schedule_at(
+            at, lambda: cluster.submit_synchronized(1, Audit(), timeout=5.0)
+        )
+    cluster.run(until=DURATION + 20)
+    cluster.quiesce()
+    e = cluster.extract_execution()
+    # audit accuracy: reported vs the actual total at that point.
+    errors_available = []
+    sync_exact = True
+    audit_count = 0
+    for i in e.indices:
+        if e.transactions[i].name != "AUDIT":
+            continue
+        audit_count += 1
+        reported = e.external_actions[i][0].payload[0]
+        actual = e.actual_before(i).total
+        apparent = e.apparent_before[i].total
+        assert reported == apparent  # audits report what they saw
+        if e.deficit(i) == 0:
+            sync_exact &= reported == actual
+        else:
+            errors_available.append(abs(reported - actual))
+    return (
+        cluster.sync.stats.availability,
+        mean(errors_available),
+        sync_exact,
+        audit_count,
+    )
+
+
+def _experiment():
+    t1 = Table(
+        "E13a: mover policies under a 50s partition (capacity 6)",
+        ["policy", "mover availability", "mean mover latency",
+         "max overbooking ($)"],
+    )
+    results = {}
+    for policy in ("decentralized", "token-block", "token-local",
+                   "synchronized"):
+        avail, latency, worst = _drive_movers(policy, seed=2)
+        t1.add(policy, round(avail, 3), round(latency, 2), worst)
+        results[policy] = (avail, worst)
+
+    t2 = Table(
+        "E13b: banking audits, available vs synchronized mode",
+        ["sync audit availability", "mean error of available audits ($)",
+         "synchronized audits exact"],
+    )
+    sync_avail, avail_error, sync_exact, audit_count = _audit_modes(seed=22)
+    t2.add(round(sync_avail, 3), round(avail_error, 2), sync_exact)
+
+    return (t1, t2), (results, sync_avail, sync_exact)
+
+
+def test_e13_mixed_mode(benchmark):
+    tables, (results, sync_avail, sync_exact) = run_once(benchmark, _experiment)
+    save_tables("E13_mixed_mode", list(tables))
+    # decentralized: fully available, overbooks.
+    assert results["decentralized"][0] == 1.0
+    assert results["decentralized"][1] > 0
+    # token-block: never overbooks, loses availability.
+    assert results["token-block"][1] == 0
+    assert results["token-block"][0] < 1.0
+    # token-local: available again, guarantee gone (may or may not
+    # overbook on this seed; availability is the claim).
+    assert results["token-local"][0] == 1.0
+    # synchronized movers: never overbook, lose availability.
+    assert results["synchronized"][1] == 0
+    assert results["synchronized"][0] < 1.0
+    # audits: synchronized ones are exact but partially available.
+    assert sync_exact
+    assert sync_avail < 1.0

@@ -1,0 +1,248 @@
+"""E12 — generality: the same conditions govern other applications.
+
+Sections 4 and 6 claim the framework carries over to other resource
+allocation applications.  This bench runs the banking, inventory and
+replicated-dictionary applications (on the builder with controlled k and
+on the SHARD cluster) and checks the analogues of the airline results:
+
+* banking — k-stale withdrawals overdraw by at most max_withdrawal * k;
+  an audit's report error is bounded by what its missing prefix can hide;
+* inventory — k-stale commits over-commit by at most k units, against a
+  *moving* capacity (restocks and shipments);
+* dictionary — k-stale inserts oversize the dictionary by at most k, and
+  every query's answer is the membership of the subsequence it saw
+  (the [FM] availability guarantee);
+* name service (Grapevine, [B]) — k-stale ADD_MEMBERs create at most k
+  dangling mailing-list entries, and SCRUB compensates them away — the
+  same conditions on a *referential* integrity constraint.
+"""
+
+import random
+
+from common import run_once, save_tables
+
+from repro.apps.banking import (
+    Deposit,
+    INITIAL_BANK_STATE,
+    Withdraw,
+    make_banking_application,
+    overdraft_bound,
+)
+from repro.apps.dictionary import (
+    Delete,
+    INITIAL_DICT_STATE,
+    Insert,
+    Query,
+    make_dictionary_application,
+    oversize_bound,
+)
+from repro.apps.inventory import (
+    Commit,
+    INITIAL_INVENTORY_STATE,
+    Order,
+    Restock,
+    Ship,
+    make_inventory_application,
+    overcommit_bound,
+)
+from repro.apps.nameserver import (
+    AddMember,
+    INITIAL_NS_STATE,
+    Register,
+    RemoveMember,
+    Scrub,
+    Unregister,
+    dangling_bound,
+    make_nameserver_application,
+)
+from repro.core import ExecutionBuilder, apply_sequence
+from repro.harness import Table
+
+KS = (0, 1, 2, 4)
+
+
+def _bank_run(k, seed):
+    """Random deposits/withdrawals with lagged prefixes of up to k."""
+    rng = random.Random(seed)
+    amount = 10
+    accounts = ("alice", "bob")
+    builder = ExecutionBuilder(INITIAL_BANK_STATE)
+    for account in accounts:
+        builder.add(Deposit(account, 50))
+    for _ in range(120):
+        n = len(builder)
+        dropped = set(rng.sample(range(n), min(k, n)))
+        prefix = tuple(j for j in range(n) if j not in dropped)
+        account = rng.choice(accounts)
+        if rng.random() < 0.35:
+            builder.add(Deposit(account, rng.randint(1, amount)), prefix=prefix)
+        else:
+            builder.add(Withdraw(account, rng.randint(1, amount)), prefix=prefix)
+    return builder.build(), amount
+
+
+def _inventory_run(k, seed):
+    rng = random.Random(seed)
+    builder = ExecutionBuilder(INITIAL_INVENTORY_STATE)
+    next_order = 0
+    for _ in range(150):
+        n = len(builder)
+        dropped = set(rng.sample(range(n), min(k, n)))
+        prefix = tuple(j for j in range(n) if j not in dropped)
+        roll = rng.random()
+        if roll < 0.3:
+            builder.add(Order(f"o{next_order}"), prefix=prefix)
+            next_order += 1
+        elif roll < 0.45:
+            builder.add(Restock(rng.randint(1, 3)), prefix=prefix)
+        elif roll < 0.85:
+            builder.add(Commit(), prefix=prefix)
+        else:
+            builder.add(Ship(), prefix=prefix)
+    return builder.build()
+
+
+def _dictionary_run(k, seed, capacity=5):
+    rng = random.Random(seed)
+    builder = ExecutionBuilder(INITIAL_DICT_STATE)
+    query_checks = []
+    for i in range(120):
+        n = len(builder)
+        dropped = set(rng.sample(range(n), min(k, n)))
+        prefix = tuple(j for j in range(n) if j not in dropped)
+        roll = rng.random()
+        if roll < 0.55:
+            builder.add(Insert(f"x{i}", capacity), prefix=prefix)
+        elif roll < 0.8:
+            builder.add(Delete(f"x{rng.randint(0, max(0, i - 1))}"),
+                        prefix=prefix)
+        else:
+            index = builder.add(Query(), prefix=prefix)
+            query_checks.append((index, prefix))
+    return builder.build(), query_checks
+
+
+def _experiment():
+    t1 = Table(
+        "E12a: banking — max total overdraft vs k (withdrawals <= $10)",
+        ["k", "bound 10k", "worst overdraft", "holds"],
+    )
+    bank_rows = []
+    for k in KS:
+        app = make_banking_application(accounts=("alice", "bob"))
+        worst = 0.0
+        for seed in range(3):
+            e, amount = _bank_run(k, seed * 7 + k)
+            worst = max(worst, max(app.cost(s) for s in e.actual_states))
+        bound = overdraft_bound(10)(k)
+        t1.add(k, bound, worst, worst <= bound)
+        bank_rows.append((k, worst, bound))
+
+    t2 = Table(
+        "E12b: inventory — max over-commitment vs k (moving stock)",
+        ["k", "bound (units)", "worst excess (units)", "holds"],
+    )
+    inv_rows = []
+    app_inv = make_inventory_application(overcommit_cost=1)
+    for k in KS:
+        worst = 0.0
+        for seed in range(3):
+            e = _inventory_run(k, seed * 13 + k)
+            worst = max(
+                worst, max(app_inv.cost(s, "overcommit") for s in e.actual_states)
+            )
+        bound = overcommit_bound(1)(k)
+        t2.add(k, bound, worst, worst <= bound)
+        inv_rows.append((k, worst, bound))
+
+    t3 = Table(
+        "E12c: dictionary — oversize vs k, and the FM query guarantee",
+        ["k", "bound", "worst oversize", "holds", "queries",
+         "all reports = seen-subsequence membership"],
+    )
+    dict_rows = []
+    app_dict = make_dictionary_application(capacity=5, unit_cost=1)
+    for k in KS:
+        worst = 0.0
+        queries = 0
+        all_fm = True
+        for seed in range(3):
+            e, query_checks = _dictionary_run(k, seed * 17 + k)
+            worst = max(worst, max(app_dict.cost(s) for s in e.actual_states))
+            for index, prefix in query_checks:
+                queries += 1
+                report = e.external_actions[index][0].payload
+                seen_state = apply_sequence(
+                    (e.updates[j] for j in prefix), INITIAL_DICT_STATE
+                )
+                all_fm &= report == tuple(sorted(seen_state.members))
+        bound = oversize_bound(1)(k)
+        t3.add(k, bound, worst, worst <= bound, queries, all_fm)
+        dict_rows.append((k, worst, bound, all_fm))
+
+    t4 = Table(
+        "E12d: name service — dangling members vs k, SCRUB compensation",
+        ["k", "bound", "worst dangling", "holds", "final after scrubs"],
+    )
+    ns_rows = []
+    app_ns = make_nameserver_application(unit_cost=1)
+    for k in KS:
+        worst = 0.0
+        final_after = 0.0
+        for seed in range(3):
+            e = _nameserver_run(k, seed * 19 + k)
+            worst = max(worst, max(app_ns.cost(s) for s in e.actual_states))
+            final_after = max(final_after, app_ns.cost(e.final_state))
+        bound = dangling_bound(1)(k)
+        t4.add(k, bound, worst, worst <= bound, final_after)
+        ns_rows.append((k, worst, bound, final_after))
+
+    return (t1, t2, t3, t4), (bank_rows, inv_rows, dict_rows, ns_rows)
+
+
+def _nameserver_run(k, seed):
+    """Register/unregister churn with stale list managers, then a scrub
+    sweep with complete prefixes."""
+    rng = random.Random(seed)
+    builder = ExecutionBuilder(INITIAL_NS_STATE)
+    users = [f"u{i}" for i in range(10)]
+    for user in users:
+        builder.add(Register(user))
+    for _ in range(80):
+        n = len(builder)
+        dropped = set(rng.sample(range(n), min(k, n)))
+        prefix = tuple(j for j in range(n) if j not in dropped)
+        roll = rng.random()
+        user = rng.choice(users)
+        group = rng.choice(("staff", "eng", "all"))
+        if roll < 0.2:
+            builder.add(Unregister(user), prefix=prefix)
+        elif roll < 0.35:
+            builder.add(Register(user), prefix=prefix)
+        elif roll < 0.8:
+            builder.add(AddMember(group, user), prefix=prefix)
+        else:
+            builder.add(RemoveMember(group, user), prefix=prefix)
+    for _ in range(12):
+        builder.add(Scrub())  # complete-prefix compensation sweep
+    return builder.build()
+
+
+def test_e12_other_apps(benchmark):
+    tables, (bank_rows, inv_rows, dict_rows, ns_rows) = run_once(
+        benchmark, _experiment
+    )
+    save_tables("E12_other_apps", list(tables))
+    for k, worst, bound, final_after in ns_rows:
+        assert worst <= bound + 1e-9
+        assert final_after == 0  # the scrub sweep restored integrity
+    for k, worst, bound in bank_rows:
+        assert worst <= bound + 1e-9
+    for k, worst, bound in inv_rows:
+        assert worst <= bound + 1e-9
+    for k, worst, bound, all_fm in dict_rows:
+        assert worst <= bound + 1e-9
+        assert all_fm, "a query report deviated from its seen subsequence"
+    # the hazards are real: nonzero k produces nonzero cost somewhere.
+    assert any(worst > 0 for k, worst, _ in bank_rows if k > 0)
+    assert any(worst > 0 for k, worst, _ in inv_rows if k > 0)

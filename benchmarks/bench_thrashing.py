@@ -1,0 +1,79 @@
+"""E8 — thrashing (the Section 3.1 danger).
+
+"If a MOVE_UP transaction does not see a previous request and
+corresponding MOVE_UP ... this kind of thrashing is very undesirable, not
+just because of its obvious inefficiency, but because of the external
+effects of the conflicting transactions."
+
+This bench measures, from the external-action ledger, how often the same
+passenger is told "you have a seat" / "you lost it" repeatedly, as a
+function of partition duration and mover placement.  Claims checked:
+
+* no partition, decentralized movers: essentially no reversals;
+* reversals grow with partition duration under decentralized movers;
+* centralizing the movers suppresses thrashing even under partitions.
+"""
+
+from common import run_once, save_tables
+
+from repro.analysis import thrash_report
+from repro.apps.airline.simulation import AirlineScenario, run_airline_scenario
+from repro.harness import Table
+from repro.network import PartitionSchedule
+
+CAPACITY = 8
+SEEDS = range(3)
+DURATIONS = (0, 20, 40, 60)
+
+
+def _run(seed, partition_duration, mover_nodes):
+    partitions = (
+        PartitionSchedule.split(10, 10 + partition_duration, [0], [1, 2])
+        if partition_duration > 0
+        else None
+    )
+    return run_airline_scenario(
+        AirlineScenario(
+            capacity=CAPACITY,
+            n_nodes=3,
+            duration=90,
+            seed=seed,
+            request_rate=1.2,
+            cancel_fraction=0.2,
+            partitions=partitions,
+            mover_nodes=mover_nodes,
+            mover_interval=1.5,
+        )
+    )
+
+
+def _experiment():
+    table = Table(
+        "E8: notification reversals vs partition duration (3 seeds each)",
+        ["partition (s)", "movers", "notifications", "total reversals",
+         "thrashed passengers", "worst passenger"],
+    )
+    curve = {}
+    for mover_nodes, label in ((None, "decentralized"), ([0], "centralized")):
+        for duration in DURATIONS:
+            notifications = reversals = thrashed = worst = 0
+            for seed in SEEDS:
+                run = _run(seed, duration, mover_nodes)
+                report = thrash_report(run.ledger)
+                notifications += report.notifications
+                reversals += report.total_reversals
+                thrashed += report.thrashed_entities
+                worst = max(worst, report.worst_entity_reversals)
+            table.add(duration, label, notifications, reversals, thrashed,
+                      worst)
+            curve[(label, duration)] = reversals
+    return table, curve
+
+
+def test_e8_thrashing(benchmark):
+    table, curve = run_once(benchmark, _experiment)
+    save_tables("E8_thrashing", [table])
+    # thrashing grows with partition duration under decentralized movers.
+    assert curve[("decentralized", 60)] > curve[("decentralized", 0)]
+    # centralization suppresses it.
+    assert curve[("centralized", 60)] <= curve[("decentralized", 60)]

@@ -1,0 +1,71 @@
+"""E3 — grouped underbooking and total-cost bounds (Corollaries 10, 11).
+
+The underbooking cost admits no unconditional invariant bound (a burst of
+requests with no intervening MOVE_UPs makes it arbitrary), so the paper
+bounds it only at *normal states* — the states after the groups of a
+grouping in which every REQUEST/CANCEL is followed by a burst of
+MOVE_UPs that drives the apparent underbooking cost to zero.  This bench
+generates grouped executions across k, validates the grouping, and checks
+both Corollary 10 (underbooking <= 300k at normal states) and Corollary
+11 (total cost <= 900k at normal states).
+"""
+
+import random
+
+from common import run_once, save_tables
+
+from repro.apps.airline import make_airline_application
+from repro.apps.airline.generator import GeneratorConfig, generate
+from repro.apps.airline.theorems import corollary10, corollary11
+from repro.analysis import normal_state_costs
+from repro.harness import Table
+
+CAPACITY = 10
+N_TRANSACTIONS = 200
+SEEDS = range(4)
+KS = (0, 1, 2, 4)
+
+
+def _experiment():
+    app = make_airline_application(capacity=CAPACITY)
+    table = Table(
+        "E3: costs at normal states vs k (grouped runs, capacity 10)",
+        ["k", "bound 300k", "worst normal underbooking",
+         "bound 900k", "worst normal total", "Cor10", "Cor11"],
+    )
+    rows = []
+    for k in KS:
+        worst_under = 0.0
+        worst_total = 0.0
+        c10_ok = True
+        c11_ok = True
+        for seed in SEEDS:
+            config = GeneratorConfig(
+                capacity=CAPACITY,
+                n_transactions=N_TRANSACTIONS,
+                k=k,
+                drop="random",
+                grouped=True,
+            )
+            run = generate(config, random.Random(seed * 31 + k))
+            r10 = corollary10(run.execution, run.grouping, k, CAPACITY)
+            r11 = corollary11(run.execution, run.grouping, k, CAPACITY)
+            c10_ok &= bool(r10.hypothesis_holds and r10.holds)
+            c11_ok &= bool(r11.hypothesis_holds and r11.holds)
+            worst_under = max(worst_under, r10.details["max_normal_underbooking"])
+            worst_total = max(worst_total, r11.details["max_normal_total"])
+        table.add(k, 300 * k, worst_under, 900 * k, worst_total, c10_ok, c11_ok)
+        rows.append((k, worst_under, worst_total, c10_ok, c11_ok))
+    return table, rows
+
+
+def test_e3_grouped_bounds(benchmark):
+    table, rows = run_once(benchmark, _experiment)
+    save_tables("E3_underbooking_grouping", [table])
+    for k, worst_under, worst_total, c10, c11 in rows:
+        assert c10, f"Corollary 10 failed at k={k}"
+        assert c11, f"Corollary 11 failed at k={k}"
+        assert worst_under <= 300 * k
+        assert worst_total <= 900 * k
+        if k == 0:
+            assert worst_under == 0 and worst_total == 0

@@ -1,0 +1,89 @@
+"""E1 — the paper's worked example executions, reproduced verbatim.
+
+Regenerates:
+
+* the Section 3.1 non-serializable execution at capacity 100: the
+  transiently overbooked state s_204 (cost $1800) and the final assigned
+  list P2..P100, P102 with P101 waitlisted;
+* the Section 5.4 counterexample: transitive + centralized MOVE_UPs yet
+  $900 of overbooking (the per-person hypothesis of Theorem 22 is
+  necessary);
+* the Section 5.5 priority inversion and its timestamped repair.
+"""
+
+from common import run_once, save_tables
+
+from repro.apps.airline import make_airline_application, precedes
+from repro.apps.airline.timestamped import ts_precedes
+from repro.apps.airline.worked_examples import (
+    section_3_1_execution,
+    section_3_1_overbooked_index,
+    section_5_4_counterexample,
+    section_5_5_priority_inversion,
+    section_5_5_with_timestamps,
+)
+from repro.core import group_by_family, is_centralized, is_transitive
+from repro.harness import Table
+
+
+def _experiment():
+    app = make_airline_application(capacity=100)
+
+    e31 = section_3_1_execution(capacity=100)
+    s204 = e31.actual_states[section_3_1_overbooked_index(100)]
+    final = e31.final_state
+
+    t1 = Table(
+        "E1a: Section 3.1 execution (capacity 100)",
+        ["quantity", "paper", "measured"],
+    )
+    t1.add("transactions", 206, len(e31))
+    t1.add("s204 assigned-list size", 102, s204.al)
+    t1.add("s204 overbooking cost ($)", 1800, app.cost(s204, "overbooking"))
+    t1.add("final assigned-list size", 100, final.al)
+    t1.add("final list = P2..P100,P102", True,
+           final.assigned == tuple(f"P{i}" for i in range(2, 101)) + ("P102",))
+    t1.add("P101 waitlisted (unfair)", True, final.waiting == ("P101",))
+
+    e54 = section_5_4_counterexample(capacity=100)
+    app54 = make_airline_application(capacity=100)
+    t2 = Table(
+        "E1b: Section 5.4 centralization counterexample (capacity 100)",
+        ["quantity", "paper", "measured"],
+    )
+    t2.add("transitive", True, is_transitive(e54))
+    t2.add("MOVE_UPs centralized", True,
+           is_centralized(e54, group_by_family(e54, "MOVE_UP")))
+    t2.add("final overbooking cost ($)", 900,
+           app54.cost(e54.final_state, "overbooking"))
+
+    e55 = section_5_5_priority_inversion()
+    e55ts = section_5_5_with_timestamps()
+    t3 = Table(
+        "E1c: Section 5.5 priority inversion",
+        ["design", "Q ahead of P in final state"],
+    )
+    t3.add("baseline (paper's definitions)",
+           precedes(e55.final_state, "Q", "P"))
+    t3.add("timestamped redesign (Section 5.5 fix)",
+           ts_precedes(e55ts.final_state, "Q", "P"))
+
+    return (t1, t2, t3), (e31, s204, final, e54, e55, e55ts)
+
+
+def test_e1_worked_examples(benchmark):
+    (tables, artifacts) = run_once(benchmark, _experiment)
+    save_tables("E1_worked_examples", tables)
+    e31, s204, final, e54, e55, e55ts = artifacts
+
+    app = make_airline_application(capacity=100)
+    assert s204.al == 102
+    assert app.cost(s204, "overbooking") == 1800
+    assert final.assigned == tuple(f"P{i}" for i in range(2, 101)) + ("P102",)
+    assert final.waiting == ("P101",)
+
+    assert is_transitive(e54)
+    assert app.cost(e54.final_state, "overbooking") == 900
+
+    assert precedes(e55.final_state, "Q", "P")
+    assert not ts_precedes(e55ts.final_state, "Q", "P")

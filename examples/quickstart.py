@@ -1,0 +1,70 @@
+"""Quickstart: the paper's model in five minutes.
+
+Builds the Fly-by-Night airline application, constructs a tiny
+non-serializable execution by hand (two ticket agents that can't see each
+other's sales), watches the overbooking cost appear, bounds it with the
+paper's theorem, and repairs it with a compensating transaction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.airline import (
+    MoveDown,
+    MoveUp,
+    Request,
+    make_airline_application,
+)
+from repro.apps.airline.theorems import corollary8, corollary13_overbooking
+from repro.core import ExecutionBuilder
+
+CAPACITY = 2  # a very small plane
+
+app = make_airline_application(capacity=CAPACITY)
+print(f"application: {app.name}, constraints: {app.constraints.names()}")
+
+# -- 1. a serializable run: everyone sees everything --------------------
+builder = ExecutionBuilder(app.initial_state)
+for person in ("Ann", "Bob", "Cyd"):
+    builder.add(Request(person))      # complete prefixes by default
+    builder.add(MoveUp(CAPACITY))
+serial = builder.build()
+print("\nserializable run final state:", serial.final_state)
+print("overbooking cost:", app.cost(serial.final_state, "overbooking"))
+
+# -- 2. a partitioned run: two agents each believe a seat is free --------
+builder = ExecutionBuilder(app.initial_state)
+builder.add(Request("Ann"))           # 0
+builder.add(MoveUp(CAPACITY))         # 1: Ann seated (seen by everyone)
+builder.add(Request("Bob"))           # 2
+builder.add(Request("Cyd"))           # 3
+# agent one sees Bob's request but not Cyd's, and seats Bob:
+builder.add(MoveUp(CAPACITY), prefix=(0, 1, 2))          # 4
+# agent two (other side of a partition) sees Cyd but not Bob's seat:
+builder.add(MoveUp(CAPACITY), prefix=(0, 1, 3))          # 5
+execution = builder.build()
+execution.validate()  # conditions (1)-(4) of Section 3.1 hold
+
+final = execution.final_state
+print("\npartitioned run final state:", final)
+cost = app.cost(final, "overbooking")
+print(f"overbooking cost: ${cost:g}  (the plane has {final.al} passengers)")
+
+# -- 3. the paper's bound: cost <= 900k for k-complete MOVE_UPs ----------
+k = max(execution.deficit(i) for i in execution.indices
+        if execution.transactions[i].name == "MOVE_UP")
+report = corollary8(execution, k, CAPACITY)
+print(f"\nCorollary 8 at measured k={k}: cost <= ${900 * k:g} -> "
+      f"{'holds' if report.holds else 'VIOLATED'} "
+      f"(worst observed ${report.details['max_overbooking_cost']:g})")
+
+# -- 4. compensation: an atomic suffix of MOVE_DOWNs repairs the cost ----
+repair = corollary13_overbooking(execution, tuple(execution.indices), CAPACITY)
+extension = repair.details.get("extension")
+if extension is not None:
+    print(f"\nafter {repair.details['suffix_len']} compensating MOVE_DOWN(s):",
+          extension.final_state)
+    print("overbooking cost:",
+          app.cost(extension.final_state, "overbooking"))
+    demoted = [a.target for a in extension.all_external_actions()
+               if a.kind == "inform_waitlisted"]
+    print("passenger(s) informed their seat was rescinded:", demoted)

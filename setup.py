@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package, where
+PEP 517 editable installs are unavailable (pip falls back to
+`setup.py develop` via --no-use-pep517).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

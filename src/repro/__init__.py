@@ -1,0 +1,38 @@
+"""repro — reproduction of Lynch, Blaustein & Siegel (1986),
+"Correctness Conditions for Highly Available Replicated Databases".
+
+The package provides:
+
+* :mod:`repro.core` — the paper's formal model: states, two-part
+  transactions, integrity constraints with costs, executions with the
+  prefix subsequence condition, and executable forms of the theorems;
+* :mod:`repro.apps` — the Fly-by-Night airline example plus banking,
+  inventory and replicated-dictionary applications;
+* :mod:`repro.sim`, :mod:`repro.network`, :mod:`repro.shard` — a
+  discrete-event simulation of the SHARD system itself (full replication,
+  timestamp total order, undo/redo merging, reliable broadcast over a
+  partitionable network), plus the Section 6 extensions: partial
+  replication, mixed-mode synchronized transactions, and the token-based
+  distributed agent;
+* :mod:`repro.serializable` — serializable baselines for the
+  availability-versus-correctness comparison;
+* :mod:`repro.analysis`, :mod:`repro.harness` — measurement and the
+  per-theorem experiment harness;
+* ``python -m repro`` — a command-line interface over the scenarios.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, apps, core, harness, network, serializable, shard, sim
+
+__all__ = [
+    "analysis",
+    "apps",
+    "core",
+    "harness",
+    "network",
+    "serializable",
+    "shard",
+    "sim",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Measurement and analysis over executions and simulation runs."""
+
+from .costs import CostTrajectory, cost_trajectory, normal_state_costs
+from .fairness import (
+    FairnessReport,
+    final_order_inversions,
+    priority_flips,
+    request_order,
+    request_real_time_order,
+)
+from .kestimate import (
+    DeficitProfile,
+    RefinedDeficits,
+    deficit_profile,
+    refined_deficits,
+)
+from .serializability import SerialDivergence, serial_divergence
+from .probability import (
+    CalibrationPoint,
+    KDistribution,
+    ProbabilisticBound,
+    compose,
+    verify_conditional,
+    wilson_interval,
+)
+from .thrash import ThrashReport, thrash_report
+
+__all__ = [
+    "CalibrationPoint",
+    "CostTrajectory",
+    "DeficitProfile",
+    "FairnessReport",
+    "KDistribution",
+    "ProbabilisticBound",
+    "RefinedDeficits",
+    "ThrashReport",
+    "compose",
+    "cost_trajectory",
+    "deficit_profile",
+    "final_order_inversions",
+    "normal_state_costs",
+    "priority_flips",
+    "refined_deficits",
+    "SerialDivergence",
+    "serial_divergence",
+    "request_order",
+    "request_real_time_order",
+    "thrash_report",
+    "verify_conditional",
+    "wilson_interval",
+]

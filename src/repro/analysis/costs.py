@@ -1,0 +1,75 @@
+"""Cost trajectory analysis over executions.
+
+Turns an execution plus an application's constraints into per-step cost
+series and summaries — the quantities all the cost-bound experiments
+report (max over reachable states, max over normal states, final cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.execution import Execution
+from ..core.grouping import Grouping
+
+
+@dataclass
+class CostTrajectory:
+    """Per-constraint cost at every actual state of an execution."""
+
+    constraint_names: Tuple[str, ...]
+    #: series[name][i] = cost of actual_states[i] for that constraint.
+    series: Dict[str, List[float]]
+
+    def max_cost(self, name: str) -> float:
+        return max(self.series[name], default=0.0)
+
+    def final_cost(self, name: str) -> float:
+        return self.series[name][-1] if self.series[name] else 0.0
+
+    def max_total(self) -> float:
+        if not self.constraint_names:
+            return 0.0
+        length = len(next(iter(self.series.values())))
+        return max(
+            (
+                sum(self.series[name][i] for name in self.constraint_names)
+                for i in range(length)
+            ),
+            default=0.0,
+        )
+
+    def argmax(self, name: str) -> Optional[int]:
+        values = self.series[name]
+        if not values:
+            return None
+        return max(range(len(values)), key=values.__getitem__)
+
+    def nonzero_fraction(self, name: str) -> float:
+        values = self.series[name]
+        if not values:
+            return 0.0
+        return sum(1 for v in values if v > 0) / len(values)
+
+
+def cost_trajectory(execution: Execution, app: Application) -> CostTrajectory:
+    """Evaluate every constraint at every actual state."""
+    names = app.constraints.names()
+    series: Dict[str, List[float]] = {name: [] for name in names}
+    for state in execution.actual_states:
+        for name in names:
+            series[name].append(app.constraints[name].cost(state))
+    return CostTrajectory(names, series)
+
+
+def normal_state_costs(
+    execution: Execution, grouping: Grouping, app: Application
+) -> Dict[str, float]:
+    """Max per-constraint cost over the grouping's normal states."""
+    normal = grouping.normal_states(execution)
+    return {
+        name: max((app.constraints[name].cost(s) for s in normal), default=0.0)
+        for name in app.constraints.names()
+    }

@@ -1,0 +1,118 @@
+"""Fairness measurement (Section 5.5).
+
+Two quantities over airline executions:
+
+* **final-order inversions** — pairs (P, Q) where REQUEST(P) preceded
+  REQUEST(Q) in the serial order yet Q outranks P in the final state
+  (counting only pairs where both are known at the end); the quantity
+  Theorem 27 drives to zero under t-bounded delay, and the quantity the
+  Section 5.5 redesign repairs;
+* **priority flips over time** — how often the relative order of a pair
+  changes across the actual-state trajectory (zero from the point a
+  centralized agent sees both requests, by Theorem 25).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.execution import Execution
+
+PrecedesFn = Callable[[object, object, object], bool]  # (state, p, q)
+
+
+def request_order(execution: Execution) -> List[object]:
+    """People in the serial (timestamp) order of their *first* REQUEST."""
+    seen: Dict[object, int] = {}
+    for i, txn in enumerate(execution.transactions):
+        if txn.name == "REQUEST":
+            person = txn.params[0]
+            seen.setdefault(person, i)
+    return [p for p, _ in sorted(seen.items(), key=lambda kv: kv[1])]
+
+
+def request_real_time_order(execution) -> List[object]:
+    """People in the *real-time* order of their first REQUEST.
+
+    Requires a :class:`~repro.core.execution.TimedExecution`.  During
+    partitions the serial (Lamport) order and the real-time order
+    diverge — the execution is not *orderly* — and this, not the serial
+    order, is what a passenger experiences as first-come-first-served.
+    """
+    seen: Dict[object, float] = {}
+    for i, txn in enumerate(execution.transactions):
+        if txn.name == "REQUEST":
+            person = txn.params[0]
+            if person not in seen:
+                seen[person] = execution.times[i]
+    return [p for p, _ in sorted(seen.items(), key=lambda kv: kv[1])]
+
+
+@dataclass
+class FairnessReport:
+    comparable_pairs: int
+    inversions: int
+    inverted_pairs: Tuple[Tuple[object, object], ...]
+
+    @property
+    def inversion_rate(self) -> float:
+        if self.comparable_pairs == 0:
+            return 0.0
+        return self.inversions / self.comparable_pairs
+
+
+def final_order_inversions(
+    execution: Execution,
+    precedes: PrecedesFn,
+    known: Callable[[object], Sequence],
+    by_real_time: bool = False,
+) -> FairnessReport:
+    """Count request-order inversions in the final state.
+
+    With ``by_real_time=True`` the reference order is the real-time order
+    of first requests (needs a TimedExecution); otherwise the serial
+    order."""
+    final = execution.final_state
+    order = (
+        request_real_time_order(execution)
+        if by_real_time
+        else request_order(execution)
+    )
+    known_final = set(known(final))
+    comparable = 0
+    inverted: List[Tuple[object, object]] = []
+    for a_pos, p in enumerate(order):
+        if p not in known_final:
+            continue
+        for q in order[a_pos + 1:]:
+            if q not in known_final:
+                continue
+            comparable += 1
+            if precedes(final, q, p):
+                inverted.append((p, q))
+    return FairnessReport(comparable, len(inverted), tuple(inverted))
+
+
+def priority_flips(
+    execution: Execution,
+    p: object,
+    q: object,
+    precedes: PrecedesFn,
+    known: Callable[[object], Sequence],
+    start: int = 0,
+) -> int:
+    """Number of times the relative order of ``p`` and ``q`` changes
+    across actual states from index ``start`` on (states where either is
+    unknown are skipped)."""
+    flips = 0
+    last: Optional[bool] = None
+    for state in execution.actual_states[start:]:
+        names = set(known(state))
+        if p not in names or q not in names:
+            continue
+        current = precedes(state, p, q)
+        if last is not None and current != last:
+            flips += 1
+        last = current
+    return flips

@@ -1,0 +1,161 @@
+"""The paper's deferred probabilistic analysis (Section 1.3, part (2)).
+
+The paper proves conditional claims — "if each transaction misses at most
+k predecessors, cost stays at most c(k)" — and defers the probability
+that the condition holds to "an independent analysis, using information
+such as delay characteristics of the message system and expected rates of
+transaction processing".  This module carries that analysis out
+empirically:
+
+1. run many seeded simulations of a scenario;
+2. record the per-run deficit k* (the smallest k making the relevant
+   transactions k-complete) and the realized max cost;
+3. form the empirical distribution of k* and compose it with the
+   conditional bound f to get ``P(cost <= f(k)) >= P(k* <= k)`` — the
+   probabilistic statement of the form the paper wants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.relations import CostBound
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to put honest error bars on the empirical P(k* <= k) estimated
+    from finitely many seeded runs (small-sample-safe, unlike the normal
+    approximation).
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    # two-sided z for the given confidence via the probit of (1+c)/2;
+    # inverse-erf through Newton on erf (stdlib-only).
+    z = _probit((1 + confidence) / 2)
+    p_hat = successes / trials
+    denom = 1 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(
+            p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials)
+        )
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def _probit(p: float) -> float:
+    """Inverse standard-normal CDF via Newton iteration on erf."""
+    if not 0 < p < 1:
+        raise ValueError("p must be in (0, 1)")
+    x = 0.0
+    for _ in range(60):
+        cdf = 0.5 * (1 + math.erf(x / math.sqrt(2)))
+        pdf = math.exp(-x * x / 2) / math.sqrt(2 * math.pi)
+        if pdf < 1e-300:
+            break
+        step = (cdf - p) / pdf
+        x -= step
+        if abs(step) < 1e-12:
+            break
+    return x
+
+
+@dataclass
+class KDistribution:
+    """Empirical distribution of the per-run deficit k*."""
+
+    samples: Tuple[int, ...]
+
+    def cdf(self, k: int) -> float:
+        """P(k* <= k)."""
+        if not self.samples:
+            return 1.0
+        return sum(1 for s in self.samples if s <= k) / len(self.samples)
+
+    def cdf_interval(
+        self, k: int, confidence: float = 0.95
+    ) -> Tuple[float, float]:
+        """Wilson confidence interval for P(k* <= k)."""
+        successes = sum(1 for s in self.samples if s <= k)
+        return wilson_interval(successes, len(self.samples), confidence)
+
+    def quantile(self, p: float) -> int:
+        """Smallest k with cdf(k) >= p."""
+        if not 0 <= p <= 1:
+            raise ValueError("p must be in [0, 1]")
+        if not self.samples:
+            return 0
+        ordered = sorted(self.samples)
+        for k in ordered:
+            if self.cdf(k) >= p:
+                return k
+        return ordered[-1]
+
+    @property
+    def max(self) -> int:
+        return max(self.samples, default=0)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+
+@dataclass
+class ProbabilisticBound:
+    """A composed statement: with probability >= p, cost stays <= c."""
+
+    k: int
+    probability: float
+    cost_limit: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"with probability >= {self.probability:.2f}, "
+            f"cost remains at most {self.cost_limit:g} (k = {self.k})"
+        )
+
+
+def compose(
+    distribution: KDistribution,
+    bound: CostBound,
+    ks: Optional[Sequence[int]] = None,
+) -> List[ProbabilisticBound]:
+    """Compose P(k* <= k) with the conditional bound f(k).
+
+    For each k, the conditional claim guarantees cost <= f(k) whenever
+    k* <= k, so P(cost <= f(k)) >= P(k* <= k).
+    """
+    if ks is None:
+        ks = sorted(set(distribution.samples)) or [0]
+    return [
+        ProbabilisticBound(k, distribution.cdf(k), bound(k)) for k in ks
+    ]
+
+
+@dataclass
+class CalibrationPoint:
+    """One simulated run's (k*, realized max cost) pair."""
+
+    k_star: int
+    max_cost: float
+
+
+def verify_conditional(
+    points: Sequence[CalibrationPoint], bound: CostBound
+) -> bool:
+    """Sanity check: every run's realized cost respects f(its own k*).
+
+    This is the empirical footprint of the conditional theorem; it must
+    hold on every run or the model implementation is wrong.
+    """
+    return all(p.max_cost <= bound(p.k_star) + 1e-9 for p in points)

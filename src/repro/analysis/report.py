@@ -1,0 +1,87 @@
+"""Run-level summary reports.
+
+One call turns a simulated run into the tables an operator cares about:
+what happened (transactions, convergence), how stale the decisions were
+(deficits), what it cost (per-constraint maxima and the paper's bound at
+the measured k), and what the outside world experienced (notifications,
+thrashing, fairness).  Used by the command-line interface and handy in
+notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..apps.airline import make_airline_application, precedes
+from ..apps.airline.priority import known
+from ..apps.airline.theorems import corollary8
+from ..core.application import Application
+from ..core.execution import Execution
+from ..harness.tables import Table
+from .costs import cost_trajectory
+from .fairness import final_order_inversions
+from .kestimate import deficit_profile
+from .serializability import serial_divergence
+from .thrash import thrash_report
+
+
+def execution_summary(
+    execution: Execution, app: Application, title: str = "run summary"
+) -> Table:
+    """Core facts about any application's execution."""
+    table = Table(title, ["quantity", "value"])
+    table.add("transactions", len(execution))
+    profile = deficit_profile(execution)
+    table.add("max completeness deficit k", profile.max)
+    table.add("mean completeness deficit", round(profile.overall.mean, 2))
+    divergence = serial_divergence(execution)
+    table.add(
+        "complete-prefix fraction",
+        round(divergence.complete_prefix_fraction, 3),
+    )
+    table.add(
+        "decisions differing from serial run",
+        len(divergence.divergent_decisions),
+    )
+    trajectory = cost_trajectory(execution, app)
+    for name in app.constraints.names():
+        table.add(f"max {name} cost", trajectory.max_cost(name))
+        table.add(f"final {name} cost", trajectory.final_cost(name))
+    return table
+
+
+def airline_run_report(run, capacity: int) -> List[Table]:
+    """Full report for an :class:`~repro.apps.airline.simulation.AirlineRun`."""
+    app = make_airline_application(capacity=capacity)
+    tables = [execution_summary(run.execution, app, "airline run summary")]
+
+    e = run.execution
+    profile = deficit_profile(e)
+    k = profile.family_max("MOVE_UP")
+    bound = corollary8(e, k, capacity)
+    guarantees = Table("paper guarantees at the measured k", ["claim", "value"])
+    guarantees.add("worst MOVE_UP deficit k", k)
+    guarantees.add("Corollary 8 bound 900k ($)", 900 * k)
+    guarantees.add(
+        "max overbooking observed ($)",
+        bound.details["max_overbooking_cost"],
+    )
+    guarantees.add("bound holds", bound.holds)
+    tables.append(guarantees)
+
+    world = Table("external world", ["quantity", "value"])
+    thrash = thrash_report(run.ledger)
+    world.add("notifications sent", thrash.notifications)
+    world.add("passengers thrashed", thrash.thrashed_entities)
+    world.add("worst per-passenger reversals", thrash.worst_entity_reversals)
+    try:
+        fairness = final_order_inversions(
+            e, precedes, known, by_real_time=True
+        )
+        world.add("real-time request-order inversions", fairness.inversions)
+        world.add("comparable pairs", fairness.comparable_pairs)
+    except (AttributeError, AssertionError):
+        # the timestamped design has its own state type; skip fairness.
+        world.add("real-time request-order inversions", None)
+    tables.append(world)
+    return tables

@@ -1,0 +1,82 @@
+"""Measuring how far an execution is from serializable.
+
+Serializability's "all-or-nothing character" is the paper's foil: an
+execution either is serializable or nothing can be said.  These metrics
+quantify the gap for SHARD executions:
+
+* the fraction of transactions that ran with complete prefixes (a
+  complete-prefix execution *is* the serial execution of its order);
+* the divergence against the serial counterfactual — replaying the same
+  transactions, in the same order, with complete prefixes — in decisions
+  taken, external actions emitted, and the final state.
+
+The counterfactual is exactly what a coordinated (serializable) system
+would have produced for this arrival order, so the divergence is the
+semantic price of availability on this particular run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.execution import Execution
+
+
+@dataclass
+class SerialDivergence:
+    """The gap between an execution and its serial counterfactual."""
+
+    n_transactions: int
+    complete_prefix_count: int
+    #: indices whose generated update differs from the serial replay's.
+    divergent_decisions: Tuple[int, ...]
+    #: indices whose external actions differ from the serial replay's.
+    divergent_external_actions: Tuple[int, ...]
+    final_states_equal: bool
+
+    @property
+    def complete_prefix_fraction(self) -> float:
+        if self.n_transactions == 0:
+            return 1.0
+        return self.complete_prefix_count / self.n_transactions
+
+    @property
+    def decision_divergence_fraction(self) -> float:
+        if self.n_transactions == 0:
+            return 0.0
+        return len(self.divergent_decisions) / self.n_transactions
+
+    @property
+    def is_serial(self) -> bool:
+        """True iff the run is indistinguishable from the serial one."""
+        return (
+            not self.divergent_decisions
+            and not self.divergent_external_actions
+            and self.final_states_equal
+        )
+
+
+def serial_divergence(execution: Execution) -> SerialDivergence:
+    """Compare an execution against its complete-prefix counterfactual."""
+    serial = Execution.run(
+        execution.initial_state,
+        execution.transactions,
+        [tuple(range(i)) for i in range(len(execution))],
+    )
+    divergent_decisions = tuple(
+        i for i in execution.indices
+        if execution.updates[i] != serial.updates[i]
+    )
+    divergent_externals = tuple(
+        i for i in execution.indices
+        if execution.external_actions[i] != serial.external_actions[i]
+    )
+    complete = sum(1 for i in execution.indices if execution.deficit(i) == 0)
+    return SerialDivergence(
+        n_transactions=len(execution),
+        complete_prefix_count=complete,
+        divergent_decisions=divergent_decisions,
+        divergent_external_actions=divergent_externals,
+        final_states_equal=execution.final_state == serial.final_state,
+    )

@@ -1,0 +1,66 @@
+"""Thrashing measurement (the Section 3.1 danger).
+
+Thrashing is the repeated granting and rescinding of the same resource to
+the same entity: MOVE_UP informs P of a seat, a MOVE_DOWN (possibly
+elsewhere) rescinds it, another MOVE_UP re-grants it, and so on.  It is
+doubly bad: wasted work *and* conflicting external actions the system can
+never take back.  We measure it from the external-action ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..apps.airline.transactions import INFORM_ASSIGNED, INFORM_WAITLISTED
+from ..shard.external import ExternalLedger, LedgerEntry
+
+
+@dataclass
+class ThrashReport:
+    """Per-run thrashing summary."""
+
+    #: entities that received at least one notification.
+    entities: int
+    #: total notifications sent.
+    notifications: int
+    #: per-entity count of grant->rescind and rescind->grant reversals.
+    reversals_by_entity: Dict[object, int]
+
+    @property
+    def total_reversals(self) -> int:
+        return sum(self.reversals_by_entity.values())
+
+    @property
+    def worst_entity_reversals(self) -> int:
+        return max(self.reversals_by_entity.values(), default=0)
+
+    @property
+    def thrashed_entities(self) -> int:
+        """Entities whose seat was rescinded at least once after a grant."""
+        return sum(1 for v in self.reversals_by_entity.values() if v > 0)
+
+
+def thrash_report(
+    ledger: ExternalLedger,
+    grant_kind: str = INFORM_ASSIGNED,
+    rescind_kind: str = INFORM_WAITLISTED,
+) -> ThrashReport:
+    """Count notification reversals per entity from a ledger."""
+    reversals: Dict[object, int] = {}
+    notifications = 0
+    for target, entries in ledger.by_target().items():
+        kinds = [
+            e.action.kind
+            for e in entries
+            if e.action.kind in (grant_kind, rescind_kind)
+        ]
+        notifications += len(kinds)
+        count = sum(1 for a, b in zip(kinds, kinds[1:]) if a != b)
+        if kinds:
+            reversals[target] = count
+    return ThrashReport(
+        entities=len(reversals),
+        notifications=notifications,
+        reversals_by_entity=reversals,
+    )

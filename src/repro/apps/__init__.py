@@ -1,0 +1,2 @@
+"""Applications built on the formal model: the paper's airline example
+and the other resource-allocation domains it claims generality over."""

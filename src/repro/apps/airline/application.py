@@ -1,0 +1,159 @@
+"""Assembly of the Fly-by-Night airline application (Sections 2, 4, 5).
+
+:func:`make_airline_application` wires the states, constraints and
+fairness hooks into a :class:`~repro.core.application.Application`, and
+:data:`PROPERTY_TABLE` records the paper's proved property matrix
+(Section 4.1's worked examples), which the test suite re-verifies with the
+sampling checkers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.application import Application
+from ...core.properties import PropertyTable
+from ...core.relations import CostBound
+from .constraints import (
+    DEFAULT_OVER_COST,
+    DEFAULT_UNDER_COST,
+    OVERBOOKING,
+    UNDERBOOKING,
+    OverbookingConstraint,
+    UnderbookingConstraint,
+    overbooking_bound,
+    underbooking_bound,
+)
+from .priority import known, precedes
+from .state import INITIAL_STATE, AirlineState, Person
+from .transactions import DEFAULT_CAPACITY, Cancel, MoveDown, MoveUp, Request
+
+
+def make_airline_application(
+    capacity: int = DEFAULT_CAPACITY,
+    over_cost: float = DEFAULT_OVER_COST,
+    under_cost: float = DEFAULT_UNDER_COST,
+) -> Application:
+    """The Fly-by-Night application with parameterized capacity and costs."""
+    return Application(
+        name="fly-by-night",
+        initial_state=INITIAL_STATE,
+        constraints=(
+            OverbookingConstraint(capacity, over_cost),
+            UnderbookingConstraint(capacity, under_cost),
+        ),
+        transaction_families=("REQUEST", "CANCEL", "MOVE_UP", "MOVE_DOWN"),
+        known=known,
+        precedes=precedes,
+    )
+
+
+def bounds(
+    over_cost: float = DEFAULT_OVER_COST,
+    under_cost: float = DEFAULT_UNDER_COST,
+) -> Tuple[CostBound, CostBound]:
+    """The paper's (900k, 300k) cost-increase bounds."""
+    return overbooking_bound(over_cost), underbooking_bound(under_cost)
+
+
+#: Section 4.1's proved property matrix.  Tests verify each entry against
+#: the generic sampling checkers in :mod:`repro.core.properties`.
+PROPERTY_TABLE = PropertyTable(
+    application_name="fly-by-night",
+    update_increasing={
+        ("request", OVERBOOKING): False,
+        ("request", UNDERBOOKING): True,
+        ("cancel", OVERBOOKING): False,
+        ("cancel", UNDERBOOKING): True,
+        ("move_up", OVERBOOKING): True,
+        ("move_up", UNDERBOOKING): False,
+        ("move_down", OVERBOOKING): False,
+        ("move_down", UNDERBOOKING): True,
+    },
+    transaction_safe={
+        ("REQUEST", OVERBOOKING): True,
+        ("REQUEST", UNDERBOOKING): False,
+        ("CANCEL", OVERBOOKING): True,
+        ("CANCEL", UNDERBOOKING): False,
+        ("MOVE_UP", OVERBOOKING): False,
+        ("MOVE_UP", UNDERBOOKING): True,
+        ("MOVE_DOWN", OVERBOOKING): True,
+        ("MOVE_DOWN", UNDERBOOKING): False,
+    },
+    transaction_preserves={
+        ("REQUEST", OVERBOOKING): True,
+        ("REQUEST", UNDERBOOKING): False,
+        ("CANCEL", OVERBOOKING): True,
+        ("CANCEL", UNDERBOOKING): False,
+        ("MOVE_UP", OVERBOOKING): True,
+        ("MOVE_UP", UNDERBOOKING): True,
+        ("MOVE_DOWN", OVERBOOKING): True,
+        ("MOVE_DOWN", UNDERBOOKING): True,
+    },
+    transaction_compensates={
+        ("MOVE_UP", UNDERBOOKING): True,
+        ("MOVE_DOWN", OVERBOOKING): True,
+    },
+    preserves_priority={
+        "REQUEST": True,
+        "CANCEL": True,
+        "MOVE_UP": True,
+        "MOVE_DOWN": True,
+    },
+    strongly_preserves_priority={
+        "REQUEST": True,
+        "CANCEL": True,
+        "MOVE_UP": False,
+        "MOVE_DOWN": False,
+    },
+)
+
+
+def person(i: int) -> Person:
+    """The paper's passenger naming: P1, P2, ..."""
+    return f"P{i}"
+
+
+def random_state(
+    rng: random.Random,
+    max_people: int = 20,
+    capacity: Optional[int] = None,
+) -> AirlineState:
+    """A random well-formed airline state.
+
+    When ``capacity`` is given, the assigned-list size is biased to land
+    near it (below, at, and above), so that samples exercise both
+    constraints' interesting regions.
+    """
+    n = rng.randint(0, max_people)
+    people = [person(i) for i in range(1, n + 1)]
+    rng.shuffle(people)
+    if capacity is not None and people:
+        pivot_choices = [
+            0,
+            min(len(people), max(0, capacity - 1)),
+            min(len(people), capacity),
+            min(len(people), capacity + 1),
+            rng.randint(0, len(people)),
+        ]
+        split = rng.choice(pivot_choices)
+    else:
+        split = rng.randint(0, len(people)) if people else 0
+    return AirlineState(tuple(people[:split]), tuple(people[split:]))
+
+
+def state_sample(
+    seed: int = 0,
+    count: int = 200,
+    max_people: int = 20,
+    capacity: Optional[int] = 8,
+) -> List[AirlineState]:
+    """A deterministic sample of well-formed states for property checks."""
+    rng = random.Random(seed)
+    sample = [AirlineState()]
+    sample.extend(
+        random_state(rng, max_people=max_people, capacity=capacity)
+        for _ in range(count - 1)
+    )
+    return sample

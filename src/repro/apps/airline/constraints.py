@@ -1,0 +1,78 @@
+"""The airline integrity constraints and their cost measures (Section 2.2).
+
+* **Overbooking** (constraint 1): ``AL <= capacity``; violating costs
+  ``over_cost`` per overbooked passenger:
+  ``cost(s, 1) = over_cost * (AL(s) -. capacity)``.
+* **Underbooking** (constraint 2): ``AL >= capacity or WL = 0``; an
+  avoidably empty seat costs ``under_cost`` per waitlisted passenger who
+  could have been seated:
+  ``cost(s, 2) = under_cost * min(capacity -. AL(s), WL(s))``.
+
+The paper's figures are capacity 100, $900 per overbooking and $300 per
+avoidable underbooking.  Note every well-formed state has cost zero for at
+least one of the two constraints (AL cannot be both above and below the
+capacity), which Corollary 11 uses.
+"""
+
+from __future__ import annotations
+
+from ...core.constraint import IntegrityConstraint
+from ...core.monus import monus
+from ...core.relations import CostBound, linear_bound
+from ...core.state import State
+from .state import AirlineState
+from .transactions import DEFAULT_CAPACITY
+
+#: the paper's dollar figures.
+DEFAULT_OVER_COST = 900
+DEFAULT_UNDER_COST = 300
+
+OVERBOOKING = "overbooking"
+UNDERBOOKING = "underbooking"
+
+
+class OverbookingConstraint(IntegrityConstraint):
+    """Integrity Constraint 1: overbooking should not occur."""
+
+    name = OVERBOOKING
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        over_cost: float = DEFAULT_OVER_COST,
+    ):
+        self.capacity = capacity
+        self.over_cost = over_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, AirlineState)
+        return self.over_cost * monus(state.al, self.capacity)
+
+
+class UnderbookingConstraint(IntegrityConstraint):
+    """Integrity Constraint 2: underbooking should not occur if avoidable."""
+
+    name = UNDERBOOKING
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        under_cost: float = DEFAULT_UNDER_COST,
+    ):
+        self.capacity = capacity
+        self.under_cost = under_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, AirlineState)
+        return self.under_cost * min(monus(self.capacity, state.al), state.wl)
+
+
+def overbooking_bound(over_cost: float = DEFAULT_OVER_COST) -> CostBound:
+    """Section 4.1: 900k bounds the cost increase for overbooking — each
+    missing update can hide at most one seat assignment."""
+    return linear_bound(OVERBOOKING, over_cost)
+
+
+def underbooking_bound(under_cost: float = DEFAULT_UNDER_COST) -> CostBound:
+    """Section 4.1: 300k bounds the cost increase for underbooking."""
+    return linear_bound(UNDERBOOKING, under_cost)

@@ -1,0 +1,187 @@
+"""Random airline workload generation under controlled information regimes.
+
+The generator drives an :class:`~repro.core.builder.ExecutionBuilder` with
+a transaction mix (requests, cancels, movers) and a *drop regime* that
+controls how much of the prefix each transaction misses — the k of the
+paper's k-completeness hypotheses.  Regimes:
+
+* ``"none"``     — complete prefixes (the serializable baseline);
+* ``"random"``   — up to k uniformly chosen predecessors dropped;
+* ``"recent"``   — exactly the most recent k predecessors dropped
+                   (replication lag; adversarial for the cost bounds);
+* ``"movers_only"`` — only MOVE_UP/MOVE_DOWN suffer drops, requests and
+                   cancels see complete prefixes.
+
+``protect_movers`` keeps all mover indices visible to movers regardless
+of drops (the centralized-agent policy of Section 3.2), and
+``grouped=True`` inserts a burst of MOVE_UPs after every REQUEST/CANCEL
+until the apparent underbooking cost returns to zero, yielding a valid
+grouping for Corollary 10/11 alongside the execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ...core.builder import ExecutionBuilder
+from ...core.execution import Execution
+from ...core.grouping import Grouping
+from .constraints import UnderbookingConstraint
+from .state import AirlineState
+from .transactions import Cancel, MoveDown, MoveUp, Request
+
+
+@dataclass
+class GeneratorConfig:
+    """Parameters for :func:`generate`."""
+
+    capacity: int = 10
+    n_transactions: int = 200
+    k: int = 0
+    drop: str = "random"  # none | random | recent | movers_only
+    protect_movers: bool = False
+    request_weight: float = 4.0
+    cancel_weight: float = 1.0
+    move_up_weight: float = 3.0
+    move_down_weight: float = 1.0
+    grouped: bool = False
+    max_group_movers: int = 400
+
+
+@dataclass
+class GeneratedRun:
+    execution: Execution
+    grouping: Optional[Grouping] = None
+
+
+class _AirlineGenerator:
+    def __init__(self, config: GeneratorConfig, rng: random.Random):
+        self.config = config
+        self.rng = rng
+        self.builder = ExecutionBuilder(AirlineState())
+        self.next_person = 1
+        self.requested: List[str] = []
+        self.mover_indices: List[int] = []
+        self.boundaries: List[int] = []
+        self._under = UnderbookingConstraint(config.capacity)
+
+    # -- prefix selection --------------------------------------------------
+
+    def _prefix(self, is_mover: bool) -> Tuple[int, ...]:
+        cfg = self.config
+        n = len(self.builder)
+        full = list(range(n))
+        if cfg.drop == "none" or cfg.k == 0:
+            return tuple(full)
+        if cfg.drop == "movers_only" and not is_mover:
+            return tuple(full)
+        protected = set(self.mover_indices) if (
+            cfg.protect_movers and is_mover
+        ) else set()
+        droppable = [j for j in full if j not in protected]
+        if not droppable:
+            return tuple(full)
+        if cfg.drop == "recent":
+            dropped = set(droppable[-cfg.k:])
+        else:
+            count = self.rng.randint(0, min(cfg.k, len(droppable)))
+            dropped = set(self.rng.sample(droppable, count))
+        return tuple(j for j in full if j not in dropped)
+
+    # -- transaction selection ----------------------------------------------
+
+    def _next_transaction(self):
+        cfg = self.config
+        weights = [
+            ("request", cfg.request_weight),
+            ("cancel", cfg.cancel_weight if self.requested else 0.0),
+            ("move_up", cfg.move_up_weight),
+            ("move_down", cfg.move_down_weight),
+        ]
+        total = sum(w for _, w in weights)
+        roll = self.rng.random() * total
+        acc = 0.0
+        for kind, w in weights:
+            acc += w
+            if roll <= acc:
+                break
+        if kind == "request":
+            person = f"P{self.next_person}"
+            self.next_person += 1
+            self.requested.append(person)
+            return Request(person), False
+        if kind == "cancel":
+            person = self.rng.choice(self.requested)
+            return Cancel(person), False
+        if kind == "move_up":
+            return MoveUp(cfg.capacity), True
+        return MoveDown(cfg.capacity), True
+
+    # -- grouped mode --------------------------------------------------------
+
+    def _close_group_with_move_ups(self) -> None:
+        """Append MOVE_UPs (same drop regime) until the apparent state
+        after one of them has underbooking cost zero, closing the group."""
+        cfg = self.config
+        for _ in range(cfg.max_group_movers):
+            prefix = self._prefix(is_mover=True)
+            index = self.builder.add(MoveUp(cfg.capacity), prefix=prefix)
+            self.mover_indices.append(index)
+            apparent_after = self.builder.apparent_after(index)
+            if self._under.cost(apparent_after) == 0:
+                self.boundaries.append(index + 1)
+                return
+        raise RuntimeError("group failed to close; k too large for capacity?")
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> GeneratedRun:
+        cfg = self.config
+        while len(self.builder) < cfg.n_transactions:
+            txn, is_mover = self._next_transaction()
+            prefix = self._prefix(is_mover)
+            index = self.builder.add(txn, prefix=prefix)
+            if is_mover:
+                self.mover_indices.append(index)
+            if not cfg.grouped:
+                continue
+            if is_mover:
+                # movers preserve the underbooking cost: singleton groups.
+                self.boundaries.append(index + 1)
+            else:
+                self._close_group_with_move_ups()
+        execution = self.builder.build()
+        grouping = (
+            Grouping(len(execution), tuple(self.boundaries))
+            if cfg.grouped
+            else None
+        )
+        return GeneratedRun(execution, grouping)
+
+
+def generate(
+    config: GeneratorConfig, rng: Optional[random.Random] = None
+) -> GeneratedRun:
+    """Generate a random airline execution (and grouping, if requested)."""
+    return _AirlineGenerator(config, rng or random.Random(0)).run()
+
+
+def random_airline_execution(
+    seed: int = 0,
+    capacity: int = 10,
+    n_transactions: int = 200,
+    k: int = 0,
+    drop: str = "random",
+    **kwargs,
+) -> Execution:
+    """Convenience wrapper returning just the execution."""
+    config = GeneratorConfig(
+        capacity=capacity,
+        n_transactions=n_transactions,
+        k=k,
+        drop=drop,
+        **kwargs,
+    )
+    return generate(config, random.Random(seed)).execution

@@ -1,0 +1,47 @@
+"""Passenger priority (Sections 4.2 and 5.5).
+
+The competing entities are the people; in any state the *known* people are
+those on either list.  For known P and Q, ``P < Q`` ("P has priority over
+Q") means: P precedes Q on the WAIT-LIST, or P precedes Q on the
+ASSIGNED-LIST, or P is assigned while Q is waiting.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...core.state import State
+from .state import AirlineState, Person
+
+
+def known(state: State) -> Tuple[Person, ...]:
+    """All known (competing) people; assigned first, then waiting —
+    which happens to enumerate them in priority order."""
+    assert isinstance(state, AirlineState)
+    return state.known()
+
+
+def precedes(state: State, p: Person, q: Person) -> bool:
+    """``P < Q`` per the Section 4.2 definition.  Both must be known."""
+    assert isinstance(state, AirlineState)
+    if p in state.assigned:
+        if q in state.waiting:
+            return True
+        if q in state.assigned:
+            return state.assigned.index(p) < state.assigned.index(q)
+        return False
+    if p in state.waiting and q in state.waiting:
+        return state.waiting.index(p) < state.waiting.index(q)
+    return False
+
+
+def priority_rank(state: AirlineState, person: Person) -> int:
+    """Position of ``person`` in the total priority order (0 = best).
+
+    The Section 4.2 order is total on known people: assigned people (in
+    list order) outrank waiting people (in list order)."""
+    if person in state.assigned:
+        return state.assigned.index(person)
+    if person in state.waiting:
+        return state.al + state.waiting.index(person)
+    raise KeyError(f"{person!r} is not known in {state!r}")

@@ -1,0 +1,73 @@
+"""Fly-by-Night Airlines database states (Section 2.1).
+
+A state consists of two finite ordered lists of people:
+
+* ``assigned`` — ASSIGNED-LIST: people notified that they have seats;
+* ``waiting`` — WAIT-LIST: people who requested seats but are unassigned.
+
+The well-formedness condition is that the two lists contain disjoint sets
+of people (and, being sets presented as lists, no duplicates).  ``AL(s)``
+and ``WL(s)`` are the list lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ...core.state import State
+
+Person = str
+
+
+@dataclass(frozen=True)
+class AirlineState(State):
+    """An immutable Fly-by-Night database state."""
+
+    assigned: Tuple[Person, ...] = ()
+    waiting: Tuple[Person, ...] = ()
+
+    def well_formed(self) -> bool:
+        assigned, waiting = set(self.assigned), set(self.waiting)
+        return (
+            len(assigned) == len(self.assigned)
+            and len(waiting) == len(self.waiting)
+            and not (assigned & waiting)
+        )
+
+    # -- the paper's AL / WL shorthands ---------------------------------
+
+    @property
+    def al(self) -> int:
+        """``AL(s)``: number of people on the assigned list."""
+        return len(self.assigned)
+
+    @property
+    def wl(self) -> int:
+        """``WL(s)``: number of people on the wait list."""
+        return len(self.waiting)
+
+    # -- membership helpers ----------------------------------------------
+
+    def is_assigned(self, person: Person) -> bool:
+        return person in self.assigned
+
+    def is_waiting(self, person: Person) -> bool:
+        return person in self.waiting
+
+    def is_known(self, person: Person) -> bool:
+        """Known entities (Section 4.2): on either list."""
+        return person in self.assigned or person in self.waiting
+
+    def known(self) -> Tuple[Person, ...]:
+        """All known people: assigned first (in order), then waiting."""
+        return self.assigned + self.waiting
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AirlineState(assigned={list(self.assigned)}, "
+            f"waiting={list(self.waiting)})"
+        )
+
+
+INITIAL_STATE = AirlineState()

@@ -1,0 +1,274 @@
+"""The Section 5.5 redesign: request timestamps stored in the database.
+
+The baseline design can permanently invert the priority of two requests
+when the moving agent learns about them out of order (the Section 5.5
+example).  The paper's suggested fix is to include request timestamps
+explicitly in the database and keep both lists sorted in timestamp order,
+so that when a late-arriving request(P) becomes known, P is inserted
+*ahead* of any later requester — and a move_down(Q) re-inserts Q in
+timestamp order rather than at the head.
+
+This module implements that redesigned application.  The fairness
+benchmark (E7) contrasts the two designs on the paper's scenario.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ...core.constraint import IntegrityConstraint
+from ...core.monus import monus
+from ...core.state import State
+from ...core.transaction import Decision, ExternalAction, Transaction
+from ...core.update import IDENTITY, Update
+from .state import Person
+from .transactions import (
+    DEFAULT_CAPACITY,
+    INFORM_ASSIGNED,
+    INFORM_WAITLISTED,
+)
+
+#: an entry is (request timestamp, person); tuples sort correctly.
+Entry = Tuple[float, Person]
+
+
+@dataclass(frozen=True)
+class TSAirlineState(State):
+    """Both lists kept sorted ascending by request timestamp."""
+
+    assigned: Tuple[Entry, ...] = ()
+    waiting: Tuple[Entry, ...] = ()
+
+    def well_formed(self) -> bool:
+        people_a = [p for _, p in self.assigned]
+        people_w = [p for _, p in self.waiting]
+        return (
+            len(set(people_a)) == len(people_a)
+            and len(set(people_w)) == len(people_w)
+            and not (set(people_a) & set(people_w))
+            and list(self.assigned) == sorted(self.assigned)
+            and list(self.waiting) == sorted(self.waiting)
+        )
+
+    @property
+    def al(self) -> int:
+        return len(self.assigned)
+
+    @property
+    def wl(self) -> int:
+        return len(self.waiting)
+
+    def entry_for(self, person: Person):
+        for entry in self.assigned + self.waiting:
+            if entry[1] == person:
+                return entry
+        return None
+
+    def is_known(self, person: Person) -> bool:
+        return self.entry_for(person) is not None
+
+    def known(self) -> Tuple[Person, ...]:
+        return tuple(p for _, p in self.assigned + self.waiting)
+
+
+TS_INITIAL_STATE = TSAirlineState()
+
+
+def _insert(entries: Tuple[Entry, ...], entry: Entry) -> Tuple[Entry, ...]:
+    result = list(entries)
+    insort(result, entry)
+    return tuple(result)
+
+
+def _remove(entries: Tuple[Entry, ...], person: Person) -> Tuple[Entry, ...]:
+    return tuple(e for e in entries if e[1] != person)
+
+
+@dataclass(frozen=True, repr=False)
+class TSUpdate(Update):
+    person: Person
+
+    @property
+    def params(self) -> Tuple:
+        return (self.person,)
+
+
+@dataclass(frozen=True, repr=False)
+class TSRequestUpdate(TSUpdate):
+    """request(P, ts): insert P into the wait list in timestamp order."""
+
+    timestamp: float = 0.0
+    name = "request"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.person, self.timestamp)
+
+    def apply(self, state: State) -> TSAirlineState:
+        assert isinstance(state, TSAirlineState)
+        if state.is_known(self.person):
+            return state
+        return TSAirlineState(
+            state.assigned, _insert(state.waiting, (self.timestamp, self.person))
+        )
+
+
+class TSCancelUpdate(TSUpdate):
+    name = "cancel"
+
+    def apply(self, state: State) -> TSAirlineState:
+        assert isinstance(state, TSAirlineState)
+        return TSAirlineState(
+            _remove(state.assigned, self.person),
+            _remove(state.waiting, self.person),
+        )
+
+
+class TSMoveUpUpdate(TSUpdate):
+    """move_up(P): move P (with its request timestamp) to the assigned
+    list, kept in timestamp order."""
+
+    name = "move_up"
+
+    def apply(self, state: State) -> TSAirlineState:
+        assert isinstance(state, TSAirlineState)
+        entry = next((e for e in state.waiting if e[1] == self.person), None)
+        if entry is None:
+            return state
+        return TSAirlineState(
+            _insert(state.assigned, entry), _remove(state.waiting, self.person)
+        )
+
+
+class TSMoveDownUpdate(TSUpdate):
+    """move_down(P): re-insert P into the wait list *in timestamp order*
+    — the Section 5.5 fix."""
+
+    name = "move_down"
+
+    def apply(self, state: State) -> TSAirlineState:
+        assert isinstance(state, TSAirlineState)
+        entry = next((e for e in state.assigned if e[1] == self.person), None)
+        if entry is None:
+            return state
+        return TSAirlineState(
+            _remove(state.assigned, self.person), _insert(state.waiting, entry)
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class TSRequest(Transaction):
+    """REQUEST(P) carrying its request timestamp into the database."""
+
+    person: Person
+    timestamp: float = 0.0
+    name = "REQUEST"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.person, self.timestamp)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(TSRequestUpdate(self.person, self.timestamp))
+
+
+@dataclass(frozen=True, repr=False)
+class TSCancel(Transaction):
+    person: Person
+    name = "CANCEL"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.person,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(TSCancelUpdate(self.person))
+
+
+@dataclass(frozen=True, repr=False)
+class TSMoveUp(Transaction):
+    """MOVE_UP: seat the *earliest-requested* waiting person."""
+
+    capacity: int = DEFAULT_CAPACITY
+    name = "MOVE_UP"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.capacity,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, TSAirlineState)
+        if state.al < self.capacity and state.wl > 0:
+            person = state.waiting[0][1]
+            return Decision(
+                TSMoveUpUpdate(person),
+                (ExternalAction(INFORM_ASSIGNED, person),),
+            )
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class TSMoveDown(Transaction):
+    """MOVE_DOWN: demote the *latest-requested* assigned person."""
+
+    capacity: int = DEFAULT_CAPACITY
+    name = "MOVE_DOWN"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.capacity,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, TSAirlineState)
+        if state.al > self.capacity:
+            person = state.assigned[-1][1]
+            return Decision(
+                TSMoveDownUpdate(person),
+                (ExternalAction(INFORM_WAITLISTED, person),),
+            )
+        return Decision(IDENTITY)
+
+
+class TSOverbookingConstraint(IntegrityConstraint):
+    name = "overbooking"
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, over_cost: float = 900):
+        self.capacity = capacity
+        self.over_cost = over_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, TSAirlineState)
+        return self.over_cost * monus(state.al, self.capacity)
+
+
+class TSUnderbookingConstraint(IntegrityConstraint):
+    name = "underbooking"
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, under_cost: float = 300):
+        self.capacity = capacity
+        self.under_cost = under_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, TSAirlineState)
+        return self.under_cost * min(monus(self.capacity, state.al), state.wl)
+
+
+def ts_known(state: State) -> Tuple[Person, ...]:
+    assert isinstance(state, TSAirlineState)
+    return state.known()
+
+
+def ts_precedes(state: State, p: Person, q: Person) -> bool:
+    """Priority for the redesign: assigned before waiting; within each
+    list, earlier request timestamp first."""
+    assert isinstance(state, TSAirlineState)
+    ep, eq = state.entry_for(p), state.entry_for(q)
+    if ep is None or eq is None:
+        return False
+    p_assigned = any(e[1] == p for e in state.assigned)
+    q_assigned = any(e[1] == q for e in state.assigned)
+    if p_assigned != q_assigned:
+        return p_assigned
+    return ep < eq

@@ -1,0 +1,110 @@
+"""The four airline transactions (Section 2.3).
+
+* ``REQUEST(P)`` — trivial decision: always invokes ``request(P)``, no
+  external actions;
+* ``CANCEL(P)`` — trivial decision: always invokes ``cancel(P)``;
+* ``MOVE_UP`` — if the observed state has a free seat (AL < capacity) and
+  someone waiting, selects the *first* waiting person P, informs P that a
+  seat is granted (external action) and invokes ``move_up(P)``;
+* ``MOVE_DOWN`` — if the observed state is overbooked (AL > capacity),
+  selects the *last* assigned person P, informs P of the demotion and
+  invokes ``move_down(P)``.
+
+The movers' decisions depend on the (possibly stale) observed state; the
+updates they emit re-check membership when replayed, which is what makes
+them idempotent and safe to undo/redo (Sections 1.2, 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...core.state import State
+from ...core.transaction import Decision, ExternalAction, Transaction
+from ...core.update import IDENTITY
+from .state import AirlineState, Person
+from .updates import CancelUpdate, MoveDownUpdate, MoveUpUpdate, RequestUpdate
+
+#: capacity of Flight 1 in the paper's example.
+DEFAULT_CAPACITY = 100
+
+#: external action kinds emitted by the movers.
+INFORM_ASSIGNED = "inform_assigned"
+INFORM_WAITLISTED = "inform_waitlisted"
+
+
+@dataclass(frozen=True, repr=False)
+class Request(Transaction):
+    """``REQUEST(P)``: put P on the wait list."""
+
+    person: Person
+    name = "REQUEST"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.person,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(RequestUpdate(self.person))
+
+
+@dataclass(frozen=True, repr=False)
+class Cancel(Transaction):
+    """``CANCEL(P)``: remove P from whichever list holds it."""
+
+    person: Person
+    name = "CANCEL"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.person,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(CancelUpdate(self.person))
+
+
+@dataclass(frozen=True, repr=False)
+class MoveUp(Transaction):
+    """``MOVE_UP``: grant the first waiting person a seat, if one appears
+    free in the observed state."""
+
+    capacity: int = DEFAULT_CAPACITY
+    name = "MOVE_UP"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.capacity,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, AirlineState)
+        if state.al < self.capacity and state.wl > 0:
+            person = state.waiting[0]
+            return Decision(
+                MoveUpUpdate(person),
+                (ExternalAction(INFORM_ASSIGNED, person),),
+            )
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class MoveDown(Transaction):
+    """``MOVE_DOWN``: demote the last assigned person, if the observed
+    state is overbooked."""
+
+    capacity: int = DEFAULT_CAPACITY
+    name = "MOVE_DOWN"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.capacity,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, AirlineState)
+        if state.al > self.capacity:
+            person = state.assigned[-1]
+            return Decision(
+                MoveDownUpdate(person),
+                (ExternalAction(INFORM_WAITLISTED, person),),
+            )
+        return Decision(IDENTITY)

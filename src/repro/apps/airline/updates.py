@@ -1,0 +1,105 @@
+"""The four airline update families (Section 2.3).
+
+Updates are pure state transformers; the decision parts that choose them
+live in :mod:`repro.apps.airline.transactions`.
+
+* ``request(P)`` — add P to the end of the WAIT-LIST, unless P is already
+  on either list (duplicate requests do not change P's priority — a policy
+  decision, Section 5.1);
+* ``cancel(P)`` — remove P from whichever list holds it;
+* ``move_up(P)`` — if P is waiting, move P to the end of the
+  ASSIGNED-LIST; a ``move_up(P)`` applied when P is already assigned is a
+  no-op (Section 5.1's second policy decision);
+* ``move_down(P)`` — if P is assigned, move P to the **head** of the
+  WAIT-LIST.
+
+A note on ``move_down``: the program text in Section 2.3 reads "add P to
+end of WAIT-LIST", but Section 4.2 asserts that all four transactions
+preserve priority and Section 5.5 states that a moved-down person lands
+"at the head of the WAIT-LIST".  Appending to the end would demote the
+moved-down person below every waiting person — breaking both claims (a
+person leaving the assigned list outranks everyone merely waiting, and
+must stay that way).  Head insertion is the unique placement consistent
+with the paper's own theorems, so that is what we implement; the
+discrepancy is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...core.state import State
+from ...core.update import Update
+from .state import AirlineState, Person
+
+
+@dataclass(frozen=True, repr=False)
+class AirlineUpdate(Update):
+    """Base for the four parameterized update families."""
+
+    person: Person
+
+    @property
+    def params(self) -> Tuple:
+        return (self.person,)
+
+
+class RequestUpdate(AirlineUpdate):
+    """``request(P)``: append P to the wait list if P is unknown."""
+
+    name = "request"
+
+    def apply(self, state: State) -> AirlineState:
+        assert isinstance(state, AirlineState)
+        if state.is_known(self.person):
+            return state
+        return AirlineState(state.assigned, state.waiting + (self.person,))
+
+
+class CancelUpdate(AirlineUpdate):
+    """``cancel(P)``: remove P from whichever list holds it."""
+
+    name = "cancel"
+
+    def apply(self, state: State) -> AirlineState:
+        assert isinstance(state, AirlineState)
+        if not state.is_known(self.person):
+            return state
+        return AirlineState(
+            tuple(p for p in state.assigned if p != self.person),
+            tuple(p for p in state.waiting if p != self.person),
+        )
+
+
+class MoveUpUpdate(AirlineUpdate):
+    """``move_up(P)``: if P is waiting, move P to the end of the assigned
+    list; otherwise do nothing."""
+
+    name = "move_up"
+
+    def apply(self, state: State) -> AirlineState:
+        assert isinstance(state, AirlineState)
+        if not state.is_waiting(self.person):
+            return state
+        return AirlineState(
+            state.assigned + (self.person,),
+            tuple(p for p in state.waiting if p != self.person),
+        )
+
+
+class MoveDownUpdate(AirlineUpdate):
+    """``move_down(P)``: if P is assigned, move P to the *head* of the
+    wait list; otherwise do nothing.  See the module docstring for why
+    head (not end) insertion is the paper-consistent semantics."""
+
+    name = "move_down"
+
+    def apply(self, state: State) -> AirlineState:
+        assert isinstance(state, AirlineState)
+        if not state.is_assigned(self.person):
+            return state
+        return AirlineState(
+            tuple(p for p in state.assigned if p != self.person),
+            (self.person,) + state.waiting,
+        )

@@ -1,0 +1,299 @@
+"""Witness machinery for refined cost bounds (Section 5.3).
+
+Section 5.3 analyzes update *sequences* symbolically.  For a sequence of
+airline updates and a person P:
+
+* an **assignment witness** for P is a pair (A, B) with A = request(P),
+  B = move_up(P), A before B, no cancel(P) after A, and no move_down(P)
+  after B;
+* a **waiting witness** for P is either a single A = request(P) with no
+  cancel(P) or move_up(P) after it, or a pair (A, B) with A = request(P),
+  B = move_down(P), A before B, no cancel(P) after A and no move_up(P)
+  after B.
+
+Lemma 14 says these witnesses exactly characterize membership of P in the
+ASSIGNED-LIST / WAIT-LIST of the resulting state; Lemmas 15-19 transfer
+membership between a full sequence and a subsequence when the subsequence
+retains the right critical updates.  This module implements the witnesses
+and the lemmas' hypotheses as executable functions; they drive the refined
+bounds of Theorems 20-21.
+
+Positions are 0-based indices into the update sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ...core.update import Update
+from .state import Person
+
+AssignmentWitness = Tuple[int, int]
+WaitingWitness = Union[int, Tuple[int, int]]
+
+
+def _positions(seq: Sequence[Update], name: str, person: Person) -> List[int]:
+    return [
+        i for i, u in enumerate(seq)
+        if u.name == name and u.params == (person,)
+    ]
+
+
+def _last_position(seq: Sequence[Update], name: str, person: Person) -> Optional[int]:
+    positions = _positions(seq, name, person)
+    return positions[-1] if positions else None
+
+
+def persons_mentioned(seq: Sequence[Update]) -> Tuple[Person, ...]:
+    """All persons appearing as parameters of updates in the sequence,
+    in order of first mention."""
+    seen: List[Person] = []
+    seen_set: Set[Person] = set()
+    for u in seq:
+        for p in u.params:
+            if p not in seen_set:
+                seen.append(p)
+                seen_set.add(p)
+    return tuple(seen)
+
+
+# -- witness search ---------------------------------------------------------
+
+
+def find_assignment_witness(
+    seq: Sequence[Update], person: Person
+) -> Optional[AssignmentWitness]:
+    """An assignment witness for ``person`` in ``seq``, or None.
+
+    Searches the latest qualifying pair; by Lemma 14(b) existence is what
+    matters, not which pair.
+    """
+    last_cancel = _last_position(seq, "cancel", person)
+    last_move_down = _last_position(seq, "move_down", person)
+    requests = _positions(seq, "request", person)
+    move_ups = _positions(seq, "move_up", person)
+    for b in reversed(move_ups):
+        if last_move_down is not None and last_move_down > b:
+            continue
+        for a in reversed(requests):
+            if a >= b:
+                continue
+            if last_cancel is not None and last_cancel > a:
+                continue
+            return (a, b)
+    return None
+
+
+def find_waiting_witness(
+    seq: Sequence[Update], person: Person
+) -> Optional[WaitingWitness]:
+    """A waiting witness for ``person`` in ``seq``, or None.
+
+    Note: this implements the paper's literal Section 5.3 definition.  As
+    our property-based tests discovered, existence of such a witness does
+    *not* quite imply that P is waiting: if a duplicate request(P) arrives
+    while P is assigned, the request is a no-op yet satisfies form (1).
+    (Example: ``request(P), move_up(P), request(P)`` — P ends assigned.)
+    The exact characterization is *waiting = known and not assigned*; see
+    :func:`waiting_by_log`.  Where a witness and an assignment witness
+    coexist, the assignment witness wins.
+    """
+    last_cancel = _last_position(seq, "cancel", person)
+    last_move_up = _last_position(seq, "move_up", person)
+    requests = _positions(seq, "request", person)
+    # Form (1): a request with no later cancel or move_up.
+    for a in reversed(requests):
+        if last_cancel is not None and last_cancel > a:
+            continue
+        if last_move_up is not None and last_move_up > a:
+            continue
+        return a
+    # Form (2): request then move_down, no cancel after the request and no
+    # move_up after the move_down.
+    move_downs = _positions(seq, "move_down", person)
+    for b in reversed(move_downs):
+        if last_move_up is not None and last_move_up > b:
+            continue
+        for a in reversed(requests):
+            if a >= b:
+                continue
+            if last_cancel is not None and last_cancel > a:
+                continue
+            return (a, b)
+    return None
+
+
+# -- Lemma 14: witness characterization of the resulting state ---------------
+
+
+def known_by_log(seq: Sequence[Update], person: Person) -> bool:
+    """Lemma 14(a): P is known in the resulting state iff some request(P)
+    is not followed by a cancel(P)."""
+    requests = _positions(seq, "request", person)
+    if not requests:
+        return False
+    last_cancel = _last_position(seq, "cancel", person)
+    return last_cancel is None or last_cancel < requests[-1]
+
+
+def assigned_by_log(seq: Sequence[Update], person: Person) -> bool:
+    """Lemma 14(b): P is assigned in the resulting state iff an assignment
+    witness for P exists in the sequence."""
+    return find_assignment_witness(seq, person) is not None
+
+
+def waiting_by_log(seq: Sequence[Update], person: Person) -> bool:
+    """Lemma 14(c), amended: P is waiting in the resulting state iff P is
+    known and not assigned.
+
+    The paper states "iff a waiting witness exists", which over-counts in
+    the duplicate-request corner case documented on
+    :func:`find_waiting_witness`; the known-and-not-assigned form is exact
+    (verified by the property-based tests) and still computable purely
+    from the update log.
+    """
+    return known_by_log(seq, person) and not assigned_by_log(seq, person)
+
+
+# -- Lemmas 15-19: transfer between a sequence and a subsequence -------------
+
+
+def witness_retained(
+    witness: Union[int, Tuple[int, int], None], kept: Set[int]
+) -> bool:
+    """Did the subsequence (by positions ``kept``) retain the witness?"""
+    if witness is None:
+        return False
+    if isinstance(witness, tuple):
+        return witness[0] in kept and witness[1] in kept
+    return witness in kept
+
+
+def waiting_transfer_holds(
+    seq: Sequence[Update], kept: Set[int], person: Person
+) -> bool:
+    """Lemma 16's hypothesis, amended: the subsequence retains a waiting
+    witness for P *and* contains no assignment witness of its own.
+
+    The extra clause repairs the same duplicate-request corner case as
+    :func:`waiting_by_log` (the paper's literal Lemma 16 fails on e.g.
+    ``request, move_up, move_down, cancel, request`` with the subsequence
+    ``{0, 1, 4}``).  It is checkable from the subsequence alone, which is
+    exactly what a transaction sees.
+    """
+    witness = find_waiting_witness(seq, person)
+    if not witness_retained(witness, kept):
+        return False
+    sub = [seq[i] for i in sorted(kept)]
+    return find_assignment_witness(sub, person) is None
+
+
+def retains_last(
+    seq: Sequence[Update], kept: Set[int], name: str, person: Person
+) -> bool:
+    """True iff the subsequence contains the last ``name(person)`` update
+    of ``seq`` — vacuously true when there is none (Lemmas 17-19)."""
+    last = _last_position(seq, name, person)
+    return last is None or last in kept
+
+
+def retains_live_requests(
+    seq: Sequence[Update], kept: Set[int], person: Person
+) -> bool:
+    """True iff the subsequence retains every request(P) occurring after
+    the last cancel(P) of the full sequence (the "live" requests).
+
+    This is the extra hypothesis our amended Lemma 19 needs.  The paper's
+    literal Lemma 19 fails on duplicate requests: with
+    ``request(R), move_up(R), request(R)`` and the subsequence keeping
+    only the move_up and the *second* request, R is waiting in t (the
+    retained request lands after the no-op move_up) but assigned in s.
+    Retaining all live requests restores the transfer: if P were assigned
+    in s, the witness built from the last move_up and a live request
+    would also be present in the subsequence, contradicting P waiting in
+    t.  Found by the property-based test suite.
+    """
+    last_cancel = _last_position(seq, "cancel", person)
+    for i in _positions(seq, "request", person):
+        if (last_cancel is None or i > last_cancel) and i not in kept:
+            return False
+    return True
+
+
+# -- refined deficits for Theorems 20 and 21 ---------------------------------
+
+
+def refined_overbooking_deficit(
+    seq: Sequence[Update],
+    kept: Iterable[int],
+    actual_assigned: Sequence[Person],
+) -> int:
+    """Theorem 20(1) hypothesis: the number of persons P assigned in the
+    actual state whose assignment witness was not retained by the seen
+    subsequence.  This replaces the raw completeness deficit k."""
+    kept_set = set(kept)
+    deficit = 0
+    for person in actual_assigned:
+        witness = find_assignment_witness(seq, person)
+        if not witness_retained(witness, kept_set):
+            deficit += 1
+    return deficit
+
+
+def refined_underbooking_deficit(
+    seq: Sequence[Update],
+    kept: Iterable[int],
+    actual_assigned: Sequence[Person],
+) -> int:
+    """Theorem 20(2) hypothesis: the number of persons P *not* assigned in
+    the actual state for whom the seen subsequence misses the last
+    cancel(P) or the last move_down(P) of the full sequence."""
+    kept_set = set(kept)
+    assigned = set(actual_assigned)
+    deficit = 0
+    for person in persons_mentioned(seq):
+        if person in assigned:
+            continue
+        if not retains_last(seq, kept_set, "cancel", person):
+            deficit += 1
+            continue
+        if not retains_last(seq, kept_set, "move_down", person):
+            deficit += 1
+    return deficit
+
+
+def refined_waiting_deficit(
+    seq: Sequence[Update],
+    kept: Iterable[int],
+    actual_waiting: Sequence[Person],
+) -> int:
+    """Theorem 21(2) first hypothesis: waiting persons whose waiting
+    witness was not retained."""
+    kept_set = set(kept)
+    deficit = 0
+    for person in actual_waiting:
+        if not waiting_transfer_holds(seq, kept_set, person):
+            deficit += 1
+    return deficit
+
+
+# -- Lemma 24: priority transfer ----------------------------------------------
+
+
+def lemma24_hypothesis(
+    seq: Sequence[Update],
+    kept: Iterable[int],
+    p: Person,
+    q: Person,
+) -> bool:
+    """Lemma 24's hypothesis: the subsequence contains all move_up and
+    move_down updates of the full sequence, and all request and cancel
+    updates for P and Q."""
+    kept_set = set(kept)
+    for i, u in enumerate(seq):
+        if u.name in ("move_up", "move_down") and i not in kept_set:
+            return False
+        if u.name in ("request", "cancel") and u.params in ((p,), (q,)):
+            if i not in kept_set:
+                return False
+    return True

@@ -1,0 +1,175 @@
+"""The paper's three worked example executions, scripted exactly.
+
+* :func:`section_3_1_execution` — the non-serializable execution of
+  Section 3.1: capacity + 2 request/MOVE_UP pairs where the last two
+  MOVE_UPs run with incomplete prefixes, producing a transiently
+  overbooked state (s_204 in the paper) and the final assigned list
+  ``P2, ..., P100, P102``;
+* :func:`section_5_4_counterexample` — the execution after Theorem 23
+  showing that centralizing MOVE_UPs and transitivity alone (without the
+  per-person restriction) do *not* prevent overbooking, via duplicated
+  requests and missed cancels;
+* :func:`section_5_5_priority_inversion` — the Section 5.5 example where
+  the moving agent learns request(Q) before the earlier request(P), so Q
+  permanently outranks P; running the same script against the
+  timestamp-ordered redesign restores request order.
+
+All three are parameterized by ``capacity`` so tests can run them small
+while the benchmarks reproduce the paper's capacity-100 instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...core.builder import ExecutionBuilder
+from ...core.execution import Execution
+from ...core.transaction import Transaction
+from .state import INITIAL_STATE, AirlineState
+from .timestamped import (
+    TS_INITIAL_STATE,
+    TSCancel,
+    TSMoveDown,
+    TSMoveUp,
+    TSRequest,
+)
+from .transactions import Cancel, MoveDown, MoveUp, Request
+
+
+def person(i: int) -> str:
+    return f"P{i}"
+
+
+def section_3_1_execution(capacity: int = 100) -> Execution:
+    """The Section 3.1 example, generalized from capacity 100 to any
+    capacity C: C + 2 blocks of (REQUEST(Pi), MOVE_UP), then a MOVE_DOWN
+    and CANCEL(P1).
+
+    All requests, the first C MOVE_UPs, and the cancel see complete
+    prefixes.  MOVE_UP #C+1 sees the first C-1 blocks plus
+    REQUEST(P_{C+1}); MOVE_UP #C+2 sees the first C-1 blocks plus
+    REQUEST(P_{C+2}); the MOVE_DOWN sees everything except the two
+    P_{C+2} transactions.
+    """
+    if capacity < 2:
+        raise ValueError("the example needs capacity >= 2")
+    c = capacity
+    transactions: List[Transaction] = []
+    prefixes: Dict[int, Tuple[int, ...]] = {}
+    for i in range(1, c + 3):
+        transactions.append(Request(person(i)))
+        transactions.append(MoveUp(c))
+    # MOVE_UP #C+1 is at index 2C+1; #C+2 at index 2C+3 (0-based).
+    prefixes[2 * c + 1] = tuple(range(2 * (c - 1))) + (2 * c,)
+    prefixes[2 * c + 3] = tuple(range(2 * (c - 1))) + (2 * c + 2,)
+    transactions.append(MoveDown(c))  # index 2C+4
+    prefixes[2 * c + 4] = tuple(range(2 * c + 2))
+    transactions.append(Cancel(person(1)))  # index 2C+5, complete prefix
+
+    all_prefixes = [
+        prefixes.get(i, tuple(range(i))) for i in range(len(transactions))
+    ]
+    return Execution.run(INITIAL_STATE, transactions, all_prefixes)
+
+
+def section_3_1_overbooked_index(capacity: int = 100) -> int:
+    """Index into ``actual_states`` of the paper's s_204 analogue: the
+    state right after the last MOVE_UP, overbooked by 2."""
+    return 2 * capacity + 4
+
+
+def section_5_4_counterexample(capacity: int = 100) -> Execution:
+    """The example after Theorem 23: C + 1 blocks of
+
+        REQUEST(Pi), CANCEL(Pi), REQUEST(Pi), MOVE_UP
+
+    where each of the first C MOVE_UPs sees the first request of its own
+    block (and all earlier movers and their requests) but not the cancels
+    or second requests, and the final MOVE_UP additionally sees all the
+    cancels.  The execution is transitive and the MOVE_UPs are
+    centralized, yet the final state is overbooked — the per-person
+    centralization hypothesis of Theorem 22 (or the single-request
+    hypothesis of Theorem 23) is necessary.
+    """
+    c = capacity
+    transactions: List[Transaction] = []
+    prefixes: List[Tuple[int, ...]] = []
+
+    def block_base(j: int) -> int:
+        return 4 * (j - 1)
+
+    first_requests: List[int] = []
+    cancels: List[int] = []
+    movers: List[int] = []
+    for j in range(1, c + 2):
+        base = block_base(j)
+        pj = person(j)
+        transactions.append(Request(pj))  # base
+        prefixes.append(tuple(first_requests))
+        first_requests.append(base)
+        transactions.append(Cancel(pj))  # base + 1
+        prefixes.append(tuple(first_requests))
+        transactions.append(Request(pj))  # base + 2
+        prefixes.append(tuple(first_requests) + (base + 1,))
+        transactions.append(MoveUp(c))  # base + 3
+        if j <= c:
+            # first request of blocks 1..j, movers of blocks 1..j-1
+            prefixes.append(tuple(sorted(first_requests + movers)))
+            cancels.append(base + 1)
+        else:
+            # the last mover also sees the cancels of the earlier blocks
+            # (but not its own block's cancel or any second request)
+            prefixes.append(tuple(sorted(first_requests + movers + cancels)))
+        movers.append(base + 3)
+
+    return Execution.run(INITIAL_STATE, transactions, prefixes)
+
+
+#: shared prefix script for the two Section 5.5 variants (0-based):
+#: i0 REQUEST(A) / i1 CANCEL(A) / i2 REQUEST(A) again / i3 REQUEST(P) /
+#: i4 REQUEST(Q) / i5..i8 the centralized moving agent.
+_SECTION_5_5_PREFIXES: Tuple[Tuple[int, ...], ...] = (
+    (),  # i0 REQUEST(A)#1
+    (0,),  # i1 CANCEL(A)
+    (0, 1),  # i2 REQUEST(A)#2
+    (0, 1, 2),  # i3 REQUEST(P)
+    (0, 1),  # i4 REQUEST(Q)
+    (0,),  # i5 MOVE_UP: sees only request(A)#1 -> move_up(A)
+    (0, 1, 4, 5),  # i6 MOVE_UP: A cancelled, Q waiting -> move_up(Q)
+    (0, 1, 2, 4, 5, 6),  # i7 MOVE_DOWN: apparent overbooking -> move_down(Q)
+    (0, 1, 2, 3, 4, 5, 6, 7),  # i8 MOVE_UP: complete; agent now knows P
+)
+
+
+def section_5_5_priority_inversion(capacity: int = 1) -> Execution:
+    """The Section 5.5 example against the baseline design.
+
+    REQUEST(P) precedes REQUEST(Q) in timestamp order, but the (fully
+    centralized, transitive) moving agent learns request(Q) first.  A
+    duplicated request for a filler person A makes the agent's view
+    transiently overbooked, so it moves Q up and then down — landing Q at
+    the head of the WAIT-LIST, permanently ahead of P (Theorem 25).
+    """
+    if capacity != 1:
+        raise ValueError("the scripted example is built for capacity 1")
+    a, p, q = "A", "P", "Q"
+    transactions: List[Transaction] = [
+        Request(a), Cancel(a), Request(a), Request(p), Request(q),
+        MoveUp(1), MoveUp(1), MoveDown(1), MoveUp(1),
+    ]
+    return Execution.run(INITIAL_STATE, transactions, _SECTION_5_5_PREFIXES)
+
+
+def section_5_5_with_timestamps(capacity: int = 1) -> Execution:
+    """The same scenario against the Section 5.5 redesigned application
+    (request timestamps in the database): the move_down re-inserts Q in
+    timestamp order, so P keeps its rightful priority."""
+    if capacity != 1:
+        raise ValueError("the scripted example is built for capacity 1")
+    a, p, q = "A", "P", "Q"
+    transactions: List[Transaction] = [
+        TSRequest(a, 0.0), TSCancel(a), TSRequest(a, 2.0),
+        TSRequest(p, 3.0), TSRequest(q, 4.0),
+        TSMoveUp(1), TSMoveUp(1), TSMoveDown(1), TSMoveUp(1),
+    ]
+    return Execution.run(TS_INITIAL_STATE, transactions, _SECTION_5_5_PREFIXES)

@@ -1,0 +1,52 @@
+"""The banking application: deposits, withdrawals, transfers, audits, and
+the per-account overdraft constraints (Sections 1.1, 3.2)."""
+
+from .application import (
+    DEFAULT_ACCOUNTS,
+    DEFAULT_OVERDRAFT_COST,
+    OverdraftConstraint,
+    make_banking_application,
+    overdraft_bound,
+    overdraft_constraint_name,
+)
+from .operations import (
+    AUDIT_REPORT,
+    Audit,
+    CREDIT_EXTENDED,
+    Cover,
+    CoverWorst,
+    CreditUpdate,
+    DISPENSE,
+    DebitUpdate,
+    Deposit,
+    TRANSFER_CONFIRMED,
+    Transfer,
+    TransferUpdate,
+    Withdraw,
+)
+from .state import Account, BankState, INITIAL_BANK_STATE
+
+__all__ = [
+    "AUDIT_REPORT",
+    "Account",
+    "Audit",
+    "BankState",
+    "CREDIT_EXTENDED",
+    "Cover",
+    "CoverWorst",
+    "CreditUpdate",
+    "DEFAULT_ACCOUNTS",
+    "DEFAULT_OVERDRAFT_COST",
+    "DISPENSE",
+    "DebitUpdate",
+    "Deposit",
+    "INITIAL_BANK_STATE",
+    "OverdraftConstraint",
+    "TRANSFER_CONFIRMED",
+    "Transfer",
+    "TransferUpdate",
+    "Withdraw",
+    "make_banking_application",
+    "overdraft_bound",
+    "overdraft_constraint_name",
+]

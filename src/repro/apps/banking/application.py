@@ -1,0 +1,81 @@
+"""Assembly of the banking application.
+
+The integrity constraints are *per account*: "account a is not
+overdrawn", costing ``unit_cost`` per overdrawn cent.  Per-account
+indexing (rather than one global constraint) is what makes the paper's
+property structure land exactly as in the airline example:
+
+* ``WITHDRAW(a, n)`` is **unsafe** for a's constraint (its debit can
+  overdraw when replayed) but **preserves its cost** — it only fires when
+  the observed balance covers the amount, so the state it believes it
+  creates has a >= 0;
+* ``WITHDRAW(a, n)`` is **safe** for every other account's constraint
+  (the debit never touches them).
+
+With one aggregated constraint the strong preserves-cost property would
+fail vacuously whenever some unrelated account was already overdrawn.
+The application's total cost is the sum over the per-account constraints,
+i.e. the total overdraft.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ...core.application import Application
+from ...core.constraint import IntegrityConstraint
+from ...core.monus import monus
+from ...core.relations import CostBound, linear_bound
+from ...core.state import State
+from .state import Account, INITIAL_BANK_STATE, BankState
+
+#: default penalty per overdrawn cent.
+DEFAULT_OVERDRAFT_COST = 1.0
+
+#: default account universe used by workloads and examples.
+DEFAULT_ACCOUNTS: Tuple[Account, ...] = ("alice", "bob", "carol")
+
+
+def overdraft_constraint_name(account: Account) -> str:
+    return f"overdraft:{account}"
+
+
+class OverdraftConstraint(IntegrityConstraint):
+    """Account ``account`` should not be overdrawn."""
+
+    def __init__(
+        self, account: Account, unit_cost: float = DEFAULT_OVERDRAFT_COST
+    ):
+        self.account = account
+        self.unit_cost = unit_cost
+        self.name = overdraft_constraint_name(account)
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, BankState)
+        return self.unit_cost * monus(0, state.balance(self.account))
+
+
+def make_banking_application(
+    accounts: Sequence[Account] = DEFAULT_ACCOUNTS,
+    unit_cost: float = DEFAULT_OVERDRAFT_COST,
+) -> Application:
+    """The banking application over a fixed account universe."""
+    return Application(
+        name="banking",
+        initial_state=INITIAL_BANK_STATE,
+        constraints=tuple(
+            OverdraftConstraint(a, unit_cost) for a in accounts
+        ),
+        transaction_families=(
+            "DEPOSIT", "WITHDRAW", "TRANSFER", "COVER", "COVER_WORST",
+            "AUDIT",
+        ),
+    )
+
+
+def overdraft_bound(
+    max_withdrawal: int, unit_cost: float = DEFAULT_OVERDRAFT_COST
+) -> CostBound:
+    """Each missing update can hide at most one debit of at most
+    ``max_withdrawal``, so f(k) = unit_cost * max_withdrawal * k."""
+    return linear_bound("overdraft", unit_cost * max_withdrawal)

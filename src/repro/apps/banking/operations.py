@@ -1,0 +1,210 @@
+"""Banking updates and transactions.
+
+The decision/update split mirrors the airline example:
+
+* ``DEPOSIT(a, n)`` — trivial decision; the ``credit(a, n)`` update is
+  safe for the overdraft constraint;
+* ``WITHDRAW(a, n)`` — the decision dispenses cash (an irreversible
+  external action!) only if the *observed* balance covers it; the
+  ``debit(a, n)`` update subtracts unconditionally when replayed, which
+  is what can overdraw — unsafe but cost-preserving, the analogue of
+  MOVE_UP;
+* ``TRANSFER(a, b, n)`` — decided like a withdrawal, updates both sides;
+* ``COVER(a)`` — the compensating transaction: the bank extends credit
+  to zero out an observed overdraft (cost strictly decreases);
+* ``AUDIT`` — reads the total balance and reports it externally; identity
+  update.  The paper suggests running audits with complete prefixes
+  (Section 3.2); the banking bench checks audit accuracy against the
+  audit's completeness deficit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...core.state import State
+from ...core.transaction import Decision, ExternalAction, Transaction
+from ...core.update import IDENTITY, Update
+from .state import Account, BankState
+
+DISPENSE = "dispense_cash"
+TRANSFER_CONFIRMED = "transfer_confirmed"
+CREDIT_EXTENDED = "credit_extended"
+AUDIT_REPORT = "audit_report"
+
+
+@dataclass(frozen=True, repr=False)
+class CreditUpdate(Update):
+    """``credit(a, n)``: add n to a's balance."""
+
+    account: Account
+    amount: int
+    name = "credit"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.account, self.amount)
+
+    def apply(self, state: State) -> BankState:
+        assert isinstance(state, BankState)
+        return state.adjust(self.account, self.amount)
+
+
+@dataclass(frozen=True, repr=False)
+class DebitUpdate(Update):
+    """``debit(a, n)``: subtract n from a's balance, unconditionally.
+
+    The cash already left the ATM when the decision ran; the database
+    must record the debit no matter what state it is replayed against.
+    """
+
+    account: Account
+    amount: int
+    name = "debit"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.account, self.amount)
+
+    def apply(self, state: State) -> BankState:
+        assert isinstance(state, BankState)
+        return state.adjust(self.account, -self.amount)
+
+
+@dataclass(frozen=True, repr=False)
+class TransferUpdate(Update):
+    """``transfer(a, b, n)``: debit a, credit b."""
+
+    source: Account
+    target: Account
+    amount: int
+    name = "transfer"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.source, self.target, self.amount)
+
+    def apply(self, state: State) -> BankState:
+        assert isinstance(state, BankState)
+        return state.adjust(self.source, -self.amount).adjust(
+            self.target, self.amount
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Deposit(Transaction):
+    account: Account
+    amount: int
+    name = "DEPOSIT"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.account, self.amount)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(CreditUpdate(self.account, self.amount))
+
+
+@dataclass(frozen=True, repr=False)
+class Withdraw(Transaction):
+    """Dispense cash iff the observed balance covers the amount."""
+
+    account: Account
+    amount: int
+    name = "WITHDRAW"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.account, self.amount)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, BankState)
+        if state.balance(self.account) >= self.amount:
+            return Decision(
+                DebitUpdate(self.account, self.amount),
+                (ExternalAction(DISPENSE, self.account, (self.amount,)),),
+            )
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class Transfer(Transaction):
+    source: Account
+    target: Account
+    amount: int
+    name = "TRANSFER"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.source, self.target, self.amount)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, BankState)
+        if state.balance(self.source) >= self.amount:
+            return Decision(
+                TransferUpdate(self.source, self.target, self.amount),
+                (
+                    ExternalAction(
+                        TRANSFER_CONFIRMED,
+                        self.source,
+                        (self.target, self.amount),
+                    ),
+                ),
+            )
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class Cover(Transaction):
+    """Compensating transaction: extend credit to clear an observed
+    overdraft on a specific account."""
+
+    account: Account
+    name = "COVER"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.account,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, BankState)
+        balance = state.balance(self.account)
+        if balance < 0:
+            return Decision(
+                CreditUpdate(self.account, -balance),
+                (ExternalAction(CREDIT_EXTENDED, self.account, (-balance,)),),
+            )
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class CoverWorst(Transaction):
+    """Compensator that targets the most overdrawn account it can see."""
+
+    name = "COVER_WORST"
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, BankState)
+        overdrawn = state.overdrawn()
+        if not overdrawn:
+            return Decision(IDENTITY)
+        account, deficit = max(overdrawn, key=lambda pair: pair[1])
+        return Decision(
+            CreditUpdate(account, deficit),
+            (ExternalAction(CREDIT_EXTENDED, account, (deficit,)),),
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Audit(Transaction):
+    """Report the observed total balance; changes nothing."""
+
+    name = "AUDIT"
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, BankState)
+        return Decision(
+            IDENTITY,
+            (ExternalAction(AUDIT_REPORT, None, (state.total,)),),
+        )

@@ -1,0 +1,64 @@
+"""Banking database states.
+
+The paper repeatedly cites banking as a motivating resource-allocation
+application (Sections 1.1, 3.2: "an audit transaction in a high-finance
+banking system ... might be desirable for audits to see the effects of
+all the preceding deposit, withdrawal and transfer transactions").
+
+A state maps account names to integer balances (cents).  Balances may go
+*negative* — that is the integrity violation this application prices, the
+analogue of overbooking: a withdrawal decided against a stale balance can
+overdraw when replayed after earlier-timestamped withdrawals arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ...core.state import State
+
+Account = str
+
+
+@dataclass(frozen=True)
+class BankState(State):
+    """Immutable account-to-balance map, stored sorted by account name."""
+
+    accounts: Tuple[Tuple[Account, int], ...] = ()
+
+    def well_formed(self) -> bool:
+        names = [name for name, _ in self.accounts]
+        return names == sorted(names) and len(set(names)) == len(names)
+
+    def balance(self, account: Account) -> int:
+        """The balance of ``account``; 0 if it has never been touched."""
+        for name, value in self.accounts:
+            if name == account:
+                return value
+        return 0
+
+    def with_balance(self, account: Account, value: int) -> "BankState":
+        entries = dict(self.accounts)
+        entries[account] = value
+        return BankState(tuple(sorted(entries.items())))
+
+    def adjust(self, account: Account, delta: int) -> "BankState":
+        return self.with_balance(account, self.balance(account) + delta)
+
+    @property
+    def total(self) -> int:
+        return sum(value for _, value in self.accounts)
+
+    def overdrawn(self) -> Tuple[Tuple[Account, int], ...]:
+        """Accounts with negative balances (name, deficit)."""
+        return tuple(
+            (name, -value) for name, value in self.accounts if value < 0
+        )
+
+    @property
+    def total_overdraft(self) -> int:
+        return sum(deficit for _, deficit in self.overdrawn())
+
+
+INITIAL_BANK_STATE = BankState()

@@ -1,0 +1,124 @@
+"""A minimal resource-counter application.
+
+This is the smallest application exhibiting the paper's structure: a
+single integer ``value`` (think "resources allocated"), an upper-bound
+integrity constraint with a linear cost, an unsafe allocating transaction
+whose decision checks the bound against its (possibly stale) view, and a
+compensating deallocating transaction.  It is used by the core test suite
+and by the quickstart example; the airline application is the paper's
+full-size counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.application import Application
+from ..core.constraint import IntegrityConstraint
+from ..core.monus import monus
+from ..core.relations import CostBound, linear_bound
+from ..core.state import State
+from ..core.transaction import Decision, ExternalAction, Transaction
+from ..core.update import IDENTITY, Update
+
+
+@dataclass(frozen=True)
+class CounterState(State):
+    """A single nonnegative counter."""
+
+    value: int = 0
+
+    def well_formed(self) -> bool:
+        return self.value >= 0
+
+
+@dataclass(frozen=True, repr=False)
+class AddUpdate(Update):
+    """``add(n)``: increase the counter by ``n`` (floored at zero)."""
+
+    amount: int
+    name = "add"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.amount,)
+
+    def apply(self, state: State) -> CounterState:
+        assert isinstance(state, CounterState)
+        return CounterState(max(0, state.value + self.amount))
+
+
+class UpperBoundConstraint(IntegrityConstraint):
+    """``value <= limit``, costing ``unit_cost`` per unit of excess."""
+
+    name = "upper_bound"
+
+    def __init__(self, limit: int, unit_cost: float = 1.0):
+        self.limit = limit
+        self.unit_cost = unit_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, CounterState)
+        return self.unit_cost * monus(state.value, self.limit)
+
+
+@dataclass(frozen=True, repr=False)
+class Allocate(Transaction):
+    """Allocate one unit if the observed state is below the limit.
+
+    Unsafe for the upper-bound constraint (its ``add(1)`` update can
+    overshoot when replayed against fuller states) but preserves its cost:
+    it only allocates when the state it believes will result satisfies the
+    constraint.
+    """
+
+    limit: int
+    name = "ALLOCATE"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.limit,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, CounterState)
+        if state.value < self.limit:
+            return Decision(
+                AddUpdate(1), (ExternalAction("granted", state.value),)
+            )
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class Release(Transaction):
+    """Release one unit if the observed state exceeds the limit — the
+    compensating transaction for the upper-bound constraint."""
+
+    limit: int
+    name = "RELEASE"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.limit,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, CounterState)
+        if state.value > self.limit:
+            return Decision(
+                AddUpdate(-1), (ExternalAction("revoked", state.value),)
+            )
+        return Decision(IDENTITY)
+
+
+def make_counter_application(limit: int = 10, unit_cost: float = 1.0) -> Application:
+    return Application(
+        name="counter",
+        initial_state=CounterState(0),
+        constraints=(UpperBoundConstraint(limit, unit_cost),),
+        transaction_families=("ALLOCATE", "RELEASE"),
+    )
+
+
+def counter_bound(unit_cost: float = 1.0) -> CostBound:
+    """Each missing update hides at most one allocation: f(k) = unit * k."""
+    return linear_bound("upper_bound", unit_cost)

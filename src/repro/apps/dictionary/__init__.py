@@ -1,0 +1,54 @@
+"""The highly available replicated dictionary ([FM]) in the SHARD model.
+
+Section 6 points at Fischer & Michael's replicated dictionary as an
+example that "fits the SHARD framework".  We express it directly:
+
+* the state is a set of entries plus a set of tombstones;
+* ``insert(x)`` / ``delete(x)`` updates; deletion uses a tombstone so
+  that an insert replayed after (in timestamp order, before) its delete
+  does not resurrect the entry — the FM semantics: x is a member iff some
+  insert(x) is not followed by a delete(x);
+* ``QUERY`` is a pure decision transaction reporting the observed
+  membership — with partial prefixes, the FM guarantee is exactly the
+  prefix-subsequence property: every query returns the members of *some*
+  subsequence of the preceding operations;
+* a bounded-capacity constraint prices oversized dictionaries, giving
+  the cost-bound machinery something to measure (INSERT checks the
+  observed size, so it is unsafe-but-cost-preserving, like MOVE_UP).
+"""
+
+from .dictionary import (
+    CAPACITY_CONSTRAINT,
+    DEFAULT_DICT_CAPACITY,
+    DEFAULT_OVERSIZE_COST,
+    Delete,
+    DeleteUpdate,
+    DictState,
+    INITIAL_DICT_STATE,
+    Insert,
+    InsertUpdate,
+    Prune,
+    QUERY_REPORT,
+    Query,
+    SizeConstraint,
+    make_dictionary_application,
+    oversize_bound,
+)
+
+__all__ = [
+    "CAPACITY_CONSTRAINT",
+    "DEFAULT_DICT_CAPACITY",
+    "DEFAULT_OVERSIZE_COST",
+    "Delete",
+    "DeleteUpdate",
+    "DictState",
+    "INITIAL_DICT_STATE",
+    "Insert",
+    "InsertUpdate",
+    "Prune",
+    "QUERY_REPORT",
+    "Query",
+    "SizeConstraint",
+    "make_dictionary_application",
+    "oversize_bound",
+]

@@ -1,0 +1,185 @@
+"""Implementation of the replicated dictionary (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from ...core.application import Application
+from ...core.constraint import IntegrityConstraint
+from ...core.monus import monus
+from ...core.relations import CostBound, linear_bound
+from ...core.state import State
+from ...core.transaction import Decision, ExternalAction, Transaction
+from ...core.update import IDENTITY, Update
+
+CAPACITY_CONSTRAINT = "oversize"
+QUERY_REPORT = "query_report"
+
+DEFAULT_DICT_CAPACITY = 100
+DEFAULT_OVERSIZE_COST = 1.0
+
+
+@dataclass(frozen=True)
+class DictState(State):
+    """Members plus tombstones.
+
+    A tombstone for x means "x has been deleted"; a later-timestamped
+    insert(x) re-adds x (clearing the tombstone), but an insert replayed
+    *before* its delete in timestamp order is cancelled by it — the FM
+    last-writer semantics fall out of replaying the log in order.
+    """
+
+    members: FrozenSet[str] = frozenset()
+    tombstones: FrozenSet[str] = frozenset()
+
+    def well_formed(self) -> bool:
+        return not (self.members & self.tombstones)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self.members
+
+
+INITIAL_DICT_STATE = DictState()
+
+
+@dataclass(frozen=True, repr=False)
+class InsertUpdate(Update):
+    item: str
+    name = "insert"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.item,)
+
+    def apply(self, state: State) -> DictState:
+        assert isinstance(state, DictState)
+        return DictState(
+            state.members | {self.item}, state.tombstones - {self.item}
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class DeleteUpdate(Update):
+    item: str
+    name = "delete"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.item,)
+
+    def apply(self, state: State) -> DictState:
+        assert isinstance(state, DictState)
+        return DictState(
+            state.members - {self.item}, state.tombstones | {self.item}
+        )
+
+
+class SizeConstraint(IntegrityConstraint):
+    """The dictionary should not exceed its capacity."""
+
+    name = CAPACITY_CONSTRAINT
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_DICT_CAPACITY,
+        unit_cost: float = DEFAULT_OVERSIZE_COST,
+    ):
+        self.capacity = capacity
+        self.unit_cost = unit_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, DictState)
+        return self.unit_cost * monus(state.size, self.capacity)
+
+
+@dataclass(frozen=True, repr=False)
+class Insert(Transaction):
+    """Insert if the observed dictionary has room (unsafe for the size
+    constraint, but preserves its cost)."""
+
+    item: str
+    capacity: int = DEFAULT_DICT_CAPACITY
+    name = "INSERT"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.item, self.capacity)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, DictState)
+        if state.size < self.capacity:
+            return Decision(InsertUpdate(self.item))
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class Delete(Transaction):
+    item: str
+    name = "DELETE"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.item,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(DeleteUpdate(self.item))
+
+
+@dataclass(frozen=True, repr=False)
+class Prune(Transaction):
+    """Compensator: delete an arbitrary (lexicographically last) member
+    when the observed dictionary is over capacity."""
+
+    capacity: int = DEFAULT_DICT_CAPACITY
+    name = "PRUNE"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.capacity,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, DictState)
+        if state.size > self.capacity:
+            victim = max(state.members)
+            return Decision(DeleteUpdate(victim))
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class Query(Transaction):
+    """Report the observed membership; identity update.
+
+    The FM availability guarantee, restated: the reported set is the
+    membership induced by *some* subsequence of the preceding operations
+    (exactly the prefix subsequence condition)."""
+
+    name = "QUERY"
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, DictState)
+        return Decision(
+            IDENTITY,
+            (ExternalAction(QUERY_REPORT, None, tuple(sorted(state.members))),),
+        )
+
+
+def make_dictionary_application(
+    capacity: int = DEFAULT_DICT_CAPACITY,
+    unit_cost: float = DEFAULT_OVERSIZE_COST,
+) -> Application:
+    return Application(
+        name="dictionary",
+        initial_state=INITIAL_DICT_STATE,
+        constraints=(SizeConstraint(capacity, unit_cost),),
+        transaction_families=("INSERT", "DELETE", "PRUNE", "QUERY"),
+    )
+
+
+def oversize_bound(unit_cost: float = DEFAULT_OVERSIZE_COST) -> CostBound:
+    """Each missing update hides at most one insert: f(k) = unit * k."""
+    return linear_bound(CAPACITY_CONSTRAINT, unit_cost)

@@ -1,0 +1,76 @@
+"""Assembly of the inventory application: the two constraints mirror the
+airline's, but against a *moving* capacity (the current stock)."""
+
+from __future__ import annotations
+
+from ...core.application import Application
+from ...core.constraint import IntegrityConstraint
+from ...core.monus import monus
+from ...core.relations import CostBound, linear_bound
+from ...core.state import State
+from .state import INITIAL_INVENTORY_STATE, InventoryState
+
+OVERCOMMIT = "overcommit"
+UNDERFILL = "underfill"
+
+#: default cost per over-committed unit (expedited procurement).
+DEFAULT_OVERCOMMIT_COST = 50.0
+#: default cost per avoidably unfilled backorder (missed sale).
+DEFAULT_UNDERFILL_COST = 20.0
+
+
+class OvercommitConstraint(IntegrityConstraint):
+    """Confirmed orders should not exceed stock on hand."""
+
+    name = OVERCOMMIT
+
+    def __init__(self, unit_cost: float = DEFAULT_OVERCOMMIT_COST):
+        self.unit_cost = unit_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, InventoryState)
+        return self.unit_cost * monus(state.n_committed, state.stock)
+
+
+class UnderfillConstraint(IntegrityConstraint):
+    """Backorders should not wait while free stock sits on the shelf."""
+
+    name = UNDERFILL
+
+    def __init__(self, unit_cost: float = DEFAULT_UNDERFILL_COST):
+        self.unit_cost = unit_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, InventoryState)
+        return self.unit_cost * min(
+            monus(state.stock, state.n_committed), state.n_backorders
+        )
+
+
+def make_inventory_application(
+    overcommit_cost: float = DEFAULT_OVERCOMMIT_COST,
+    underfill_cost: float = DEFAULT_UNDERFILL_COST,
+) -> Application:
+    return Application(
+        name="inventory",
+        initial_state=INITIAL_INVENTORY_STATE,
+        constraints=(
+            OvercommitConstraint(overcommit_cost),
+            UnderfillConstraint(underfill_cost),
+        ),
+        transaction_families=(
+            "ORDER", "CANCEL_ORDER", "COMMIT", "RENEGE", "RESTOCK", "SHIP",
+        ),
+    )
+
+
+def overcommit_bound(
+    unit_cost: float = DEFAULT_OVERCOMMIT_COST,
+) -> CostBound:
+    """Among the update families, only ``commit`` raises the excess of
+    commitments over stock, by one unit — so f(k) = unit_cost * k."""
+    return linear_bound(OVERCOMMIT, unit_cost)
+
+
+def underfill_bound(unit_cost: float = DEFAULT_UNDERFILL_COST) -> CostBound:
+    return linear_bound(UNDERFILL, unit_cost)

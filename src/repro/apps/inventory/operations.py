@@ -1,0 +1,243 @@
+"""Inventory updates and transactions.
+
+The transaction vocabulary mirrors the paper's claim that "practically
+all resource allocation systems must have operations of the four kinds"
+(request / cancel / allocate / deallocate), plus the inventory-specific
+restock and ship operations that move the capacity itself:
+
+* ``ORDER(id)`` / ``CANCEL_ORDER(id)`` — request and cancel (trivial
+  decisions);
+* ``COMMIT`` — allocate: if the observed state has free stock and a
+  backorder, promise the first backordered order a unit (external
+  confirmation) — unsafe for over-commitment but preserves its cost;
+* ``RENEGE`` — deallocate: if over-committed, push the last committed
+  order back to the head of the backorder list (compensator for
+  over-commitment);
+* ``RESTOCK(n)`` — stock += n (safe for over-commitment, raises the
+  moving capacity);
+* ``SHIP`` — ship one unit for the first committed order: removes the
+  commitment *and* decrements stock, if stock is observed available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...core.state import State
+from ...core.transaction import Decision, ExternalAction, Transaction
+from ...core.update import IDENTITY, Update
+from .state import InventoryState, OrderId
+
+CONFIRMED = "order_confirmed"
+RESCINDED = "order_rescinded"
+SHIPPED = "order_shipped"
+
+
+@dataclass(frozen=True, repr=False)
+class OrderUpdate(Update):
+    order: OrderId
+    name = "order"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.order,)
+
+    def apply(self, state: State) -> InventoryState:
+        assert isinstance(state, InventoryState)
+        if state.is_known(self.order):
+            return state
+        return InventoryState(
+            state.stock, state.committed, state.backorders + (self.order,)
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class CancelOrderUpdate(Update):
+    order: OrderId
+    name = "cancel_order"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.order,)
+
+    def apply(self, state: State) -> InventoryState:
+        assert isinstance(state, InventoryState)
+        if not state.is_known(self.order):
+            return state
+        return InventoryState(
+            state.stock,
+            tuple(o for o in state.committed if o != self.order),
+            tuple(o for o in state.backorders if o != self.order),
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class CommitUpdate(Update):
+    """Move a backordered order to the end of the committed list."""
+
+    order: OrderId
+    name = "commit"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.order,)
+
+    def apply(self, state: State) -> InventoryState:
+        assert isinstance(state, InventoryState)
+        if not state.is_backordered(self.order):
+            return state
+        return InventoryState(
+            state.stock,
+            state.committed + (self.order,),
+            tuple(o for o in state.backorders if o != self.order),
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class RenegeUpdate(Update):
+    """Move a committed order back to the head of the backorder list
+    (head insertion preserves its priority over plain backorders, exactly
+    like the airline move_down)."""
+
+    order: OrderId
+    name = "renege"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.order,)
+
+    def apply(self, state: State) -> InventoryState:
+        assert isinstance(state, InventoryState)
+        if not state.is_committed(self.order):
+            return state
+        return InventoryState(
+            state.stock,
+            tuple(o for o in state.committed if o != self.order),
+            (self.order,) + state.backorders,
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class RestockUpdate(Update):
+    amount: int
+    name = "restock"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.amount,)
+
+    def apply(self, state: State) -> InventoryState:
+        assert isinstance(state, InventoryState)
+        return InventoryState(
+            state.stock + self.amount, state.committed, state.backorders
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class ShipUpdate(Update):
+    """Remove a committed order and one unit of stock (floored at 0)."""
+
+    order: OrderId
+    name = "ship"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.order,)
+
+    def apply(self, state: State) -> InventoryState:
+        assert isinstance(state, InventoryState)
+        if not state.is_committed(self.order):
+            return state
+        return InventoryState(
+            max(0, state.stock - 1),
+            tuple(o for o in state.committed if o != self.order),
+            state.backorders,
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Order(Transaction):
+    order: OrderId
+    name = "ORDER"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.order,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(OrderUpdate(self.order))
+
+
+@dataclass(frozen=True, repr=False)
+class CancelOrder(Transaction):
+    order: OrderId
+    name = "CANCEL_ORDER"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.order,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(CancelOrderUpdate(self.order))
+
+
+@dataclass(frozen=True, repr=False)
+class Commit(Transaction):
+    """Confirm the first backordered order if stock appears free."""
+
+    name = "COMMIT"
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, InventoryState)
+        if state.n_committed < state.stock and state.n_backorders > 0:
+            order = state.backorders[0]
+            return Decision(
+                CommitUpdate(order), (ExternalAction(CONFIRMED, order),)
+            )
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class Renege(Transaction):
+    """Rescind the last confirmation if over-committed."""
+
+    name = "RENEGE"
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, InventoryState)
+        if state.n_committed > state.stock:
+            order = state.committed[-1]
+            return Decision(
+                RenegeUpdate(order), (ExternalAction(RESCINDED, order),)
+            )
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class Restock(Transaction):
+    amount: int
+    name = "RESTOCK"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.amount,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(RestockUpdate(self.amount))
+
+
+@dataclass(frozen=True, repr=False)
+class Ship(Transaction):
+    """Ship the first committed order if stock is observed on hand."""
+
+    name = "SHIP"
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, InventoryState)
+        if state.committed and state.stock > 0:
+            order = state.committed[0]
+            return Decision(
+                ShipUpdate(order), (ExternalAction(SHIPPED, order),)
+            )
+        return Decision(IDENTITY)

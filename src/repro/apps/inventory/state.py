@@ -1,0 +1,63 @@
+"""Inventory-control database states.
+
+Inventory control is the third motivating application named in the
+paper's abstract and introduction.  It generalizes the airline example in
+one interesting way: the "capacity" (stock on hand) *changes over time*
+via restocks and shipments, so the over-allocation constraint is a moving
+target rather than a fixed 100.
+
+A state holds:
+
+* ``stock`` — units physically on hand;
+* ``committed`` — ordered list of order ids promised a unit (customers
+  have been told their order is confirmed — an external action);
+* ``backorders`` — ordered list of order ids waiting for stock.
+
+Well-formedness: an order id appears at most once across both lists and
+stock is nonnegative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...core.state import State
+
+OrderId = str
+
+
+@dataclass(frozen=True)
+class InventoryState(State):
+    stock: int = 0
+    committed: Tuple[OrderId, ...] = ()
+    backorders: Tuple[OrderId, ...] = ()
+
+    def well_formed(self) -> bool:
+        committed, backorders = set(self.committed), set(self.backorders)
+        return (
+            self.stock >= 0
+            and len(committed) == len(self.committed)
+            and len(backorders) == len(self.backorders)
+            and not (committed & backorders)
+        )
+
+    @property
+    def n_committed(self) -> int:
+        return len(self.committed)
+
+    @property
+    def n_backorders(self) -> int:
+        return len(self.backorders)
+
+    def is_committed(self, order: OrderId) -> bool:
+        return order in self.committed
+
+    def is_backordered(self, order: OrderId) -> bool:
+        return order in self.backorders
+
+    def is_known(self, order: OrderId) -> bool:
+        return order in self.committed or order in self.backorders
+
+
+INITIAL_INVENTORY_STATE = InventoryState()

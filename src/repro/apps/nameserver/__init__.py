@@ -1,0 +1,66 @@
+"""A Grapevine-style replicated name service.
+
+Section 6: "it has been claimed that name servers such as Grapevine [B]
+have interesting but nonserializable behavior; it seems likely that they
+can be described within our framework."  This package does so.
+
+The database holds registered *individuals* and *groups* (mailing
+lists).  The interesting integrity constraint is **referential**: every
+group member should be a registered individual.  With stale views, an
+ADD_MEMBER decided against a replica that still believes a user exists
+can create a *dangling* member — priced per dangling user, with the
+usual SHARD structure:
+
+* ``REGISTER(u)`` / ``ADD_MEMBER(g, u)`` / ``REMOVE_MEMBER(g, u)`` /
+  ``UNREGISTER(u)`` — UNREGISTER's update purges u's memberships in
+  whatever state it is replayed against, so it never creates dangling
+  members itself; ADD_MEMBER checks the *observed* registry, making it
+  unsafe-but-cost-preserving (the MOVE_UP of this application);
+* ``SCRUB`` — the compensating transaction: purge one observed dangling
+  user's memberships;
+* ``LOOKUP(g)`` — a pure query reporting the observed membership (the
+  Grapevine behavior: answers may be stale but are some subsequence's
+  truth).
+"""
+
+from .nameserver import (
+    AddMember,
+    AddMemberUpdate,
+    DANGLING,
+    DanglingConstraint,
+    INITIAL_NS_STATE,
+    LOOKUP_REPORT,
+    Lookup,
+    NameServerState,
+    PurgeUpdate,
+    Register,
+    RegisterUpdate,
+    RemoveMember,
+    RemoveMemberUpdate,
+    Scrub,
+    Unregister,
+    UnregisterUpdate,
+    dangling_bound,
+    make_nameserver_application,
+)
+
+__all__ = [
+    "AddMember",
+    "AddMemberUpdate",
+    "DANGLING",
+    "DanglingConstraint",
+    "INITIAL_NS_STATE",
+    "LOOKUP_REPORT",
+    "Lookup",
+    "NameServerState",
+    "PurgeUpdate",
+    "Register",
+    "RegisterUpdate",
+    "RemoveMember",
+    "RemoveMemberUpdate",
+    "Scrub",
+    "Unregister",
+    "UnregisterUpdate",
+    "dangling_bound",
+    "make_nameserver_application",
+]

@@ -1,0 +1,312 @@
+"""Implementation of the name service (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from ...core.application import Application
+from ...core.constraint import IntegrityConstraint
+from ...core.relations import CostBound, linear_bound
+from ...core.state import State
+from ...core.transaction import Decision, ExternalAction, Transaction
+from ...core.update import IDENTITY, Update
+
+DANGLING = "dangling"
+LOOKUP_REPORT = "lookup_report"
+
+#: default penalty per dangling user (a misrouted mailing-list entry).
+DEFAULT_DANGLING_COST = 25.0
+
+Groups = Tuple[Tuple[str, FrozenSet[str]], ...]
+
+
+@dataclass(frozen=True)
+class NameServerState(State):
+    """Registered individuals plus group membership sets.
+
+    Groups are stored sorted by name with no empty groups, so structurally
+    equal registries compare equal.
+    """
+
+    individuals: FrozenSet[str] = frozenset()
+    groups: Groups = ()
+
+    def well_formed(self) -> bool:
+        names = [g for g, _ in self.groups]
+        return (
+            names == sorted(names)
+            and len(set(names)) == len(names)
+            and all(members for _, members in self.groups)
+        )
+
+    def members(self, group: str) -> FrozenSet[str]:
+        for name, members in self.groups:
+            if name == group:
+                return members
+        return frozenset()
+
+    def is_registered(self, user: str) -> bool:
+        return user in self.individuals
+
+    def with_group(self, group: str, members: FrozenSet[str]) -> "NameServerState":
+        remaining = tuple(
+            (g, m) for g, m in self.groups if g != group
+        )
+        if members:
+            remaining = tuple(sorted(remaining + ((group, members),)))
+        return NameServerState(self.individuals, remaining)
+
+    def dangling_users(self) -> FrozenSet[str]:
+        """Users appearing in some group without being registered."""
+        mentioned = frozenset(
+            user for _, members in self.groups for user in members
+        )
+        return mentioned - self.individuals
+
+    @property
+    def dangling_count(self) -> int:
+        return len(self.dangling_users())
+
+
+INITIAL_NS_STATE = NameServerState()
+
+
+# -- updates -------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class RegisterUpdate(Update):
+    user: str
+    name = "register"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.user,)
+
+    def apply(self, state: State) -> NameServerState:
+        assert isinstance(state, NameServerState)
+        return NameServerState(
+            state.individuals | {self.user}, state.groups
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class UnregisterUpdate(Update):
+    """Remove the individual *and purge their memberships in the applied
+    state* — so an unregistration never strands a member it can see."""
+
+    user: str
+    name = "unregister"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.user,)
+
+    def apply(self, state: State) -> NameServerState:
+        assert isinstance(state, NameServerState)
+        result = NameServerState(
+            state.individuals - {self.user}, state.groups
+        )
+        for group, members in state.groups:
+            if self.user in members:
+                result = result.with_group(group, members - {self.user})
+        return result
+
+
+@dataclass(frozen=True, repr=False)
+class AddMemberUpdate(Update):
+    group: str
+    user: str
+    name = "add_member"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.group, self.user)
+
+    def apply(self, state: State) -> NameServerState:
+        assert isinstance(state, NameServerState)
+        return state.with_group(
+            self.group, state.members(self.group) | {self.user}
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class RemoveMemberUpdate(Update):
+    group: str
+    user: str
+    name = "remove_member"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.group, self.user)
+
+    def apply(self, state: State) -> NameServerState:
+        assert isinstance(state, NameServerState)
+        members = state.members(self.group)
+        if self.user not in members:
+            return state
+        return state.with_group(self.group, members - {self.user})
+
+
+@dataclass(frozen=True, repr=False)
+class PurgeUpdate(Update):
+    """Remove a user from every group (membership scrub; registration
+    untouched)."""
+
+    user: str
+    name = "purge"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.user,)
+
+    def apply(self, state: State) -> NameServerState:
+        assert isinstance(state, NameServerState)
+        result = state
+        for group, members in state.groups:
+            if self.user in members:
+                result = result.with_group(group, members - {self.user})
+        return result
+
+
+# -- constraint -------------------------------------------------------------
+
+
+class DanglingConstraint(IntegrityConstraint):
+    """Every group member should be a registered individual; cost per
+    dangling *user* (each update family changes the count by at most one,
+    which is what keeps the bound linear)."""
+
+    name = DANGLING
+
+    def __init__(self, unit_cost: float = DEFAULT_DANGLING_COST):
+        self.unit_cost = unit_cost
+
+    def cost(self, state: State) -> float:
+        assert isinstance(state, NameServerState)
+        return self.unit_cost * state.dangling_count
+
+
+def dangling_bound(unit_cost: float = DEFAULT_DANGLING_COST) -> CostBound:
+    """Only ``add_member`` can introduce a dangling user, one at a time:
+    f(k) = unit_cost * k."""
+    return linear_bound(DANGLING, unit_cost)
+
+
+# -- transactions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Register(Transaction):
+    user: str
+    name = "REGISTER"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.user,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(RegisterUpdate(self.user))
+
+
+@dataclass(frozen=True, repr=False)
+class Unregister(Transaction):
+    user: str
+    name = "UNREGISTER"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.user,)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(UnregisterUpdate(self.user))
+
+
+@dataclass(frozen=True, repr=False)
+class AddMember(Transaction):
+    """Add u to g only if u is registered in the *observed* registry —
+    the unsafe-but-cost-preserving allocator of this application."""
+
+    group: str
+    user: str
+    name = "ADD_MEMBER"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.group, self.user)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, NameServerState)
+        if state.is_registered(self.user):
+            return Decision(AddMemberUpdate(self.group, self.user))
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class RemoveMember(Transaction):
+    group: str
+    user: str
+    name = "REMOVE_MEMBER"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.group, self.user)
+
+    def decide(self, state: State) -> Decision:
+        return Decision(RemoveMemberUpdate(self.group, self.user))
+
+
+@dataclass(frozen=True, repr=False)
+class Scrub(Transaction):
+    """Compensator: purge the lexicographically first observed dangling
+    user's memberships."""
+
+    name = "SCRUB"
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, NameServerState)
+        dangling = state.dangling_users()
+        if dangling:
+            return Decision(PurgeUpdate(min(dangling)))
+        return Decision(IDENTITY)
+
+
+@dataclass(frozen=True, repr=False)
+class Lookup(Transaction):
+    """Report the observed membership of a group (Grapevine's staleness:
+    the answer is some subsequence's truth)."""
+
+    group: str
+    name = "LOOKUP"
+
+    @property
+    def params(self) -> Tuple:
+        return (self.group,)
+
+    def decide(self, state: State) -> Decision:
+        assert isinstance(state, NameServerState)
+        return Decision(
+            IDENTITY,
+            (
+                ExternalAction(
+                    LOOKUP_REPORT,
+                    self.group,
+                    tuple(sorted(state.members(self.group))),
+                ),
+            ),
+        )
+
+
+def make_nameserver_application(
+    unit_cost: float = DEFAULT_DANGLING_COST,
+) -> Application:
+    return Application(
+        name="nameserver",
+        initial_state=INITIAL_NS_STATE,
+        constraints=(DanglingConstraint(unit_cost),),
+        transaction_families=(
+            "REGISTER", "UNREGISTER", "ADD_MEMBER", "REMOVE_MEMBER",
+            "SCRUB", "LOOKUP",
+        ),
+    )

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — package overview and experiment inventory;
+* ``airline`` — run an airline scenario on the simulated SHARD cluster
+  and print the full analysis report;
+* ``banking`` — run a banking scenario and report audits/overdrafts;
+* ``inventory`` — run an inventory scenario and report commitments;
+* ``examples`` — list the runnable example scripts.
+
+Partition windows are given as ``--partition START:END`` and always cut
+node 0 away from the rest (the scenarios' canonical failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import airline_run_report, execution_summary
+from .harness.tables import Table
+from .network.partition import PartitionSchedule
+
+
+def _parse_partition(spec: Optional[str]) -> Optional[PartitionSchedule]:
+    if not spec:
+        return None
+    try:
+        start_text, end_text = spec.split(":")
+        start, end = float(start_text), float(end_text)
+    except ValueError:
+        raise SystemExit(f"bad --partition {spec!r}; expected START:END")
+    return PartitionSchedule.split(start, end, [0], [1, 2])
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — reproduction of Lynch, Blaustein & "
+          f"Siegel (1986),")
+    print('"Correctness Conditions for Highly Available Replicated '
+          'Databases" (SHARD).')
+    print()
+    print("experiments (run with: pytest benchmarks/ --benchmark-only -s):")
+    experiments = [
+        ("E1", "worked examples of Sections 3.1, 5.4, 5.5"),
+        ("E2", "overbooking <= 900k (Corollaries 6, 8)"),
+        ("E3", "grouped underbooking/total bounds (Corollaries 10, 11)"),
+        ("E4", "compensation repairs (Lemma 12, Corollary 13)"),
+        ("E5", "witness-refined bounds (Theorems 20, 21)"),
+        ("E6", "centralization prevents overbooking (Theorems 22, 23)"),
+        ("E7", "fairness (Theorems 25, 27; Section 5.5)"),
+        ("E8", "thrashing (Section 3.1)"),
+        ("E9", "availability vs integrity (Section 1.1)"),
+        ("E10", "continuity + deferred probability analysis (Section 1.3)"),
+        ("E11", "undo/redo merge cost (Section 3.3)"),
+        ("E12", "generality: banking/inventory/dictionary (Sections 4, 6)"),
+        ("E13", "mixed-mode operation and the distributed agent (Section 6)"),
+        ("E14", "partial replication and dissemination ablations (Section 6)"),
+    ]
+    for exp_id, description in experiments:
+        print(f"  {exp_id:<4} {description}")
+    return 0
+
+
+def _cmd_airline(args: argparse.Namespace) -> int:
+    from .apps.airline.simulation import AirlineScenario, run_airline_scenario
+
+    scenario = AirlineScenario(
+        capacity=args.capacity,
+        n_nodes=3,
+        duration=args.duration,
+        request_rate=args.rate,
+        seed=args.seed,
+        partitions=_parse_partition(args.partition),
+        mover_nodes=[0] if args.centralized_movers else None,
+        design=args.design,
+    )
+    print(f"simulating airline scenario (seed {args.seed}) ...")
+    run = run_airline_scenario(scenario)
+    print("replicas converged:", run.cluster.mutually_consistent())
+    if args.design == "baseline":
+        for table in airline_run_report(run, args.capacity):
+            table.show()
+    else:
+        from .apps.airline.timestamped import (
+            TSOverbookingConstraint,
+            TSUnderbookingConstraint,
+        )
+        from .core.application import Application
+        from .apps.airline.timestamped import TS_INITIAL_STATE
+
+        app = Application(
+            "fly-by-night-ts",
+            TS_INITIAL_STATE,
+            (TSOverbookingConstraint(args.capacity),
+             TSUnderbookingConstraint(args.capacity)),
+        )
+        execution_summary(run.execution, app, "airline run summary").show()
+    return 0
+
+
+def _cmd_banking(args: argparse.Namespace) -> int:
+    from .apps.banking import AUDIT_REPORT, make_banking_application
+    from .apps.banking.simulation import BankingScenario, run_banking_scenario
+
+    scenario = BankingScenario(
+        duration=args.duration,
+        seed=args.seed,
+        partitions=_parse_partition(args.partition),
+        synchronized_audits=args.synchronized_audits,
+    )
+    print(f"simulating banking scenario (seed {args.seed}) ...")
+    run = run_banking_scenario(scenario)
+    app = make_banking_application(accounts=scenario.accounts)
+    execution_summary(run.execution, app, "banking run summary").show()
+    audits = Table("audits", ["time", "reported total", "actual total",
+                              "deficit k"])
+    e = run.execution
+    for i in e.indices:
+        if e.transactions[i].name != "AUDIT":
+            continue
+        audits.add(
+            round(e.times[i], 1),
+            e.external_actions[i][0].payload[0],
+            e.actual_before(i).total,
+            e.deficit(i),
+        )
+    audits.show()
+    if scenario.synchronized_audits:
+        stats = run.cluster.sync.stats
+        print(f"\nsynchronized audits: {stats.served} served, "
+              f"{stats.rejected} rejected (availability "
+              f"{stats.availability:.2f})")
+    return 0
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    from .apps.inventory import make_inventory_application
+    from .apps.inventory.simulation import (
+        InventoryScenario,
+        run_inventory_scenario,
+    )
+
+    scenario = InventoryScenario(
+        duration=args.duration,
+        seed=args.seed,
+        partitions=_parse_partition(args.partition),
+        sweep_nodes=[0] if args.centralized_sweeps else None,
+    )
+    print(f"simulating inventory scenario (seed {args.seed}) ...")
+    run = run_inventory_scenario(scenario)
+    app = make_inventory_application()
+    execution_summary(run.execution, app, "inventory run summary").show()
+    final = run.final_state
+    print(f"\nfinal: stock={final.stock}, committed={final.n_committed}, "
+          f"backorders={final.n_backorders}")
+    return 0
+
+
+def _cmd_examples(args: argparse.Namespace) -> int:
+    examples = [
+        ("quickstart.py", "the model in five minutes"),
+        ("airline_partition.py", "a cluster rides out a partition"),
+        ("banking_audit.py", "stale ATMs, bounded overdraft, audits"),
+        ("inventory_control.py", "allocation against a moving capacity"),
+        ("fairness_demo.py", "the Section 5.5 inversion and its fix"),
+        ("replicated_dictionary.py", "the [FM] dictionary on SHARD"),
+        ("multi_flight.py", "partial replication + summary routing"),
+    ]
+    print("runnable examples (python examples/<name>):")
+    for name, description in examples:
+        print(f"  {name:<26} {description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SHARD correctness-conditions reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("info", help="package and experiment overview")
+    sub.add_parser("examples", help="list runnable examples")
+
+    airline = sub.add_parser("airline", help="run an airline scenario")
+    airline.add_argument("--capacity", type=int, default=12)
+    airline.add_argument("--duration", type=float, default=100.0)
+    airline.add_argument("--rate", type=float, default=1.0)
+    airline.add_argument("--seed", type=int, default=13)
+    airline.add_argument("--partition", default="20:70",
+                         help="START:END window cutting node 0 off "
+                              "('' for none)")
+    airline.add_argument("--centralized-movers", action="store_true")
+    airline.add_argument("--design", choices=("baseline", "timestamped"),
+                         default="baseline")
+
+    banking = sub.add_parser("banking", help="run a banking scenario")
+    banking.add_argument("--duration", type=float, default=100.0)
+    banking.add_argument("--seed", type=int, default=3)
+    banking.add_argument("--partition", default="20:70")
+    banking.add_argument("--synchronized-audits", action="store_true")
+
+    inventory = sub.add_parser("inventory", help="run an inventory scenario")
+    inventory.add_argument("--duration", type=float, default=100.0)
+    inventory.add_argument("--seed", type=int, default=5)
+    inventory.add_argument("--partition", default="20:70")
+    inventory.add_argument("--centralized-sweeps", action="store_true")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "airline": _cmd_airline,
+        "banking": _cmd_banking,
+        "inventory": _cmd_inventory,
+        "examples": _cmd_examples,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

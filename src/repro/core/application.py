@@ -1,0 +1,85 @@
+"""Applications (Section 4).
+
+The paper defines an *application* as: a collection of database states
+(with designated initial and well-formed states), integrity constraint
+information (including costs), and a set of transactions.  For fairness
+analysis (Section 4.2), an application additionally designates, in each
+state, the set of *known* competing entities and a priority partial order
+on them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from .constraint import ConstraintSet, IntegrityConstraint
+from .state import State
+from .transaction import Transaction
+
+KnownFn = Callable[[State], Tuple]
+PrecedesFn = Callable[[State, object, object], bool]
+
+
+class Application:
+    """A database application in the sense of Section 4 of the paper."""
+
+    def __init__(
+        self,
+        name: str,
+        initial_state: State,
+        constraints: Iterable[IntegrityConstraint] = (),
+        transaction_families: Sequence[str] = (),
+        known: Optional[KnownFn] = None,
+        precedes: Optional[PrecedesFn] = None,
+    ):
+        if not initial_state.well_formed():
+            raise ValueError("initial state must be well-formed")
+        self.name = name
+        self.initial_state = initial_state
+        self.constraints = ConstraintSet(constraints)
+        self.transaction_families = tuple(transaction_families)
+        self._known = known
+        self._precedes = precedes
+
+    # -- costs ---------------------------------------------------------
+
+    def cost(self, state: State, constraint: Optional[str] = None) -> float:
+        """``cost(s)`` or ``cost(s, i)`` for the named constraint."""
+        if constraint is None:
+            return self.constraints.total_cost(state)
+        return self.constraints[constraint].cost(state)
+
+    def initially_zero_cost(self) -> bool:
+        """Section 4.1: all constraints satisfied in the initial state."""
+        return self.constraints.total_cost(self.initial_state) == 0
+
+    # -- fairness hooks (Section 4.2) -----------------------------------
+
+    @property
+    def supports_priority(self) -> bool:
+        return self._known is not None and self._precedes is not None
+
+    def known(self, state: State) -> Tuple:
+        """The entities currently competing for resources in ``state``."""
+        if self._known is None:
+            raise NotImplementedError(f"{self.name} has no known-entity hook")
+        return self._known(state)
+
+    def precedes(self, state: State, p: object, q: object) -> bool:
+        """True iff ``p`` has priority over ``q`` in ``state`` (``p < q``)."""
+        if self._precedes is None:
+            raise NotImplementedError(f"{self.name} has no priority hook")
+        return self._precedes(state, p, q)
+
+    def priority_pairs(self, state: State) -> Dict[Tuple, bool]:
+        """All ordered pairs of known entities with their priority bit."""
+        entities = self.known(state)
+        return {
+            (p, q): self.precedes(state, p, q)
+            for p in entities
+            for q in entities
+            if p != q
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Application {self.name}: {len(self.constraints)} constraints>"

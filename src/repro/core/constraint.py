@@ -1,0 +1,101 @@
+"""Integrity constraints with cost measures (Section 2.2).
+
+Integrity constraints represent *desirable* conditions, but — unlike
+well-formedness — the system does not guarantee they hold at all times.
+Each constraint ``i`` carries a nonnegative real-valued cost measure
+``cost(s, i)``; cost zero means the constraint is satisfied, and greater
+cost means the state is further from satisfying it.  The total cost of a
+state is the sum over all constraints.  One goal of SHARD is to keep the
+cost of reachable states low.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .state import State
+
+
+class IntegrityConstraint(abc.ABC):
+    """A desirable condition on states, with a nonnegative cost measure."""
+
+    #: symbolic name, e.g. ``"overbooking"``.
+    name: str = "constraint"
+
+    @abc.abstractmethod
+    def cost(self, state: State) -> float:
+        """Nonnegative cost attributed to violating this constraint in
+        ``state``; zero iff the constraint is satisfied."""
+
+    def satisfied(self, state: State) -> bool:
+        """True iff ``state`` satisfies this constraint (cost zero)."""
+        return self.cost(state) == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<IntegrityConstraint {self.name}>"
+
+
+class FunctionConstraint(IntegrityConstraint):
+    """An integrity constraint defined by a plain cost function."""
+
+    def __init__(self, name: str, cost_fn: Callable[[State], float]):
+        self.name = name
+        self._cost_fn = cost_fn
+
+    def cost(self, state: State) -> float:
+        value = self._cost_fn(state)
+        if value < 0:
+            raise ValueError(
+                f"constraint {self.name!r} produced negative cost {value!r}"
+            )
+        return value
+
+
+class ConstraintSet:
+    """An indexed, finite collection of integrity constraints.
+
+    Provides the paper's ``cost(s) = sum_i cost(s, i)`` and name-based
+    lookup.  Iteration order is insertion order.
+    """
+
+    def __init__(self, constraints: Iterable[IntegrityConstraint] = ()):
+        self._constraints: List[IntegrityConstraint] = []
+        self._by_name: Dict[str, IntegrityConstraint] = {}
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint: IntegrityConstraint) -> None:
+        if constraint.name in self._by_name:
+            raise ValueError(f"duplicate constraint name: {constraint.name!r}")
+        self._constraints.append(constraint)
+        self._by_name[constraint.name] = constraint
+
+    def __iter__(self) -> Iterator[IntegrityConstraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __getitem__(self, name: str) -> IntegrityConstraint:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self._constraints)
+
+    def total_cost(self, state: State) -> float:
+        """``cost(s)``: the sum of per-constraint costs."""
+        return sum(c.cost(state) for c in self._constraints)
+
+    def costs(self, state: State) -> Dict[str, float]:
+        """Per-constraint cost breakdown for ``state``."""
+        return {c.name: c.cost(state) for c in self._constraints}
+
+    def all_satisfied(self, state: State) -> bool:
+        return all(c.satisfied(state) for c in self._constraints)
+
+    def get(self, name: str) -> Optional[IntegrityConstraint]:
+        return self._by_name.get(name)

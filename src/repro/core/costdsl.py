@@ -1,0 +1,157 @@
+"""A small language for describing cost assignments (Section 2.2).
+
+The paper observes that "cost functions often summarize other information
+which the application designers might find it easier to think about" —
+typically simple (linear) relationships over numerical data — and
+suggests that "patterns such as this one could be incorporated into a
+language for describing cost assignment.  Systematizing cost assignments
+is a subject for future research."
+
+This module is that language, at the scale the paper's examples need:
+composable expressions over state attributes, with the idioms of resource
+allocation built in.  The airline constraints become::
+
+    over  = penalty("overbooking", 900 * excess(attr("al"), const(100)))
+    under = penalty("underbooking",
+                    300 * minimum(shortfall(attr("al"), const(100)),
+                                  attr("wl")))
+
+Expressions track a human-readable description, so a constraint can
+explain its own formula.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from .constraint import IntegrityConstraint
+from .monus import monus
+from .state import State
+
+Number = Union[int, float]
+
+
+class Expr:
+    """A real-valued expression over database states."""
+
+    def __init__(self, fn: Callable[[State], float], description: str):
+        self._fn = fn
+        self.description = description
+
+    def __call__(self, state: State) -> float:
+        return self._fn(state)
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        other = as_expr(other)
+        return Expr(
+            lambda s: self(s) + other(s),
+            f"({self.description} + {other.description})",
+        )
+
+    __radd__ = __add__
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        other = as_expr(other)
+        return Expr(
+            lambda s: self(s) * other(s),
+            f"{other.description}*{self.description}"
+            if isinstance(other, _Const)
+            else f"({self.description} * {other.description})",
+        )
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Expr {self.description}>"
+
+
+class _Const(Expr):
+    def __init__(self, value: Number):
+        super().__init__(lambda s: float(value), f"{value:g}")
+        self.value = value
+
+
+ExprLike = Union[Expr, Number]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return _Const(value)
+
+
+def const(value: Number) -> Expr:
+    """A constant expression."""
+    return _Const(value)
+
+
+def attr(name: str, fn: Callable[[State], Number] = None) -> Expr:
+    """A state attribute, by attribute name or explicit accessor.
+
+    ``attr("al")`` reads ``state.al``; ``attr("waiters", f)`` uses ``f``.
+    """
+    if fn is None:
+        return Expr(lambda s, _n=name: float(getattr(s, _n)), name)
+    return Expr(lambda s: float(fn(s)), name)
+
+
+def excess(a: ExprLike, b: ExprLike) -> Expr:
+    """``a -. b``: how far a exceeds b (the over-allocation idiom)."""
+    a, b = as_expr(a), as_expr(b)
+    return Expr(
+        lambda s: monus(a(s), b(s)),
+        f"({a.description} -. {b.description})",
+    )
+
+
+def shortfall(a: ExprLike, b: ExprLike) -> Expr:
+    """``b -. a``: how far a falls short of b."""
+    return excess(b, a)
+
+
+def minimum(a: ExprLike, b: ExprLike) -> Expr:
+    a, b = as_expr(a), as_expr(b)
+    return Expr(
+        lambda s: min(a(s), b(s)),
+        f"min({a.description}, {b.description})",
+    )
+
+
+def maximum(a: ExprLike, b: ExprLike) -> Expr:
+    a, b = as_expr(a), as_expr(b)
+    return Expr(
+        lambda s: max(a(s), b(s)),
+        f"max({a.description}, {b.description})",
+    )
+
+
+class DslConstraint(IntegrityConstraint):
+    """An integrity constraint defined by a cost expression."""
+
+    def __init__(self, name: str, expr: Expr):
+        self.name = name
+        self.expr = expr
+
+    def cost(self, state: State) -> float:
+        value = self.expr(state)
+        if value < 0:
+            raise ValueError(
+                f"cost expression for {self.name!r} produced {value!r} "
+                f"({self.expr.description}); wrap signed quantities in "
+                f"excess()/shortfall()"
+            )
+        return value
+
+    @property
+    def formula(self) -> str:
+        return self.expr.description
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DslConstraint {self.name}: {self.formula}>"
+
+
+def penalty(name: str, expr: ExprLike) -> DslConstraint:
+    """Declare an integrity constraint from a cost expression."""
+    return DslConstraint(name, as_expr(expr))

@@ -1,0 +1,35 @@
+"""Small numeric helpers used throughout the formal model.
+
+The paper writes ``X -. Y`` for truncated subtraction (monus):
+``X -. Y = max(X - Y, 0)``.  Cost functions for resource-allocation
+constraints are typically built from it (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def monus(x: Number, y: Number) -> Number:
+    """Truncated subtraction: ``max(x - y, 0)``.
+
+    >>> monus(5, 3)
+    2
+    >>> monus(3, 5)
+    0
+    """
+    diff = x - y
+    return diff if diff > 0 else type(diff)(0)
+
+
+def clamp(value: Number, low: Number, high: Number) -> Number:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty interval: [{low}, {high}]")
+    if value < low:
+        return low
+    if value > high:
+        return high
+    return value

@@ -1,0 +1,317 @@
+"""Conditions guaranteed by the transactions (Section 4).
+
+These are semantic properties of updates and transactions with respect to
+integrity constraints and priority:
+
+* an update is **increasing** for constraint i if some well-formed state
+  exists from which it raises the cost of i; otherwise **non-increasing**;
+* a transaction is **safe** for i if every update its decision can invoke
+  is non-increasing for i; otherwise **unsafe**;
+* a transaction **preserves the cost** of i if whenever its decision (run
+  from s) invokes an update that is increasing for i, the apparent
+  after-state T(s, s) has cost 0 for i;
+* a transaction **compensates** for i if, whenever cost(s, i) > 0,
+  running it against what it sees strictly reduces that cost;
+* a transaction **(strongly) preserves priority** per Section 4.2.
+
+Because these quantify over all well-formed states, exact verification
+needs application knowledge.  This module provides *sampling-based*
+checkers (sound refuters: a reported counterexample is real; absence of
+counterexamples over the sample is evidence, confirmed app-side by the
+exact property tables each application ships).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .application import Application
+from .constraint import IntegrityConstraint
+from .state import State
+from .transaction import Transaction
+from .update import Update
+
+_EPS = 1e-9
+
+
+# -- update-level properties -------------------------------------------------
+
+
+def increasing_witnesses(
+    update: Update,
+    constraint: IntegrityConstraint,
+    states: Iterable[State],
+) -> List[State]:
+    """States among ``states`` from which ``update`` raises the cost of
+    ``constraint`` — witnesses that the update is increasing."""
+    witnesses = []
+    for s in states:
+        if not s.well_formed():
+            continue
+        if constraint.cost(update.apply(s)) > constraint.cost(s) + _EPS:
+            witnesses.append(s)
+    return witnesses
+
+
+def is_increasing_on(
+    update: Update,
+    constraint: IntegrityConstraint,
+    states: Iterable[State],
+) -> bool:
+    """True iff the sample exhibits a cost-raising state for ``update``."""
+    return bool(increasing_witnesses(update, constraint, states))
+
+
+# -- transaction-level properties ---------------------------------------------
+
+
+def safety_counterexamples(
+    transaction: Transaction,
+    constraint: IntegrityConstraint,
+    decision_states: Iterable[State],
+    probe_states: Sequence[State],
+) -> List[Tuple[State, State]]:
+    """Pairs ``(s, s')`` refuting safety: the update invoked from ``s``
+    raises the cost of the constraint when applied at ``s'``."""
+    counterexamples = []
+    for s in decision_states:
+        if not s.well_formed():
+            continue
+        update = transaction.decide(s).update
+        for witness in increasing_witnesses(update, constraint, probe_states):
+            counterexamples.append((s, witness))
+    return counterexamples
+
+
+def is_safe_on(
+    transaction: Transaction,
+    constraint: IntegrityConstraint,
+    decision_states: Sequence[State],
+    probe_states: Optional[Sequence[State]] = None,
+) -> bool:
+    """Sampling check of "T is safe for constraint i"."""
+    probes = probe_states if probe_states is not None else decision_states
+    return not safety_counterexamples(
+        transaction, constraint, decision_states, probes
+    )
+
+
+def preserves_cost_counterexamples(
+    transaction: Transaction,
+    constraint: IntegrityConstraint,
+    decision_states: Iterable[State],
+    probe_states: Sequence[State],
+) -> List[State]:
+    """States ``s`` refuting "T preserves the cost of i": the decision from
+    ``s`` invokes an update that is increasing for i (witnessed over
+    ``probe_states``), yet cost(T(s, s), i) > 0."""
+    counterexamples = []
+    for s in decision_states:
+        if not s.well_formed():
+            continue
+        update = transaction.decide(s).update
+        if not is_increasing_on(update, constraint, probe_states):
+            continue
+        if constraint.cost(update.apply(s)) > _EPS:
+            counterexamples.append(s)
+    return counterexamples
+
+
+def preserves_cost_on(
+    transaction: Transaction,
+    constraint: IntegrityConstraint,
+    decision_states: Sequence[State],
+    probe_states: Optional[Sequence[State]] = None,
+) -> bool:
+    """Sampling check of "T preserves the cost of constraint i"."""
+    probes = probe_states if probe_states is not None else decision_states
+    return not preserves_cost_counterexamples(
+        transaction, constraint, decision_states, probes
+    )
+
+
+def compensation_counterexamples(
+    transaction: Transaction,
+    constraint: IntegrityConstraint,
+    states: Iterable[State],
+) -> List[State]:
+    """States ``s`` with cost(s, i) > 0 where T(s, s) fails to strictly
+    reduce the cost — refuting "T compensates for constraint i"."""
+    counterexamples = []
+    for s in states:
+        if not s.well_formed():
+            continue
+        before = constraint.cost(s)
+        if before <= _EPS:
+            continue
+        after = constraint.cost(transaction.run(s, s))
+        if after >= before - _EPS:
+            counterexamples.append(s)
+    return counterexamples
+
+
+def compensates_on(
+    transaction: Transaction,
+    constraint: IntegrityConstraint,
+    states: Sequence[State],
+) -> bool:
+    """Sampling check of "T compensates for constraint i"."""
+    return not compensation_counterexamples(transaction, constraint, states)
+
+
+def compensate_to_zero(
+    transaction: Transaction,
+    constraint: IntegrityConstraint,
+    state: State,
+    max_steps: int = 10_000,
+) -> Tuple[State, int]:
+    """Lemma 1: repeatedly run T against its own result until the cost of
+    the constraint reaches zero.  Returns (final state, steps taken).
+
+    Raises ``RuntimeError`` if the cost fails to reach zero within
+    ``max_steps`` — for a genuine compensating transaction with integral
+    costs this cannot happen.
+    """
+    steps = 0
+    while constraint.cost(state) > _EPS:
+        if steps >= max_steps:
+            raise RuntimeError(
+                f"cost did not reach zero within {max_steps} steps; "
+                f"{transaction!r} may not compensate for {constraint.name!r}"
+            )
+        state = transaction.run(state, state)
+        steps += 1
+    return state, steps
+
+
+# -- priority properties (Section 4.2) -----------------------------------------
+
+
+def priority_counterexamples(
+    transaction: Transaction,
+    application: Application,
+    states: Iterable[State],
+) -> List[Tuple[State, object, object]]:
+    """Triples ``(s, p, q)`` refuting "T preserves priority" with the
+    transaction run as T(s, s): either (a) p < q in s but not in s' with
+    both known in both, or (b) p known in s, q unknown in s, both known in
+    s' with q < p (i.e. p fails to precede q)."""
+    counterexamples = []
+    for s in states:
+        if not s.well_formed():
+            continue
+        s2 = transaction.run(s, s)
+        known_before = set(application.known(s))
+        known_after = set(application.known(s2))
+        for p in known_before:
+            for q in known_after:
+                if p == q:
+                    continue
+                if q in known_before:
+                    if p in known_after and application.precedes(s, p, q):
+                        if not application.precedes(s2, p, q):
+                            counterexamples.append((s, p, q))
+                else:
+                    if p in known_after and not application.precedes(s2, p, q):
+                        counterexamples.append((s, p, q))
+    return counterexamples
+
+
+def preserves_priority_on(
+    transaction: Transaction,
+    application: Application,
+    states: Sequence[State],
+) -> bool:
+    return not priority_counterexamples(transaction, application, states)
+
+
+def strong_priority_counterexamples(
+    transaction: Transaction,
+    application: Application,
+    state_pairs: Iterable[Tuple[State, State]],
+) -> List[Tuple[State, State, object, object]]:
+    """Quadruples ``(s, s', p, q)`` refuting "T strongly preserves
+    priority": deciding from ``s`` but applying at ``s'`` breaks the
+    priority order between ``s'`` and ``s'' = T(s, s')``."""
+    counterexamples = []
+    for s, s_prime in state_pairs:
+        if not (s.well_formed() and s_prime.well_formed()):
+            continue
+        s2 = transaction.run(s, s_prime)
+        known_before = set(application.known(s_prime))
+        known_after = set(application.known(s2))
+        for p in known_before:
+            for q in known_after:
+                if p == q:
+                    continue
+                if q in known_before:
+                    if p in known_after and application.precedes(s_prime, p, q):
+                        if not application.precedes(s2, p, q):
+                            counterexamples.append((s, s_prime, p, q))
+                else:
+                    if p in known_after and not application.precedes(s2, p, q):
+                        counterexamples.append((s, s_prime, p, q))
+    return counterexamples
+
+
+def strongly_preserves_priority_on(
+    transaction: Transaction,
+    application: Application,
+    state_pairs: Sequence[Tuple[State, State]],
+) -> bool:
+    return not strong_priority_counterexamples(
+        transaction, application, state_pairs
+    )
+
+
+# -- declared property tables ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PropertyTable:
+    """An application's declared (paper-proved) property table.
+
+    Maps are keyed by ``(transaction_family, constraint_name)`` for the
+    transaction-level properties, and ``(update_family, constraint_name)``
+    for the update-level one.  Tests verify declared entries against the
+    sampling checkers.
+    """
+
+    application_name: str
+    update_increasing: Dict[Tuple[str, str], bool] = field(default_factory=dict)
+    transaction_safe: Dict[Tuple[str, str], bool] = field(default_factory=dict)
+    transaction_preserves: Dict[Tuple[str, str], bool] = field(default_factory=dict)
+    transaction_compensates: Dict[Tuple[str, str], bool] = field(default_factory=dict)
+    preserves_priority: Dict[str, bool] = field(default_factory=dict)
+    strongly_preserves_priority: Dict[str, bool] = field(default_factory=dict)
+
+    def safe_families(self, constraint_name: str) -> Tuple[str, ...]:
+        return tuple(
+            family
+            for (family, cname), safe in sorted(self.transaction_safe.items())
+            if cname == constraint_name and safe
+        )
+
+    def unsafe_families(self, constraint_name: str) -> Tuple[str, ...]:
+        return tuple(
+            family
+            for (family, cname), safe in sorted(self.transaction_safe.items())
+            if cname == constraint_name and not safe
+        )
+
+    def preserving_families(self, constraint_name: str) -> Tuple[str, ...]:
+        return tuple(
+            family
+            for (family, cname), p in sorted(self.transaction_preserves.items())
+            if cname == constraint_name and p
+        )
+
+    def compensating_families(self, constraint_name: str) -> Tuple[str, ...]:
+        return tuple(
+            family
+            for (family, cname), c in sorted(
+                self.transaction_compensates.items()
+            )
+            if cname == constraint_name and c
+        )

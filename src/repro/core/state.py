@@ -1,0 +1,43 @@
+"""Database states (Section 2.1 of the paper).
+
+A database has a set ``S`` of possible states with a distinguished initial
+state ``s0``.  Some states are *well-formed*: they satisfy the fundamental
+consistency conditions that every update is required to preserve (as opposed
+to *integrity constraints*, which may be violated and carry costs).
+
+States are immutable value objects: implementations should be frozen
+dataclasses (or otherwise hashable and equality-comparable), so that the
+execution machinery can snapshot, compare and memoize them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+
+class State(abc.ABC):
+    """Abstract base class for database states.
+
+    Concrete applications subclass this with immutable value semantics.
+    """
+
+    @abc.abstractmethod
+    def well_formed(self) -> bool:
+        """Return True iff the state satisfies the fundamental consistency
+        conditions of the application (the "well-formedness" conditions of
+        Section 2.1, e.g. disjointness of the two airline lists)."""
+
+    def require_well_formed(self) -> "State":
+        """Return ``self``; raise :class:`IllFormedStateError` otherwise."""
+        if not self.well_formed():
+            raise IllFormedStateError(self)
+        return self
+
+
+class IllFormedStateError(ValueError):
+    """Raised when a state violates the fundamental consistency conditions."""
+
+    def __init__(self, state: Any):
+        super().__init__(f"state is not well-formed: {state!r}")
+        self.state = state

@@ -1,0 +1,87 @@
+"""Transactions: decision part + update part (Sections 1.2 and 2.3).
+
+A transaction ``T`` consists of a *decision* mapping ``D_T`` from states to
+pairs ``(update, external actions)``.  The decision part reads the database
+and may trigger external actions (inform a passenger, dispense cash), but it
+may not modify the database; it runs exactly once, at the transaction's
+origin node, against whatever (possibly stale) state that node holds.  The
+update it returns is broadcast and may be undone/redone many times against
+different states.
+
+The paper's notation ``T(s, s') = s''`` means: run the decision from ``s``,
+obtaining update ``A``; then ``s'' = A(s')``.  :meth:`Transaction.run`
+implements exactly this.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .state import State
+from .update import Update
+
+
+@dataclass(frozen=True)
+class ExternalAction:
+    """An irreversible interaction with the outside world.
+
+    ``kind`` names the action (e.g. ``"inform_assigned"``), ``target`` is
+    the affected entity (e.g. a passenger), and ``payload`` is any extra
+    immutable detail.
+    """
+
+    kind: str
+    target: object = None
+    payload: Tuple = ()
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Result of a decision part: the update to broadcast, and the external
+    actions triggered exactly once at initiation."""
+
+    update: Update
+    external_actions: Tuple[ExternalAction, ...] = field(default=())
+
+
+class Transaction(abc.ABC):
+    """A named, parameterized transaction with a decision part."""
+
+    #: symbolic name of the transaction family, e.g. ``"MOVE_UP"``.
+    name: str = "transaction"
+
+    @property
+    def params(self) -> Tuple:
+        """Parameters identifying this transaction instance's template."""
+        return ()
+
+    @abc.abstractmethod
+    def decide(self, state: State) -> Decision:
+        """Run the decision part against ``state`` (the *apparent* state).
+
+        Must be a pure function of ``state``: the same observed state always
+        yields the same update and external actions (condition (3) of the
+        execution definition)."""
+
+    def run(self, seen: State, actual: State) -> State:
+        """The paper's ``T(seen, actual)``: decide from ``seen``, apply the
+        resulting update to ``actual``."""
+        return self.decide(seen).update.apply(actual)
+
+    @property
+    def key(self) -> Tuple:
+        return (self.name, self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(repr(p) for p in self.params)
+        return f"{self.name}({args})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transaction):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)

@@ -1,0 +1,91 @@
+"""Updates: the re-runnable halves of transactions (Section 2.3).
+
+Formally, an update is any mapping from states to states which preserves
+well-formedness.  Updates are the only part of a transaction that the SHARD
+system replays during undo/redo merging, so they must be pure functions of
+the state: no external actions, no hidden inputs.
+
+Updates carry a ``name`` and ``params`` so that executions can be analyzed
+symbolically (e.g. the witness machinery of Section 5.3 inspects sequences
+of updates by name and parameters, not by their effect).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence, Tuple
+
+from .state import State
+
+
+class Update(abc.ABC):
+    """A named, parameterized state transformer preserving well-formedness."""
+
+    #: symbolic name of the update family, e.g. ``"request"``.
+    name: str = "update"
+
+    @property
+    def params(self) -> Tuple:
+        """Parameters identifying this update within its family."""
+        return ()
+
+    @abc.abstractmethod
+    def apply(self, state: State) -> State:
+        """Return the state resulting from running this update on ``state``."""
+
+    def __call__(self, state: State) -> State:
+        return self.apply(state)
+
+    @property
+    def key(self) -> Tuple:
+        """Hashable identity of the update: ``(name, params)``."""
+        return (self.name, self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(repr(p) for p in self.params)
+        return f"{self.name}({args})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Update):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+
+class IdentityUpdate(Update):
+    """The no-op update, invoked by decisions that choose to do nothing."""
+
+    name = "identity"
+
+    def apply(self, state: State) -> State:
+        return state
+
+
+IDENTITY = IdentityUpdate()
+
+
+def apply_sequence(updates: Iterable[Update], state: State) -> State:
+    """Apply ``updates`` in order, starting from ``state``.
+
+    This is the paper's ``A_ik(...(A_i1(s0)))`` composition used to define
+    both apparent states (over prefix subsequences) and actual states (over
+    complete prefixes).
+    """
+    for update in updates:
+        state = update.apply(state)
+    return state
+
+
+def trajectory(updates: Sequence[Update], state: State) -> Tuple[State, ...]:
+    """Return all intermediate states: ``(s, A1(s), A2(A1(s)), ...)``.
+
+    The result has ``len(updates) + 1`` entries; entry ``i`` is the state
+    after the first ``i`` updates.
+    """
+    states = [state]
+    for update in updates:
+        state = update.apply(state)
+        states.append(state)
+    return tuple(states)

@@ -1,0 +1,5 @@
+"""The experiment harness: table rendering and shared bench utilities."""
+
+from .tables import Table
+
+__all__ = ["Table"]

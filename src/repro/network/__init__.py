@@ -1,0 +1,20 @@
+"""Simulated network substrate: links, partitions, reliable broadcast."""
+
+from .broadcast import BroadcastConfig, BroadcastStats, ReliableBroadcast
+from .link import DelayModel, ExponentialDelay, FixedDelay, UniformDelay
+from .network import Network, NetworkStats
+from .partition import PartitionInterval, PartitionSchedule
+
+__all__ = [
+    "BroadcastConfig",
+    "BroadcastStats",
+    "DelayModel",
+    "ExponentialDelay",
+    "FixedDelay",
+    "Network",
+    "NetworkStats",
+    "PartitionInterval",
+    "PartitionSchedule",
+    "ReliableBroadcast",
+    "UniformDelay",
+]

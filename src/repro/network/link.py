@@ -1,0 +1,55 @@
+"""Message delay and loss models for simulated links."""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+
+class DelayModel(abc.ABC):
+    """Samples a one-way message delay."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """A nonnegative delay draw."""
+
+
+@dataclass(frozen=True)
+class FixedDelay(DelayModel):
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("delay must be nonnegative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformDelay(DelayModel):
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialDelay(DelayModel):
+    """Exponential with the given mean, plus a fixed propagation floor."""
+
+    mean: float = 1.0
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.floor < 0:
+            raise ValueError("mean must be positive, floor nonnegative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean)

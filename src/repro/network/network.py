@@ -1,0 +1,97 @@
+"""The simulated point-to-point message network.
+
+Delivery is partition- and loss-aware: a message sent while its endpoints
+are separated (or unlucky under the loss probability) is silently dropped
+— reliability is the *broadcast layer's* job (anti-entropy retransmits),
+matching the paper's architecture where the broadcast protocol, not the
+transport, guarantees eventual delivery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from .link import DelayModel, FixedDelay
+from .partition import PartitionSchedule
+
+Handler = Callable[[int, object], None]  # (src, payload)
+
+
+@dataclass
+class NetworkStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped_partition: int = 0
+    dropped_loss: int = 0
+
+
+class Network:
+    """Connects registered node handlers through the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: Optional[DelayModel] = None,
+        partitions: Optional[PartitionSchedule] = None,
+        loss_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0 <= loss_probability < 1:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.sim = sim
+        self.delay = delay or FixedDelay(1.0)
+        self.partitions = partitions or PartitionSchedule.always_connected()
+        self.loss_probability = loss_probability
+        self.rng = rng or random.Random(0)
+        self.stats = NetworkStats()
+        self._handlers: Dict[int, Handler] = {}
+
+    def register(self, node_id: int, handler: Handler) -> None:
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._handlers))
+
+    def connected(self, a: int, b: int) -> bool:
+        """Are ``a`` and ``b`` mutually reachable right now?"""
+        return self.partitions.connected(a, b, self.sim.now)
+
+    def send(self, src: int, dst: int, payload: object) -> bool:
+        """Attempt to send; returns False if dropped at send time.
+
+        The partition check happens at *send* time (a message in flight
+        when a partition starts still arrives — delays are small relative
+        to partition durations in all our experiments).
+        """
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination node {dst}")
+        self.stats.sent += 1
+        if not self.connected(src, dst):
+            self.stats.dropped_partition += 1
+            return False
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.stats.dropped_loss += 1
+            return False
+        delay = self.delay.sample(self.rng)
+        handler = self._handlers[dst]
+
+        def deliver() -> None:
+            self.stats.delivered += 1
+            handler(src, payload)
+
+        self.sim.schedule(delay, deliver)
+        return True
+
+    def broadcast(self, src: int, payload: object) -> int:
+        """Best-effort send to every other node; returns #accepted."""
+        return sum(
+             1
+            for dst in self.node_ids
+            if dst != src and self.send(src, dst, payload)
+        )

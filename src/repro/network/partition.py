@@ -1,0 +1,103 @@
+"""Network partition schedules.
+
+A partition schedule answers "can node a talk to node b at time t?".
+Partitions are intervals during which the node set is split into groups;
+nodes in different groups cannot exchange messages (the paper's headline
+failure mode).  Outside any scheduled interval the network is fully
+connected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PartitionInterval:
+    """During [start, end), the nodes are split into ``groups``.
+
+    Nodes not mentioned in any group form an implicit extra group (fully
+    connected among themselves, cut off from every listed group).
+    """
+
+    start: float
+    end: float
+    groups: Tuple[FrozenSet[int], ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("partition interval must have positive length")
+        seen: set = set()
+        for group in self.groups:
+            if seen & group:
+                raise ValueError("partition groups must be disjoint")
+            seen |= group
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+    def group_of(self, node: int) -> Optional[int]:
+        for i, group in enumerate(self.groups):
+            if node in group:
+                return i
+        return None  # the implicit remainder group
+
+    def allows(self, a: int, b: int) -> bool:
+        return self.group_of(a) == self.group_of(b)
+
+
+class PartitionSchedule:
+    """A set of partition intervals; empty means always fully connected.
+
+    Overlapping intervals are allowed; a pair may communicate at time t
+    only if *every* interval active at t allows it.
+    """
+
+    def __init__(self, intervals: Iterable[PartitionInterval] = ()):
+        self.intervals: List[PartitionInterval] = list(intervals)
+
+    @classmethod
+    def always_connected(cls) -> "PartitionSchedule":
+        return cls()
+
+    @classmethod
+    def split(
+        cls,
+        start: float,
+        end: float,
+        *groups: Sequence[int],
+    ) -> "PartitionSchedule":
+        """A single partition interval splitting the nodes as given."""
+        return cls(
+            [
+                PartitionInterval(
+                    start, end, tuple(frozenset(g) for g in groups)
+                )
+            ]
+        )
+
+    def add(
+        self, start: float, end: float, *groups: Sequence[int]
+    ) -> "PartitionSchedule":
+        self.intervals.append(
+            PartitionInterval(start, end, tuple(frozenset(g) for g in groups))
+        )
+        return self
+
+    def connected(self, a: int, b: int, time: float) -> bool:
+        """Can ``a`` send to ``b`` at ``time``?"""
+        if a == b:
+            return True
+        return all(
+            interval.allows(a, b)
+            for interval in self.intervals
+            if interval.active_at(time)
+        )
+
+    def healed_after(self) -> float:
+        """A time after which no partition is ever active."""
+        return max((i.end for i in self.intervals), default=0.0)
+
+    def partitioned_at(self, time: float) -> bool:
+        return any(i.active_at(time) for i in self.intervals)

@@ -1,0 +1,14 @@
+"""Serializable baselines for the availability comparison."""
+
+from .executor import SerialExecutor
+from .primary_copy import CompletedRequest, PrimaryCopyStats, PrimaryCopySystem
+from .quorum import QuorumStats, QuorumSystem
+
+__all__ = [
+    "CompletedRequest",
+    "PrimaryCopyStats",
+    "PrimaryCopySystem",
+    "QuorumStats",
+    "QuorumSystem",
+    "SerialExecutor",
+]

@@ -1,0 +1,50 @@
+"""A serial reference executor.
+
+Runs complete transactions one at a time with total information — the
+classical serializable regime the paper contrasts against.  Useful as a
+correctness oracle (under it, every transaction sees the actual state, so
+cost-preserving transactions keep all costs at zero) and as the semantic
+target for "what would have happened with full coordination".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.application import Application
+from ..core.execution import Execution
+from ..core.state import State
+from ..core.transaction import ExternalAction, Transaction
+
+
+class SerialExecutor:
+    """Applies transactions serially against a single authoritative copy."""
+
+    def __init__(self, initial_state: State):
+        initial_state.require_well_formed()
+        self.initial_state = initial_state
+        self._transactions: List[Transaction] = []
+        self.state = initial_state
+        self.external_actions: List[Tuple[ExternalAction, ...]] = []
+
+    def execute(self, transaction: Transaction) -> State:
+        """Run decision and update atomically against the current state."""
+        decision = transaction.decide(self.state)
+        self.external_actions.append(tuple(decision.external_actions))
+        self.state = decision.update.apply(self.state)
+        self._transactions.append(transaction)
+        return self.state
+
+    def execute_all(self, transactions: Iterable[Transaction]) -> State:
+        for txn in transactions:
+            self.execute(txn)
+        return self.state
+
+    def as_execution(self) -> Execution:
+        """The equivalent formal execution: all prefixes complete."""
+        n = len(self._transactions)
+        return Execution.run(
+            self.initial_state,
+            self._transactions,
+            [tuple(range(i)) for i in range(n)],
+        )

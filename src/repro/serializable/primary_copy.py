@@ -1,0 +1,143 @@
+"""A primary-copy replicated baseline (the availability comparator).
+
+All transactions execute serially at a single primary node.  A client at
+a remote node forwards its transaction to the primary and waits for the
+acknowledgement; if the client cannot reach the primary (partition), the
+transaction is **rejected** — this is the availability price of
+serializability that motivates SHARD (Section 1.1).
+
+The E9 benchmark runs the same workload through this system and a SHARD
+cluster and compares fraction-served and latency against the integrity
+costs each incurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.state import State
+from ..core.transaction import ExternalAction, Transaction
+from ..network.link import DelayModel, FixedDelay
+from ..network.network import Network
+from ..network.partition import PartitionSchedule
+from ..sim.engine import Simulator
+from ..sim.rng import SeededStreams
+
+
+@dataclass
+class CompletedRequest:
+    request_id: int
+    origin: int
+    submitted_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class PrimaryCopyStats:
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0
+
+    @property
+    def availability(self) -> float:
+        return self.served / self.submitted if self.submitted else 1.0
+
+
+class PrimaryCopySystem:
+    """Primary-copy execution over the simulated network."""
+
+    def __init__(
+        self,
+        initial_state: State,
+        n_nodes: int,
+        primary: int = 0,
+        seed: int = 0,
+        delay: Optional[DelayModel] = None,
+        partitions: Optional[PartitionSchedule] = None,
+        loss_probability: float = 0.0,
+    ):
+        if not 0 <= primary < n_nodes:
+            raise ValueError("primary must be one of the nodes")
+        initial_state.require_well_formed()
+        self.sim = Simulator()
+        self.streams = SeededStreams(seed)
+        self.network = Network(
+            self.sim,
+            delay=delay or FixedDelay(1.0),
+            partitions=partitions or PartitionSchedule.always_connected(),
+            loss_probability=loss_probability,
+            rng=self.streams.stream("network"),
+        )
+        self.n_nodes = n_nodes
+        self.primary = primary
+        self.state = initial_state
+        self.stats = PrimaryCopyStats()
+        self.completed: List[CompletedRequest] = []
+        self.external_actions: List[Tuple[ExternalAction, ...]] = []
+        self._next_id = 0
+        self._pending: Dict[int, Tuple[int, float]] = {}
+        for node_id in range(n_nodes):
+            self.network.register(node_id, self._make_handler(node_id))
+
+    # -- message handling -------------------------------------------------
+
+    def _make_handler(self, node_id: int) -> Callable[[int, object], None]:
+        def handler(src: int, payload: object) -> None:
+            kind, request_id, txn = payload
+            if kind == "exec" and node_id == self.primary:
+                self._execute(request_id, txn)
+                # acknowledge back to the requester; if the partition cut
+                # us off meanwhile the client never learns, but the
+                # transaction has been applied (classic primary-copy).
+                self.network.send(self.primary, src, ("ack", request_id, None))
+            elif kind == "ack":
+                origin, submitted_at = self._pending.pop(request_id)
+                self.stats.served += 1
+                self.completed.append(
+                    CompletedRequest(
+                        request_id, origin, submitted_at, self.sim.now
+                    )
+                )
+
+        return handler
+
+    def _execute(self, request_id: int, txn: Transaction) -> None:
+        decision = txn.decide(self.state)
+        self.external_actions.append(tuple(decision.external_actions))
+        self.state = decision.update.apply(self.state)
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(self, node_id: int, txn: Transaction, at: Optional[float] = None) -> None:
+        """Submit from ``node_id``; rejected immediately if the primary is
+        unreachable at submission time."""
+
+        def fire() -> None:
+            self.stats.submitted += 1
+            request_id = self._next_id
+            self._next_id += 1
+            if node_id == self.primary:
+                self._execute(request_id, txn)
+                self.stats.served += 1
+                self.completed.append(
+                    CompletedRequest(request_id, node_id, self.sim.now, self.sim.now)
+                )
+                return
+            if not self.network.connected(node_id, self.primary):
+                self.stats.rejected += 1
+                return
+            self._pending[request_id] = (node_id, self.sim.now)
+            self.network.send(node_id, self.primary, ("exec", request_id, txn))
+
+        self.sim.schedule_at(self.sim.now if at is None else at, fire)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def latencies(self) -> List[float]:
+        return [c.latency for c in self.completed]

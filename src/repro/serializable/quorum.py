@@ -1,0 +1,114 @@
+"""A majority-quorum serializable baseline.
+
+A middle point between primary-copy and SHARD on the availability axis:
+a transaction succeeds iff its origin node can currently reach a strict
+majority of the nodes (itself included).  Majority intersection
+serializes all committed transactions, so integrity is preserved exactly
+(we model the serialized state centrally); clients in a minority
+partition are rejected, clients in the majority side stay available.
+
+Latency model: one round trip to the slowest member of the assembled
+quorum (the origin contacts ``ceil(n/2 + 1) - 1`` peers in parallel and
+waits for all of its chosen quorum — a deliberate simplification of a
+real quorum protocol's message complexity, adequate for the availability
+comparison of experiment E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.state import State
+from ..core.transaction import ExternalAction, Transaction
+from ..network.link import DelayModel, FixedDelay
+from ..network.network import Network
+from ..network.partition import PartitionSchedule
+from ..sim.engine import Simulator
+from ..sim.rng import SeededStreams
+
+
+@dataclass
+class QuorumStats:
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0
+
+    @property
+    def availability(self) -> float:
+        return self.served / self.submitted if self.submitted else 1.0
+
+
+class QuorumSystem:
+    """Majority-quorum execution over the simulated network."""
+
+    def __init__(
+        self,
+        initial_state: State,
+        n_nodes: int,
+        seed: int = 0,
+        delay: Optional[DelayModel] = None,
+        partitions: Optional[PartitionSchedule] = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        initial_state.require_well_formed()
+        self.sim = Simulator()
+        self.streams = SeededStreams(seed)
+        self.delay = delay or FixedDelay(1.0)
+        self.partitions = partitions or PartitionSchedule.always_connected()
+        self.n_nodes = n_nodes
+        self.state = initial_state
+        self.stats = QuorumStats()
+        self.latencies: List[float] = []
+        self.external_actions: List[Tuple[ExternalAction, ...]] = []
+        self._rng = self.streams.stream("network")
+
+    @property
+    def quorum_size(self) -> int:
+        return self.n_nodes // 2 + 1
+
+    def _reachable(self, origin: int) -> List[int]:
+        now = self.sim.now
+        return [
+            other
+            for other in range(self.n_nodes)
+            if other == origin
+            or self.partitions.connected(origin, other, now)
+        ]
+
+    def submit(
+        self, node_id: int, txn: Transaction, at: Optional[float] = None
+    ) -> None:
+        """Execute iff ``node_id`` can assemble a majority right now."""
+
+        def fire() -> None:
+            self.stats.submitted += 1
+            reachable = self._reachable(node_id)
+            if len(reachable) < self.quorum_size:
+                self.stats.rejected += 1
+                return
+            # wait for the slowest of the (quorum_size - 1) peers, round
+            # trip; a single-node quorum (n=1) is instantaneous.
+            peer_count = self.quorum_size - 1
+            round_trip = max(
+                (
+                    self.delay.sample(self._rng) * 2
+                    for _ in range(peer_count)
+                ),
+                default=0.0,
+            )
+
+            def commit() -> None:
+                decision = txn.decide(self.state)
+                self.external_actions.append(tuple(decision.external_actions))
+                self.state = decision.update.apply(self.state)
+                self.stats.served += 1
+                self.latencies.append(round_trip)
+
+            self.sim.schedule(round_trip, commit)
+
+        self.sim.schedule_at(self.sim.now if at is None else at, fire)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)

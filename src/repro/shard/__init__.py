@@ -1,0 +1,54 @@
+"""The SHARD system simulation: replicated nodes, timestamps, undo/redo
+merging, and execution extraction."""
+
+from .agent import AgentStats, TokenAgent
+from .cluster import ClusterConfig, ShardCluster
+from .external import ExternalLedger, LedgerEntry
+from .history import extract_execution
+from .log import SystemLog, UpdateRecord
+from .node import ShardNode
+from .partial import KeyedRecord, PartialCluster, PartialConfig, PartialNode
+from .sync import SyncManager, SyncStats
+from .timestamps import LamportClock, Timestamp
+from .undo_redo import (
+    CheckpointMerge,
+    MergeEngine,
+    MergeStats,
+    NaiveMerge,
+    SuffixMerge,
+    checkpoint_factory,
+    naive_factory,
+    suffix_factory,
+)
+from .workload import PeriodicSubmitter, PoissonSubmitter
+
+__all__ = [
+    "AgentStats",
+    "CheckpointMerge",
+    "ClusterConfig",
+    "ExternalLedger",
+    "LamportClock",
+    "LedgerEntry",
+    "MergeEngine",
+    "MergeStats",
+    "KeyedRecord",
+    "NaiveMerge",
+    "PartialCluster",
+    "PartialConfig",
+    "PartialNode",
+    "PeriodicSubmitter",
+    "PoissonSubmitter",
+    "ShardCluster",
+    "ShardNode",
+    "SyncManager",
+    "SyncStats",
+    "TokenAgent",
+    "SuffixMerge",
+    "SystemLog",
+    "Timestamp",
+    "UpdateRecord",
+    "checkpoint_factory",
+    "extract_execution",
+    "naive_factory",
+    "suffix_factory",
+]

@@ -1,0 +1,162 @@
+"""A distributed implementation of the centralized "agent" (Section 3.2).
+
+The paper suggests users "imagine the existence of a centralized agent"
+for a group G of transactions (e.g. all the MOVE_UPs and MOVE_DOWNs),
+and notes the abstraction "could be useful even if there is actually no
+such centralized agent, but rather if (using some locking strategy, for
+example), the agent is implemented in a distributed way".
+
+This module implements the lock as a migrating **token**:
+
+* exactly one node holds the token at a time; only the holder may
+  initiate G-transactions, so each one sees all earlier ones —
+  centralization holds by construction;
+* a node wanting to run a G-transaction requests the token from the
+  current holder; the token transfer piggybacks the holder's entire
+  known set, so the new holder's first G-transaction also sees
+  everything the old agent saw (transitivity across migrations);
+* if the holder is unreachable (partition), policy decides:
+  ``"block"`` rejects the transaction (centralization preserved,
+  availability sacrificed — the trade Theorem 22 prices), while
+  ``"local"`` runs it anyway (availability preserved, centralization —
+  and with it the no-overbooking guarantee — forfeited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.transaction import Transaction
+
+TOKEN_REQUEST = "token_request"
+TOKEN_GRANT = "token_grant"
+
+
+@dataclass
+class AgentStats:
+    requested: int = 0
+    served_with_token: int = 0
+    served_locally: int = 0  # "local" policy fallbacks
+    rejected: int = 0
+    migrations: int = 0
+    #: time from request to initiation for token-served transactions.
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        served = self.served_with_token + self.served_locally
+        return served / self.requested if self.requested else 1.0
+
+
+@dataclass
+class _PendingGrant:
+    requester: int
+    transaction: Transaction
+    requested_at: float
+    timeout_handle: object
+    done: bool = False
+
+
+class TokenAgent:
+    """Token-based serialization of one transaction group."""
+
+    def __init__(
+        self,
+        cluster,
+        name: str = "agent",
+        home: int = 0,
+        policy: str = "block",
+        timeout: float = 10.0,
+    ):
+        if policy not in ("block", "local"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.cluster = cluster
+        self.name = name
+        self.holder = home
+        self.policy = policy
+        self.timeout = timeout
+        self.stats = AgentStats()
+        self._pending: Dict[int, _PendingGrant] = {}
+        self._next_req = 0
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, node_id: int, transaction: Transaction) -> None:
+        """Schedule a G-transaction from ``node_id`` now."""
+        cluster = self.cluster
+
+        def fire() -> None:
+            self.stats.requested += 1
+            if node_id == self.holder:
+                cluster.initiate_now(node_id, transaction)
+                self.stats.served_with_token += 1
+                self.stats.latencies.append(0.0)
+                return
+            if not cluster.network.connected(node_id, self.holder):
+                self._unreachable(node_id, transaction)
+                return
+            req_id = self._next_req
+            self._next_req += 1
+            handle = cluster.sim.schedule(
+                self.timeout, lambda: self._on_timeout(req_id)
+            )
+            self._pending[req_id] = _PendingGrant(
+                requester=node_id,
+                transaction=transaction,
+                requested_at=cluster.sim.now,
+                timeout_handle=handle,
+            )
+            cluster.network.send(
+                node_id,
+                self.holder,
+                (TOKEN_REQUEST, self.name, req_id, node_id),
+            )
+
+        cluster.sim.schedule(0.0, fire)
+
+    # -- message handling ------------------------------------------------------
+
+    def handle(self, node_id: int, src: int, payload: Tuple) -> None:
+        kind = payload[0]
+        if kind == TOKEN_REQUEST:
+            _, _name, req_id, requester = payload
+            if node_id != self.holder:
+                # stale request racing a migration; drop — the requester's
+                # timeout covers it.
+                return
+            items = self.cluster.broadcast.known_items(node_id)
+            self.holder = requester  # the grant is authoritative
+            self.stats.migrations += 1
+            self.cluster.network.send(
+                node_id, requester, (TOKEN_GRANT, self.name, req_id, items)
+            )
+        elif kind == TOKEN_GRANT:
+            _, _name, req_id, items = payload
+            pending = self._pending.pop(req_id, None)
+            if pending is None or pending.done:
+                return
+            pending.done = True
+            pending.timeout_handle.cancel()
+            self.cluster.broadcast.merge_items(pending.requester, items)
+            self.cluster.initiate_now(pending.requester, pending.transaction)
+            self.stats.served_with_token += 1
+            self.stats.latencies.append(
+                self.cluster.sim.now - pending.requested_at
+            )
+
+    # -- failure outcomes -----------------------------------------------------------
+
+    def _unreachable(self, node_id: int, transaction: Transaction) -> None:
+        if self.policy == "local":
+            self.cluster.initiate_now(node_id, transaction)
+            self.stats.served_locally += 1
+        else:
+            self.stats.rejected += 1
+
+    def _on_timeout(self, req_id: int) -> None:
+        pending = self._pending.pop(req_id, None)
+        if pending is None or pending.done:
+            return
+        pending.done = True
+        self._unreachable(pending.requester, pending.transaction)

@@ -1,0 +1,269 @@
+"""The assembled SHARD system: nodes + network + reliable broadcast.
+
+A :class:`ShardCluster` owns the simulator, the partition-aware network,
+the broadcast layer and the fully replicated nodes.  Transactions are
+submitted to a node at a simulated time; the node runs the decision part
+against its local copy immediately (this is the availability story — no
+cross-node coordination on the critical path), and the update propagates
+via flooding and anti-entropy.
+
+After a run, :meth:`quiesce` heals everything and drains dissemination so
+that mutual consistency can be asserted, and
+:meth:`extract_execution` rebuilds the paper's formal execution object
+from the run for analysis by the core/theorem machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.execution import TimedExecution
+from ..core.state import State
+from ..core.transaction import Transaction
+from ..network.broadcast import BroadcastConfig, ReliableBroadcast
+from ..network.link import DelayModel, FixedDelay
+from ..network.network import Network
+from ..network.partition import PartitionSchedule
+from ..sim.engine import Simulator
+from ..sim.rng import SeededStreams
+from ..sim.trace import NULL_TRACER, Tracer
+from .external import ExternalLedger
+from .history import extract_execution
+from .log import UpdateRecord
+from .agent import TOKEN_GRANT, TOKEN_REQUEST, TokenAgent
+from .node import ShardNode
+from .sync import SyncManager
+from .undo_redo import MergeEngineFactory, suffix_factory
+
+
+@dataclass
+class ClusterConfig:
+    n_nodes: int = 3
+    seed: int = 0
+    delay: Optional[DelayModel] = None
+    partitions: Optional[PartitionSchedule] = None
+    loss_probability: float = 0.0
+    broadcast: Optional[BroadcastConfig] = None
+    merge_factory: MergeEngineFactory = suffix_factory
+    tracer: Optional[Tracer] = None
+
+
+class NodeDownError(RuntimeError):
+    """Raised when a transaction is initiated at a crashed node."""
+
+    def __init__(self, node_id: int):
+        super().__init__(f"node {node_id} is down")
+        self.node_id = node_id
+
+
+class ShardCluster:
+    """A fully replicated SHARD deployment in one simulator."""
+
+    def __init__(self, initial_state: State, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        if self.config.n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.initial_state = initial_state
+        self.sim = Simulator()
+        self.streams = SeededStreams(self.config.seed)
+        self.network = Network(
+            self.sim,
+            delay=self.config.delay or FixedDelay(1.0),
+            partitions=self.config.partitions
+            or PartitionSchedule.always_connected(),
+            loss_probability=self.config.loss_probability,
+            rng=self.streams.stream("network"),
+        )
+        self.broadcast = ReliableBroadcast(
+            self.sim,
+            self.network,
+            self.config.broadcast or BroadcastConfig(),
+            rng=self.streams.stream("gossip"),
+        )
+        self.ledger = ExternalLedger()
+        self.sync = SyncManager(self)
+        self.agents: Dict[str, TokenAgent] = {}
+        self.nodes: List[ShardNode] = []
+        for node_id in range(self.config.n_nodes):
+            node = ShardNode(
+                node_id,
+                initial_state,
+                merge_factory=self.config.merge_factory,
+                ledger=self.ledger,
+            )
+            self.nodes.append(node)
+            self.broadcast.attach(
+                node_id, self._make_deliver(node), register_transport=False
+            )
+            self.network.register(node_id, self._make_dispatcher(node_id))
+        self.broadcast.start_anti_entropy()
+        self._next_txid = 0
+        self.records: Dict[int, UpdateRecord] = {}
+        self.rejected_submissions = 0
+        self.broadcast.active_filter = lambda n: self.nodes[n].online
+        # note: Tracer defines __len__, so an empty tracer is falsy —
+        # test identity, not truthiness.
+        self.tracer = (
+            self.config.tracer if self.config.tracer is not None
+            else NULL_TRACER
+        )
+
+    def _make_deliver(self, node: ShardNode) -> Callable[[object, object], None]:
+        def deliver(key: object, item: object) -> None:
+            assert isinstance(item, UpdateRecord)
+            if node.receive(item) and self.tracer.enabled:
+                self.tracer.record(
+                    self.sim.now, "deliver", node.node_id,
+                    txid=item.txid, origin=item.origin,
+                )
+
+        return deliver
+
+    def _make_dispatcher(self, node_id: int) -> Callable[[int, object], None]:
+        """Multiplex broadcast and synchronization messages."""
+
+        def dispatch(src: int, payload: object) -> None:
+            if not self.nodes[node_id].online:
+                return  # crashed nodes drop everything on the floor
+            kind = payload[0]
+            if kind == "items":
+                self.broadcast.receive(node_id, payload)
+            elif kind in (TOKEN_REQUEST, TOKEN_GRANT):
+                self.agents[payload[1]].handle(node_id, src, payload)
+            else:
+                self.sync.handle(node_id, src, payload)
+
+        return dispatch
+
+    # -- submission ----------------------------------------------------------
+
+    def initiate_now(self, node_id: int, transaction: Transaction) -> None:
+        """Run a transaction's decision at ``node_id`` immediately (no
+        scheduling): assign a txid, record externals, publish the update.
+
+        Raises :class:`NodeDownError` if the node has crashed; callers
+        modeling client behavior should catch it (``submit`` does, and
+        counts the rejection)."""
+        node = self.nodes[node_id]
+        if not node.online:
+            raise NodeDownError(node_id)
+        txid = self._next_txid
+        self._next_txid += 1
+        record = node.initiate(txid, transaction, self.sim.now)
+        self.records[txid] = record
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.sim.now, "initiate", node_id,
+                txid=txid, family=transaction.name,
+                seen=len(record.seen_txids),
+            )
+        self.broadcast.publish(node_id, txid, record)
+
+    def submit(
+        self,
+        node_id: int,
+        transaction: Transaction,
+        at: Optional[float] = None,
+    ) -> None:
+        """Schedule ``transaction`` to be initiated at ``node_id`` at
+        simulated time ``at`` (default: now)."""
+        def fire() -> None:
+            try:
+                self.initiate_now(node_id, transaction)
+            except NodeDownError:
+                self.rejected_submissions += 1
+
+        self.sim.schedule_at(self.sim.now if at is None else at, fire)
+
+    def submit_synchronized(
+        self,
+        node_id: int,
+        transaction: Transaction,
+        timeout: float = 10.0,
+    ) -> None:
+        """Mixed-mode operation (Sections 3.2, 6): run this transaction
+        with a (near-)complete prefix by first pulling every node's known
+        set; rejected if some node is unreachable within ``timeout``.
+        See :mod:`repro.shard.sync`."""
+        self.sync.submit(node_id, transaction, timeout=timeout)
+
+    def schedule_crash(self, node_id: int, start: float, end: float) -> None:
+        """Fail-stop the node during [start, end): it neither initiates
+        nor receives, then recovers with its log intact and catches up
+        through anti-entropy."""
+        if end <= start:
+            raise ValueError("crash interval must have positive length")
+        node = self.nodes[node_id]
+
+        def crash() -> None:
+            node.online = False
+            self.tracer.record(self.sim.now, "crash", node_id)
+
+        def recover() -> None:
+            node.online = True
+            self.tracer.record(self.sim.now, "recover", node_id)
+
+        self.sim.schedule_at(start, crash)
+        self.sim.schedule_at(end, recover)
+
+    def create_agent(
+        self,
+        name: str = "agent",
+        home: int = 0,
+        policy: str = "block",
+        timeout: float = 10.0,
+    ) -> TokenAgent:
+        """Create a token-based centralized agent for a transaction
+        group (see :mod:`repro.shard.agent`)."""
+        if name in self.agents:
+            raise ValueError(f"agent {name!r} already exists")
+        agent = TokenAgent(
+            self, name=name, home=home, policy=policy, timeout=timeout
+        )
+        self.agents[name] = agent
+        return agent
+
+    # -- running ----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def quiesce(self, max_rounds: int = 10) -> None:
+        """Drain in-flight work, then exchange logs directly until every
+        node knows every update (models post-healing anti-entropy)."""
+        self.broadcast.stop_anti_entropy()
+        self.sim.run()
+        rounds = 0
+        while not self.broadcast.converged():
+            self.broadcast.exchange_all()
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("cluster failed to converge")
+
+    # -- invariants -----------------------------------------------------------------
+
+    def mutually_consistent(self) -> bool:
+        """Do all nodes with equal logs hold equal states?  After
+        :meth:`quiesce`, all logs are equal, so all states must be."""
+        states = [node.state for node in self.nodes]
+        logs = [node.known_txids for node in self.nodes]
+        for i in range(1, len(self.nodes)):
+            if logs[i] == logs[0] and states[i] != states[0]:
+                return False
+        return True
+
+    def converged(self) -> bool:
+        return self.broadcast.converged()
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        return tuple(node.state for node in self.nodes)
+
+    # -- history ------------------------------------------------------------------------
+
+    def extract_execution(self, verify: bool = True) -> TimedExecution:
+        """The formal execution of this run (see :mod:`repro.shard.history`)."""
+        return extract_execution(
+            self.initial_state, self.records.values(), verify=verify
+        )

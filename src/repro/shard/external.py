@@ -1,0 +1,63 @@
+"""The external-action ledger.
+
+External actions are irreversible: SHARD performs them exactly once, at
+the transaction's origin node, when the decision part runs.  The ledger
+records every action with its time, origin and transaction — the raw
+material for the thrashing analysis (how often was the same passenger
+told "you have a seat" / "you lost it"?) and for checking database /
+external-world consistency at the end of a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.transaction import ExternalAction
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    time: float
+    origin: int
+    txid: int
+    action: ExternalAction
+
+
+class ExternalLedger:
+    """An append-only record of every external action performed."""
+
+    def __init__(self) -> None:
+        self._entries: List[LedgerEntry] = []
+
+    def record(
+        self,
+        time: float,
+        origin: int,
+        txid: int,
+        actions: Tuple[ExternalAction, ...],
+    ) -> None:
+        for action in actions:
+            self._entries.append(LedgerEntry(time, origin, txid, action))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> Tuple[LedgerEntry, ...]:
+        return tuple(self._entries)
+
+    def by_target(self) -> Dict[object, List[LedgerEntry]]:
+        """Entries grouped by the affected entity, in time order."""
+        grouped: Dict[object, List[LedgerEntry]] = {}
+        for entry in self._entries:
+            grouped.setdefault(entry.action.target, []).append(entry)
+        return grouped
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self._entries)
+        return sum(1 for e in self._entries if e.action.kind == kind)

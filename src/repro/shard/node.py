@@ -1,0 +1,92 @@
+"""A SHARD node: a full replica processing transactions locally.
+
+Each node holds a complete copy of the database, materialized from its
+timestamp-ordered update log by a merge engine.  Initiating a transaction
+runs the decision part *once*, against the node's current (possibly
+stale) state; the resulting update is timestamped, applied locally and
+handed to the broadcast layer.  Remote updates are merged wherever their
+timestamp lands, with undo/redo restoring the everything-in-order
+invariant — there is no other inter-node concurrency control, exactly as
+Section 1.2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional, Tuple
+
+from ..core.state import State
+from ..core.transaction import Transaction
+from .external import ExternalLedger
+from .log import SystemLog, UpdateRecord
+from .timestamps import LamportClock, Timestamp
+from .undo_redo import MergeEngine, MergeEngineFactory, suffix_factory
+
+
+class ShardNode:
+    """One replica of the database."""
+
+    def __init__(
+        self,
+        node_id: int,
+        initial_state: State,
+        merge_factory: MergeEngineFactory = suffix_factory,
+        ledger: Optional[ExternalLedger] = None,
+    ):
+        self.node_id = node_id
+        self.clock = LamportClock(node_id)
+        self.log = SystemLog()
+        self.merge: MergeEngine = merge_factory(initial_state)
+        self.ledger = ledger if ledger is not None else ExternalLedger()
+        self.transactions_initiated = 0
+        #: crash-failure flag: an offline node neither initiates nor
+        #: receives; it recovers with its log intact (fail-stop model).
+        self.online = True
+
+    @property
+    def state(self) -> State:
+        """The node's current database copy (its log in timestamp order)."""
+        return self.merge.state
+
+    @property
+    def known_txids(self) -> FrozenSet[int]:
+        return self.log.txids
+
+    def initiate(
+        self,
+        txid: int,
+        transaction: Transaction,
+        now: float,
+    ) -> UpdateRecord:
+        """Run a transaction's decision part here and now.
+
+        Performs the external actions (records them on the ledger),
+        timestamps and locally applies the update, and returns the record
+        for the broadcast layer to disseminate.
+        """
+        seen = self.known_txids
+        decision = transaction.decide(self.state)
+        self.ledger.record(now, self.node_id, txid, tuple(decision.external_actions))
+        record = UpdateRecord(
+            ts=self.clock.issue(),
+            txid=txid,
+            transaction=transaction,
+            update=decision.update,
+            origin=self.node_id,
+            real_time=now,
+            seen_txids=seen,
+        )
+        self._insert(record)
+        self.transactions_initiated += 1
+        return record
+
+    def receive(self, record: UpdateRecord) -> bool:
+        """Merge a remotely initiated record; returns False on duplicate."""
+        self.clock.observe(record.ts)
+        return self._insert(record)
+
+    def _insert(self, record: UpdateRecord) -> bool:
+        position = self.log.insert(record)
+        if position is None:
+            return False
+        self.merge.insert(position, record.update)
+        return True

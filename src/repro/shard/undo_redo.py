@@ -1,0 +1,163 @@
+"""Undo/redo merge engines (Sections 1.2, 3.3; [BK], [SKS]).
+
+A SHARD node's database copy must always equal the result of applying its
+log's updates in timestamp order to the initial state.  When a record
+arrives out of order, the node conceptually *undoes* every later update
+and *redoes* them on top of the newcomer.  Three engines implement this
+contract with different cost profiles:
+
+* :class:`NaiveMerge` — recompute everything from the initial state on
+  every insertion (the specification; O(n) updates per insert);
+* :class:`SuffixMerge` — keep a snapshot after every log position and
+  recompute only the suffix at the insertion point (the paper's undo/redo
+  optimization [BK]: work proportional to how far out of order the
+  message was);
+* :class:`CheckpointMerge` — snapshot every ``interval`` positions,
+  trading redo work against snapshot storage ([SKS]'s storage-structure
+  angle).
+
+All engines count the updates they apply, which the undo/redo benchmark
+(E11) reports.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.state import State
+from ..core.update import Update
+
+
+@dataclass
+class MergeStats:
+    inserts: int = 0
+    updates_applied: int = 0
+    snapshots_held: int = 0
+
+
+class MergeEngine(abc.ABC):
+    """Maintains the materialized state of a timestamp-ordered log."""
+
+    def __init__(self, initial_state: State):
+        self.initial_state = initial_state
+        self.stats = MergeStats()
+        self._updates: List[Update] = []
+
+    @property
+    def log_length(self) -> int:
+        return len(self._updates)
+
+    @abc.abstractmethod
+    def insert(self, position: int, update: Update) -> None:
+        """Insert ``update`` at ``position`` and restore the invariant
+        state == fold(updates, initial_state)."""
+
+    @property
+    @abc.abstractmethod
+    def state(self) -> State:
+        """The materialized state of the full log."""
+
+    def _insert_update(self, position: int, update: Update) -> None:
+        if not 0 <= position <= len(self._updates):
+            raise IndexError(f"insert position {position} out of range")
+        self._updates.insert(position, update)
+        self.stats.inserts += 1
+
+
+class NaiveMerge(MergeEngine):
+    """Recompute the whole log on every insertion."""
+
+    def __init__(self, initial_state: State):
+        super().__init__(initial_state)
+        self._state = initial_state
+
+    def insert(self, position: int, update: Update) -> None:
+        self._insert_update(position, update)
+        state = self.initial_state
+        for u in self._updates:
+            state = u.apply(state)
+            self.stats.updates_applied += 1
+        self._state = state
+
+    @property
+    def state(self) -> State:
+        return self._state
+
+
+class SuffixMerge(MergeEngine):
+    """Snapshot after every position; redo only the tail past the insert."""
+
+    def __init__(self, initial_state: State):
+        super().__init__(initial_state)
+        #: _snapshots[i] is the state after the first i updates.
+        self._snapshots: List[State] = [initial_state]
+
+    def insert(self, position: int, update: Update) -> None:
+        self._insert_update(position, update)
+        del self._snapshots[position + 1:]
+        state = self._snapshots[position]
+        for u in self._updates[position:]:
+            state = u.apply(state)
+            self.stats.updates_applied += 1
+            self._snapshots.append(state)
+        self.stats.snapshots_held = max(
+            self.stats.snapshots_held, len(self._snapshots)
+        )
+
+    @property
+    def state(self) -> State:
+        return self._snapshots[-1]
+
+
+class CheckpointMerge(MergeEngine):
+    """Snapshot every ``interval`` positions; redo from the nearest
+    checkpoint at or before the insertion point."""
+
+    def __init__(self, initial_state: State, interval: int = 16):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        super().__init__(initial_state)
+        self.interval = interval
+        #: checkpoint i holds the state after the first i*interval updates.
+        self._checkpoints: List[State] = [initial_state]
+        self._state = initial_state
+
+    def insert(self, position: int, update: Update) -> None:
+        self._insert_update(position, update)
+        base_index = position // self.interval
+        del self._checkpoints[base_index + 1:]
+        state = self._checkpoints[base_index]
+        start = base_index * self.interval
+        for offset, u in enumerate(self._updates[start:], start=start):
+            state = u.apply(state)
+            self.stats.updates_applied += 1
+            if (offset + 1) % self.interval == 0:
+                self._checkpoints.append(state)
+        self._state = state
+        self.stats.snapshots_held = max(
+            self.stats.snapshots_held, len(self._checkpoints)
+        )
+
+    @property
+    def state(self) -> State:
+        return self._state
+
+
+MergeEngineFactory = Callable[[State], MergeEngine]
+
+
+def naive_factory(initial_state: State) -> MergeEngine:
+    return NaiveMerge(initial_state)
+
+
+def suffix_factory(initial_state: State) -> MergeEngine:
+    return SuffixMerge(initial_state)
+
+
+def checkpoint_factory(interval: int = 16) -> MergeEngineFactory:
+    def factory(initial_state: State) -> MergeEngine:
+        return CheckpointMerge(initial_state, interval)
+
+    return factory

@@ -1,0 +1,102 @@
+"""Generic workload drivers for a SHARD cluster.
+
+Drivers schedule transaction submissions into a cluster's simulator:
+
+* :class:`PoissonSubmitter` — open-loop arrivals at a given rate; each
+  arrival asks a factory for the transaction and a node chooser for the
+  origin node;
+* :class:`PeriodicSubmitter` — fixed-interval submissions (e.g. the
+  moving "agent" running MOVE_UP/MOVE_DOWN sweeps), at one node
+  (centralized policy) or at all nodes (decentralized).
+
+Application-specific mixes (the airline scenario, banking, inventory) are
+assembled from these in each app's ``simulation`` module.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..core.transaction import Transaction
+from .cluster import ShardCluster
+
+TransactionFactory = Callable[[random.Random], Optional[Transaction]]
+
+
+class PoissonSubmitter:
+    """Open-loop Poisson arrivals of transactions."""
+
+    def __init__(
+        self,
+        cluster: ShardCluster,
+        rate: float,
+        make_transaction: TransactionFactory,
+        rng: random.Random,
+        nodes: Optional[Sequence[int]] = None,
+        stop_at: Optional[float] = None,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.cluster = cluster
+        self.rate = rate
+        self.make_transaction = make_transaction
+        self.rng = rng
+        self.nodes = list(nodes) if nodes is not None else list(
+            range(len(cluster.nodes))
+        )
+        self.stop_at = stop_at
+        self.submitted = 0
+
+    def start(self) -> None:
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self.rng.expovariate(self.rate)
+        when = self.cluster.sim.now + gap
+        if self.stop_at is not None and when > self.stop_at:
+            return
+        self.cluster.sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        transaction = self.make_transaction(self.rng)
+        if transaction is not None:
+            node = self.rng.choice(self.nodes)
+            self.cluster.submit(node, transaction)
+            self.submitted += 1
+        self._schedule_next()
+
+
+class PeriodicSubmitter:
+    """Fixed-interval submissions of one or more transactions per tick."""
+
+    def __init__(
+        self,
+        cluster: ShardCluster,
+        interval: float,
+        make_transactions: Callable[[], Iterable[Transaction]],
+        nodes: Sequence[int],
+        stop_at: Optional[float] = None,
+        phase: float = 0.0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.cluster = cluster
+        self.interval = interval
+        self.make_transactions = make_transactions
+        self.nodes = list(nodes)
+        self.stop_at = stop_at
+        self.phase = phase
+        self.submitted = 0
+
+    def start(self) -> None:
+        self.cluster.sim.schedule(self.phase + self.interval, self._fire)
+
+    def _fire(self) -> None:
+        if self.stop_at is not None and self.cluster.sim.now > self.stop_at:
+            return
+        for node in self.nodes:
+            for transaction in self.make_transactions():
+                self.cluster.submit(node, transaction)
+                self.submitted += 1
+        self.cluster.sim.schedule(self.interval, self._fire)

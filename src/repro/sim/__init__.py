@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate: engine, RNG streams, metrics."""
+
+from .engine import EventHandle, Simulator
+from .metrics import Summary, TimeSeries, mean, percentile, stddev
+from .rng import SeededStreams
+from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "EventHandle",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "SeededStreams",
+    "Simulator",
+    "Summary",
+    "TimeSeries",
+    "mean",
+    "percentile",
+    "stddev",
+]

@@ -1,0 +1,109 @@
+"""A small deterministic discrete-event simulator.
+
+Events are callables scheduled at simulated times; ties break by
+scheduling order, so runs are fully reproducible given seeded RNGs.
+The SHARD cluster, the network and the workload drivers all share one
+:class:`Simulator`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    seq: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Scheduled):
+        self._entry = entry
+
+    def cancel(self) -> None:
+        self._entry.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+
+class Simulator:
+    """Heap-based event loop with a simulated clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[_Scheduled] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, action: Action) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` after the current time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, action)
+
+    def schedule_at(self, time: float, action: Action) -> EventHandle:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < {self.now}"
+            )
+        entry = _Scheduled(time, next(self._counter), action)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            entry.action()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the queue drains, the clock passes ``until``, or
+        ``max_events`` have been processed."""
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,102 @@
+"""Time-series metrics and summary statistics for simulation runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """A piecewise-constant time series of (time, value) samples."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.samples and time < self.samples[-1][0]:
+            raise ValueError("samples must be recorded in time order")
+        self.samples.append((time, value))
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self.samples]
+
+    def max(self) -> float:
+        return max(self.values, default=0.0)
+
+    def final(self) -> float:
+        return self.samples[-1][1] if self.samples else 0.0
+
+    def time_average(self) -> float:
+        """Average weighted by the holding time of each sample."""
+        if len(self.samples) < 2:
+            return self.final()
+        total = 0.0
+        for (t0, v), (t1, _) in zip(self.samples, self.samples[1:]):
+            total += v * (t1 - t0)
+        span = self.samples[-1][0] - self.samples[0][0]
+        return total / span if span > 0 else self.final()
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of (holding-time-weighted) time spent above a level."""
+        if len(self.samples) < 2:
+            return 0.0
+        above = 0.0
+        for (t0, v), (t1, _) in zip(self.samples, self.samples[1:]):
+            if v > threshold:
+                above += t1 - t0
+        span = self.samples[-1][0] - self.samples[0][0]
+        return above / span if span > 0 else 0.0
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def stddev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile, p in [0, 100]."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(p / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=len(values),
+            mean=mean(values),
+            std=stddev(values),
+            min=min(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            max=max(values),
+        )

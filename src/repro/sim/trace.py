@@ -1,0 +1,91 @@
+"""Run tracing: a structured event log of what the simulation did.
+
+A :class:`Tracer` collects timestamped events (submissions, initiations,
+deliveries, crashes, sync/agent protocol steps) from a cluster run.  It
+is off by default — the hot paths call :meth:`Tracer.record` on a
+``NULL_TRACER`` that drops everything — and can be attached per cluster
+via ``ClusterConfig(tracer=Tracer())`` for debugging and for the
+trace-based assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str
+    node: Optional[int] = None
+    detail: Tuple[Tuple[str, object], ...] = ()
+
+    def get(self, key: str, default=None):
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        detail = " ".join(f"{k}={v}" for k, v in self.detail)
+        where = f"@{self.node}" if self.node is not None else ""
+        return f"[{self.time:8.3f}] {self.kind}{where} {detail}"
+
+
+class Tracer:
+    """Collects events; see module docstring."""
+
+    enabled = True
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, node: Optional[int] = None,
+               **detail) -> None:
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(
+            TraceEvent(time, kind, node, tuple(sorted(detail.items())))
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def of_kind(self, kind: str) -> Tuple[TraceEvent, ...]:
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self._events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def tail(self, n: int = 20) -> str:
+        return "\n".join(str(e) for e in self._events[-n:])
+
+
+class NullTracer(Tracer):
+    """Drops everything; the default."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=0)
+
+    def record(self, time: float, kind: str, node: Optional[int] = None,
+               **detail) -> None:
+        return
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,111 @@
+"""Tests for cost trajectories and deficit estimation."""
+
+from repro.analysis import (
+    cost_trajectory,
+    deficit_profile,
+    normal_state_costs,
+    refined_deficits,
+)
+from repro.apps.airline import make_airline_application
+from repro.apps.airline.generator import (
+    GeneratorConfig,
+    generate,
+    random_airline_execution,
+)
+from repro.apps.airline.worked_examples import (
+    section_3_1_execution,
+    section_3_1_overbooked_index,
+)
+
+import random
+
+CAPACITY = 8
+APP = make_airline_application(capacity=CAPACITY)
+
+
+class TestCostTrajectory:
+    def test_matches_direct_evaluation(self):
+        e = random_airline_execution(
+            seed=1, capacity=CAPACITY, n_transactions=60, k=2
+        )
+        traj = cost_trajectory(e, APP)
+        for i, state in enumerate(e.actual_states):
+            assert traj.series["overbooking"][i] == APP.cost(state, "overbooking")
+
+    def test_section_3_1_peak(self):
+        e = section_3_1_execution(capacity=10)
+        app = make_airline_application(capacity=10)
+        traj = cost_trajectory(e, app)
+        assert traj.max_cost("overbooking") == 1800
+        assert traj.argmax("overbooking") == section_3_1_overbooked_index(10)
+        assert traj.final_cost("overbooking") == 0
+
+    def test_max_total_and_nonzero_fraction(self):
+        e = section_3_1_execution(capacity=10)
+        app = make_airline_application(capacity=10)
+        traj = cost_trajectory(e, app)
+        assert traj.max_total() >= 1800
+        assert 0 < traj.nonzero_fraction("underbooking") < 1
+
+    def test_normal_state_costs(self):
+        config = GeneratorConfig(
+            capacity=CAPACITY, n_transactions=60, k=1, grouped=True
+        )
+        run = generate(config, random.Random(3))
+        costs = normal_state_costs(run.execution, run.grouping, APP)
+        assert costs["underbooking"] <= 300  # Corollary 10 with k = 1
+
+
+class TestDeficitProfile:
+    def test_complete_run_is_zero(self):
+        e = random_airline_execution(
+            seed=2, capacity=CAPACITY, n_transactions=40, k=0, drop="none"
+        )
+        profile = deficit_profile(e)
+        assert profile.max == 0
+        assert profile.overall.mean == 0
+
+    def test_recent_drop_k(self):
+        e = random_airline_execution(
+            seed=3, capacity=CAPACITY, n_transactions=40, k=3, drop="recent"
+        )
+        profile = deficit_profile(e)
+        assert profile.max == 3
+        assert set(profile.by_family) <= {
+            "REQUEST", "CANCEL", "MOVE_UP", "MOVE_DOWN",
+        }
+
+    def test_family_max(self):
+        e = random_airline_execution(
+            seed=4, capacity=CAPACITY, n_transactions=80, k=2,
+            drop="movers_only",
+        )
+        profile = deficit_profile(e)
+        assert profile.family_max("REQUEST") == 0
+        assert profile.family_max("NOPE") == 0
+
+
+class TestRefinedDeficits:
+    def test_refined_never_exceeds_relevant_dimension(self):
+        e = random_airline_execution(
+            seed=5, capacity=CAPACITY, n_transactions=80, k=4
+        )
+        refined = refined_deficits(e)
+        assert refined.max_overbooking() <= max(
+            refined.max_plain(), CAPACITY + 4
+        )
+        assert len(refined.plain) == len(e)
+
+    def test_zero_on_complete_run(self):
+        e = random_airline_execution(
+            seed=6, capacity=CAPACITY, n_transactions=40, k=0, drop="none"
+        )
+        refined = refined_deficits(e)
+        assert refined.max_overbooking() == 0
+        assert refined.max_underbooking() == 0
+
+    def test_mean_reduction_nonnegative(self):
+        e = random_airline_execution(
+            seed=7, capacity=CAPACITY, n_transactions=120, k=5
+        )
+        assert refined_deficits(e).mean_reduction() >= 0

@@ -1,0 +1,165 @@
+"""Tests for the fairness, thrashing and probability analyses."""
+
+import pytest
+
+from repro.analysis import (
+    CalibrationPoint,
+    KDistribution,
+    compose,
+    final_order_inversions,
+    priority_flips,
+    request_order,
+    thrash_report,
+    verify_conditional,
+)
+from repro.apps.airline import overbooking_bound, precedes
+from repro.apps.airline.priority import known
+from repro.apps.airline.worked_examples import (
+    section_5_5_priority_inversion,
+)
+from repro.core import ExternalAction
+from repro.shard import ExternalLedger
+
+
+class TestRequestOrder:
+    def test_first_request_wins(self):
+        e = section_5_5_priority_inversion()
+        order = request_order(e)
+        # A requested first (twice), then P, then Q.
+        assert order == ["A", "P", "Q"]
+
+
+class TestInversions:
+    def test_section_5_5_has_exactly_one_inversion(self):
+        e = section_5_5_priority_inversion()
+        report = final_order_inversions(e, precedes, known)
+        assert ("P", "Q") in report.inverted_pairs
+        assert report.inversions == 1
+        assert 0 < report.inversion_rate <= 1
+
+    def test_flip_counting(self):
+        e = section_5_5_priority_inversion()
+        # Q overtakes P once (at the move_up) and never flips back.
+        assert priority_flips(e, "P", "Q", precedes, known) == 1
+
+    def test_flips_zero_after_agent_informed(self):
+        e = section_5_5_priority_inversion()
+        # Theorem 25: from the first mover seeing both requests (index 8)
+        # the relative order never changes.
+        assert priority_flips(e, "P", "Q", precedes, known, start=8) == 0
+
+
+class TestThrash:
+    def _ledger(self, sequences):
+        ledger = ExternalLedger()
+        t = 0.0
+        for target, kind in sequences:
+            ledger.record(t, 0, int(t), (ExternalAction(kind, target),))
+            t += 1.0
+        return ledger
+
+    def test_no_thrash_for_single_grant(self):
+        ledger = self._ledger([("P", "inform_assigned")])
+        report = thrash_report(ledger)
+        assert report.total_reversals == 0
+        assert report.thrashed_entities == 0
+
+    def test_grant_rescind_grant_counts_two_reversals(self):
+        ledger = self._ledger(
+            [
+                ("P", "inform_assigned"),
+                ("P", "inform_waitlisted"),
+                ("P", "inform_assigned"),
+            ]
+        )
+        report = thrash_report(ledger)
+        assert report.reversals_by_entity["P"] == 2
+        assert report.worst_entity_reversals == 2
+        assert report.thrashed_entities == 1
+        assert report.notifications == 3
+
+    def test_entities_counted(self):
+        ledger = self._ledger(
+            [("P", "inform_assigned"), ("Q", "inform_assigned")]
+        )
+        assert thrash_report(ledger).entities == 2
+
+
+class TestProbability:
+    def test_cdf_and_quantile(self):
+        dist = KDistribution((0, 1, 1, 2, 5))
+        assert dist.cdf(0) == pytest.approx(0.2)
+        assert dist.cdf(1) == pytest.approx(0.6)
+        assert dist.cdf(5) == 1.0
+        assert dist.quantile(0.5) == 1
+        assert dist.quantile(1.0) == 5
+        assert dist.max == 5
+        assert dist.mean == pytest.approx(1.8)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            KDistribution((1,)).quantile(2.0)
+
+    def test_empty_distribution(self):
+        dist = KDistribution(())
+        assert dist.cdf(0) == 1.0
+        assert dist.quantile(0.9) == 0
+
+    def test_compose_monotone(self):
+        dist = KDistribution((0, 1, 2, 3, 4))
+        bounds = compose(dist, overbooking_bound())
+        probs = [b.probability for b in bounds]
+        assert probs == sorted(probs)
+        assert bounds[-1].probability == 1.0
+        assert bounds[1].cost_limit == 900
+
+    def test_verify_conditional(self):
+        bound = overbooking_bound()
+        good = [CalibrationPoint(2, 1800.0), CalibrationPoint(0, 0.0)]
+        bad = [CalibrationPoint(1, 1800.0)]
+        assert verify_conditional(good, bound)
+        assert not verify_conditional(bad, bound)
+
+
+class TestWilsonInterval:
+    def test_brackets_the_point_estimate(self):
+        from repro.analysis import wilson_interval
+
+        low, high = wilson_interval(8, 10)
+        assert low < 0.8 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_degenerate_cases(self):
+        from repro.analysis import wilson_interval
+
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0 and low > 0.5
+        low, high = wilson_interval(0, 10)
+        assert low < 1e-9 and high < 0.5
+
+    def test_narrows_with_samples(self):
+        from repro.analysis import wilson_interval
+
+        low10, high10 = wilson_interval(5, 10)
+        low100, high100 = wilson_interval(50, 100)
+        assert (high100 - low100) < (high10 - low10)
+
+    def test_invalid_confidence(self):
+        import pytest
+        from repro.analysis import wilson_interval
+
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.5)
+
+    def test_cdf_interval_on_distribution(self):
+        dist = KDistribution((0, 1, 1, 2, 5, 3, 1, 0))
+        low, high = dist.cdf_interval(1)
+        point = dist.cdf(1)
+        assert low <= point <= high
+
+    def test_probit_sanity(self):
+        from repro.analysis.probability import _probit
+
+        assert abs(_probit(0.5)) < 1e-9
+        assert abs(_probit(0.975) - 1.959964) < 1e-4

@@ -1,0 +1,59 @@
+"""Tests for the harness table renderer."""
+
+import pytest
+
+from repro.harness import Table
+
+
+class TestTable:
+    def test_basic_rendering(self):
+        t = Table("demo", ["a", "bb"])
+        t.add(1, "x")
+        t.add(22, "yy")
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+
+    def test_cell_formatting(self):
+        t = Table("fmt", ["v"])
+        t.add(True)
+        t.add(False)
+        t.add(None)
+        t.add(3.0)
+        t.add(3.14159)
+        t.add("s")
+        rendered = t.render()
+        assert "yes" in rendered and "no" in rendered
+        assert "3.14" in rendered
+        # whole floats render as integers.
+        assert " 3 " in rendered.replace("3.14", "") or "\n3" in rendered
+
+    def test_wrong_arity_rejected(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_empty_table_renders(self):
+        t = Table("empty", ["col"])
+        assert "col" in t.render()
+
+    def test_column_alignment(self):
+        t = Table("align", ["name", "value"])
+        t.add("long-name-here", 1)
+        t.add("x", 22222)
+        lines = t.render().splitlines()
+        # header and body lines share the same separator position (skip
+        # the dashed rule, which uses -+- instead).
+        body = [lines[1]] + lines[3:]
+        positions = [line.index(" | ") for line in body]
+        assert len(set(positions)) == 1
+
+    def test_show_prints(self, capsys):
+        t = Table("printed", ["a"])
+        t.add(1)
+        t.show()
+        captured = capsys.readouterr()
+        assert "printed" in captured.out

@@ -1,0 +1,85 @@
+"""Tests for the run-report module and the command-line interface."""
+
+import pytest
+
+from repro.analysis.report import airline_run_report, execution_summary
+from repro.apps.airline import make_airline_application
+from repro.apps.airline.simulation import AirlineScenario, run_airline_scenario
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_airline_scenario(
+        AirlineScenario(capacity=5, duration=30, seed=2)
+    )
+
+
+class TestReports:
+    def test_execution_summary_fields(self, small_run):
+        app = make_airline_application(capacity=5)
+        table = execution_summary(small_run.execution, app)
+        text = table.render()
+        assert "transactions" in text
+        assert "max overbooking cost" in text
+        assert "complete-prefix fraction" in text
+
+    def test_airline_report_tables(self, small_run):
+        tables = airline_run_report(small_run, capacity=5)
+        assert len(tables) == 3
+        rendered = "\n".join(t.render() for t in tables)
+        assert "Corollary 8" in rendered
+        assert "notifications sent" in rendered
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "E14" in out and "SHARD" in out.upper()
+
+    def test_examples(self, capsys):
+        assert main(["examples"]) == 0
+        assert "quickstart.py" in capsys.readouterr().out
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_airline_command(self, capsys):
+        code = main([
+            "airline", "--capacity", "4", "--duration", "20",
+            "--seed", "1", "--partition", "",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "airline run summary" in out
+        assert "paper guarantees" in out
+
+    def test_banking_command(self, capsys):
+        code = main([
+            "banking", "--duration", "20", "--seed", "1",
+            "--partition", "",
+        ])
+        assert code == 0
+        assert "audits" in capsys.readouterr().out
+
+    def test_inventory_command(self, capsys):
+        code = main([
+            "inventory", "--duration", "20", "--seed", "1",
+            "--partition", "",
+        ])
+        assert code == 0
+        assert "inventory run summary" in capsys.readouterr().out
+
+    def test_bad_partition_spec(self):
+        with pytest.raises(SystemExit):
+            main(["airline", "--partition", "nonsense",
+                  "--duration", "5"])
+
+    def test_parser_structure(self):
+        parser = build_parser()
+        args = parser.parse_args(["airline", "--centralized-movers"])
+        assert args.centralized_movers
+        args = parser.parse_args(["airline", "--design", "timestamped"])
+        assert args.design == "timestamped"

@@ -1,0 +1,57 @@
+"""Tests for the serial-divergence analysis."""
+
+from repro.analysis import serial_divergence
+from repro.apps.airline import AirlineState, MoveUp, Request
+from repro.apps.airline.generator import random_airline_execution
+from repro.apps.airline.worked_examples import section_3_1_execution
+from repro.core import ExecutionBuilder
+
+
+class TestSerialDivergence:
+    def test_complete_prefix_run_is_serial(self):
+        e = random_airline_execution(
+            seed=1, capacity=5, n_transactions=60, k=0, drop="none"
+        )
+        report = serial_divergence(e)
+        assert report.is_serial
+        assert report.complete_prefix_fraction == 1.0
+        assert report.decision_divergence_fraction == 0.0
+
+    def test_divergent_decisions_detected(self):
+        b = ExecutionBuilder(AirlineState())
+        b.add(Request("A"))
+        b.add(MoveUp(1))                 # seats A
+        b.add(Request("B"))
+        b.add(MoveUp(1), prefix=(2,))    # blind: seats B -> overbooks
+        e = b.build()
+        report = serial_divergence(e)
+        # the serial replay's second MOVE_UP would be a no-op (plane full).
+        assert report.divergent_decisions == (3,)
+        assert report.divergent_external_actions == (3,)
+        assert not report.final_states_equal
+        assert not report.is_serial
+
+    def test_section_3_1_diverges(self):
+        e = section_3_1_execution(capacity=10)
+        report = serial_divergence(e)
+        assert not report.is_serial
+        assert report.complete_prefix_fraction < 1.0
+        # most transactions still ran with complete prefixes.
+        assert report.complete_prefix_count == len(e) - 3
+
+    def test_empty_execution(self):
+        b = ExecutionBuilder(AirlineState())
+        report = serial_divergence(b.build())
+        assert report.is_serial
+        assert report.complete_prefix_fraction == 1.0
+
+    def test_incomplete_but_equivalent(self):
+        """Missing prefixes need not change anything: REQUEST decisions
+        are constant, so a blind REQUEST still matches the serial run."""
+        b = ExecutionBuilder(AirlineState())
+        b.add(Request("A"))
+        b.add(Request("B"), prefix=())
+        e = b.build()
+        report = serial_divergence(e)
+        assert report.complete_prefix_fraction == 0.5
+        assert report.is_serial

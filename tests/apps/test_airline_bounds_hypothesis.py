@@ -1,0 +1,92 @@
+"""Property-based verification of the Section 4.1 bound functions.
+
+The paper asserts (without proof) that 900k bounds the cost increase for
+the overbooking constraint and 300k for the underbooking constraint:
+whenever ``s <=_k t`` — t is the result of a subsequence of s's update
+sequence missing at most k updates — we must have
+``cost(s, i) <= cost(t, i) + f(k)``.
+
+These tests check the assertion over thousands of random update sequences
+and random subsequences, for several capacities.  They also check the
+sharper witness-level fact behind Theorem 20: AL(s) can exceed AL(t) by
+at most the number of *assigned* persons whose witness the subsequence
+fails to retain.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.airline import (
+    CancelUpdate,
+    INITIAL_STATE,
+    MoveDownUpdate,
+    MoveUpUpdate,
+    OverbookingConstraint,
+    RequestUpdate,
+    UnderbookingConstraint,
+    refined_overbooking_deficit,
+)
+from repro.core import apply_sequence
+
+PEOPLE = ["P", "Q", "R", "S", "T"]
+UPDATE_CLASSES = [RequestUpdate, CancelUpdate, MoveUpUpdate, MoveDownUpdate]
+
+
+@st.composite
+def sequence_and_subsequence(draw, max_len=16):
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    seq = [
+        draw(st.sampled_from(UPDATE_CLASSES))(draw(st.sampled_from(PEOPLE)))
+        for _ in range(n)
+    ]
+    kept = [i for i in range(n) if draw(st.booleans())]
+    return seq, kept
+
+
+@given(sequence_and_subsequence(), st.sampled_from([1, 2, 3]))
+@settings(max_examples=400, deadline=None)
+def test_overbooking_bound_function(pair, capacity):
+    """cost(s, 1) <= cost(t, 1) + 900k for s <=_k t."""
+    seq, kept = pair
+    k = len(seq) - len(kept)
+    s = apply_sequence(seq, INITIAL_STATE)
+    t = apply_sequence([seq[i] for i in kept], INITIAL_STATE)
+    constraint = OverbookingConstraint(capacity=capacity)
+    assert constraint.cost(s) <= constraint.cost(t) + 900 * k
+
+
+@given(sequence_and_subsequence(), st.sampled_from([1, 2, 3]))
+@settings(max_examples=400, deadline=None)
+def test_underbooking_bound_function(pair, capacity):
+    """cost(s, 2) <= cost(t, 2) + 300k for s <=_k t."""
+    seq, kept = pair
+    k = len(seq) - len(kept)
+    s = apply_sequence(seq, INITIAL_STATE)
+    t = apply_sequence([seq[i] for i in kept], INITIAL_STATE)
+    constraint = UnderbookingConstraint(capacity=capacity)
+    assert constraint.cost(s) <= constraint.cost(t) + 300 * k
+
+
+@given(sequence_and_subsequence())
+@settings(max_examples=400, deadline=None)
+def test_refined_overbooking_bound(pair):
+    """The Theorem 20 sharpening: AL(s) <= AL(t) + (number of assigned
+    persons with unretained witnesses) — Lemma 15 in aggregate."""
+    seq, kept = pair
+    s = apply_sequence(seq, INITIAL_STATE)
+    t = apply_sequence([seq[i] for i in kept], INITIAL_STATE)
+    refined_k = refined_overbooking_deficit(seq, kept, s.assigned)
+    assert s.al <= t.al + refined_k
+
+
+@given(sequence_and_subsequence())
+@settings(max_examples=400, deadline=None)
+def test_monotone_missing_one_more(pair):
+    """Dropping one more update changes AL by at most one in each
+    direction (the unit-Lipschitz fact behind the linear bounds)."""
+    seq, kept = pair
+    if not kept:
+        return
+    t_full = apply_sequence([seq[i] for i in kept], INITIAL_STATE)
+    t_less = apply_sequence([seq[i] for i in kept[:-1]], INITIAL_STATE)
+    assert abs(t_full.al - t_less.al) <= 1

@@ -1,0 +1,90 @@
+"""Tests for the overbooking/underbooking cost measures (Section 2.2)."""
+
+from repro.apps.airline import (
+    AirlineState,
+    OverbookingConstraint,
+    UnderbookingConstraint,
+    make_airline_application,
+    overbooking_bound,
+    underbooking_bound,
+)
+
+
+def people(n, start=1):
+    return tuple(f"P{i}" for i in range(start, start + n))
+
+
+class TestOverbookingCost:
+    def test_zero_at_capacity(self):
+        c = OverbookingConstraint(capacity=100)
+        assert c.cost(AirlineState(people(100), ())) == 0
+
+    def test_900_per_excess(self):
+        c = OverbookingConstraint(capacity=100)
+        assert c.cost(AirlineState(people(102), ())) == 1800
+
+    def test_zero_below(self):
+        c = OverbookingConstraint(capacity=100)
+        assert c.cost(AirlineState(people(5), people(30, 200))) == 0
+
+    def test_parameterized(self):
+        c = OverbookingConstraint(capacity=2, over_cost=10)
+        assert c.cost(AirlineState(people(5), ())) == 30
+
+
+class TestUnderbookingCost:
+    def test_zero_when_full(self):
+        c = UnderbookingConstraint(capacity=100)
+        assert c.cost(AirlineState(people(100), people(7, 200))) == 0
+
+    def test_zero_when_no_waiters(self):
+        c = UnderbookingConstraint(capacity=100)
+        assert c.cost(AirlineState(people(5), ())) == 0
+
+    def test_300_per_avoidable_empty_seat(self):
+        c = UnderbookingConstraint(capacity=100)
+        # 98 assigned, 5 waiting: 2 avoidable empty seats.
+        s = AirlineState(people(98), people(5, 200))
+        assert c.cost(s) == 600
+
+    def test_limited_by_waiters(self):
+        c = UnderbookingConstraint(capacity=100)
+        s = AirlineState(people(50), people(3, 200))
+        assert c.cost(s) == 900  # min(50, 3) * 300
+
+    def test_zero_when_overbooked(self):
+        c = UnderbookingConstraint(capacity=100)
+        assert c.cost(AirlineState(people(103), people(4, 200))) == 0
+
+
+class TestMutualExclusion:
+    def test_at_most_one_constraint_violated(self):
+        """Every well-formed state has overbooking or underbooking cost
+        zero (used by Corollary 11)."""
+        over = OverbookingConstraint(capacity=3)
+        under = UnderbookingConstraint(capacity=3)
+        for al in range(0, 7):
+            for wl in range(0, 4):
+                s = AirlineState(people(al), people(wl, 100))
+                assert over.cost(s) == 0 or under.cost(s) == 0
+
+
+class TestApplicationAssembly:
+    def test_initially_zero_cost(self):
+        app = make_airline_application()
+        assert app.initially_zero_cost()
+
+    def test_cost_lookup(self):
+        app = make_airline_application(capacity=2)
+        s = AirlineState(people(4), ())
+        assert app.cost(s, "overbooking") == 1800
+        assert app.cost(s, "underbooking") == 0
+        assert app.cost(s) == 1800
+
+    def test_bounds(self):
+        assert overbooking_bound()(3) == 2700
+        assert underbooking_bound()(3) == 900
+        assert overbooking_bound(10)(2) == 20
+
+    def test_supports_priority(self):
+        assert make_airline_application().supports_priority

@@ -1,0 +1,75 @@
+"""Tests for the airline workload generator."""
+
+import random
+
+import pytest
+
+from repro.apps.airline.constraints import UnderbookingConstraint
+from repro.apps.airline.generator import (
+    GeneratorConfig,
+    generate,
+    random_airline_execution,
+)
+from repro.core import max_deficit
+from repro.core.theorems import preserves_by_family
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = random_airline_execution(seed=5, n_transactions=60, k=2)
+        b = random_airline_execution(seed=5, n_transactions=60, k=2)
+        assert a.updates == b.updates
+        assert a.prefixes == b.prefixes
+
+    def test_executions_are_valid(self):
+        e = random_airline_execution(seed=1, n_transactions=80, k=3)
+        e.validate()
+
+    def test_k_is_respected(self):
+        for drop in ("random", "recent"):
+            e = random_airline_execution(
+                seed=2, n_transactions=80, k=3, drop=drop
+            )
+            assert max_deficit(e) <= 3
+
+    def test_none_regime_is_complete(self):
+        e = random_airline_execution(seed=3, n_transactions=50, k=5, drop="none")
+        assert max_deficit(e) == 0
+
+    def test_movers_only_drops_spare_requests(self):
+        e = random_airline_execution(
+            seed=4, n_transactions=100, k=4, drop="movers_only"
+        )
+        for i in e.indices:
+            if e.transactions[i].name in ("REQUEST", "CANCEL"):
+                assert e.deficit(i) == 0
+
+    def test_protect_movers_keeps_mover_indices(self):
+        e = random_airline_execution(
+            seed=5, n_transactions=120, k=6, protect_movers=True
+        )
+        mover_idx = [
+            i for i in e.indices
+            if e.transactions[i].name in ("MOVE_UP", "MOVE_DOWN")
+        ]
+        for pos, i in enumerate(mover_idx):
+            seen = set(e.prefixes[i])
+            for j in mover_idx[:pos]:
+                assert j in seen
+
+    def test_grouped_mode_yields_valid_grouping(self):
+        config = GeneratorConfig(
+            capacity=5, n_transactions=60, k=1, grouped=True
+        )
+        run = generate(config, random.Random(7))
+        assert run.grouping is not None
+        under = UnderbookingConstraint(5)
+        preserving = preserves_by_family(("MOVE_UP", "MOVE_DOWN"))
+        assert run.grouping.is_valid_for(
+            run.execution, under.name, under.cost, preserving
+        )
+
+    def test_transaction_mix(self):
+        e = random_airline_execution(seed=8, n_transactions=200, k=0)
+        families = {t.name for t in e.transactions}
+        assert families == {"REQUEST", "CANCEL", "MOVE_UP", "MOVE_DOWN"}

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for the Section 5.3 lemmas.
+
+Random update sequences and random subsequences are generated; the lemmas'
+hypotheses are evaluated symbolically and their conclusions checked
+against the states actually produced by replaying the updates.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.airline import (
+    AirlineState,
+    CancelUpdate,
+    INITIAL_STATE,
+    MoveDownUpdate,
+    MoveUpUpdate,
+    RequestUpdate,
+    assigned_by_log,
+    find_assignment_witness,
+    find_waiting_witness,
+    known_by_log,
+    lemma24_hypothesis,
+    precedes,
+    retains_last,
+    retains_live_requests,
+    waiting_by_log,
+    waiting_transfer_holds,
+    witness_retained,
+)
+from repro.core import apply_sequence
+
+PEOPLE = ["P", "Q", "R", "S"]
+UPDATE_CLASSES = [RequestUpdate, CancelUpdate, MoveUpUpdate, MoveDownUpdate]
+
+
+@st.composite
+def update_sequences(draw, max_len=14):
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    seq = []
+    for _ in range(n):
+        cls = draw(st.sampled_from(UPDATE_CLASSES))
+        person = draw(st.sampled_from(PEOPLE))
+        seq.append(cls(person))
+    return seq
+
+
+@st.composite
+def sequences_with_subsequence(draw, max_len=14):
+    seq = draw(update_sequences(max_len))
+    kept = [i for i in range(len(seq)) if draw(st.booleans())]
+    return seq, kept
+
+
+@given(update_sequences())
+@settings(max_examples=300, deadline=None)
+def test_updates_preserve_well_formedness(seq):
+    state = INITIAL_STATE
+    for update in seq:
+        state = update.apply(state)
+        assert state.well_formed()
+
+
+@given(update_sequences(), st.sampled_from(PEOPLE))
+@settings(max_examples=300, deadline=None)
+def test_lemma14_known(seq, person):
+    state = apply_sequence(seq, INITIAL_STATE)
+    assert known_by_log(seq, person) == state.is_known(person)
+
+
+@given(update_sequences(), st.sampled_from(PEOPLE))
+@settings(max_examples=300, deadline=None)
+def test_lemma14_assigned(seq, person):
+    state = apply_sequence(seq, INITIAL_STATE)
+    assert assigned_by_log(seq, person) == state.is_assigned(person)
+
+
+@given(update_sequences(), st.sampled_from(PEOPLE))
+@settings(max_examples=300, deadline=None)
+def test_lemma14_waiting(seq, person):
+    state = apply_sequence(seq, INITIAL_STATE)
+    assert waiting_by_log(seq, person) == state.is_waiting(person)
+
+
+def _replay(seq, kept):
+    sub = [seq[i] for i in kept]
+    s = apply_sequence(seq, INITIAL_STATE)
+    t = apply_sequence(sub, INITIAL_STATE)
+    return s, t
+
+
+@given(sequences_with_subsequence(), st.sampled_from(PEOPLE))
+@settings(max_examples=300, deadline=None)
+def test_lemma15_assignment_witness_transfers(pair, person):
+    """If P is assigned in s and the subsequence retains an assignment
+    witness, then P is assigned in t."""
+    seq, kept = pair
+    s, t = _replay(seq, kept)
+    if not s.is_assigned(person):
+        return
+    witness = find_assignment_witness(seq, person)
+    if witness_retained(witness, set(kept)):
+        assert t.is_assigned(person)
+
+
+@given(sequences_with_subsequence(), st.sampled_from(PEOPLE))
+@settings(max_examples=300, deadline=None)
+def test_lemma16_waiting_witness_transfers(pair, person):
+    """Amended Lemma 16: witness retained plus no assignment witness in
+    the subsequence (the paper's literal form fails on a duplicate-request
+    corner case; see witnesses.py)."""
+    seq, kept = pair
+    s, t = _replay(seq, kept)
+    if not s.is_waiting(person):
+        return
+    if waiting_transfer_holds(seq, set(kept), person):
+        assert t.is_waiting(person)
+
+
+@given(sequences_with_subsequence(), st.sampled_from(PEOPLE))
+@settings(max_examples=300, deadline=None)
+def test_lemma17_known_reverse_transfer(pair, person):
+    """If the subsequence retains the last cancel(P) and P is known in t,
+    then P is known in s."""
+    seq, kept = pair
+    s, t = _replay(seq, kept)
+    if retains_last(seq, set(kept), "cancel", person) and t.is_known(person):
+        assert s.is_known(person)
+
+
+@given(sequences_with_subsequence(), st.sampled_from(PEOPLE))
+@settings(max_examples=600, deadline=None)
+def test_lemma18_assigned_reverse_transfer(pair, person):
+    seq, kept = pair
+    s, t = _replay(seq, kept)
+    kept_set = set(kept)
+    if (
+        retains_last(seq, kept_set, "move_down", person)
+        and retains_last(seq, kept_set, "cancel", person)
+        and t.is_assigned(person)
+    ):
+        assert s.is_assigned(person)
+
+
+@given(sequences_with_subsequence(), st.sampled_from(PEOPLE))
+@settings(max_examples=500, deadline=None)
+def test_lemma19_waiting_reverse_transfer(pair, person):
+    """Amended Lemma 19: the subsequence must also retain every live
+    request(P) (the paper's literal form fails on duplicate requests;
+    see retains_live_requests in witnesses.py)."""
+    seq, kept = pair
+    s, t = _replay(seq, kept)
+    kept_set = set(kept)
+    if (
+        retains_last(seq, kept_set, "move_up", person)
+        and retains_last(seq, kept_set, "cancel", person)
+        and retains_live_requests(seq, kept_set, person)
+        and t.is_waiting(person)
+    ):
+        assert s.is_waiting(person)
+
+
+def test_lemma19_literal_form_would_fail():
+    """Documented negative: the literal Lemma 19 hypothesis does NOT
+    guarantee the transfer (this test records the known counterexample
+    shape rather than asserting the broken lemma)."""
+    person = "P"
+    seq = [
+        RequestUpdate(person),
+        MoveUpUpdate(person),
+        RequestUpdate(person),
+    ]
+    kept = {1, 2}
+    s, t = _replay(seq, sorted(kept))
+    assert retains_last(seq, kept, "move_up", person)
+    assert retains_last(seq, kept, "cancel", person)
+    assert t.is_waiting(person)
+    assert not s.is_waiting(person)  # the literal lemma's conclusion fails
+    assert not retains_live_requests(seq, kept, person)  # our guard fires
+
+
+@given(sequences_with_subsequence(), st.sampled_from(PEOPLE), st.sampled_from(PEOPLE))
+@settings(max_examples=300, deadline=None)
+def test_lemma24_priority_agreement(pair, p, q):
+    """If the subsequence contains all movers and all request/cancel
+    updates for P and Q, the relative priority of P and Q agrees in the
+    two resulting states."""
+    seq, kept = pair
+    if p == q:
+        return
+    if not lemma24_hypothesis(seq, kept, p, q):
+        return
+    s, t = _replay(seq, kept)
+    assert precedes(t, p, q) == precedes(s, p, q)

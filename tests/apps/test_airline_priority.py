@@ -1,0 +1,56 @@
+"""Tests for passenger priority (Section 4.2)."""
+
+import pytest
+
+from repro.apps.airline import AirlineState, precedes, priority_rank
+from repro.apps.airline.priority import known
+
+
+S = AirlineState(("A1", "A2"), ("W1", "W2"))
+
+
+class TestPrecedes:
+    def test_assigned_order(self):
+        assert precedes(S, "A1", "A2")
+        assert not precedes(S, "A2", "A1")
+
+    def test_waiting_order(self):
+        assert precedes(S, "W1", "W2")
+        assert not precedes(S, "W2", "W1")
+
+    def test_assigned_beats_waiting(self):
+        assert precedes(S, "A2", "W1")
+        assert not precedes(S, "W1", "A2")
+
+    def test_unknown_never_precedes(self):
+        assert not precedes(S, "X", "A1")
+        assert not precedes(S, "A1", "X")
+
+    def test_irreflexive(self):
+        for p in S.known():
+            assert not precedes(S, p, p)
+
+    def test_total_on_known(self):
+        entities = S.known()
+        for p in entities:
+            for q in entities:
+                if p != q:
+                    assert precedes(S, p, q) != precedes(S, q, p)
+
+
+class TestKnownAndRank:
+    def test_known_enumeration(self):
+        assert known(S) == ("A1", "A2", "W1", "W2")
+
+    def test_rank_matches_precedes(self):
+        entities = S.known()
+        for p in entities:
+            for q in entities:
+                if p != q:
+                    assert precedes(S, p, q) == (
+                        priority_rank(S, p) < priority_rank(S, q)
+                    )
+
+    def test_rank_unknown_raises(self):
+        with pytest.raises(KeyError):
+            priority_rank(S, "X")

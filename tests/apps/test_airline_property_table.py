@@ -1,0 +1,142 @@
+"""Verify the paper's Section 4.1 property matrix against the generic
+sampling checkers — every claimed safe/unsafe, preserves, compensates and
+priority entry is re-checked on a deterministic sample of states.
+
+The sample uses capacity 8 (with up to 20 people) so both constraints'
+interesting regions are exercised; the paper's claims are capacity-
+independent.
+"""
+
+import pytest
+
+from repro.apps.airline import (
+    Cancel,
+    CancelUpdate,
+    MoveDown,
+    MoveDownUpdate,
+    MoveUp,
+    MoveUpUpdate,
+    OVERBOOKING,
+    OverbookingConstraint,
+    PROPERTY_TABLE,
+    Request,
+    RequestUpdate,
+    UNDERBOOKING,
+    UnderbookingConstraint,
+    make_airline_application,
+    state_sample,
+)
+from repro.core import (
+    compensates_on,
+    is_increasing_on,
+    is_safe_on,
+    preserves_cost_on,
+    preserves_priority_on,
+    strongly_preserves_priority_on,
+)
+
+CAPACITY = 8
+SAMPLE = state_sample(seed=7, count=250, capacity=CAPACITY)
+CONSTRAINTS = {
+    OVERBOOKING: OverbookingConstraint(capacity=CAPACITY),
+    UNDERBOOKING: UnderbookingConstraint(capacity=CAPACITY),
+}
+UPDATES = {
+    "request": RequestUpdate,
+    "cancel": CancelUpdate,
+    "move_up": MoveUpUpdate,
+    "move_down": MoveDownUpdate,
+}
+TRANSACTIONS = {
+    "REQUEST": Request("P1"),
+    "CANCEL": Cancel("P1"),
+    "MOVE_UP": MoveUp(CAPACITY),
+    "MOVE_DOWN": MoveDown(CAPACITY),
+}
+APP = make_airline_application(capacity=CAPACITY)
+
+
+@pytest.mark.parametrize(
+    "family,constraint,expected",
+    [(f, c, v) for (f, c), v in sorted(PROPERTY_TABLE.update_increasing.items())],
+)
+def test_update_increasing_matches_table(family, constraint, expected):
+    # an increasing update family: some instance raises the cost somewhere.
+    update_cls = UPDATES[family]
+    found = any(
+        is_increasing_on(update_cls(f"P{i}"), CONSTRAINTS[constraint], SAMPLE)
+        for i in range(1, 6)
+    )
+    assert found == expected
+
+
+@pytest.mark.parametrize(
+    "family,constraint,expected",
+    [(f, c, v) for (f, c), v in sorted(PROPERTY_TABLE.transaction_safe.items())],
+)
+def test_transaction_safety_matches_table(family, constraint, expected):
+    txn = TRANSACTIONS[family]
+    assert is_safe_on(txn, CONSTRAINTS[constraint], SAMPLE) == expected
+
+
+@pytest.mark.parametrize(
+    "family,constraint,expected",
+    [(f, c, v) for (f, c), v in sorted(PROPERTY_TABLE.transaction_preserves.items())],
+)
+def test_preserves_cost_matches_table(family, constraint, expected):
+    txn = TRANSACTIONS[family]
+    assert preserves_cost_on(txn, CONSTRAINTS[constraint], SAMPLE) == expected
+
+
+@pytest.mark.parametrize(
+    "family,constraint",
+    sorted(PROPERTY_TABLE.transaction_compensates),
+)
+def test_compensation_matches_table(family, constraint):
+    txn = TRANSACTIONS[family]
+    assert compensates_on(txn, CONSTRAINTS[constraint], SAMPLE)
+
+
+def test_move_up_does_not_compensate_overbooking():
+    assert not compensates_on(
+        TRANSACTIONS["MOVE_UP"], CONSTRAINTS[OVERBOOKING], SAMPLE
+    )
+
+
+def test_request_does_not_compensate_underbooking():
+    assert not compensates_on(
+        TRANSACTIONS["REQUEST"], CONSTRAINTS[UNDERBOOKING], SAMPLE
+    )
+
+
+@pytest.mark.parametrize(
+    "family,expected", sorted(PROPERTY_TABLE.preserves_priority.items())
+)
+def test_priority_preservation_matches_table(family, expected):
+    txn = TRANSACTIONS[family]
+    assert preserves_priority_on(txn, APP, SAMPLE) == expected
+
+
+@pytest.mark.parametrize(
+    "family,expected",
+    sorted(PROPERTY_TABLE.strongly_preserves_priority.items()),
+)
+def test_strong_priority_matches_table(family, expected):
+    txn = TRANSACTIONS[family]
+    pairs = list(zip(SAMPLE, SAMPLE[1:] + SAMPLE[:1]))
+    assert strongly_preserves_priority_on(txn, APP, pairs) == expected
+
+
+def test_safe_family_listings():
+    assert PROPERTY_TABLE.safe_families(OVERBOOKING) == (
+        "CANCEL", "MOVE_DOWN", "REQUEST",
+    )
+    assert PROPERTY_TABLE.unsafe_families(OVERBOOKING) == ("MOVE_UP",)
+    assert PROPERTY_TABLE.unsafe_families(UNDERBOOKING) == (
+        "CANCEL", "MOVE_DOWN", "REQUEST",
+    )
+    assert PROPERTY_TABLE.compensating_families(OVERBOOKING) == ("MOVE_DOWN",)
+    assert PROPERTY_TABLE.compensating_families(UNDERBOOKING) == ("MOVE_UP",)
+    assert PROPERTY_TABLE.preserving_families(OVERBOOKING) == (
+        "CANCEL", "MOVE_DOWN", "MOVE_UP", "REQUEST",
+    )

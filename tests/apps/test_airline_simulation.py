@@ -1,0 +1,78 @@
+"""Unit tests for the airline scenario driver."""
+
+import pytest
+
+from repro.apps.airline import AirlineState
+from repro.apps.airline.simulation import (
+    AirlineScenario,
+    run_airline_scenario,
+)
+from repro.apps.airline.timestamped import TSAirlineState
+
+
+class TestScenarioDriver:
+    def test_baseline_run_shape(self):
+        run = run_airline_scenario(
+            AirlineScenario(capacity=5, duration=30, seed=1)
+        )
+        assert isinstance(run.final_state, AirlineState)
+        assert len(run.execution) == (
+            run.requests_submitted + run.movers_submitted
+        )
+        run.execution.validate()
+
+    def test_deterministic_given_seed(self):
+        a = run_airline_scenario(AirlineScenario(duration=30, seed=4))
+        b = run_airline_scenario(AirlineScenario(duration=30, seed=4))
+        assert a.final_state == b.final_state
+        assert a.execution.updates == b.execution.updates
+
+    def test_different_seeds_differ(self):
+        a = run_airline_scenario(AirlineScenario(duration=30, seed=4))
+        b = run_airline_scenario(AirlineScenario(duration=30, seed=5))
+        assert a.execution.updates != b.execution.updates
+
+    def test_timestamped_design(self):
+        run = run_airline_scenario(
+            AirlineScenario(capacity=5, duration=30, seed=1,
+                            design="timestamped")
+        )
+        assert isinstance(run.final_state, TSAirlineState)
+        run.execution.validate()
+        # request timestamps are real submission times: nonnegative,
+        # bounded by the duration.
+        for txn in run.execution.transactions:
+            if txn.name == "REQUEST":
+                assert 0 <= txn.params[1] <= 30
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            run_airline_scenario(AirlineScenario(design="quantum"))
+
+    def test_mover_nodes_restriction(self):
+        run = run_airline_scenario(
+            AirlineScenario(capacity=5, duration=30, seed=2,
+                            mover_nodes=[1])
+        )
+        e = run.execution
+        mover_origins = {
+            r.origin
+            for r in run.cluster.records.values()
+            if r.transaction.name in ("MOVE_UP", "MOVE_DOWN")
+        }
+        assert mover_origins <= {1}
+
+    def test_cancel_fraction_zero_means_no_cancels(self):
+        run = run_airline_scenario(
+            AirlineScenario(capacity=5, duration=30, seed=3,
+                            cancel_fraction=0.0)
+        )
+        families = {t.name for t in run.execution.transactions}
+        assert "CANCEL" not in families
+
+    def test_external_actions_only_from_movers(self):
+        run = run_airline_scenario(
+            AirlineScenario(capacity=3, duration=30, seed=6)
+        )
+        kinds = {e.action.kind for e in run.ledger}
+        assert kinds <= {"inform_assigned", "inform_waitlisted"}

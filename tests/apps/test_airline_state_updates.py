@@ -1,0 +1,129 @@
+"""Tests for the airline states and the four update families."""
+
+from repro.apps.airline import (
+    AirlineState,
+    CancelUpdate,
+    INITIAL_STATE,
+    MoveDownUpdate,
+    MoveUpUpdate,
+    RequestUpdate,
+)
+
+
+class TestAirlineState:
+    def test_initial_state_empty_and_well_formed(self):
+        assert INITIAL_STATE.assigned == ()
+        assert INITIAL_STATE.waiting == ()
+        assert INITIAL_STATE.well_formed()
+
+    def test_al_wl(self):
+        s = AirlineState(("P1", "P2"), ("P3",))
+        assert s.al == 2
+        assert s.wl == 1
+
+    def test_disjointness_required(self):
+        assert not AirlineState(("P1",), ("P1",)).well_formed()
+
+    def test_duplicates_within_list_rejected(self):
+        assert not AirlineState(("P1", "P1"), ()).well_formed()
+        assert not AirlineState((), ("P1", "P1")).well_formed()
+
+    def test_membership_helpers(self):
+        s = AirlineState(("P1",), ("P2",))
+        assert s.is_assigned("P1") and not s.is_assigned("P2")
+        assert s.is_waiting("P2") and not s.is_waiting("P1")
+        assert s.is_known("P1") and s.is_known("P2") and not s.is_known("P3")
+
+    def test_known_order(self):
+        s = AirlineState(("P1", "P2"), ("P3",))
+        assert s.known() == ("P1", "P2", "P3")
+
+    def test_value_semantics(self):
+        assert AirlineState(("P1",), ()) == AirlineState(("P1",), ())
+        assert hash(AirlineState()) == hash(AirlineState())
+
+
+class TestRequestUpdate:
+    def test_appends_to_wait_list(self):
+        s = RequestUpdate("P1").apply(INITIAL_STATE)
+        assert s == AirlineState((), ("P1",))
+
+    def test_noop_if_waiting(self):
+        s = AirlineState((), ("P1",))
+        assert RequestUpdate("P1").apply(s) is s
+
+    def test_noop_if_assigned(self):
+        s = AirlineState(("P1",), ())
+        assert RequestUpdate("P1").apply(s) is s
+
+    def test_appends_at_end(self):
+        s = AirlineState((), ("P1",))
+        assert RequestUpdate("P2").apply(s).waiting == ("P1", "P2")
+
+
+class TestCancelUpdate:
+    def test_removes_from_waiting(self):
+        s = AirlineState((), ("P1", "P2"))
+        assert CancelUpdate("P1").apply(s) == AirlineState((), ("P2",))
+
+    def test_removes_from_assigned(self):
+        s = AirlineState(("P1", "P2"), ())
+        assert CancelUpdate("P2").apply(s) == AirlineState(("P1",), ())
+
+    def test_noop_if_unknown(self):
+        s = AirlineState(("P1",), ("P2",))
+        assert CancelUpdate("P9").apply(s) is s
+
+
+class TestMoveUpUpdate:
+    def test_moves_to_end_of_assigned(self):
+        s = AirlineState(("P1",), ("P2", "P3"))
+        result = MoveUpUpdate("P2").apply(s)
+        assert result == AirlineState(("P1", "P2"), ("P3",))
+
+    def test_noop_if_already_assigned(self):
+        s = AirlineState(("P1",), ("P2",))
+        assert MoveUpUpdate("P1").apply(s) is s
+
+    def test_noop_if_unknown(self):
+        s = AirlineState(("P1",), ("P2",))
+        assert MoveUpUpdate("P9").apply(s) is s
+
+    def test_moves_non_first_waiting_person(self):
+        # the update is parameterized; it moves P even if P is no longer
+        # first on the wait list in the state it is applied to.
+        s = AirlineState((), ("P1", "P2"))
+        assert MoveUpUpdate("P2").apply(s) == AirlineState(("P2",), ("P1",))
+
+
+class TestMoveDownUpdate:
+    def test_moves_to_head_of_waiting(self):
+        # head insertion: the paper-consistent semantics (see updates.py).
+        s = AirlineState(("P1", "P2"), ("P3",))
+        result = MoveDownUpdate("P2").apply(s)
+        assert result == AirlineState(("P1",), ("P2", "P3"))
+
+    def test_noop_if_waiting(self):
+        s = AirlineState((), ("P1",))
+        assert MoveDownUpdate("P1").apply(s) is s
+
+    def test_noop_if_unknown(self):
+        s = AirlineState(("P1",), ())
+        assert MoveDownUpdate("P9").apply(s) is s
+
+
+class TestWellFormednessPreservation:
+    def test_all_updates_preserve_well_formedness(self):
+        states = [
+            INITIAL_STATE,
+            AirlineState(("P1",), ("P2", "P3")),
+            AirlineState(("P1", "P2"), ()),
+        ]
+        updates = [
+            cls(p)
+            for cls in (RequestUpdate, CancelUpdate, MoveUpUpdate, MoveDownUpdate)
+            for p in ("P1", "P2", "P3", "P9")
+        ]
+        for s in states:
+            for u in updates:
+                assert u.apply(s).well_formed()

@@ -1,0 +1,280 @@
+"""Tests for the airline-specialized theorems (Section 5) on generated
+and scripted executions."""
+
+import random
+
+import pytest
+
+from repro.apps.airline.generator import (
+    GeneratorConfig,
+    generate,
+    random_airline_execution,
+)
+from repro.apps.airline.theorems import (
+    corollary6_overbooking,
+    corollary6_underbooking,
+    corollary8,
+    corollary10,
+    corollary11,
+    corollary13_overbooking,
+    corollary13_underbooking,
+    theorem20_overbooking,
+    theorem20_underbooking,
+    theorem22,
+    theorem23,
+    theorem25,
+    theorem27,
+)
+from repro.apps.airline.worked_examples import (
+    section_3_1_execution,
+    section_5_4_counterexample,
+    section_5_5_priority_inversion,
+)
+from repro.core import Execution, TimedExecution
+from repro.core.builder import ExecutionBuilder
+from repro.apps.airline import (
+    AirlineState,
+    Cancel,
+    MoveDown,
+    MoveUp,
+    Request,
+)
+
+CAPACITY = 6
+
+
+def run_for(seed, k, drop="recent", n=150, **kwargs):
+    return random_airline_execution(
+        seed=seed, capacity=CAPACITY, n_transactions=n, k=k, drop=drop, **kwargs
+    )
+
+
+class TestCorollary6:
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_overbooking_per_step(self, k):
+        e = run_for(seed=k, k=k)
+        for i in e.indices:
+            assert corollary6_overbooking(e, i, k, CAPACITY).holds
+
+    @pytest.mark.parametrize("k", [0, 2])
+    def test_underbooking_per_step(self, k):
+        e = run_for(seed=10 + k, k=k)
+        for i in e.indices:
+            assert corollary6_underbooking(e, i, k, CAPACITY).holds
+
+    def test_non_mover_is_vacuous_for_underbooking(self):
+        e = run_for(seed=3, k=0)
+        request_idx = next(
+            i for i in e.indices if e.transactions[i].name == "REQUEST"
+        )
+        report = corollary6_underbooking(e, request_idx, 0, CAPACITY)
+        assert report.vacuous
+
+
+class TestCorollary8:
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_invariant_overbooking_bound(self, k):
+        for seed in range(3):
+            e = run_for(seed=seed * 31 + k, k=k)
+            report = corollary8(e, k, CAPACITY)
+            assert report.hypothesis_holds
+            assert report.holds
+            assert report.details["max_overbooking_cost"] <= 900 * k
+
+    def test_zero_k_means_zero_overbooking(self):
+        e = run_for(seed=77, k=0, drop="none")
+        report = corollary8(e, 0, CAPACITY)
+        assert report.holds
+        assert report.details["max_overbooking_cost"] == 0
+
+    def test_section_3_1_requires_k_2(self):
+        e = section_3_1_execution(capacity=10)
+        # the two incomplete MOVE_UPs miss 4 transactions each.
+        r_small = corollary8(e, 2, 10)
+        assert not r_small.hypothesis_holds
+        k = max(
+            e.deficit(i) for i in e.indices
+            if e.transactions[i].name == "MOVE_UP"
+        )
+        r_big = corollary8(e, k, 10)
+        assert r_big.hypothesis_holds and r_big.holds
+
+
+class TestCorollaries10And11:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_grouped_bounds(self, k):
+        config = GeneratorConfig(
+            capacity=CAPACITY, n_transactions=120, k=k, grouped=True,
+            drop="random",
+        )
+        run = generate(config, random.Random(k + 5))
+        r10 = corollary10(run.execution, run.grouping, k, CAPACITY)
+        assert r10.hypothesis_holds and r10.holds
+        r11 = corollary11(run.execution, run.grouping, k, CAPACITY)
+        assert r11.hypothesis_holds and r11.holds
+
+
+class TestCorollary13:
+    def test_move_down_suffix_repairs_overbooking(self):
+        e = section_3_1_execution(capacity=10)
+        kept = tuple(e.indices)
+        report = corollary13_overbooking(e, kept, 10)
+        assert report.holds
+
+    def test_move_up_suffix_repairs_underbooking(self):
+        # generate a badly underbooked state: many requests, no movers.
+        b = ExecutionBuilder(AirlineState())
+        for i in range(8):
+            b.add(Request(f"P{i}"))
+        e = b.build()
+        kept = tuple(e.indices)
+        report = corollary13_underbooking(e, kept, CAPACITY)
+        assert report.holds
+        assert report.details["suffix_len"] > 0
+
+    def test_repair_with_missing_information(self):
+        e = section_3_1_execution(capacity=10)
+        kept = tuple(e.indices)[:-3]
+        report = corollary13_overbooking(e, kept, 10)
+        assert report.holds
+        assert report.details["f(k)"] == 2700
+
+
+class TestTheorem20:
+    @pytest.mark.parametrize("k", [0, 1, 3])
+    def test_refined_overbooking(self, k):
+        e = run_for(seed=50 + k, k=k)
+        for i in e.indices:
+            report = theorem20_overbooking(e, i, CAPACITY)
+            assert report.holds
+            assert report.details["refined_k"] <= report.details["plain_k"]
+
+    @pytest.mark.parametrize("k", [0, 2])
+    def test_refined_underbooking(self, k):
+        e = run_for(seed=60 + k, k=k)
+        for i in e.indices:
+            assert theorem20_underbooking(e, i, CAPACITY).holds
+
+    def test_refinement_is_strict_sometimes(self):
+        """Missing irrelevant transactions should not inflate refined k."""
+        e = run_for(seed=99, k=4, n=200)
+        strict = 0
+        for i in e.indices:
+            d = theorem20_overbooking(e, i, CAPACITY).details
+            if d["refined_k"] < d["plain_k"]:
+                strict += 1
+        assert strict > 0
+
+
+class TestTheorems22And23:
+    def _centralized_execution(self):
+        """Single-node regime: everything sees everything (trivially
+        transitive and centralized)."""
+        return random_airline_execution(
+            seed=4, capacity=CAPACITY, n_transactions=150, k=0, drop="none"
+        )
+
+    def test_complete_prefix_run_satisfies_22(self):
+        e = self._centralized_execution()
+        report = theorem22(e, CAPACITY)
+        assert report.hypothesis_holds
+        assert report.holds
+
+    def test_counterexample_is_vacuous_for_22_but_overbooked(self):
+        e = section_5_4_counterexample(capacity=8)
+        report = theorem22(e, 8)
+        assert not report.hypothesis_holds  # per-person fails
+        assert report.details["transitive"]
+        assert report.details["movers_centralized"]
+        assert not report.details["per_person_centralized"]
+        assert report.details["max_overbooking_cost"] > 0
+
+    def test_counterexample_fails_23_hypothesis_too(self):
+        e = section_5_4_counterexample(capacity=8)
+        report = theorem23(e, 8)
+        assert not report.details["single_requests"]
+        assert report.holds  # vacuously
+
+    def test_section_3_1_violates_hypotheses_and_conclusion(self):
+        e = section_3_1_execution(capacity=10)
+        report = theorem22(e, 10)
+        assert not report.hypothesis_holds
+        assert report.details["max_overbooking_cost"] == 1800
+
+
+class TestTheorem25:
+    def test_priority_fixed_once_agent_sees_both(self):
+        e = section_5_5_priority_inversion()
+        report = theorem25(e, "P", "Q")
+        assert report.hypothesis_holds
+        assert report.holds
+        # the agent's first informed view has Q ahead of P.
+        assert report.details["apparent_order"] == "Q<P"
+
+    def test_vacuous_without_centralized_movers(self):
+        e = section_3_1_execution(capacity=10)
+        report = theorem25(e, "P1", "P2")
+        assert not report.hypothesis_holds
+
+
+class TestLemma26:
+    def test_holds_when_movers_informed_together(self):
+        from repro.apps.airline.theorems import lemma26
+
+        b = ExecutionBuilder(AirlineState())
+        b.add(Request("P"))          # 0
+        b.add(Request("Q"))          # 1
+        b.add(MoveUp(1))             # 2: sees both -> seats P
+        b.add(MoveUp(1))             # 3
+        e = b.build()
+        report = lemma26(e, "P", "Q")
+        assert report.hypothesis_holds
+        assert report.holds
+
+    def test_vacuous_when_mover_saw_q_only(self):
+        from repro.apps.airline.theorems import lemma26
+
+        b = ExecutionBuilder(AirlineState())
+        b.add(Request("P"))                 # 0
+        b.add(Request("Q"), prefix=())      # 1
+        b.add(MoveUp(1), prefix=(1,))       # 2: Q only -> seats Q
+        b.add(MoveUp(1), prefix=(0, 1, 2))  # 3
+        e = b.build()
+        report = lemma26(e, "P", "Q")
+        assert not report.details["movers_informed_together"]
+        assert not report.hypothesis_holds
+        # and indeed Q ends ahead of P: the conclusion genuinely fails,
+        # showing the hypothesis is load-bearing.
+        assert not report.conclusion_holds
+
+    def test_on_section_5_5_example(self):
+        from repro.apps.airline.theorems import lemma26
+
+        e = section_5_5_priority_inversion()
+        report = lemma26(e, "P", "Q")
+        # the agent saw request(Q) before request(P): hypothesis fails,
+        # and the inversion is exactly the conclusion failing.
+        assert not report.details["movers_informed_together"]
+        assert not report.conclusion_holds
+        assert report.holds  # vacuously
+
+
+class TestTheorem27:
+    def _timed_orderly_run(self, t):
+        """Complete prefixes, times = indices: trivially t-bounded."""
+        b = ExecutionBuilder(AirlineState())
+        txns = [Request("P"), Request("Q"), MoveUp(1), MoveUp(1), MoveDown(1)]
+        for i, txn in enumerate(txns):
+            b.add(txn, time=float(i * 10))
+        return TimedExecution(b.build(), [0.0, 10.0, 20.0, 30.0, 40.0])
+
+    def test_gap_implies_priority(self):
+        e = self._timed_orderly_run(5.0)
+        report = theorem27(e, 5.0, "P", "Q")
+        assert report.hypothesis_holds
+        assert report.holds
+
+    def test_gap_hypothesis_checked(self):
+        e = self._timed_orderly_run(5.0)
+        report = theorem27(e, 100.0, "P", "Q")
+        assert not report.hypothesis_holds

@@ -1,0 +1,88 @@
+"""Tests for the four airline transactions' decision parts."""
+
+from repro.apps.airline import (
+    AirlineState,
+    Cancel,
+    CancelUpdate,
+    INFORM_ASSIGNED,
+    INFORM_WAITLISTED,
+    MoveDown,
+    MoveDownUpdate,
+    MoveUp,
+    MoveUpUpdate,
+    Request,
+    RequestUpdate,
+)
+from repro.core import IDENTITY
+
+
+class TestRequestCancelDecisions:
+    def test_request_always_same_update(self):
+        txn = Request("P1")
+        for s in (AirlineState(), AirlineState(("P1",), ())):
+            d = txn.decide(s)
+            assert d.update == RequestUpdate("P1")
+            assert d.external_actions == ()
+
+    def test_cancel_always_same_update(self):
+        txn = Cancel("P1")
+        d = txn.decide(AirlineState())
+        assert d.update == CancelUpdate("P1")
+        assert d.external_actions == ()
+
+
+class TestMoveUpDecision:
+    def test_moves_first_waiting_when_seat_free(self):
+        s = AirlineState(("P1",), ("P2", "P3"))
+        d = MoveUp(2).decide(s)
+        assert d.update == MoveUpUpdate("P2")
+        assert d.external_actions == tuple(
+            [type(d.external_actions[0])(INFORM_ASSIGNED, "P2")]
+        )
+
+    def test_noop_when_full(self):
+        s = AirlineState(("P1", "P2"), ("P3",))
+        d = MoveUp(2).decide(s)
+        assert d.update == IDENTITY
+        assert d.external_actions == ()
+
+    def test_noop_when_no_one_waiting(self):
+        s = AirlineState(("P1",), ())
+        assert MoveUp(2).decide(s).update == IDENTITY
+
+    def test_noop_when_overbooked(self):
+        s = AirlineState(("P1", "P2", "P3"), ("P4",))
+        assert MoveUp(2).decide(s).update == IDENTITY
+
+
+class TestMoveDownDecision:
+    def test_moves_last_assigned_when_overbooked(self):
+        s = AirlineState(("P1", "P2", "P3"), ())
+        d = MoveDown(2).decide(s)
+        assert d.update == MoveDownUpdate("P3")
+        assert d.external_actions[0].kind == INFORM_WAITLISTED
+        assert d.external_actions[0].target == "P3"
+
+    def test_noop_when_at_capacity(self):
+        s = AirlineState(("P1", "P2"), ("P3",))
+        assert MoveDown(2).decide(s).update == IDENTITY
+
+    def test_noop_when_under_capacity(self):
+        s = AirlineState(("P1",), ())
+        assert MoveDown(2).decide(s).update == IDENTITY
+
+
+class TestRunSemantics:
+    def test_move_up_decided_stale_applied_fresh(self):
+        # decision sees P2 first in line; by application time P2 is gone
+        # from the wait list -> the update is a no-op (paper Section 2.3).
+        seen = AirlineState((), ("P2",))
+        actual = AirlineState(("P2",), ())
+        result = MoveUp(5).run(seen, actual)
+        assert result == actual
+
+    def test_move_up_overbooks_when_applied_to_full_state(self):
+        seen = AirlineState((), ("P9",))
+        actual = AirlineState(("P1", "P2"), ("P9",))
+        result = MoveUp(2).run(seen, actual)
+        assert result.al == 3  # the paper's overbooking hazard.

@@ -1,0 +1,127 @@
+"""Deterministic tests for the Section 5.3 witness machinery."""
+
+from repro.apps.airline import (
+    CancelUpdate,
+    MoveDownUpdate,
+    MoveUpUpdate,
+    RequestUpdate,
+    assigned_by_log,
+    find_assignment_witness,
+    find_waiting_witness,
+    known_by_log,
+    persons_mentioned,
+    refined_overbooking_deficit,
+    refined_underbooking_deficit,
+    retains_last,
+    waiting_by_log,
+    witness_retained,
+)
+
+R, C, U, D = RequestUpdate, CancelUpdate, MoveUpUpdate, MoveDownUpdate
+
+
+class TestAssignmentWitness:
+    def test_simple_pair(self):
+        seq = [R("P"), U("P")]
+        assert find_assignment_witness(seq, "P") == (0, 1)
+
+    def test_cancel_after_request_kills_witness(self):
+        seq = [R("P"), C("P"), U("P")]
+        assert find_assignment_witness(seq, "P") is None
+
+    def test_move_down_after_move_up_kills_witness(self):
+        seq = [R("P"), U("P"), D("P")]
+        assert find_assignment_witness(seq, "P") is None
+
+    def test_later_pair_survives(self):
+        seq = [R("P"), U("P"), D("P"), U("P")]
+        assert find_assignment_witness(seq, "P") == (0, 3)
+
+    def test_rerequest_after_cancel(self):
+        seq = [R("P"), C("P"), R("P"), U("P")]
+        assert find_assignment_witness(seq, "P") == (2, 3)
+
+    def test_move_up_before_request_is_not_witness(self):
+        seq = [U("P"), R("P")]
+        assert find_assignment_witness(seq, "P") is None
+
+    def test_other_people_ignored(self):
+        seq = [R("P"), C("Q"), U("P"), D("Q")]
+        assert find_assignment_witness(seq, "P") == (0, 2)
+
+
+class TestWaitingWitness:
+    def test_bare_request(self):
+        assert find_waiting_witness([R("P")], "P") == 0
+
+    def test_request_then_move_up_not_waiting(self):
+        assert find_waiting_witness([R("P"), U("P")], "P") is None
+
+    def test_request_move_up_move_down(self):
+        seq = [R("P"), U("P"), D("P")]
+        assert find_waiting_witness(seq, "P") == (0, 2)
+
+    def test_cancel_kills_both_forms(self):
+        assert find_waiting_witness([R("P"), C("P")], "P") is None
+        assert find_waiting_witness([R("P"), U("P"), D("P"), C("P")], "P") is None
+
+    def test_move_up_after_move_down_kills_pair(self):
+        seq = [R("P"), U("P"), D("P"), U("P")]
+        assert find_waiting_witness(seq, "P") is None
+
+
+class TestLemma14Characterization:
+    def test_known(self):
+        assert known_by_log([R("P")], "P")
+        assert not known_by_log([R("P"), C("P")], "P")
+        assert known_by_log([R("P"), C("P"), R("P")], "P")
+        assert not known_by_log([], "P")
+
+    def test_assigned(self):
+        assert assigned_by_log([R("P"), U("P")], "P")
+        assert not assigned_by_log([R("P")], "P")
+
+    def test_waiting(self):
+        assert waiting_by_log([R("P")], "P")
+        assert not waiting_by_log([R("P"), U("P")], "P")
+        assert waiting_by_log([R("P"), U("P"), D("P")], "P")
+
+
+class TestSubsequenceHelpers:
+    def test_witness_retained(self):
+        assert witness_retained((0, 2), {0, 1, 2})
+        assert not witness_retained((0, 2), {0, 1})
+        assert witness_retained(1, {1})
+        assert not witness_retained(None, {0, 1})
+
+    def test_retains_last_vacuous_without_occurrences(self):
+        seq = [R("P")]
+        assert retains_last(seq, set(), "cancel", "P")
+
+    def test_retains_last(self):
+        seq = [R("P"), C("P"), R("P"), C("P")]
+        assert retains_last(seq, {3}, "cancel", "P")
+        assert not retains_last(seq, {1}, "cancel", "P")
+
+    def test_persons_mentioned(self):
+        seq = [R("P"), C("Q"), U("P")]
+        assert persons_mentioned(seq) == ("P", "Q")
+
+
+class TestRefinedDeficits:
+    def test_overbooking_deficit_counts_missing_witnesses(self):
+        seq = [R("P"), U("P"), R("Q"), U("Q")]
+        # subsequence sees P's witness but not Q's move_up.
+        kept = [0, 1, 2]
+        assert refined_overbooking_deficit(seq, kept, ["P", "Q"]) == 1
+        assert refined_overbooking_deficit(seq, [0, 1, 2, 3], ["P", "Q"]) == 0
+
+    def test_underbooking_deficit_counts_missing_last_cancels(self):
+        seq = [R("P"), U("P"), C("P"), R("Q")]
+        # P not assigned in actual; subsequence misses the cancel.
+        assert refined_underbooking_deficit(seq, [0, 1, 3], []) == 1
+        assert refined_underbooking_deficit(seq, [0, 1, 2, 3], []) == 0
+
+    def test_underbooking_deficit_counts_missing_move_downs(self):
+        seq = [R("P"), U("P"), D("P")]
+        assert refined_underbooking_deficit(seq, [0, 1], []) == 1

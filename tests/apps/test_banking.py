@@ -1,0 +1,159 @@
+"""Tests for the banking application."""
+
+import pytest
+
+from repro.apps.banking import (
+    Audit,
+    BankState,
+    Cover,
+    CoverWorst,
+    CreditUpdate,
+    DebitUpdate,
+    Deposit,
+    INITIAL_BANK_STATE,
+    OverdraftConstraint,
+    Transfer,
+    TransferUpdate,
+    Withdraw,
+    make_banking_application,
+    overdraft_bound,
+)
+from repro.core import (
+    IDENTITY,
+    ExecutionBuilder,
+    compensates_on,
+    is_increasing_on,
+    is_safe_on,
+    preserves_cost_on,
+)
+
+
+def bank(**balances):
+    return BankState(tuple(sorted(balances.items())))
+
+
+class TestBankState:
+    def test_initial_empty(self):
+        assert INITIAL_BANK_STATE.accounts == ()
+        assert INITIAL_BANK_STATE.well_formed()
+
+    def test_balance_default_zero(self):
+        assert bank(alice=5).balance("bob") == 0
+
+    def test_adjust(self):
+        s = bank(alice=5).adjust("alice", -3)
+        assert s.balance("alice") == 2
+
+    def test_sorted_requirement(self):
+        assert not BankState((("b", 1), ("a", 1))).well_formed()
+        assert not BankState((("a", 1), ("a", 2))).well_formed()
+
+    def test_overdraft_accounting(self):
+        s = bank(alice=-3, bob=2, carol=-1)
+        assert s.total_overdraft == 4
+        assert dict(s.overdrawn()) == {"alice": 3, "carol": 1}
+        assert s.total == -2
+
+
+class TestUpdates:
+    def test_credit_debit(self):
+        s = CreditUpdate("a", 10).apply(INITIAL_BANK_STATE)
+        assert s.balance("a") == 10
+        s = DebitUpdate("a", 15).apply(s)
+        assert s.balance("a") == -5  # debits are unconditional
+
+    def test_transfer(self):
+        s = TransferUpdate("a", "b", 7).apply(bank(a=10))
+        assert s.balance("a") == 3
+        assert s.balance("b") == 7
+
+
+class TestTransactions:
+    def test_withdraw_respects_observed_balance(self):
+        d = Withdraw("a", 5).decide(bank(a=10))
+        assert d.update == DebitUpdate("a", 5)
+        assert d.external_actions[0].kind == "dispense_cash"
+        assert Withdraw("a", 5).decide(bank(a=3)).update == IDENTITY
+
+    def test_stale_withdraw_overdraws(self):
+        # the paper's hazard transposed to banking: decision against a
+        # stale balance, replay against the truth.
+        result = Withdraw("a", 8).run(bank(a=10), bank(a=5))
+        assert result.balance("a") == -3
+
+    def test_transfer_decision(self):
+        d = Transfer("a", "b", 5).decide(bank(a=5))
+        assert d.update == TransferUpdate("a", "b", 5)
+        assert Transfer("a", "b", 5).decide(bank(a=4)).update == IDENTITY
+
+    def test_cover_clears_observed_overdraft(self):
+        d = Cover("a").decide(bank(a=-7))
+        assert d.update == CreditUpdate("a", 7)
+        assert Cover("a").decide(bank(a=0)).update == IDENTITY
+
+    def test_cover_worst_picks_deepest(self):
+        d = CoverWorst().decide(bank(a=-2, b=-9))
+        assert d.update == CreditUpdate("b", 9)
+
+    def test_audit_reports_total(self):
+        d = Audit().decide(bank(a=3, b=4))
+        assert d.update == IDENTITY
+        assert d.external_actions[0].payload == (7,)
+
+
+class TestProperties:
+    SAMPLE = [
+        INITIAL_BANK_STATE,
+        bank(a=5), bank(a=0), bank(a=-3), bank(a=2, b=-1),
+        bank(a=10, b=10), bank(a=-1, b=7), bank(a=3, b=3),
+    ]
+    A = OverdraftConstraint("a")
+    B = OverdraftConstraint("b")
+
+    def test_debit_increasing_credit_not(self):
+        assert is_increasing_on(DebitUpdate("a", 4), self.A, self.SAMPLE)
+        assert not is_increasing_on(CreditUpdate("a", 4), self.A, self.SAMPLE)
+
+    def test_withdraw_unsafe_for_own_account_safe_for_others(self):
+        w = Withdraw("a", 4)
+        assert not is_safe_on(w, self.A, self.SAMPLE)
+        assert is_safe_on(w, self.B, self.SAMPLE)
+
+    def test_withdraw_preserves_own_cost(self):
+        assert preserves_cost_on(Withdraw("a", 4), self.A, self.SAMPLE)
+
+    def test_transfer_unsafe_for_source_only(self):
+        t = Transfer("a", "b", 4)
+        assert not is_safe_on(t, self.A, self.SAMPLE)
+        assert is_safe_on(t, self.B, self.SAMPLE)
+        assert preserves_cost_on(t, self.A, self.SAMPLE)
+
+    def test_cover_worst_compensates(self):
+        assert compensates_on(CoverWorst(), self.A, self.SAMPLE)
+
+    def test_deposit_safe(self):
+        assert is_safe_on(Deposit("a", 4), self.A, self.SAMPLE)
+
+
+class TestApplicationAndBound:
+    def test_app_cost_is_total_overdraft(self):
+        app = make_banking_application(accounts=("a", "b"))
+        assert app.cost(bank(a=-3, b=-2)) == 5
+        assert app.cost(bank(a=-3, b=-2), "overdraft:a") == 3
+
+    def test_overdraft_bound(self):
+        assert overdraft_bound(max_withdrawal=100)(2) == 200
+
+    def test_stale_run_respects_bound(self):
+        """k-stale withdrawals overdraw by at most max_withdrawal * k."""
+        app = make_banking_application(accounts=("a",))
+        amount, k, n = 10, 3, 12
+        builder = ExecutionBuilder(INITIAL_BANK_STATE)
+        builder.add(Deposit("a", 30))
+        for i in range(n):
+            m = len(builder)
+            builder.add(Withdraw("a", amount),
+                        prefix=range(max(0, m - k)))
+        e = builder.build()
+        worst = max(app.cost(s) for s in e.actual_states)
+        assert worst <= overdraft_bound(amount)(k)

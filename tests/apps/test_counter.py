@@ -1,0 +1,59 @@
+"""Tests for the minimal counter application (the didactic app)."""
+
+import pytest
+
+from repro.apps.counter import (
+    AddUpdate,
+    Allocate,
+    CounterState,
+    Release,
+    UpperBoundConstraint,
+    counter_bound,
+    make_counter_application,
+)
+from repro.core import (
+    ExecutionBuilder,
+    compensates_on,
+    is_safe_on,
+    preserves_cost_on,
+)
+
+SAMPLE = [CounterState(v) for v in range(12)]
+LIMIT = 4
+CONSTRAINT = UpperBoundConstraint(LIMIT, unit_cost=1)
+
+
+class TestCounterApp:
+    def test_assembly(self):
+        app = make_counter_application(limit=LIMIT)
+        assert app.initially_zero_cost()
+        assert app.cost(CounterState(LIMIT + 2)) == 2
+
+    def test_property_structure_mirrors_airline(self):
+        """ALLOCATE is the counter's MOVE_UP; RELEASE its MOVE_DOWN."""
+        assert not is_safe_on(Allocate(LIMIT), CONSTRAINT, SAMPLE)
+        assert preserves_cost_on(Allocate(LIMIT), CONSTRAINT, SAMPLE)
+        assert is_safe_on(Release(LIMIT), CONSTRAINT, SAMPLE)
+        assert compensates_on(Release(LIMIT), CONSTRAINT, SAMPLE)
+
+    def test_bound_function(self):
+        assert counter_bound(2.0)(3) == 6.0
+
+    def test_k_stale_allocators_respect_bound(self):
+        for k in (0, 1, 3):
+            builder = ExecutionBuilder(CounterState(0))
+            for _ in range(15):
+                n = len(builder)
+                builder.add(Allocate(LIMIT), prefix=range(max(0, n - k)))
+            e = builder.build()
+            worst = max(CONSTRAINT.cost(s) for s in e.actual_states)
+            assert worst <= counter_bound(1)(k)
+
+    def test_external_actions(self):
+        decision = Allocate(LIMIT).decide(CounterState(0))
+        assert decision.external_actions[0].kind == "granted"
+        decision = Release(LIMIT).decide(CounterState(LIMIT + 1))
+        assert decision.external_actions[0].kind == "revoked"
+
+    def test_negative_counter_floored(self):
+        assert AddUpdate(-10).apply(CounterState(3)) == CounterState(0)

@@ -1,0 +1,128 @@
+"""Tests for the replicated dictionary application."""
+
+import pytest
+
+from repro.apps.dictionary import (
+    Delete,
+    DeleteUpdate,
+    DictState,
+    INITIAL_DICT_STATE,
+    Insert,
+    InsertUpdate,
+    Prune,
+    Query,
+    SizeConstraint,
+    make_dictionary_application,
+    oversize_bound,
+)
+from repro.core import (
+    IDENTITY,
+    ExecutionBuilder,
+    apply_sequence,
+    compensates_on,
+    is_safe_on,
+    preserves_cost_on,
+)
+
+
+def d(*members, tombstones=()):
+    return DictState(frozenset(members), frozenset(tombstones))
+
+
+class TestDictState:
+    def test_membership(self):
+        s = d("x", "y")
+        assert "x" in s and "z" not in s
+        assert s.size == 2
+
+    def test_well_formedness(self):
+        assert d("x", tombstones=("y",)).well_formed()
+        assert not d("x", tombstones=("x",)).well_formed()
+
+
+class TestUpdates:
+    def test_insert_then_delete(self):
+        s = InsertUpdate("x").apply(INITIAL_DICT_STATE)
+        s = DeleteUpdate("x").apply(s)
+        assert "x" not in s
+        assert "x" in s.tombstones
+
+    def test_reinsert_clears_tombstone(self):
+        s = DeleteUpdate("x").apply(INITIAL_DICT_STATE)
+        s = InsertUpdate("x").apply(s)
+        assert "x" in s
+        assert "x" not in s.tombstones
+
+    def test_fm_semantics_via_replay(self):
+        """x is a member iff some insert(x) is not followed by delete(x)
+        in the (timestamp-ordered) log."""
+        log = [InsertUpdate("x"), DeleteUpdate("x"), InsertUpdate("x")]
+        assert "x" in apply_sequence(log, INITIAL_DICT_STATE)
+        log = [InsertUpdate("x"), InsertUpdate("x"), DeleteUpdate("x")]
+        assert "x" not in apply_sequence(log, INITIAL_DICT_STATE)
+
+
+class TestTransactions:
+    def test_insert_checks_observed_capacity(self):
+        assert Insert("x", 2).decide(d("a")).update == InsertUpdate("x")
+        assert Insert("x", 2).decide(d("a", "b")).update == IDENTITY
+
+    def test_query_reports_observed_members(self):
+        decision = Query().decide(d("b", "a"))
+        assert decision.update == IDENTITY
+        assert decision.external_actions[0].payload == ("a", "b")
+
+    def test_prune_removes_when_oversized(self):
+        decision = Prune(1).decide(d("a", "b"))
+        assert decision.update == DeleteUpdate("b")
+        assert Prune(3).decide(d("a", "b")).update == IDENTITY
+
+
+SAMPLE = [
+    INITIAL_DICT_STATE,
+    d("a"), d("a", "b"), d("a", "b", "c"), d("a", "b", "c", "d"),
+    d("x", tombstones=("a",)),
+]
+CONSTRAINT = SizeConstraint(capacity=2, unit_cost=1)
+
+
+class TestProperties:
+    def test_insert_unsafe_but_preserving(self):
+        txn = Insert("z", 2)
+        assert not is_safe_on(txn, CONSTRAINT, SAMPLE)
+        assert preserves_cost_on(txn, CONSTRAINT, SAMPLE)
+
+    def test_delete_safe(self):
+        assert is_safe_on(Delete("a"), CONSTRAINT, SAMPLE)
+
+    def test_prune_compensates(self):
+        assert compensates_on(Prune(2), CONSTRAINT, SAMPLE)
+
+
+class TestQueriesUnderPartialInformation:
+    def test_query_reports_subsequence_result(self):
+        """The FM guarantee: a query's report equals the membership of
+        the subsequence of operations it saw."""
+        builder = ExecutionBuilder(INITIAL_DICT_STATE)
+        builder.add(Insert("a", 10))
+        builder.add(Insert("b", 10))
+        builder.add(Delete("a"))
+        builder.add(Query(), prefix=(0, 1))  # misses the delete
+        e = builder.build()
+        report = e.external_actions[3][0].payload
+        assert report == ("a", "b")
+        # while the actual state no longer holds "a".
+        assert "a" not in e.actual_before(3)
+
+    def test_size_bound_under_staleness(self):
+        app = make_dictionary_application(capacity=3, unit_cost=1)
+        k = 2
+        builder = ExecutionBuilder(INITIAL_DICT_STATE)
+        for i in range(10):
+            m = len(builder)
+            builder.add(
+                Insert(f"item{i}", 3), prefix=range(max(0, m - k))
+            )
+        e = builder.build()
+        worst = max(app.cost(s) for s in e.actual_states)
+        assert worst <= oversize_bound(1)(k)

@@ -1,0 +1,159 @@
+"""Tests for the inventory-control application."""
+
+import pytest
+
+from repro.apps.inventory import (
+    CancelOrder,
+    CancelOrderUpdate,
+    Commit,
+    CommitUpdate,
+    INITIAL_INVENTORY_STATE,
+    InventoryState,
+    Order,
+    OrderUpdate,
+    OvercommitConstraint,
+    Renege,
+    RenegeUpdate,
+    Restock,
+    RestockUpdate,
+    Ship,
+    ShipUpdate,
+    UnderfillConstraint,
+    make_inventory_application,
+    overcommit_bound,
+)
+from repro.core import (
+    IDENTITY,
+    ExecutionBuilder,
+    compensates_on,
+    is_increasing_on,
+    is_safe_on,
+    preserves_cost_on,
+)
+
+
+def inv(stock=0, committed=(), backorders=()):
+    return InventoryState(stock, tuple(committed), tuple(backorders))
+
+
+class TestState:
+    def test_well_formedness(self):
+        assert inv(3, ("o1",), ("o2",)).well_formed()
+        assert not inv(3, ("o1",), ("o1",)).well_formed()
+        assert not inv(-1).well_formed()
+        assert not inv(1, ("o1", "o1")).well_formed()
+
+
+class TestUpdates:
+    def test_order_and_cancel(self):
+        s = OrderUpdate("o1").apply(INITIAL_INVENTORY_STATE)
+        assert s.backorders == ("o1",)
+        assert OrderUpdate("o1").apply(s) is s  # duplicate is noop
+        assert CancelOrderUpdate("o1").apply(s).backorders == ()
+
+    def test_commit_moves_backorder(self):
+        s = inv(5, (), ("o1", "o2"))
+        s2 = CommitUpdate("o1").apply(s)
+        assert s2.committed == ("o1",)
+        assert s2.backorders == ("o2",)
+
+    def test_commit_noop_when_not_backordered(self):
+        s = inv(5, ("o1",), ())
+        assert CommitUpdate("o1").apply(s) is s
+
+    def test_renege_head_insertion(self):
+        s = inv(0, ("o1", "o2"), ("o3",))
+        s2 = RenegeUpdate("o2").apply(s)
+        assert s2.backorders == ("o2", "o3")
+
+    def test_restock(self):
+        assert RestockUpdate(4).apply(inv(1)).stock == 5
+
+    def test_ship_floors_stock(self):
+        s = inv(0, ("o1",))
+        s2 = ShipUpdate("o1").apply(s)
+        assert s2.stock == 0
+        assert s2.committed == ()
+
+
+class TestDecisions:
+    def test_commit_when_stock_free(self):
+        s = inv(2, ("o1",), ("o2",))
+        d = Commit().decide(s)
+        assert d.update == CommitUpdate("o2")
+        assert d.external_actions[0].kind == "order_confirmed"
+
+    def test_commit_noop_when_full(self):
+        assert Commit().decide(inv(1, ("o1",), ("o2",))).update == IDENTITY
+
+    def test_renege_when_overcommitted(self):
+        s = inv(1, ("o1", "o2"), ())
+        d = Renege().decide(s)
+        assert d.update == RenegeUpdate("o2")
+        assert d.external_actions[0].kind == "order_rescinded"
+
+    def test_ship_first_committed(self):
+        d = Ship().decide(inv(3, ("o1", "o2")))
+        assert d.update == ShipUpdate("o1")
+        assert Ship().decide(inv(0, ("o1",))).update == IDENTITY
+
+
+SAMPLE = [
+    INITIAL_INVENTORY_STATE,
+    inv(3, ("a", "b"), ("c",)),
+    inv(1, ("a", "b", "c"), ()),
+    inv(5, (), ("a", "b")),
+    inv(0, ("a",), ("b",)),
+    inv(1, ("a",), ("c",)),
+    inv(2, ("a", "b"), ()),
+    inv(4, ("a", "b", "c", "d"), ("e", "f")),
+]
+OVER = OvercommitConstraint(unit_cost=1)
+UNDER = UnderfillConstraint(unit_cost=1)
+
+
+class TestProperties:
+    def test_commit_unsafe_but_preserving_for_overcommit(self):
+        assert is_increasing_on(CommitUpdate("c"), OVER, SAMPLE)
+        assert not is_safe_on(Commit(), OVER, SAMPLE)
+        assert preserves_cost_on(Commit(), OVER, SAMPLE)
+
+    def test_renege_compensates_overcommit(self):
+        assert compensates_on(Renege(), OVER, SAMPLE)
+        assert is_safe_on(Renege(), OVER, SAMPLE)
+
+    def test_commit_compensates_underfill(self):
+        assert compensates_on(Commit(), UNDER, SAMPLE)
+
+    def test_restock_safe_for_overcommit_unsafe_for_underfill(self):
+        assert is_safe_on(Restock(3), OVER, SAMPLE)
+        assert not is_safe_on(Restock(3), UNDER, SAMPLE)
+
+    def test_order_unsafe_for_underfill(self):
+        assert not is_safe_on(Order("z"), UNDER, SAMPLE)
+        assert is_safe_on(Order("z"), OVER, SAMPLE)
+
+    def test_ship_safe_for_both(self):
+        assert is_safe_on(Ship(), OVER, SAMPLE)
+        assert is_safe_on(Ship(), UNDER, SAMPLE)
+
+
+class TestBounds:
+    def test_app_assembly(self):
+        app = make_inventory_application()
+        assert app.initially_zero_cost()
+        assert app.cost(inv(1, ("a", "b", "c")), "overcommit") == 100
+
+    def test_stale_commits_respect_linear_bound(self):
+        app = make_inventory_application(overcommit_cost=1)
+        k = 2
+        builder = ExecutionBuilder(INITIAL_INVENTORY_STATE)
+        builder.add(Restock(3))
+        for i in range(8):
+            builder.add(Order(f"o{i}"))
+        for _ in range(8):
+            m = len(builder)
+            builder.add(Commit(), prefix=range(max(0, m - k)))
+        e = builder.build()
+        worst = max(app.cost(s, "overcommit") for s in e.actual_states)
+        assert worst <= overcommit_bound(1)(k)

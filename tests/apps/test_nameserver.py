@@ -1,0 +1,198 @@
+"""Tests for the Grapevine-style name service."""
+
+import pytest
+
+from repro.apps.nameserver import (
+    AddMember,
+    AddMemberUpdate,
+    DanglingConstraint,
+    INITIAL_NS_STATE,
+    Lookup,
+    NameServerState,
+    PurgeUpdate,
+    Register,
+    RegisterUpdate,
+    RemoveMember,
+    RemoveMemberUpdate,
+    Scrub,
+    Unregister,
+    UnregisterUpdate,
+    dangling_bound,
+    make_nameserver_application,
+)
+from repro.core import (
+    IDENTITY,
+    ExecutionBuilder,
+    apply_sequence,
+    compensates_on,
+    is_safe_on,
+)
+
+
+def ns(individuals=(), **groups):
+    state = NameServerState(frozenset(individuals))
+    for group, members in sorted(groups.items()):
+        state = state.with_group(group, frozenset(members))
+    return state
+
+
+class TestState:
+    def test_initial(self):
+        assert INITIAL_NS_STATE.well_formed()
+        assert INITIAL_NS_STATE.dangling_count == 0
+
+    def test_membership_and_registration(self):
+        s = ns(["u1"], g1=["u1", "u2"])
+        assert s.is_registered("u1")
+        assert s.members("g1") == {"u1", "u2"}
+        assert s.members("nope") == frozenset()
+
+    def test_dangling_users(self):
+        s = ns(["u1"], g1=["u1", "u2"], g2=["u2", "u3"])
+        assert s.dangling_users() == {"u2", "u3"}
+        assert s.dangling_count == 2
+
+    def test_empty_groups_dropped(self):
+        s = ns(["u1"], g1=["u1"])
+        s = RemoveMemberUpdate("g1", "u1").apply(s)
+        assert s.groups == ()
+        assert s.well_formed()
+
+    def test_well_formedness_rejects_unsorted(self):
+        bad = NameServerState(
+            frozenset(), (("b", frozenset({"x"})), ("a", frozenset({"x"})))
+        )
+        assert not bad.well_formed()
+
+
+class TestUpdates:
+    def test_register_unregister(self):
+        s = RegisterUpdate("u").apply(INITIAL_NS_STATE)
+        assert s.is_registered("u")
+        s = UnregisterUpdate("u").apply(s)
+        assert not s.is_registered("u")
+
+    def test_unregister_purges_visible_memberships(self):
+        s = ns(["u"], g1=["u"], g2=["u", "v"])
+        s2 = UnregisterUpdate("u").apply(s)
+        assert s2.members("g1") == frozenset()
+        assert s2.members("g2") == {"v"}
+        assert s2.dangling_count == 1  # v was already dangling
+
+    def test_add_member_can_dangle_when_replayed(self):
+        # applied against a state where u was already unregistered.
+        s = AddMemberUpdate("g", "u").apply(INITIAL_NS_STATE)
+        assert s.dangling_users() == {"u"}
+
+    def test_purge(self):
+        s = ns([], g1=["u"], g2=["u", "v"])
+        s2 = PurgeUpdate("u").apply(s)
+        assert s2.dangling_users() == {"v"}
+
+    def test_all_updates_preserve_well_formedness(self):
+        seq = [
+            RegisterUpdate("u"), AddMemberUpdate("g", "u"),
+            UnregisterUpdate("u"), AddMemberUpdate("g", "u"),
+            PurgeUpdate("u"), RemoveMemberUpdate("g", "u"),
+        ]
+        state = INITIAL_NS_STATE
+        for update in seq:
+            state = update.apply(state)
+            assert state.well_formed()
+
+
+class TestTransactions:
+    def test_add_member_checks_observed_registry(self):
+        registered = ns(["u"])
+        assert AddMember("g", "u").decide(registered).update == (
+            AddMemberUpdate("g", "u")
+        )
+        assert AddMember("g", "u").decide(INITIAL_NS_STATE).update == IDENTITY
+
+    def test_stale_add_member_dangles(self):
+        """The core hazard: decided while u looked registered, applied
+        after the unregistration won the timestamp race."""
+        seen = ns(["u"])
+        actual = INITIAL_NS_STATE
+        result = AddMember("g", "u").run(seen, actual)
+        assert result.dangling_users() == {"u"}
+
+    def test_scrub_picks_first_dangling(self):
+        s = ns([], g1=["b", "a"])
+        assert Scrub().decide(s).update == PurgeUpdate("a")
+        assert Scrub().decide(INITIAL_NS_STATE).update == IDENTITY
+
+    def test_lookup_reports_observed_members(self):
+        s = ns(["u"], g1=["u", "x"])
+        decision = Lookup("g1").decide(s)
+        assert decision.update == IDENTITY
+        assert decision.external_actions[0].payload == ("u", "x")
+
+
+SAMPLE = [
+    INITIAL_NS_STATE,
+    ns(["a"]),
+    ns(["a", "b"]),
+    ns(["a"], g1=["a"]),
+    ns(["a"], g1=["a", "b"]),
+    ns([], g1=["b"]),
+    ns(["a", "c"], g1=["a", "b"], g2=["c", "d"]),
+]
+CONSTRAINT = DanglingConstraint(unit_cost=1)
+
+
+class TestProperties:
+    def test_add_member_unsafe(self):
+        assert not is_safe_on(AddMember("g1", "b"), CONSTRAINT, SAMPLE)
+
+    def test_add_member_never_raises_cost_on_purpose(self):
+        for s in SAMPLE:
+            after = AddMember("g9", "b").run(s, s)
+            assert CONSTRAINT.cost(after) <= CONSTRAINT.cost(s)
+
+    def test_register_and_unregister_safe(self):
+        assert is_safe_on(Register("b"), CONSTRAINT, SAMPLE)
+        assert is_safe_on(Unregister("a"), CONSTRAINT, SAMPLE)
+
+    def test_scrub_compensates(self):
+        assert compensates_on(Scrub(), CONSTRAINT, SAMPLE)
+
+    def test_remove_member_safe(self):
+        assert is_safe_on(RemoveMember("g1", "b"), CONSTRAINT, SAMPLE)
+
+
+class TestBounds:
+    def test_application_assembly(self):
+        app = make_nameserver_application(unit_cost=1)
+        assert app.initially_zero_cost()
+        assert app.cost(ns([], g1=["x"])) == 1
+
+    def test_stale_add_members_respect_bound(self):
+        app = make_nameserver_application(unit_cost=1)
+        for k in (0, 1, 2, 4):
+            builder = ExecutionBuilder(INITIAL_NS_STATE)
+            for i in range(6):
+                builder.add(Register(f"u{i}"))
+            for i in range(6):
+                builder.add(Unregister(f"u{i}"))
+            # stale adders believe the users still exist.
+            for i in range(6):
+                n = len(builder)
+                builder.add(
+                    AddMember("list", f"u{i}"),
+                    prefix=range(max(0, n - k) if k else n),
+                )
+            e = builder.build()
+            worst = max(app.cost(s) for s in e.actual_states)
+            assert worst <= dangling_bound(1)(k)
+
+    def test_bound_achievable(self):
+        """With the adders blind to the unregistrations, danglings equal
+        the number of missing updates they act on."""
+        app = make_nameserver_application(unit_cost=1)
+        builder = ExecutionBuilder(INITIAL_NS_STATE)
+        builder.add(Register("u"))          # 0
+        builder.add(Unregister("u"))        # 1
+        builder.add(AddMember("g", "u"), prefix=(0,))  # misses the purge
+        e = builder.build()
+        assert app.cost(e.final_state) == 1

@@ -1,0 +1,84 @@
+"""Property-based tests for the name-service bound function.
+
+The dangling-user count is claimed unit-Lipschitz per update (every
+update family touches exactly one user's status), which is what makes
+f(k) = unit_cost * k a valid cost-increase bound.  Verified over random
+update sequences and subsequences, exactly like the airline bounds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.nameserver import (
+    AddMemberUpdate,
+    DanglingConstraint,
+    INITIAL_NS_STATE,
+    PurgeUpdate,
+    RegisterUpdate,
+    RemoveMemberUpdate,
+    UnregisterUpdate,
+)
+from repro.core import apply_sequence
+
+USERS = ["u", "v", "w"]
+GROUPS = ["g1", "g2"]
+
+
+@st.composite
+def ns_sequences(draw, max_len=14):
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    seq = []
+    for _ in range(n):
+        kind = draw(st.integers(min_value=0, max_value=4))
+        user = draw(st.sampled_from(USERS))
+        if kind == 0:
+            seq.append(RegisterUpdate(user))
+        elif kind == 1:
+            seq.append(UnregisterUpdate(user))
+        elif kind == 2:
+            seq.append(AddMemberUpdate(draw(st.sampled_from(GROUPS)), user))
+        elif kind == 3:
+            seq.append(RemoveMemberUpdate(draw(st.sampled_from(GROUPS)), user))
+        else:
+            seq.append(PurgeUpdate(user))
+    return seq
+
+
+@st.composite
+def ns_sequence_and_subsequence(draw, max_len=14):
+    seq = draw(ns_sequences(max_len))
+    kept = [i for i in range(len(seq)) if draw(st.booleans())]
+    return seq, kept
+
+
+@given(ns_sequences())
+@settings(max_examples=300, deadline=None)
+def test_updates_preserve_well_formedness(seq):
+    state = INITIAL_NS_STATE
+    for update in seq:
+        state = update.apply(state)
+        assert state.well_formed()
+
+
+@given(ns_sequence_and_subsequence())
+@settings(max_examples=400, deadline=None)
+def test_dangling_bound_function(pair):
+    """cost(s) <= cost(t) + unit * k for s <=_k t."""
+    seq, kept = pair
+    k = len(seq) - len(kept)
+    s = apply_sequence(seq, INITIAL_NS_STATE)
+    t = apply_sequence([seq[i] for i in kept], INITIAL_NS_STATE)
+    constraint = DanglingConstraint(unit_cost=1)
+    assert constraint.cost(s) <= constraint.cost(t) + k
+
+
+@given(ns_sequence_and_subsequence())
+@settings(max_examples=400, deadline=None)
+def test_unit_lipschitz_per_update(pair):
+    """Dropping one more update changes the dangling count by at most 1."""
+    seq, kept = pair
+    if not kept:
+        return
+    full = apply_sequence([seq[i] for i in kept], INITIAL_NS_STATE)
+    less = apply_sequence([seq[i] for i in kept[:-1]], INITIAL_NS_STATE)
+    assert abs(full.dangling_count - less.dangling_count) <= 1

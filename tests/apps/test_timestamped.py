@@ -1,0 +1,135 @@
+"""Tests for the Section 5.5 timestamp-ordered redesign."""
+
+from repro.apps.airline.timestamped import (
+    TS_INITIAL_STATE,
+    TSAirlineState,
+    TSCancel,
+    TSCancelUpdate,
+    TSMoveDown,
+    TSMoveDownUpdate,
+    TSMoveUp,
+    TSMoveUpUpdate,
+    TSOverbookingConstraint,
+    TSRequest,
+    TSRequestUpdate,
+    TSUnderbookingConstraint,
+    ts_known,
+    ts_precedes,
+)
+from repro.core import IDENTITY
+
+
+class TestTSState:
+    def test_initial_empty(self):
+        assert TS_INITIAL_STATE.al == 0 and TS_INITIAL_STATE.wl == 0
+        assert TS_INITIAL_STATE.well_formed()
+
+    def test_sorted_required(self):
+        good = TSAirlineState(waiting=((1.0, "A"), (2.0, "B")))
+        bad = TSAirlineState(waiting=((2.0, "B"), (1.0, "A")))
+        assert good.well_formed()
+        assert not bad.well_formed()
+
+    def test_disjointness(self):
+        bad = TSAirlineState(
+            assigned=((1.0, "A"),), waiting=((2.0, "A"),)
+        )
+        assert not bad.well_formed()
+
+
+class TestTSUpdates:
+    def test_request_inserts_in_timestamp_order(self):
+        s = TSRequestUpdate("B", 2.0).apply(TS_INITIAL_STATE)
+        s = TSRequestUpdate("A", 1.0).apply(s)
+        assert s.waiting == ((1.0, "A"), (2.0, "B"))
+
+    def test_request_noop_when_known(self):
+        s = TSRequestUpdate("A", 1.0).apply(TS_INITIAL_STATE)
+        assert TSRequestUpdate("A", 5.0).apply(s) is s
+
+    def test_cancel(self):
+        s = TSRequestUpdate("A", 1.0).apply(TS_INITIAL_STATE)
+        assert TSCancelUpdate("A").apply(s) == TS_INITIAL_STATE
+
+    def test_move_up_carries_timestamp(self):
+        s = TSAirlineState(
+            assigned=((5.0, "C"),), waiting=((1.0, "A"),)
+        )
+        result = TSMoveUpUpdate("A").apply(s)
+        assert result.assigned == ((1.0, "A"), (5.0, "C"))
+        assert result.waiting == ()
+
+    def test_move_down_reinserts_by_timestamp(self):
+        s = TSAirlineState(
+            assigned=((4.0, "Q"),), waiting=((3.0, "P"),)
+        )
+        result = TSMoveDownUpdate("Q").apply(s)
+        # Q lands AFTER P: the Section 5.5 fix.
+        assert result.waiting == ((3.0, "P"), (4.0, "Q"))
+
+    def test_move_noop_when_absent(self):
+        s = TS_INITIAL_STATE
+        assert TSMoveUpUpdate("A").apply(s) is s
+        assert TSMoveDownUpdate("A").apply(s) is s
+
+
+class TestTSTransactions:
+    def test_move_up_picks_earliest_requester(self):
+        s = TSAirlineState(waiting=((1.0, "A"), (2.0, "B")))
+        d = TSMoveUp(2).decide(s)
+        assert d.update == TSMoveUpUpdate("A")
+
+    def test_move_down_picks_latest_requester(self):
+        s = TSAirlineState(
+            assigned=((1.0, "A"), (2.0, "B"), (3.0, "C"))
+        )
+        d = TSMoveDown(2).decide(s)
+        assert d.update == TSMoveDownUpdate("C")
+
+    def test_noops(self):
+        s = TSAirlineState(assigned=((1.0, "A"),))
+        assert TSMoveUp(1).decide(s).update == IDENTITY
+        assert TSMoveDown(1).decide(s).update == IDENTITY
+
+    def test_request_cancel_trivial_decisions(self):
+        assert TSRequest("A", 1.0).decide(TS_INITIAL_STATE).update == (
+            TSRequestUpdate("A", 1.0)
+        )
+        assert TSCancel("A").decide(TS_INITIAL_STATE).update == (
+            TSCancelUpdate("A")
+        )
+
+
+class TestTSConstraintsAndPriority:
+    def test_costs(self):
+        s = TSAirlineState(
+            assigned=tuple((float(i), f"A{i}") for i in range(3)),
+            waiting=((9.0, "W"),),
+        )
+        assert TSOverbookingConstraint(2).cost(s) == 900
+        assert TSUnderbookingConstraint(2).cost(s) == 0
+        under = TSAirlineState(waiting=((9.0, "W"),))
+        assert TSUnderbookingConstraint(2).cost(under) == 300
+
+    def test_priority_assigned_over_waiting(self):
+        s = TSAirlineState(
+            assigned=((5.0, "A"),), waiting=((1.0, "W"),)
+        )
+        assert ts_precedes(s, "A", "W")
+        assert not ts_precedes(s, "W", "A")
+
+    def test_priority_by_timestamp_within_list(self):
+        s = TSAirlineState(waiting=((1.0, "A"), (2.0, "B")))
+        assert ts_precedes(s, "A", "B")
+        assert not ts_precedes(s, "B", "A")
+
+    def test_unknown_never_precedes(self):
+        s = TSAirlineState(waiting=((1.0, "A"),))
+        assert not ts_precedes(s, "A", "X")
+        assert not ts_precedes(s, "X", "A")
+
+    def test_known(self):
+        s = TSAirlineState(
+            assigned=((5.0, "A"),), waiting=((1.0, "W"),)
+        )
+        assert ts_known(s) == ("A", "W")

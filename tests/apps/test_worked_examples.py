@@ -1,0 +1,185 @@
+"""Tests reproducing the paper's three worked example executions."""
+
+import pytest
+
+from repro.apps.airline import (
+    make_airline_application,
+    precedes,
+)
+from repro.apps.airline.timestamped import ts_precedes
+from repro.apps.airline.worked_examples import (
+    section_3_1_execution,
+    section_3_1_overbooked_index,
+    section_5_4_counterexample,
+    section_5_5_priority_inversion,
+    section_5_5_with_timestamps,
+)
+from repro.core import (
+    group_by_family,
+    is_centralized,
+    is_transitive,
+)
+
+
+class TestSection31:
+    """The Section 3.1 non-serializable execution (capacity 100)."""
+
+    @pytest.fixture(scope="class")
+    def execution(self):
+        return section_3_1_execution(capacity=100)
+
+    def test_valid_execution(self, execution):
+        execution.validate()
+
+    def test_overbooked_intermediate_state(self, execution):
+        app = make_airline_application(capacity=100)
+        s204 = execution.actual_states[section_3_1_overbooked_index(100)]
+        assert s204.al == 102
+        assert app.cost(s204, "overbooking") == 1800
+
+    def test_final_state_matches_paper(self, execution):
+        final = execution.final_state
+        expected = tuple(f"P{i}" for i in range(2, 101)) + ("P102",)
+        assert final.assigned == expected
+        assert final.waiting == ("P101",)
+
+    def test_unfairness(self, execution):
+        """P102 requested after P101 yet stays assigned while P101 is
+        moved down (the paper's second observed anomaly)."""
+        final = execution.final_state
+        assert final.is_assigned("P102")
+        assert final.is_waiting("P101")
+        assert precedes(final, "P102", "P101")
+
+    def test_external_actions_inconsistent_with_database(self, execution):
+        """All 102 passengers were told they had seats, but only 100 hold
+        them — the external-action inconsistency SHARD tolerates."""
+        informed = [
+            a.target
+            for a in execution.all_external_actions()
+            if a.kind == "inform_assigned"
+        ]
+        assert len(informed) == 102
+        final = execution.final_state
+        broken_promises = [p for p in informed if not final.is_assigned(p)]
+        assert set(broken_promises) == {"P1", "P101"}
+
+    def test_small_capacity_variant(self):
+        e = section_3_1_execution(capacity=5)
+        e.validate()
+        app = make_airline_application(capacity=5)
+        over_idx = section_3_1_overbooked_index(5)
+        assert app.cost(e.actual_states[over_idx], "overbooking") == 1800
+
+    def test_capacity_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            section_3_1_execution(capacity=1)
+
+
+class TestSection54:
+    """The counterexample after Theorem 23."""
+
+    @pytest.fixture(scope="class")
+    def execution(self):
+        return section_5_4_counterexample(capacity=20)
+
+    def test_valid(self, execution):
+        execution.validate()
+
+    def test_transitive(self, execution):
+        assert is_transitive(execution)
+
+    def test_move_ups_centralized(self, execution):
+        movers = group_by_family(execution, "MOVE_UP")
+        assert is_centralized(execution, movers)
+
+    def test_overbooking_occurs_anyway(self, execution):
+        """Despite transitivity + centralized MOVE_UPs, the duplicated
+        requests defeat Theorem 22's conclusion — its per-person
+        hypothesis is necessary."""
+        app = make_airline_application(capacity=20)
+        assert app.cost(execution.final_state, "overbooking") == 900
+
+    def test_theorem23_hypothesis_violated(self, execution):
+        """Each person has two REQUEST transactions — exactly the
+        hypothesis Theorem 23 needs."""
+        requests = {}
+        for txn in execution.transactions:
+            if txn.name == "REQUEST":
+                requests[txn.params[0]] = requests.get(txn.params[0], 0) + 1
+        assert all(count == 2 for count in requests.values())
+
+
+class TestSection55:
+    """The priority-inversion example and its timestamped fix."""
+
+    def test_baseline_inverts_priority(self):
+        e = section_5_5_priority_inversion()
+        e.validate()
+        final = e.final_state
+        # Q requested after P but ends ahead of P, permanently.
+        assert final.waiting == ("Q", "P")
+        assert precedes(final, "Q", "P")
+
+    def test_baseline_hypotheses_of_theorem_25(self):
+        e = section_5_5_priority_inversion()
+        assert is_transitive(e)
+        movers = group_by_family(e, "MOVE_UP", "MOVE_DOWN")
+        assert is_centralized(e, movers)
+        # P and Q each have exactly one REQUEST and no CANCEL.
+        for person in ("P", "Q"):
+            reqs = [
+                t for t in e.transactions
+                if t.name == "REQUEST" and t.params[0] == person
+            ]
+            cancels = [
+                t for t in e.transactions
+                if t.name == "CANCEL" and t.params[0] == person
+            ]
+            assert len(reqs) == 1 and not cancels
+
+    def test_q_was_informed_then_uninformed(self):
+        e = section_5_5_priority_inversion()
+        kinds = [(a.kind, a.target) for a in e.all_external_actions()]
+        assert ("inform_assigned", "Q") in kinds
+        assert ("inform_waitlisted", "Q") in kinds
+
+    def test_timestamped_redesign_restores_request_order(self):
+        e = section_5_5_with_timestamps()
+        e.validate()
+        final = e.final_state
+        waiting_people = tuple(p for _, p in final.waiting)
+        assert waiting_people == ("P", "Q")
+        assert ts_precedes(final, "P", "Q")
+
+    def test_capacity_guard(self):
+        with pytest.raises(ValueError):
+            section_5_5_priority_inversion(capacity=2)
+        with pytest.raises(ValueError):
+            section_5_5_with_timestamps(capacity=2)
+
+
+class TestWorkedExamplesAcrossCapacities:
+    """The scripted constructions scale with the capacity parameter: the
+    paper's claims are about the structure, not the number 100."""
+
+    @pytest.mark.parametrize("capacity", [2, 3, 7, 25])
+    def test_section_3_1_scales(self, capacity):
+        e = section_3_1_execution(capacity=capacity)
+        e.validate()
+        app = make_airline_application(capacity=capacity)
+        over_idx = section_3_1_overbooked_index(capacity)
+        assert app.cost(e.actual_states[over_idx], "overbooking") == 1800
+        final = e.final_state
+        assert final.al == capacity
+        assert final.waiting == (f"P{capacity + 1}",)
+        assert final.assigned[-1] == f"P{capacity + 2}"
+
+    @pytest.mark.parametrize("capacity", [2, 5, 30])
+    def test_section_5_4_scales(self, capacity):
+        e = section_5_4_counterexample(capacity=capacity)
+        e.validate()
+        app = make_airline_application(capacity=capacity)
+        assert is_transitive(e)
+        assert is_centralized(e, group_by_family(e, "MOVE_UP"))
+        assert app.cost(e.final_state, "overbooking") == 900

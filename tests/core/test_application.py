@@ -1,0 +1,53 @@
+"""Tests for the Application container."""
+
+import pytest
+
+from repro.apps.airline import AirlineState, make_airline_application
+from repro.apps.counter import CounterState, make_counter_application
+from repro.core import Application
+from repro.core.constraint import FunctionConstraint
+
+
+class TestApplication:
+    def test_rejects_ill_formed_initial_state(self):
+        with pytest.raises(ValueError):
+            Application("bad", CounterState(-1))
+
+    def test_cost_dispatch(self):
+        app = make_counter_application(limit=3, unit_cost=2)
+        assert app.cost(CounterState(5)) == 4
+        assert app.cost(CounterState(5), "upper_bound") == 4
+
+    def test_initially_zero_cost(self):
+        assert make_counter_application().initially_zero_cost()
+        shifted = Application(
+            "shifted",
+            CounterState(5),
+            (FunctionConstraint("nonzero", lambda s: float(s.value)),),
+        )
+        assert not shifted.initially_zero_cost()
+
+    def test_priority_hooks_absent_by_default(self):
+        app = make_counter_application()
+        assert not app.supports_priority
+        with pytest.raises(NotImplementedError):
+            app.known(CounterState(0))
+        with pytest.raises(NotImplementedError):
+            app.precedes(CounterState(0), "a", "b")
+
+    def test_priority_pairs(self):
+        app = make_airline_application()
+        state = AirlineState(("A",), ("B",))
+        pairs = app.priority_pairs(state)
+        assert pairs[("A", "B")] is True
+        assert pairs[("B", "A")] is False
+        assert ("A", "A") not in pairs
+
+    def test_transaction_families_recorded(self):
+        app = make_airline_application()
+        assert app.transaction_families == (
+            "REQUEST", "CANCEL", "MOVE_UP", "MOVE_DOWN",
+        )
+
+    def test_repr(self):
+        assert "fly-by-night" in repr(make_airline_application())

@@ -1,0 +1,120 @@
+"""Tests for ExecutionBuilder and the prefix policies."""
+
+import random
+
+import pytest
+
+from repro.apps.counter import Allocate, CounterState, Release
+from repro.core import (
+    CompletePrefix,
+    DropLast,
+    DropRandom,
+    ExecutionBuilder,
+    InvalidExecutionError,
+    ScriptedPrefix,
+)
+
+
+class TestBuilderBasics:
+    def test_incremental_matches_run(self):
+        b = ExecutionBuilder(CounterState(0))
+        for _ in range(4):
+            b.add(Allocate(2))
+        e = b.build()
+        e.validate()
+        assert e.final_state == CounterState(2)
+
+    def test_current_state_tracks(self):
+        b = ExecutionBuilder(CounterState(0))
+        b.add(Allocate(5))
+        assert b.current_state == CounterState(1)
+
+    def test_explicit_prefix(self):
+        b = ExecutionBuilder(CounterState(0))
+        b.add(Allocate(5))
+        b.add(Allocate(5), prefix=())
+        e = b.build()
+        assert e.prefixes == ((), ())
+        assert e.final_state == CounterState(2)
+
+    def test_complete_string(self):
+        b = ExecutionBuilder(CounterState(0))
+        b.add(Allocate(5))
+        b.add(Allocate(5), prefix="complete")
+        assert b.build().prefixes[1] == (0,)
+
+    def test_unknown_string_rejected(self):
+        b = ExecutionBuilder(CounterState(0))
+        with pytest.raises(ValueError):
+            b.add(Allocate(5), prefix="everything")
+
+    def test_out_of_range_prefix_rejected(self):
+        b = ExecutionBuilder(CounterState(0))
+        with pytest.raises(InvalidExecutionError):
+            b.add(Allocate(5), prefix=(0,))
+
+    def test_ill_formed_initial_rejected(self):
+        from repro.core.state import IllFormedStateError
+
+        with pytest.raises(IllFormedStateError):
+            ExecutionBuilder(CounterState(-1))
+
+    def test_build_timed_uses_indices_by_default(self):
+        b = ExecutionBuilder(CounterState(0))
+        b.add(Allocate(5))
+        b.add(Allocate(5), time=10.0)
+        t = b.build_timed()
+        assert t.times == (0.0, 10.0)
+
+
+class TestPolicies:
+    def test_complete_policy(self):
+        b = ExecutionBuilder(CounterState(0), CompletePrefix())
+        b.add_all([Allocate(9)] * 3)
+        assert b.build().prefixes == ((), (0,), (0, 1))
+
+    def test_drop_last(self):
+        b = ExecutionBuilder(CounterState(0), DropLast(2))
+        b.add_all([Allocate(9)] * 5)
+        e = b.build()
+        assert e.prefixes[4] == (0, 1)
+        assert all(e.deficit(i) <= 2 for i in e.indices)
+
+    def test_drop_last_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DropLast(-1)
+
+    def test_drop_random_bounded(self):
+        rng = random.Random(42)
+        b = ExecutionBuilder(CounterState(0), DropRandom(2, rng))
+        b.add_all([Allocate(9)] * 30)
+        e = b.build()
+        assert all(e.deficit(i) <= 2 for i in e.indices)
+
+    def test_drop_random_eligible_filter(self):
+        rng = random.Random(1)
+        policy = DropRandom(5, rng, eligible=lambda t: t.name == "RELEASE")
+        b = ExecutionBuilder(CounterState(0), policy)
+        for i in range(20):
+            b.add(Allocate(9) if i % 2 == 0 else Release(0))
+        e = b.build()
+        for i in e.indices:
+            if e.transactions[i].name == "ALLOCATE":
+                assert e.deficit(i) == 0
+
+    def test_drop_random_protect(self):
+        rng = random.Random(1)
+        policy = DropRandom(
+            100, rng, protect=lambda b, j: j == 0
+        )
+        b = ExecutionBuilder(CounterState(0), policy)
+        b.add_all([Allocate(9)] * 10)
+        e = b.build()
+        for i in range(1, len(e)):
+            assert 0 in e.prefixes[i]
+
+    def test_scripted(self):
+        policy = ScriptedPrefix({2: (0,)})
+        b = ExecutionBuilder(CounterState(0), policy)
+        b.add_all([Allocate(9)] * 3)
+        assert b.build().prefixes == ((), (0,), (0,))

@@ -1,0 +1,126 @@
+"""Tests for the system-guaranteed conditions (Section 3.2)."""
+
+from repro.apps.counter import Allocate, CounterState, Release
+from repro.core import (
+    Execution,
+    all_k_complete,
+    centralization_violations,
+    family_predicate,
+    group_by_family,
+    group_by_update_param,
+    has_complete_prefix,
+    is_atomic,
+    is_centralized,
+    is_k_complete,
+    is_transitive,
+    max_deficit,
+    transitive_closure_prefixes,
+    transitivity_violations,
+)
+
+
+def run(prefixes, families=None):
+    n = len(prefixes)
+    txns = []
+    for i in range(n):
+        fam = families[i] if families else "A"
+        txns.append(Allocate(100) if fam == "A" else Release(0))
+    return Execution.run(CounterState(0), txns, prefixes)
+
+
+class TestTransitivity:
+    def test_complete_prefixes_are_transitive(self):
+        e = run([(), (0,), (0, 1)])
+        assert is_transitive(e)
+        assert transitivity_violations(e) == []
+
+    def test_violation_detected(self):
+        # 2 sees 1, 1 sees 0, but 2 does not see 0.
+        e = run([(), (0,), (1,)])
+        assert not is_transitive(e)
+        assert (2, 1, 0) in transitivity_violations(e)
+
+    def test_empty_prefixes_trivially_transitive(self):
+        e = run([(), (), ()])
+        assert is_transitive(e)
+
+    def test_closure_adds_missing_indices(self):
+        e = run([(), (0,), (1,)])
+        closed = transitive_closure_prefixes(e)
+        assert closed == ((), (0,), (0, 1)) or closed[2] == (0, 1)
+
+    def test_closure_idempotent_on_transitive(self):
+        e = run([(), (0,), (0, 1)])
+        assert transitive_closure_prefixes(e) == e.prefixes
+
+
+class TestCompleteness:
+    def test_k_complete(self):
+        e = run([(), (), (0,)])
+        assert is_k_complete(e, 1, 1)
+        assert not is_k_complete(e, 1, 0)
+        assert has_complete_prefix(e, 0)
+        assert not has_complete_prefix(e, 1)
+
+    def test_all_k_complete_and_max_deficit(self):
+        e = run([(), (), (0,), ()])
+        assert max_deficit(e) == 3
+        assert all_k_complete(e, 3)
+        assert not all_k_complete(e, 2)
+
+    def test_family_predicate_filters(self):
+        e = run([(), (), ()], families=["A", "R", "A"])
+        pred = family_predicate("RELEASE")
+        assert max_deficit(e, which=pred) == 1
+        assert all_k_complete(e, 1, which=pred)
+
+
+class TestCentralization:
+    def test_centralized_group(self):
+        e = run([(), (0,), (1,), (0, 1, 2)], families=["A", "R", "A", "R"])
+        movers = group_by_family(e, "RELEASE")
+        assert movers == (1, 3)
+        assert not centralization_violations(e, movers)
+        assert is_centralized(e, movers)
+
+    def test_violation_detected(self):
+        e = run([(), (), ()], families=["R", "A", "R"])
+        movers = group_by_family(e, "RELEASE")
+        assert centralization_violations(e, movers) == [(2, 0)]
+        assert not is_centralized(e, movers)
+
+    def test_empty_group_is_centralized(self):
+        e = run([()])
+        assert is_centralized(e, ())
+
+    def test_group_by_update_param(self):
+        e = run([(), ()])
+        # both Allocates below limit generate add(1) updates.
+        assert group_by_update_param(e, 1) == (0, 1)
+        assert group_by_update_param(e, 99) == ()
+
+
+class TestAtomicity:
+    def test_atomic_run(self):
+        # 1 and 2 form an atomic pair: 2 sees 1, both see {0} outside.
+        e = run([(), (0,), (0, 1)])
+        assert is_atomic(e, [1, 2])
+
+    def test_not_consecutive(self):
+        e = run([(), (0,), (0, 1), (0, 1, 2)])
+        assert not is_atomic(e, [1, 3])
+
+    def test_differing_outside_view_breaks_atomicity(self):
+        # 2 sees {0, 1}, 3 sees {1, 2}: outside views {0} vs {} differ...
+        e = run([(), (), (0, 1), (1, 2)])
+        assert not is_atomic(e, [2, 3])
+
+    def test_missing_internal_member_breaks_atomicity(self):
+        e = run([(), (0,), (0,)])
+        # 2 does not see 1.
+        assert not is_atomic(e, [1, 2])
+
+    def test_empty_and_singleton(self):
+        e = run([(), (0,)])
+        assert is_atomic(e, [])
+        assert is_atomic(e, [1])

@@ -1,0 +1,73 @@
+"""Tests for IntegrityConstraint / ConstraintSet."""
+
+import pytest
+
+from repro.apps.counter import CounterState, UpperBoundConstraint
+from repro.core import ConstraintSet, FunctionConstraint
+
+
+class TestUpperBoundConstraint:
+    def test_zero_when_satisfied(self):
+        c = UpperBoundConstraint(limit=5, unit_cost=10)
+        assert c.cost(CounterState(5)) == 0
+        assert c.satisfied(CounterState(0))
+
+    def test_linear_excess(self):
+        c = UpperBoundConstraint(limit=5, unit_cost=10)
+        assert c.cost(CounterState(8)) == 30
+        assert not c.satisfied(CounterState(6))
+
+
+class TestFunctionConstraint:
+    def test_wraps_callable(self):
+        c = FunctionConstraint("parity", lambda s: s.value % 2)
+        assert c.cost(CounterState(3)) == 1
+        assert c.cost(CounterState(4)) == 0
+
+    def test_negative_cost_rejected(self):
+        c = FunctionConstraint("bad", lambda s: -1)
+        with pytest.raises(ValueError):
+            c.cost(CounterState(0))
+
+
+class TestConstraintSet:
+    def _set(self):
+        return ConstraintSet(
+            [
+                UpperBoundConstraint(limit=3, unit_cost=100),
+                FunctionConstraint("parity", lambda s: float(s.value % 2)),
+            ]
+        )
+
+    def test_total_cost_sums(self):
+        cs = self._set()
+        assert cs.total_cost(CounterState(5)) == 200 + 1
+
+    def test_costs_breakdown(self):
+        cs = self._set()
+        assert cs.costs(CounterState(4)) == {"upper_bound": 100, "parity": 0}
+
+    def test_lookup_and_contains(self):
+        cs = self._set()
+        assert cs["parity"].name == "parity"
+        assert "upper_bound" in cs
+        assert "missing" not in cs
+        assert cs.get("missing") is None
+
+    def test_names_order(self):
+        assert self._set().names() == ("upper_bound", "parity")
+
+    def test_duplicate_name_rejected(self):
+        cs = self._set()
+        with pytest.raises(ValueError):
+            cs.add(FunctionConstraint("parity", lambda s: 0.0))
+
+    def test_all_satisfied(self):
+        cs = self._set()
+        assert cs.all_satisfied(CounterState(2))
+        assert not cs.all_satisfied(CounterState(3))
+
+    def test_len_and_iter(self):
+        cs = self._set()
+        assert len(cs) == 2
+        assert [c.name for c in cs] == ["upper_bound", "parity"]

@@ -1,0 +1,96 @@
+"""Tests for the cost-assignment language (Section 2.2 future work)."""
+
+import pytest
+
+from repro.apps.airline import (
+    AirlineState,
+    OverbookingConstraint,
+    UnderbookingConstraint,
+    state_sample,
+)
+from repro.apps.counter import CounterState
+from repro.core.costdsl import (
+    attr,
+    const,
+    excess,
+    maximum,
+    minimum,
+    penalty,
+    shortfall,
+)
+
+
+class TestExpressions:
+    def test_attr_reads_state(self):
+        assert attr("value")(CounterState(7)) == 7.0
+
+    def test_attr_with_accessor(self):
+        doubled = attr("doubled", lambda s: s.value * 2)
+        assert doubled(CounterState(3)) == 6.0
+
+    def test_const(self):
+        assert const(5)(CounterState(0)) == 5.0
+
+    def test_arithmetic(self):
+        v = attr("value")
+        assert (v + 1)(CounterState(2)) == 3.0
+        assert (2 * v)(CounterState(2)) == 4.0
+        assert (v + v)(CounterState(2)) == 4.0
+
+    def test_excess_and_shortfall(self):
+        v = attr("value")
+        assert excess(v, 3)(CounterState(5)) == 2.0
+        assert excess(v, 3)(CounterState(2)) == 0.0
+        assert shortfall(v, 3)(CounterState(1)) == 2.0
+        assert shortfall(v, 3)(CounterState(4)) == 0.0
+
+    def test_min_max(self):
+        v = attr("value")
+        assert minimum(v, 3)(CounterState(5)) == 3.0
+        assert maximum(v, 3)(CounterState(5)) == 5.0
+
+    def test_descriptions(self):
+        expr = 900 * excess(attr("al"), const(100))
+        assert expr.description == "900*(al -. 100)"
+
+
+class TestPenalty:
+    def test_constraint_from_expression(self):
+        c = penalty("upper", 10 * excess(attr("value"), 3))
+        assert c.cost(CounterState(5)) == 20.0
+        assert c.satisfied(CounterState(3))
+        assert c.formula == "10*(value -. 3)"
+
+    def test_negative_cost_rejected(self):
+        c = penalty("bad", attr("value", lambda s: -1))
+        with pytest.raises(ValueError):
+            c.cost(CounterState(0))
+
+
+class TestAirlineConstraintsInDsl:
+    """The paper's two constraints, re-expressed in the language, agree
+    with the hand-written implementations on a broad sample."""
+
+    def test_overbooking_equivalence(self):
+        dsl = penalty("overbooking", 900 * excess(attr("al"), const(100)))
+        reference = OverbookingConstraint(capacity=100)
+        for state in state_sample(seed=3, count=150, max_people=120,
+                                  capacity=100):
+            assert dsl.cost(state) == reference.cost(state)
+
+    def test_underbooking_equivalence(self):
+        dsl = penalty(
+            "underbooking",
+            300 * minimum(shortfall(attr("al"), const(100)), attr("wl")),
+        )
+        reference = UnderbookingConstraint(capacity=100)
+        for state in state_sample(seed=4, count=150, max_people=120,
+                                  capacity=100):
+            assert dsl.cost(state) == reference.cost(state)
+
+    def test_formula_is_readable(self):
+        dsl = penalty(
+            "underbooking",
+            300 * minimum(shortfall(attr("al"), const(100)), attr("wl")),
+        )
+        assert dsl.formula == "300*min((100 -. al), wl)"

@@ -1,0 +1,103 @@
+"""Property-based tests for the execution machinery itself."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.airline import (
+    AirlineState,
+    Cancel,
+    MoveDown,
+    MoveUp,
+    Request,
+)
+from repro.core import (
+    Execution,
+    is_transitive,
+    transitive_closure_prefixes,
+)
+from repro.core.update import apply_sequence
+
+CAPACITY = 3
+PEOPLE = ["P", "Q", "R"]
+
+
+@st.composite
+def random_executions(draw, max_len=12):
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    transactions = []
+    prefixes = []
+    for i in range(n):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        person = draw(st.sampled_from(PEOPLE))
+        if kind == 0:
+            transactions.append(Request(person))
+        elif kind == 1:
+            transactions.append(Cancel(person))
+        elif kind == 2:
+            transactions.append(MoveUp(CAPACITY))
+        else:
+            transactions.append(MoveDown(CAPACITY))
+        prefix = tuple(j for j in range(i) if draw(st.booleans()))
+        prefixes.append(prefix)
+    return Execution.run(AirlineState(), transactions, prefixes)
+
+
+@given(random_executions())
+@settings(max_examples=200, deadline=None)
+def test_every_generated_execution_validates(execution):
+    execution.validate()
+
+
+@given(random_executions())
+@settings(max_examples=200, deadline=None)
+def test_actual_states_fold_all_updates(execution):
+    """Condition (4): actual state i+1 = fold of updates 0..i."""
+    for i in execution.indices:
+        expected = apply_sequence(
+            execution.updates[: i + 1], execution.initial_state
+        )
+        assert execution.actual_after(i) == expected
+
+
+@given(random_executions())
+@settings(max_examples=200, deadline=None)
+def test_apparent_states_fold_prefix_updates(execution):
+    """Condition (2): the apparent state is the prefix subsequence fold."""
+    for i in execution.indices:
+        expected = apply_sequence(
+            (execution.updates[j] for j in execution.prefixes[i]),
+            execution.initial_state,
+        )
+        assert execution.apparent_before[i] == expected
+
+
+@given(random_executions())
+@settings(max_examples=200, deadline=None)
+def test_deficit_plus_prefix_length_is_index(execution):
+    for i in execution.indices:
+        assert execution.deficit(i) + len(execution.prefixes[i]) == i
+        assert len(execution.missing(i)) == execution.deficit(i)
+
+
+@given(random_executions())
+@settings(max_examples=200, deadline=None)
+def test_transitive_closure_is_transitive_and_minimal(execution):
+    closed_prefixes = transitive_closure_prefixes(execution)
+    closed = Execution.run(
+        execution.initial_state, execution.transactions, closed_prefixes
+    )
+    assert is_transitive(closed)
+    # the closure only ever adds indices.
+    for original, enlarged in zip(execution.prefixes, closed.prefixes):
+        assert set(original) <= set(enlarged)
+
+
+@given(random_executions())
+@settings(max_examples=200, deadline=None)
+def test_all_reachable_states_well_formed(execution):
+    for state in execution.actual_states:
+        assert state.well_formed()
+    for state in execution.apparent_before:
+        assert state.well_formed()

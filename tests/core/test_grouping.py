@@ -1,0 +1,116 @@
+"""Tests for groupings and normal states (Theorem 9 machinery)."""
+
+import pytest
+
+from repro.apps.counter import (
+    Allocate,
+    CounterState,
+    Release,
+    UpperBoundConstraint,
+)
+from repro.core import Execution, Grouping, find_grouping
+
+LIMIT = 2
+CONSTRAINT = UpperBoundConstraint(limit=LIMIT, unit_cost=1)
+
+
+def cost(state):
+    return CONSTRAINT.cost(state)
+
+
+def preserves_all(execution, i):
+    return True
+
+
+def preserves_none(execution, i):
+    return False
+
+
+class TestGroupingStructure:
+    def test_boundaries_validation(self):
+        Grouping(3, (1, 3))
+        with pytest.raises(ValueError):
+            Grouping(3, (1, 2))  # does not end at n
+        with pytest.raises(ValueError):
+            Grouping(3, (2, 1, 3))  # not increasing
+        with pytest.raises(ValueError):
+            Grouping(0, (1,))
+
+    def test_groups_partition(self):
+        g = Grouping(5, (2, 3, 5))
+        assert g.groups == ((0, 1), (2,), (3, 4))
+        assert g.group_ends() == (1, 2, 4)
+
+    def test_empty(self):
+        g = Grouping(0, ())
+        assert g.groups == ()
+
+
+class TestGroupingValidity:
+    def _execution(self):
+        # three allocates with empty prefixes (each believes 0), then a
+        # release with a complete prefix: actual trajectory 1,2,3,2.
+        txns = [Allocate(LIMIT)] * 3 + [Release(LIMIT)]
+        prefixes = [(), (), (), (0, 1, 2)]
+        return Execution.run(CounterState(0), txns, prefixes)
+
+    def test_singleton_groups_require_preserving(self):
+        e = self._execution()
+        g = Grouping(4, (1, 2, 3, 4))
+        assert g.is_valid_for(e, "upper_bound", cost, preserves_all)
+        # without the preserving property the singletons must close with
+        # apparent-after cost zero, which holds for the allocates (they
+        # believe 0 -> 1 <= limit) and for the release.
+        assert g.is_valid_for(e, "upper_bound", cost, preserves_none)
+
+    def test_violations_reported(self):
+        # an allocate that believes the state is already at the limit but
+        # still runs: construct via a group whose closing apparent state
+        # is overfull.
+        txns = [Allocate(10)] * 4  # limit 10 never binds; all allocate
+        prefixes = [(), (0,), (0, 1), (0, 1, 2)]
+        e = Execution.run(CounterState(0), txns, prefixes)
+        over = UpperBoundConstraint(limit=1, unit_cost=1)
+        g = Grouping(4, (4,))
+        bad = g.violations(e, over.cost, preserves_none)
+        assert bad == [(0, 1, 2, 3)]
+
+    def test_length_mismatch(self):
+        e = self._execution()
+        with pytest.raises(ValueError):
+            Grouping(2, (2,)).violations(e, cost, preserves_all)
+
+    def test_normal_states_include_initial(self):
+        e = self._execution()
+        g = Grouping(4, (3, 4))
+        normal = g.normal_states(e)
+        assert normal[0] == CounterState(0)
+        assert normal[1] == e.actual_after(2)
+        assert normal[2] == e.actual_after(3)
+
+
+class TestFindGrouping:
+    def test_greedy_singletons_when_preserving(self):
+        txns = [Allocate(LIMIT)] * 3
+        e = Execution.run(CounterState(0), txns, [(), (0,), (0, 1)])
+        g = find_grouping(e, cost, preserves_all)
+        assert g is not None
+        assert g.boundaries == (1, 2, 3)
+
+    def test_groups_close_at_zero_cost(self):
+        # non-preserving transactions force multi-member groups that close
+        # when the apparent-after cost returns to zero.
+        txns = [Allocate(10), Allocate(10), Release(0)]
+        e = Execution.run(CounterState(0), txns, [(), (0,), (0, 1)])
+        over = UpperBoundConstraint(limit=0, unit_cost=1)
+        g = find_grouping(e, over.cost, preserves_none)
+        # allocates leave apparent cost > 0; the release from apparent 2
+        # yields 1 -> still positive, so no grouping exists.
+        assert g is None
+
+    def test_found_grouping_is_valid(self):
+        txns = [Allocate(LIMIT)] * 4
+        e = Execution.run(CounterState(0), txns, [(), (), (0, 1), (0, 1, 2)])
+        g = find_grouping(e, cost, preserves_all)
+        assert g is not None
+        assert g.is_valid_for(e, "upper_bound", cost, preserves_all)

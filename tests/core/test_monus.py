@@ -1,0 +1,39 @@
+"""Tests for the monus/clamp helpers."""
+
+import pytest
+
+from repro.core.monus import clamp, monus
+
+
+class TestMonus:
+    def test_positive_difference(self):
+        assert monus(5, 3) == 2
+
+    def test_negative_difference_truncates_to_zero(self):
+        assert monus(3, 5) == 0
+
+    def test_equal_operands(self):
+        assert monus(4, 4) == 0
+
+    def test_floats(self):
+        assert monus(2.5, 1.0) == 1.5
+        assert monus(1.0, 2.5) == 0.0
+
+    def test_zero_result_preserves_type(self):
+        assert isinstance(monus(1, 2), int)
+        assert isinstance(monus(1.0, 2.0), float)
+
+
+class TestClamp:
+    def test_inside_interval(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert clamp(-3, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(42, 0, 10) == 10
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 0)

@@ -1,0 +1,96 @@
+"""Tests for the transaction-guaranteed property checkers (Section 4),
+using the counter application."""
+
+from repro.apps.counter import (
+    AddUpdate,
+    Allocate,
+    CounterState,
+    Release,
+    UpperBoundConstraint,
+)
+from repro.core import (
+    compensate_to_zero,
+    compensates_on,
+    compensation_counterexamples,
+    increasing_witnesses,
+    is_increasing_on,
+    is_safe_on,
+    preserves_cost_on,
+    safety_counterexamples,
+)
+
+LIMIT = 3
+CONSTRAINT = UpperBoundConstraint(limit=LIMIT, unit_cost=1)
+SAMPLE = [CounterState(v) for v in range(0, 10)]
+
+
+class TestIncreasing:
+    def test_add_positive_is_increasing(self):
+        assert is_increasing_on(AddUpdate(1), CONSTRAINT, SAMPLE)
+        witnesses = increasing_witnesses(AddUpdate(1), CONSTRAINT, SAMPLE)
+        # raising the counter raises the cost exactly from value >= limit.
+        assert all(s.value >= LIMIT for s in witnesses)
+
+    def test_add_negative_is_nonincreasing(self):
+        assert not is_increasing_on(AddUpdate(-1), CONSTRAINT, SAMPLE)
+
+    def test_ill_formed_states_ignored(self):
+        bad = [CounterState(-5)]
+        assert not is_increasing_on(AddUpdate(1), CONSTRAINT, bad)
+
+
+class TestSafety:
+    def test_allocate_is_unsafe(self):
+        assert not is_safe_on(Allocate(LIMIT), CONSTRAINT, SAMPLE)
+        pairs = safety_counterexamples(Allocate(LIMIT), CONSTRAINT, SAMPLE, SAMPLE)
+        # decisions from below-limit states invoke add(1), which can
+        # overshoot when replayed at/above the limit.
+        assert pairs
+        for seen, probe in pairs:
+            assert seen.value < LIMIT
+            assert probe.value >= LIMIT
+
+    def test_release_is_safe(self):
+        assert is_safe_on(Release(LIMIT), CONSTRAINT, SAMPLE)
+
+
+class TestPreservesCost:
+    def test_allocate_preserves_cost(self):
+        # Allocate only fires when its believed after-state satisfies the
+        # constraint, hence preserves the cost despite being unsafe.
+        assert preserves_cost_on(Allocate(LIMIT), CONSTRAINT, SAMPLE)
+
+    def test_release_preserves_cost_trivially(self):
+        assert preserves_cost_on(Release(LIMIT), CONSTRAINT, SAMPLE)
+
+    def test_greedy_allocator_does_not_preserve(self):
+        # an allocator that ignores the limit violates preservation.
+        class Greedy(Allocate):
+            def decide(self, state):
+                from repro.core.transaction import Decision
+                return Decision(AddUpdate(1))
+
+        assert not preserves_cost_on(Greedy(LIMIT), CONSTRAINT, SAMPLE)
+
+
+class TestCompensation:
+    def test_release_compensates(self):
+        assert compensates_on(Release(LIMIT), CONSTRAINT, SAMPLE)
+
+    def test_allocate_does_not_compensate(self):
+        bad = compensation_counterexamples(Allocate(LIMIT), CONSTRAINT, SAMPLE)
+        assert bad  # from overfull states Allocate leaves cost unchanged.
+
+    def test_compensate_to_zero_counts_steps(self):
+        final, steps = compensate_to_zero(
+            Release(LIMIT), CONSTRAINT, CounterState(LIMIT + 4)
+        )
+        assert final == CounterState(LIMIT)
+        assert steps == 4
+
+    def test_compensate_to_zero_noop_when_satisfied(self):
+        final, steps = compensate_to_zero(
+            Release(LIMIT), CONSTRAINT, CounterState(1)
+        )
+        assert steps == 0
+        assert final == CounterState(1)

@@ -1,0 +1,85 @@
+"""Tests for the s <=_k t relation and cost-increase bounds."""
+
+import pytest
+
+from repro.apps.counter import (
+    AddUpdate,
+    Allocate,
+    CounterState,
+    UpperBoundConstraint,
+    counter_bound,
+)
+from repro.core import (
+    Execution,
+    InformationPair,
+    bound_holds,
+    bound_violations,
+    linear_bound,
+    pairs_from_execution,
+)
+
+
+class TestInformationPair:
+    def test_k_counts_missing(self):
+        pair = InformationPair(
+            CounterState(0), (AddUpdate(1),) * 5, (0, 2)
+        )
+        assert pair.k == 3
+
+    def test_s_and_t(self):
+        pair = InformationPair(
+            CounterState(0), (AddUpdate(1), AddUpdate(2), AddUpdate(4)), (1,)
+        )
+        assert pair.s == CounterState(7)
+        assert pair.t == CounterState(2)
+
+    def test_append_shares_update(self):
+        pair = InformationPair(CounterState(0), (AddUpdate(1),), ())
+        extended = pair.append(AddUpdate(10))
+        assert extended.k == pair.k == 1
+        assert extended.s == CounterState(11)
+        assert extended.t == CounterState(10)
+
+    def test_invalid_kept_rejected(self):
+        with pytest.raises(ValueError):
+            InformationPair(CounterState(0), (AddUpdate(1),), (1,))
+        with pytest.raises(ValueError):
+            InformationPair(CounterState(0), (AddUpdate(1),) * 2, (1, 0))
+
+
+class TestCostBounds:
+    def test_linear_bound_values(self):
+        bound = linear_bound("upper_bound", 7.0)
+        assert bound(0) == 0
+        assert bound(3) == 21
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            counter_bound()(-1)
+
+    def test_bound_holds_for_counter(self):
+        # each missing add(1) hides at most 1 unit of cost.
+        constraint = UpperBoundConstraint(limit=2, unit_cost=1)
+        bound = counter_bound(1)
+        pair = InformationPair(
+            CounterState(0), (AddUpdate(1),) * 5, (0, 1)
+        )
+        # s = 5 (cost 3), t = 2 (cost 0), k = 3 -> 3 <= 0 + 3.
+        assert bound_holds(bound, constraint, pair)
+
+    def test_bound_violation_detected(self):
+        constraint = UpperBoundConstraint(limit=0, unit_cost=1)
+        too_small = linear_bound("upper_bound", 0.1)
+        pair = InformationPair(CounterState(0), (AddUpdate(1),) * 3, ())
+        assert bound_violations(too_small, constraint, [pair]) == [pair]
+
+    def test_pairs_from_execution(self):
+        e = Execution.run(
+            CounterState(0),
+            [Allocate(10)] * 4,
+            [(), (0,), (), (0, 1)],
+        )
+        pair = pairs_from_execution(e, 2)
+        assert pair.k == 2
+        assert pair.s == e.actual_before(2)
+        assert pair.t == e.apparent_before[2]

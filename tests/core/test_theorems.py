@@ -1,0 +1,127 @@
+"""Tests for the executable theorem checkers on the counter application."""
+
+from repro.apps.counter import (
+    Allocate,
+    CounterState,
+    Release,
+    UpperBoundConstraint,
+    counter_bound,
+)
+from repro.core import (
+    Execution,
+    Grouping,
+    lemma12,
+    preserves_by_family,
+    theorem5,
+    theorem7,
+    theorem9,
+)
+
+LIMIT = 3
+CONSTRAINT = UpperBoundConstraint(limit=LIMIT, unit_cost=1)
+BOUND = counter_bound(1)
+
+
+def cost(state):
+    return CONSTRAINT.cost(state)
+
+
+def preserves(execution, i):
+    # both counter transaction families preserve the upper-bound cost.
+    return True
+
+
+def unsafe(execution, i):
+    return execution.transactions[i].name == "ALLOCATE"
+
+
+def stale_run(n, k):
+    """n allocations, each missing its k most recent predecessors."""
+    txns = [Allocate(LIMIT)] * n
+    prefixes = [tuple(range(max(0, i - k))) for i in range(n)]
+    return Execution.run(CounterState(0), txns, prefixes)
+
+
+class TestTheorem5:
+    def test_holds_per_step(self):
+        e = stale_run(8, k=2)
+        for i in e.indices:
+            report = theorem5(e, i, cost, BOUND, preserves, k=2)
+            assert report.holds
+            assert report.hypothesis_holds
+
+    def test_vacuous_when_not_k_complete(self):
+        e = stale_run(8, k=5)
+        report = theorem5(e, 7, cost, BOUND, preserves, k=2)
+        assert report.vacuous
+        assert report.holds  # implication holds vacuously
+
+
+class TestTheorem7:
+    def test_invariant_bound_holds(self):
+        for k in (0, 1, 2, 4):
+            e = stale_run(10, k=k)
+            report = theorem7(e, cost, BOUND, preserves, unsafe, k=k)
+            assert report.hypothesis_holds
+            assert report.conclusion_holds
+            assert report.details["max_cost"] <= k
+
+    def test_bound_is_tight(self):
+        # with k missing, the max cost actually reaches k (for k <= limit
+        # headroom): each blind allocate overshoots by one.
+        k = 2
+        e = stale_run(LIMIT + k + 3, k=k)
+        report = theorem7(e, cost, BOUND, preserves, unsafe, k=k)
+        assert report.details["max_cost"] == k
+
+    def test_hypothesis_fails_for_larger_staleness(self):
+        e = stale_run(10, k=4)
+        report = theorem7(e, cost, BOUND, preserves, unsafe, k=1)
+        assert not report.hypothesis_holds
+        assert report.holds  # vacuously
+
+
+class TestTheorem9:
+    def test_grouped_bound(self):
+        e = stale_run(6, k=1)
+        grouping = Grouping(6, tuple(range(1, 7)))
+        report = theorem9(e, grouping, cost, BOUND, preserves, k=1)
+        assert report.hypothesis_holds
+        assert report.conclusion_holds
+
+
+class TestLemma12:
+    def test_no_suffix_needed_when_cheap(self):
+        e = stale_run(3, k=0)
+        report = lemma12(e, list(e.indices), Release(LIMIT), cost, BOUND)
+        assert report.holds
+        assert report.details["suffix_len"] == 0
+
+    def test_atomic_suffix_repairs_cost(self):
+        # drive the counter far above the limit with blind allocations.
+        e = stale_run(LIMIT + 6, k=LIMIT + 6)
+        assert cost(e.final_state) > 0
+        kept = tuple(e.indices)  # complete subsequence: k = 0
+        report = lemma12(e, kept, Release(LIMIT), cost, BOUND)
+        assert report.holds
+        assert report.details["suffix_len"] > 0
+        assert report.details["cost_after_suffix"] <= BOUND(0)
+
+    def test_partial_subsequence_bound(self):
+        e = stale_run(LIMIT + 6, k=LIMIT + 6)
+        kept = tuple(e.indices)[:-2]  # missing 2 updates: k = 2
+        report = lemma12(e, kept, Release(LIMIT), cost, BOUND)
+        assert report.holds
+        assert report.details["cost_after_suffix"] <= BOUND(2)
+
+
+class TestPredicates:
+    def test_preserves_by_family(self):
+        e = Execution.run(
+            CounterState(0),
+            [Allocate(LIMIT), Release(LIMIT)],
+            [(), (0,)],
+        )
+        pred = preserves_by_family(["RELEASE"])
+        assert not pred(e, 0)
+        assert pred(e, 1)

@@ -1,0 +1,91 @@
+"""Tests for the Update and Transaction base machinery, using the counter
+application as the concrete instance."""
+
+import pytest
+
+from repro.apps.counter import (
+    AddUpdate,
+    Allocate,
+    CounterState,
+    Release,
+)
+from repro.core import IDENTITY, apply_sequence, trajectory
+from repro.core.state import IllFormedStateError
+from repro.core.transaction import Decision
+
+
+class TestUpdateBasics:
+    def test_apply(self):
+        assert AddUpdate(3).apply(CounterState(1)) == CounterState(4)
+
+    def test_call_alias(self):
+        assert AddUpdate(3)(CounterState(1)) == CounterState(4)
+
+    def test_floor_at_zero_preserves_well_formedness(self):
+        assert AddUpdate(-5).apply(CounterState(2)) == CounterState(0)
+
+    def test_identity(self):
+        s = CounterState(7)
+        assert IDENTITY.apply(s) is s
+
+    def test_key_equality(self):
+        assert AddUpdate(1) == AddUpdate(1)
+        assert AddUpdate(1) != AddUpdate(2)
+        assert AddUpdate(1) != IDENTITY
+
+    def test_hashable(self):
+        assert len({AddUpdate(1), AddUpdate(1), AddUpdate(2)}) == 2
+
+    def test_repr_contains_name_and_params(self):
+        assert repr(AddUpdate(3)) == "add(3)"
+
+
+class TestApplySequence:
+    def test_empty_sequence(self):
+        s = CounterState(5)
+        assert apply_sequence([], s) == s
+
+    def test_order_matters_with_floor(self):
+        s = CounterState(0)
+        down_up = apply_sequence([AddUpdate(-1), AddUpdate(1)], s)
+        up_down = apply_sequence([AddUpdate(1), AddUpdate(-1)], s)
+        assert down_up == CounterState(1)
+        assert up_down == CounterState(0)
+
+    def test_trajectory_lengths_and_values(self):
+        states = trajectory((AddUpdate(1), AddUpdate(2)), CounterState(0))
+        assert states == (CounterState(0), CounterState(1), CounterState(3))
+
+
+class TestTransactionDecisions:
+    def test_allocate_below_limit_grants(self):
+        decision = Allocate(3).decide(CounterState(2))
+        assert decision.update == AddUpdate(1)
+        assert decision.external_actions[0].kind == "granted"
+
+    def test_allocate_at_limit_is_noop(self):
+        decision = Allocate(3).decide(CounterState(3))
+        assert decision.update == IDENTITY
+        assert decision.external_actions == ()
+
+    def test_release_above_limit_revokes(self):
+        decision = Release(3).decide(CounterState(5))
+        assert decision.update == AddUpdate(-1)
+        assert decision.external_actions[0].kind == "revoked"
+
+    def test_run_decides_on_seen_applies_to_actual(self):
+        # Decision sees 0 (below limit) so allocates; applied to a state
+        # already at the limit, it overshoots: the paper's core hazard.
+        txn = Allocate(3)
+        result = txn.run(CounterState(0), CounterState(3))
+        assert result == CounterState(4)
+
+    def test_transaction_identity(self):
+        assert Allocate(3) == Allocate(3)
+        assert Allocate(3) != Allocate(4)
+        assert Allocate(3) != Release(3)
+
+    def test_require_well_formed(self):
+        with pytest.raises(IllFormedStateError):
+            CounterState(-1).require_well_formed()
+        assert CounterState(0).require_well_formed() == CounterState(0)

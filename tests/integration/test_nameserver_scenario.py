@@ -1,0 +1,94 @@
+"""Integration test: the name service on the simulated SHARD system."""
+
+import random
+
+import pytest
+
+from repro.apps.nameserver import (
+    AddMember,
+    INITIAL_NS_STATE,
+    LOOKUP_REPORT,
+    Lookup,
+    Register,
+    Scrub,
+    Unregister,
+    dangling_bound,
+    make_nameserver_application,
+)
+from repro.core import apply_sequence
+from repro.network import PartitionSchedule
+from repro.shard import ClusterConfig, ShardCluster
+
+
+@pytest.fixture(scope="module")
+def run():
+    cluster = ShardCluster(
+        INITIAL_NS_STATE,
+        ClusterConfig(
+            n_nodes=3,
+            seed=7,
+            partitions=PartitionSchedule.split(10, 50, [0], [1, 2]),
+        ),
+    )
+    rng = random.Random(7)
+    users = [f"u{i}" for i in range(8)]
+    groups = ["staff", "eng"]
+    t = 0.0
+    for user in users:
+        cluster.submit(0, Register(user), at=t)
+        t += 0.5
+    while t < 70.0:
+        t += rng.expovariate(1.2)
+        node = rng.randrange(3)
+        roll = rng.random()
+        user = rng.choice(users)
+        if roll < 0.15:
+            cluster.submit(node, Unregister(user), at=t)
+        elif roll < 0.3:
+            cluster.submit(node, Register(user), at=t)
+        elif roll < 0.7:
+            cluster.submit(node, AddMember(rng.choice(groups), user), at=t)
+        elif roll < 0.85:
+            cluster.submit(node, Lookup(rng.choice(groups)), at=t)
+        else:
+            cluster.submit(node, Scrub(), at=t)
+    # post-heal scrub sweep with full knowledge.
+    for i in range(6):
+        cluster.submit(0, Scrub(), at=80.0 + i)
+    cluster.run(until=100.0)
+    cluster.quiesce()
+    return cluster
+
+
+class TestNameServerOnShard:
+    def test_consistent_and_valid(self, run):
+        assert run.mutually_consistent()
+        run.extract_execution().validate()
+
+    def test_dangling_bound_at_measured_k(self, run):
+        app = make_nameserver_application(unit_cost=1)
+        e = run.extract_execution()
+        k = max(
+            (e.deficit(i) for i in e.indices
+             if e.transactions[i].name == "ADD_MEMBER"),
+            default=0,
+        )
+        worst = max(app.cost(s) for s in e.actual_states)
+        assert worst <= dangling_bound(1)(k)
+
+    def test_post_heal_scrubs_restore_integrity(self, run):
+        app = make_nameserver_application(unit_cost=1)
+        e = run.extract_execution()
+        assert app.cost(e.final_state) == 0
+
+    def test_lookups_report_their_subsequence(self, run):
+        e = run.extract_execution()
+        for i in e.indices:
+            if e.transactions[i].name != "LOOKUP":
+                continue
+            group = e.transactions[i].params[0]
+            report = e.external_actions[i][0].payload
+            seen = apply_sequence(
+                (e.updates[j] for j in e.prefixes[i]), INITIAL_NS_STATE
+            )
+            assert report == tuple(sorted(seen.members(group)))

@@ -1,0 +1,131 @@
+"""Integration tests: banking and inventory on the simulated SHARD system."""
+
+import pytest
+
+from repro.analysis import deficit_profile, serial_divergence
+from repro.apps.banking import AUDIT_REPORT, make_banking_application, overdraft_bound
+from repro.apps.banking.simulation import BankingScenario, run_banking_scenario
+from repro.apps.inventory import make_inventory_application, overcommit_bound
+from repro.apps.inventory.simulation import (
+    InventoryScenario,
+    run_inventory_scenario,
+)
+from repro.network import PartitionSchedule
+
+PARTITION = PartitionSchedule.split(20, 70, [0], [1, 2])
+
+
+class TestBankingScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_banking_scenario(
+            BankingScenario(duration=100, seed=3, partitions=PARTITION)
+        )
+
+    def test_valid_and_consistent(self, run):
+        run.execution.validate()
+        assert run.cluster.mutually_consistent()
+
+    def test_overdraft_bound_at_measured_k(self, run):
+        app = make_banking_application(accounts=run.scenario.accounts)
+        e = run.execution
+        k = max(
+            (e.deficit(i) for i in e.indices
+             if e.transactions[i].name in ("WITHDRAW", "TRANSFER")),
+            default=0,
+        )
+        worst = max(app.cost(s) for s in e.actual_states)
+        assert worst <= overdraft_bound(run.scenario.max_amount)(k)
+
+    def test_audits_report_their_view(self, run):
+        e = run.execution
+        for i in e.indices:
+            if e.transactions[i].name != "AUDIT":
+                continue
+            reported = e.external_actions[i][0].payload[0]
+            assert reported == e.apparent_before[i].total
+
+    def test_money_conservation_modulo_withdrawals(self, run):
+        """Total = deposits - dispensed cash (credits/debits commute, so
+        replication cannot create or destroy money)."""
+        e = run.execution
+        deposited = sum(
+            t.params[1] for t in e.transactions if t.name == "DEPOSIT"
+        )
+        dispensed = sum(
+            entry.action.payload[0]
+            for entry in run.ledger
+            if entry.action.kind == "dispense_cash"
+        )
+        assert run.final_state.total == deposited - dispensed
+
+    def test_synchronized_audits_exact_when_served(self):
+        run = run_banking_scenario(
+            BankingScenario(
+                duration=60, seed=4, partitions=PARTITION,
+                synchronized_audits=True,
+            )
+        )
+        e = run.execution
+        audits = [i for i in e.indices if e.transactions[i].name == "AUDIT"]
+        for i in audits:
+            assert e.deficit(i) == 0
+            assert e.external_actions[i][0].payload[0] == e.actual_before(i).total
+        # some audits were rejected during the partition.
+        assert run.cluster.sync.stats.rejected > 0
+
+    def test_cover_sweep_reduces_final_overdraft(self):
+        base = run_banking_scenario(
+            BankingScenario(duration=80, seed=11, partitions=PARTITION,
+                            deposit_fraction=0.3)
+        )
+        covered = run_banking_scenario(
+            BankingScenario(duration=80, seed=11, partitions=PARTITION,
+                            deposit_fraction=0.3, cover_interval=5.0)
+        )
+        assert (
+            covered.final_state.total_overdraft
+            <= base.final_state.total_overdraft
+        )
+
+
+class TestInventoryScenario:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_inventory_scenario(
+            InventoryScenario(duration=100, seed=5, partitions=PARTITION)
+        )
+
+    def test_valid_and_consistent(self, run):
+        run.execution.validate()
+        assert run.cluster.mutually_consistent()
+
+    def test_overcommit_bound_at_measured_k(self, run):
+        app = make_inventory_application(overcommit_cost=1)
+        e = run.execution
+        k = max(
+            (e.deficit(i) for i in e.indices
+             if e.transactions[i].name == "COMMIT"),
+            default=0,
+        )
+        worst = max(app.cost(s, "overcommit") for s in e.actual_states)
+        assert worst <= overcommit_bound(1)(k)
+
+    def test_centralized_sweeps_never_overcommit(self):
+        run = run_inventory_scenario(
+            InventoryScenario(
+                duration=100, seed=6, partitions=PARTITION,
+                sweep_nodes=[0], warehouse_node=0,
+            )
+        )
+        app = make_inventory_application(overcommit_cost=1)
+        worst = max(
+            app.cost(s, "overcommit") for s in run.execution.actual_states
+        )
+        assert worst == 0
+
+    def test_serial_divergence_measured(self, run):
+        report = serial_divergence(run.execution)
+        assert 0 < report.complete_prefix_fraction <= 1.0
+        profile = deficit_profile(run.execution)
+        assert profile.max > 0  # the partition left its mark

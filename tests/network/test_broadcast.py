@@ -1,0 +1,140 @@
+"""Tests for the reliable broadcast layer."""
+
+import random
+
+import pytest
+
+from repro.network import (
+    BroadcastConfig,
+    FixedDelay,
+    Network,
+    PartitionSchedule,
+    ReliableBroadcast,
+)
+from repro.sim import Simulator
+
+
+def make_broadcast(n=3, config=None, partitions=None, seed=0):
+    sim = Simulator()
+    net = Network(
+        sim,
+        delay=FixedDelay(1.0),
+        partitions=partitions,
+        rng=random.Random(seed),
+    )
+    bcast = ReliableBroadcast(sim, net, config, rng=random.Random(seed + 1))
+    delivered = {i: [] for i in range(n)}
+    for i in range(n):
+        bcast.attach(i, lambda key, item, n=i: delivered[n].append(key))
+    return sim, bcast, delivered
+
+
+class TestFlooding:
+    def test_publish_reaches_everyone(self):
+        sim, bcast, delivered = make_broadcast()
+        bcast.publish(0, "k1", "v1")
+        sim.run()
+        assert all(keys == ["k1"] for keys in delivered.values())
+        assert bcast.converged()
+
+    def test_publisher_delivers_to_itself_immediately(self):
+        sim, bcast, delivered = make_broadcast()
+        bcast.publish(1, "k", "v")
+        assert delivered[1] == ["k"]
+
+    def test_duplicate_keys_delivered_once(self):
+        sim, bcast, delivered = make_broadcast()
+        bcast.publish(0, "k", "v")
+        bcast.publish(1, "k", "v")
+        sim.run()
+        assert all(keys.count("k") == 1 for keys in delivered.values())
+
+    def test_piggyback_carries_known_set(self):
+        config = BroadcastConfig(flood=True, piggyback=True,
+                                 anti_entropy_interval=1e9)
+        sim, bcast, delivered = make_broadcast(config=config)
+        bcast.publish(0, "a", 1)
+        sim.run()
+        # node 1 now knows "a"; when it publishes "b", its flood message
+        # carries both, so a node that missed "a" would still learn it.
+        bcast.publish(1, "b", 2)
+        sim.run()
+        assert set(delivered[2]) == {"a", "b"}
+
+    def test_no_flood_means_no_delivery_without_gossip(self):
+        config = BroadcastConfig(flood=False, anti_entropy_interval=1e9)
+        sim, bcast, delivered = make_broadcast(config=config)
+        bcast.publish(0, "k", "v")
+        sim.run()
+        assert delivered[1] == [] and delivered[2] == []
+
+
+class TestAntiEntropy:
+    def test_gossip_spreads_items(self):
+        config = BroadcastConfig(
+            flood=False, anti_entropy_interval=1.0, fanout=2
+        )
+        sim, bcast, delivered = make_broadcast(config=config)
+        bcast.start_anti_entropy()
+        bcast.publish(0, "k", "v")
+        sim.run(until=30.0)
+        assert all("k" in keys for keys in delivered.values())
+
+    def test_partition_heals_through_gossip(self):
+        partitions = PartitionSchedule.split(0, 50, [0], [1, 2])
+        config = BroadcastConfig(flood=True, anti_entropy_interval=2.0)
+        sim, bcast, delivered = make_broadcast(
+            config=config, partitions=partitions
+        )
+        bcast.start_anti_entropy()
+        bcast.publish(0, "during", "v")  # flood blocked by partition
+        sim.run(until=40.0)
+        assert "during" not in delivered[1]
+        sim.run(until=80.0)  # healed at t=50; gossip carries it over
+        assert "during" in delivered[1] and "during" in delivered[2]
+        assert bcast.converged()
+
+    def test_stop_anti_entropy_drains_queue(self):
+        config = BroadcastConfig(flood=False, anti_entropy_interval=1.0)
+        sim, bcast, delivered = make_broadcast(config=config)
+        bcast.start_anti_entropy()
+        sim.run(until=5.0)
+        bcast.stop_anti_entropy()
+        sim.run()  # terminates because ticks stop rescheduling
+
+    def test_exchange_all_forces_convergence(self):
+        config = BroadcastConfig(flood=False, anti_entropy_interval=1e9)
+        sim, bcast, delivered = make_broadcast(config=config)
+        bcast.publish(0, "a", 1)
+        bcast.publish(1, "b", 2)
+        assert not bcast.converged()
+        bcast.exchange_all()
+        assert bcast.converged()
+        assert bcast.missing_counts() == {0: 0, 1: 0, 2: 0}
+
+
+class TestBookkeeping:
+    def test_double_attach_rejected(self):
+        sim, bcast, _ = make_broadcast()
+        with pytest.raises(ValueError):
+            bcast.attach(0, lambda k, i: None)
+
+    def test_known_keys(self):
+        sim, bcast, _ = make_broadcast()
+        bcast.publish(0, "x", 1)
+        assert bcast.known_keys(0) == ("x",)
+        assert bcast.known_keys(1) == ()
+
+    def test_missing_counts(self):
+        config = BroadcastConfig(flood=False, anti_entropy_interval=1e9)
+        sim, bcast, _ = make_broadcast(config=config)
+        bcast.publish(0, "x", 1)
+        assert bcast.missing_counts() == {0: 0, 1: 1, 2: 1}
+
+    def test_stats(self):
+        sim, bcast, _ = make_broadcast()
+        bcast.publish(0, "x", 1)
+        sim.run()
+        assert bcast.stats.published == 1
+        assert bcast.stats.flood_messages == 2
+        assert bcast.stats.deliveries == 3

@@ -1,0 +1,114 @@
+"""Tests for the simulated network and delay models."""
+
+import random
+
+import pytest
+
+from repro.network import (
+    ExponentialDelay,
+    FixedDelay,
+    Network,
+    PartitionSchedule,
+    UniformDelay,
+)
+from repro.sim import Simulator
+
+
+def make_network(**kwargs):
+    sim = Simulator()
+    net = Network(sim, **kwargs)
+    inboxes = {0: [], 1: [], 2: []}
+    for node in inboxes:
+        net.register(node, lambda src, p, n=node: inboxes[n].append((src, p)))
+    return sim, net, inboxes
+
+
+class TestDelayModels:
+    def test_fixed(self):
+        assert FixedDelay(2.0).sample(random.Random(0)) == 2.0
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDelay(-1.0)
+
+    def test_uniform_bounds(self):
+        model = UniformDelay(1.0, 2.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 1.0 <= model.sample(rng) <= 2.0
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            UniformDelay(2.0, 1.0)
+
+    def test_exponential_floor(self):
+        model = ExponentialDelay(mean=1.0, floor=0.5)
+        rng = random.Random(0)
+        assert all(model.sample(rng) >= 0.5 for _ in range(50))
+
+    def test_exponential_invalid(self):
+        with pytest.raises(ValueError):
+            ExponentialDelay(mean=0)
+
+
+class TestNetwork:
+    def test_delivery_after_delay(self):
+        sim, net, inboxes = make_network(delay=FixedDelay(3.0))
+        assert net.send(0, 1, "hello")
+        assert inboxes[1] == []
+        sim.run()
+        assert inboxes[1] == [(0, "hello")]
+        assert sim.now == 3.0
+        assert net.stats.delivered == 1
+
+    def test_unknown_destination(self):
+        sim, net, _ = make_network()
+        with pytest.raises(KeyError):
+            net.send(0, 99, "x")
+
+    def test_partition_drops_at_send_time(self):
+        schedule = PartitionSchedule.split(0, 100, [0], [1, 2])
+        sim, net, inboxes = make_network(partitions=schedule)
+        assert not net.send(0, 1, "x")
+        assert net.send(1, 2, "y")
+        sim.run()
+        assert inboxes[1] == []
+        assert inboxes[2] == [(1, "y")]
+        assert net.stats.dropped_partition == 1
+
+    def test_healing_restores_delivery(self):
+        schedule = PartitionSchedule.split(0, 10, [0], [1, 2])
+        sim, net, inboxes = make_network(partitions=schedule)
+        sim.schedule(15.0, lambda: net.send(0, 1, "late"))
+        sim.run()
+        assert inboxes[1] == [(0, "late")]
+
+    def test_loss_probability(self):
+        sim, net, inboxes = make_network(
+            loss_probability=0.5, rng=random.Random(7)
+        )
+        sent_ok = sum(net.send(0, 1, i) for i in range(200))
+        sim.run()
+        assert len(inboxes[1]) == sent_ok
+        assert 50 < sent_ok < 150  # ~100 expected
+        assert net.stats.dropped_loss == 200 - sent_ok
+
+    def test_invalid_loss_probability(self):
+        with pytest.raises(ValueError):
+            make_network(loss_probability=1.5)
+
+    def test_broadcast_counts_accepted(self):
+        schedule = PartitionSchedule.split(0, 100, [0, 1], [2])
+        sim, net, inboxes = make_network(partitions=schedule)
+        accepted = net.broadcast(0, "all")
+        assert accepted == 1  # only node 1 reachable
+        sim.run()
+        assert inboxes[1] == [(0, "all")]
+        assert inboxes[2] == []
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.register(0, lambda s, p: None)
+        with pytest.raises(ValueError):
+            net.register(0, lambda s, p: None)

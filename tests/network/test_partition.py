@@ -1,0 +1,62 @@
+"""Tests for partition schedules."""
+
+import pytest
+
+from repro.network import PartitionInterval, PartitionSchedule
+
+
+class TestPartitionInterval:
+    def test_active_window(self):
+        interval = PartitionInterval(10.0, 20.0, (frozenset({0}), frozenset({1})))
+        assert not interval.active_at(9.9)
+        assert interval.active_at(10.0)
+        assert interval.active_at(19.9)
+        assert not interval.active_at(20.0)
+
+    def test_allows_within_group(self):
+        interval = PartitionInterval(
+            0.0, 1.0, (frozenset({0, 1}), frozenset({2}))
+        )
+        assert interval.allows(0, 1)
+        assert not interval.allows(1, 2)
+
+    def test_unlisted_nodes_form_remainder_group(self):
+        interval = PartitionInterval(0.0, 1.0, (frozenset({0}),))
+        assert interval.allows(5, 6)
+        assert not interval.allows(0, 5)
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            PartitionInterval(5.0, 5.0, ())
+        with pytest.raises(ValueError):
+            PartitionInterval(
+                0.0, 1.0, (frozenset({0}), frozenset({0, 1}))
+            )
+
+
+class TestPartitionSchedule:
+    def test_always_connected(self):
+        schedule = PartitionSchedule.always_connected()
+        assert schedule.connected(0, 1, 123.0)
+        assert not schedule.partitioned_at(0.0)
+        assert schedule.healed_after() == 0.0
+
+    def test_split(self):
+        schedule = PartitionSchedule.split(10, 20, [0, 1], [2])
+        assert schedule.connected(0, 1, 15)
+        assert not schedule.connected(1, 2, 15)
+        assert schedule.connected(1, 2, 25)
+        assert schedule.healed_after() == 20
+
+    def test_self_connectivity(self):
+        schedule = PartitionSchedule.split(0, 100, [0], [1])
+        assert schedule.connected(0, 0, 50)
+
+    def test_overlapping_intervals_intersect(self):
+        schedule = PartitionSchedule.split(0, 10, [0, 1], [2])
+        schedule.add(5, 15, [0], [1, 2])
+        # at t=7 both are active: 0-1 blocked by second, 1-2 by first.
+        assert not schedule.connected(0, 1, 7)
+        assert not schedule.connected(1, 2, 7)
+        # at t=12 only the second is active.
+        assert schedule.connected(1, 2, 12)

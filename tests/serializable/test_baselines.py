@@ -1,0 +1,94 @@
+"""Tests for the serializable baselines."""
+
+import pytest
+
+from repro.apps.airline import (
+    AirlineState,
+    Cancel,
+    MoveDown,
+    MoveUp,
+    Request,
+    make_airline_application,
+)
+from repro.network import FixedDelay, PartitionSchedule
+from repro.serializable import PrimaryCopySystem, SerialExecutor
+
+
+class TestSerialExecutor:
+    def test_serial_run_never_overbooks(self):
+        ex = SerialExecutor(AirlineState())
+        app = make_airline_application(capacity=2)
+        for i in range(5):
+            ex.execute(Request(f"P{i}"))
+            ex.execute(MoveUp(2))
+            assert app.cost(ex.state, "overbooking") == 0
+        assert ex.state.al == 2
+
+    def test_as_execution_is_complete_prefix(self):
+        ex = SerialExecutor(AirlineState())
+        ex.execute_all([Request("A"), Request("B"), MoveUp(1)])
+        e = ex.as_execution()
+        e.validate()
+        assert all(e.deficit(i) == 0 for i in e.indices)
+        assert e.final_state == ex.state
+
+    def test_external_actions_recorded(self):
+        ex = SerialExecutor(AirlineState())
+        ex.execute_all([Request("A"), MoveUp(1)])
+        kinds = [a.kind for acts in ex.external_actions for a in acts]
+        assert kinds == ["inform_assigned"]
+
+
+class TestPrimaryCopy:
+    def test_all_served_when_connected(self):
+        system = PrimaryCopySystem(AirlineState(), n_nodes=3)
+        for i in range(6):
+            system.submit(i % 3, Request(f"P{i}"), at=float(i))
+        system.run()
+        assert system.stats.submitted == 6
+        assert system.stats.served == 6
+        assert system.stats.availability == 1.0
+        assert system.state.wl == 6
+
+    def test_remote_latency_is_round_trip(self):
+        system = PrimaryCopySystem(
+            AirlineState(), n_nodes=2, delay=FixedDelay(3.0)
+        )
+        system.submit(1, Request("A"), at=0.0)
+        system.run()
+        assert system.latencies() == [6.0]
+
+    def test_local_submission_is_instant(self):
+        system = PrimaryCopySystem(AirlineState(), n_nodes=2)
+        system.submit(0, Request("A"), at=0.0)
+        system.run()
+        assert system.latencies() == [0.0]
+
+    def test_partition_rejects_remote_clients(self):
+        partitions = PartitionSchedule.split(0, 100, [0], [1, 2])
+        system = PrimaryCopySystem(
+            AirlineState(), n_nodes=3, partitions=partitions
+        )
+        system.submit(1, Request("A"), at=10.0)  # cut off from primary
+        system.submit(0, Request("B"), at=10.0)  # at the primary
+        system.run()
+        assert system.stats.rejected == 1
+        assert system.stats.served == 1
+        assert system.stats.availability == 0.5
+        assert system.state.waiting == ("B",)
+
+    def test_serializability_preserves_integrity(self):
+        app = make_airline_application(capacity=3)
+        system = PrimaryCopySystem(AirlineState(), n_nodes=3)
+        t = 0.0
+        for i in range(10):
+            system.submit(i % 3, Request(f"P{i}"), at=t)
+            t += 1.0
+            system.submit(i % 3, MoveUp(3), at=t)
+            t += 1.0
+        system.run()
+        assert app.cost(system.state, "overbooking") == 0
+
+    def test_invalid_primary(self):
+        with pytest.raises(ValueError):
+            PrimaryCopySystem(AirlineState(), n_nodes=2, primary=5)

@@ -1,0 +1,59 @@
+"""Edge-case tests for the primary-copy baseline."""
+
+from repro.apps.airline import AirlineState, Request
+from repro.network import FixedDelay, PartitionSchedule
+from repro.serializable import PrimaryCopySystem
+
+
+class TestPrimaryCopyEdges:
+    def test_partition_during_flight_loses_ack_but_applies(self):
+        """The classic primary-copy wrinkle: the request reaches the
+        primary, the partition starts, the ack is lost — the transaction
+        IS applied but the client never learns (not counted served)."""
+        partitions = PartitionSchedule.split(2.5, 100, [0], [1, 2])
+        system = PrimaryCopySystem(
+            AirlineState(),
+            n_nodes=2,
+            delay=FixedDelay(2.0),
+            partitions=partitions,
+        )
+        # sent at t=1 (connected), arrives t=3 (partition active at send
+        # time of the ack) -> ack dropped.
+        system.submit(1, Request("A"), at=1.0)
+        system.run()
+        assert system.state.waiting == ("A",)  # applied at the primary
+        assert system.stats.served == 0        # but never acknowledged
+        assert system.completed == []
+
+    def test_message_loss_leaves_request_pending(self):
+        import random
+
+        system = PrimaryCopySystem(
+            AirlineState(), n_nodes=2, loss_probability=0.999, seed=1
+        )
+        system.submit(1, Request("A"), at=0.0)
+        system.run()
+        # overwhelmingly likely the exec message was lost.
+        assert system.stats.served in (0, 1)
+        if system.stats.served == 0:
+            assert system.state == AirlineState()
+
+    def test_serial_order_is_arrival_order_at_primary(self):
+        system = PrimaryCopySystem(
+            AirlineState(), n_nodes=3, delay=FixedDelay(1.0)
+        )
+        system.submit(1, Request("remote-first"), at=0.0)   # arrives t=1
+        system.submit(0, Request("local-later"), at=0.5)    # executes t=0.5
+        system.run()
+        assert system.state.waiting == ("local-later", "remote-first")
+
+    def test_latencies_only_for_served(self):
+        partitions = PartitionSchedule.split(0, 100, [0], [1])
+        system = PrimaryCopySystem(
+            AirlineState(), n_nodes=2, partitions=partitions
+        )
+        system.submit(1, Request("A"), at=1.0)  # rejected
+        system.submit(0, Request("B"), at=1.0)  # local, served
+        system.run()
+        assert system.latencies() == [0.0]
+        assert system.stats.rejected == 1

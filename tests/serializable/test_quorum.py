@@ -1,0 +1,64 @@
+"""Tests for the majority-quorum baseline."""
+
+import pytest
+
+from repro.apps.airline import AirlineState, MoveUp, Request, make_airline_application
+from repro.network import FixedDelay, PartitionSchedule
+from repro.serializable import QuorumSystem
+
+
+class TestQuorumSystem:
+    def test_quorum_size(self):
+        assert QuorumSystem(AirlineState(), 3).quorum_size == 2
+        assert QuorumSystem(AirlineState(), 5).quorum_size == 3
+        assert QuorumSystem(AirlineState(), 1).quorum_size == 1
+
+    def test_all_served_when_connected(self):
+        system = QuorumSystem(AirlineState(), 3)
+        for i in range(4):
+            system.submit(i % 3, Request(f"P{i}"), at=float(i))
+        system.run()
+        assert system.stats.availability == 1.0
+        assert system.state.wl == 4
+
+    def test_majority_side_stays_available(self):
+        partitions = PartitionSchedule.split(0, 100, [0], [1, 2])
+        system = QuorumSystem(AirlineState(), 3, partitions=partitions)
+        system.submit(0, Request("minority"), at=5.0)   # 1 of 3: rejected
+        system.submit(1, Request("majority"), at=5.0)   # 2 of 3: served
+        system.run()
+        assert system.stats.rejected == 1
+        assert system.stats.served == 1
+        assert system.state.waiting == ("majority",)
+
+    def test_no_majority_anywhere(self):
+        partitions = PartitionSchedule.split(0, 100, [0], [1], [2])
+        system = QuorumSystem(AirlineState(), 3, partitions=partitions)
+        for node in range(3):
+            system.submit(node, Request(f"P{node}"), at=1.0)
+        system.run()
+        assert system.stats.availability == 0.0
+
+    def test_latency_is_round_trip_to_quorum(self):
+        system = QuorumSystem(AirlineState(), 3, delay=FixedDelay(2.0))
+        system.submit(0, Request("A"), at=0.0)
+        system.run()
+        assert system.latencies == [4.0]
+
+    def test_single_node_instantaneous(self):
+        system = QuorumSystem(AirlineState(), 1)
+        system.submit(0, Request("A"), at=0.0)
+        system.run()
+        assert system.latencies == [0.0]
+
+    def test_integrity_preserved(self):
+        app = make_airline_application(capacity=2)
+        system = QuorumSystem(AirlineState(), 3)
+        t = 0.0
+        for i in range(8):
+            system.submit(i % 3, Request(f"P{i}"), at=t)
+            t += 1.0
+            system.submit(i % 3, MoveUp(2), at=t)
+            t += 1.0
+        system.run()
+        assert app.cost(system.state, "overbooking") == 0

@@ -1,0 +1,65 @@
+"""Property-based equivalence of the three merge engines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.airline import (
+    CancelUpdate,
+    INITIAL_STATE,
+    MoveDownUpdate,
+    MoveUpUpdate,
+    RequestUpdate,
+)
+from repro.core import apply_sequence
+from repro.shard import CheckpointMerge, NaiveMerge, SuffixMerge
+
+PEOPLE = ["P", "Q", "R"]
+UPDATE_CLASSES = [RequestUpdate, CancelUpdate, MoveUpUpdate, MoveDownUpdate]
+
+
+@st.composite
+def insertion_scripts(draw, max_len=20):
+    """A list of (position, update) insertions with valid positions."""
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    script = []
+    for i in range(n):
+        update = draw(st.sampled_from(UPDATE_CLASSES))(
+            draw(st.sampled_from(PEOPLE))
+        )
+        position = draw(st.integers(min_value=0, max_value=i))
+        script.append((position, update))
+    return script
+
+
+def reference_fold(script):
+    updates = []
+    for position, update in script:
+        updates.insert(position, update)
+    return apply_sequence(updates, INITIAL_STATE)
+
+
+@given(insertion_scripts(), st.sampled_from([1, 3, 7]))
+@settings(max_examples=200, deadline=None)
+def test_all_engines_agree_with_reference(script, interval):
+    engines = [
+        NaiveMerge(INITIAL_STATE),
+        SuffixMerge(INITIAL_STATE),
+        CheckpointMerge(INITIAL_STATE, interval=interval),
+    ]
+    for position, update in script:
+        for engine in engines:
+            engine.insert(position, update)
+    expected = reference_fold(script)
+    for engine in engines:
+        assert engine.state == expected
+
+
+@given(insertion_scripts())
+@settings(max_examples=200, deadline=None)
+def test_suffix_never_applies_more_than_naive(script):
+    naive = NaiveMerge(INITIAL_STATE)
+    suffix = SuffixMerge(INITIAL_STATE)
+    for position, update in script:
+        naive.insert(position, update)
+        suffix.insert(position, update)
+    assert suffix.stats.updates_applied <= naive.stats.updates_applied

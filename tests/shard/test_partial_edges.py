@@ -1,0 +1,96 @@
+"""Edge cases for partial replication."""
+
+import random
+
+import pytest
+
+from repro.apps.airline import AirlineState, Request
+from repro.shard.partial import PartialCluster, PartialConfig
+
+
+class TestPartialEdges:
+    def test_route_submit_no_holders(self):
+        cluster = PartialCluster(
+            {"f1": AirlineState(), "orphan": AirlineState()},
+            PartialConfig(placement={0: frozenset({"f1"})}),
+        )
+        with pytest.raises(KeyError):
+            cluster.route_submit("orphan", Request("P"), random.Random(0))
+
+    def test_node_initiate_unheld_key(self):
+        cluster = PartialCluster(
+            {"f1": AirlineState(), "f2": AirlineState()},
+            PartialConfig(placement={
+                0: frozenset({"f1"}), 1: frozenset({"f2"}),
+            }),
+        )
+        with pytest.raises(KeyError):
+            cluster.nodes[0].initiate(0, "f2", Request("P"), 0.0)
+
+    def test_disjoint_nodes_never_gossip(self):
+        cluster = PartialCluster(
+            {"f1": AirlineState(), "f2": AirlineState()},
+            PartialConfig(
+                placement={0: frozenset({"f1"}), 1: frozenset({"f2"})},
+                anti_entropy_interval=1.0,
+            ),
+        )
+        assert cluster.sharing_peers(0) == ()
+        cluster.submit(0, "f1", Request("A"), at=0.0)
+        cluster.run(until=20.0)
+        cluster.quiesce()
+        assert cluster.stats.anti_entropy_messages == 0
+        # single holders are trivially converged.
+        assert cluster.converged()
+
+    def test_flood_disabled_relies_on_gossip(self):
+        cluster = PartialCluster(
+            {"f1": AirlineState()},
+            PartialConfig(
+                placement={0: frozenset({"f1"}), 1: frozenset({"f1"})},
+                flood=False,
+                anti_entropy_interval=2.0,
+            ),
+        )
+        cluster.submit(0, "f1", Request("A"), at=0.0)
+        cluster.run(until=30.0)
+        cluster.quiesce()
+        assert cluster.nodes[1].substate("f1").is_known("A")
+        assert cluster.stats.flood_messages == 0
+        assert cluster.stats.anti_entropy_messages > 0
+
+    def test_receive_foreign_key_advances_clock_only(self):
+        cluster = PartialCluster(
+            {"f1": AirlineState(), "f2": AirlineState()},
+            PartialConfig(placement={
+                0: frozenset({"f1"}), 1: frozenset({"f2"}),
+            }),
+        )
+        keyed = cluster.nodes[0].initiate(0, "f1", Request("A"), 0.0)
+        accepted = cluster.nodes[1].receive(keyed)
+        assert not accepted
+        # but node 1's clock advanced past the foreign timestamp, so its
+        # next issue is globally larger.
+        later = cluster.nodes[1].initiate(1, "f2", Request("B"), 1.0)
+        assert later.record.ts > keyed.record.ts
+
+    def test_per_key_prefix_isolation(self):
+        """A transaction's seen-set contains only same-key transactions:
+        per-object executions are self-contained."""
+        cluster = PartialCluster(
+            {"f1": AirlineState(), "f2": AirlineState()},
+            PartialConfig(placement={
+                0: frozenset({"f1", "f2"}),
+            }),
+        )
+        cluster.submit(0, "f1", Request("A"), at=0.0)
+        cluster.submit(0, "f2", Request("B"), at=1.0)
+        cluster.submit(0, "f1", Request("C"), at=2.0)
+        cluster.quiesce()
+        e1 = cluster.extract_execution("f1")
+        e2 = cluster.extract_execution("f2")
+        e1.validate()
+        e2.validate()
+        assert len(e1) == 2 and len(e2) == 1
+        assert e1.prefixes == ((), (0,))
+        assert e2.prefixes == ((),)

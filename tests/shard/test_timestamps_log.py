@@ -1,0 +1,98 @@
+"""Tests for timestamps, Lamport clocks, and the system log."""
+
+import pytest
+
+from repro.apps.airline import RequestUpdate, Request
+from repro.shard import LamportClock, SystemLog, Timestamp, UpdateRecord
+
+
+def record(counter, node=0, txid=None):
+    ts = Timestamp(counter, node)
+    return UpdateRecord(
+        ts=ts,
+        txid=txid if txid is not None else counter * 100 + node,
+        transaction=Request("P1"),
+        update=RequestUpdate("P1"),
+        origin=node,
+        real_time=float(counter),
+        seen_txids=frozenset(),
+    )
+
+
+class TestTimestamp:
+    def test_total_order_counter_first(self):
+        assert Timestamp(1, 5) < Timestamp(2, 0)
+        assert Timestamp(2, 0) < Timestamp(2, 1)
+
+    def test_global_uniqueness_via_node_tiebreak(self):
+        assert Timestamp(3, 1) != Timestamp(3, 2)
+
+
+class TestLamportClock:
+    def test_issue_monotonic(self):
+        clock = LamportClock(0)
+        a, b = clock.issue(), clock.issue()
+        assert a < b
+
+    def test_observe_advances(self):
+        clock = LamportClock(0)
+        clock.observe(Timestamp(10, 3))
+        assert clock.issue() > Timestamp(10, 3)
+
+    def test_observe_smaller_is_noop(self):
+        clock = LamportClock(0)
+        clock.issue()  # counter 1
+        clock.observe(Timestamp(0, 9))
+        assert clock.counter == 1
+
+    def test_issued_exceeds_all_observed(self):
+        clock = LamportClock(2)
+        for c in (5, 3, 8):
+            clock.observe(Timestamp(c, 0))
+        ts = clock.issue()
+        assert ts.counter == 9 and ts.node_id == 2
+
+
+class TestSystemLog:
+    def test_insert_in_order(self):
+        log = SystemLog()
+        assert log.insert(record(1)) == 0
+        assert log.insert(record(2)) == 1
+        assert len(log) == 2
+
+    def test_out_of_order_insert_position(self):
+        log = SystemLog()
+        log.insert(record(1))
+        log.insert(record(5))
+        position = log.insert(record(3))
+        assert position == 1
+        assert [r.ts.counter for r in log] == [1, 3, 5]
+
+    def test_duplicate_returns_none(self):
+        log = SystemLog()
+        r = record(1)
+        assert log.insert(r) == 0
+        assert log.insert(r) is None
+        assert len(log) == 1
+
+    def test_membership_and_ids(self):
+        log = SystemLog()
+        r = record(1, txid=42)
+        log.insert(r)
+        assert 42 in log
+        assert 43 not in log
+        assert log.txids == frozenset({42})
+
+    def test_max_timestamp(self):
+        log = SystemLog()
+        assert log.max_timestamp() is None
+        log.insert(record(3))
+        log.insert(record(1))
+        assert log.max_timestamp() == Timestamp(3, 0)
+
+    def test_indexing(self):
+        log = SystemLog()
+        log.insert(record(2))
+        log.insert(record(1))
+        assert log[0].ts.counter == 1
+        assert log.records()[1].ts.counter == 2

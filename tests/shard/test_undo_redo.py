@@ -1,0 +1,92 @@
+"""Tests for the three undo/redo merge engines."""
+
+import random
+
+import pytest
+
+from repro.apps.counter import AddUpdate, CounterState
+from repro.core import apply_sequence
+from repro.shard import CheckpointMerge, NaiveMerge, SuffixMerge
+from repro.shard.undo_redo import checkpoint_factory
+
+ENGINES = [
+    lambda: NaiveMerge(CounterState(0)),
+    lambda: SuffixMerge(CounterState(0)),
+    lambda: CheckpointMerge(CounterState(0), interval=4),
+]
+
+
+@pytest.mark.parametrize("make_engine", ENGINES)
+class TestMergeEngines:
+    def test_in_order_inserts(self, make_engine):
+        engine = make_engine()
+        for i in range(5):
+            engine.insert(i, AddUpdate(1))
+        assert engine.state == CounterState(5)
+        assert engine.log_length == 5
+
+    def test_out_of_order_insert(self, make_engine):
+        # floor-at-zero makes the fold order-sensitive; the engine must
+        # produce the state of the *sorted* log, not arrival order.
+        engine = make_engine()
+        engine.insert(0, AddUpdate(3))   # log: [+3]
+        engine.insert(1, AddUpdate(-5))  # log: [+3, -5] -> 0
+        engine.insert(0, AddUpdate(4))   # log: [+4, +3, -5] -> 2
+        assert engine.state == CounterState(2)
+
+    def test_matches_reference_fold_random(self, make_engine):
+        rng = random.Random(42)
+        engine = make_engine()
+        updates = []
+        for _ in range(60):
+            update = AddUpdate(rng.randint(-3, 4))
+            position = rng.randint(0, len(updates))
+            updates.insert(position, update)
+            engine.insert(position, update)
+            assert engine.state == apply_sequence(updates, CounterState(0))
+
+    def test_bad_position_rejected(self, make_engine):
+        engine = make_engine()
+        with pytest.raises(IndexError):
+            engine.insert(1, AddUpdate(1))
+
+
+class TestWorkAccounting:
+    def test_naive_applies_full_log_each_insert(self):
+        engine = NaiveMerge(CounterState(0))
+        for i in range(10):
+            engine.insert(i, AddUpdate(1))
+        # 1 + 2 + ... + 10
+        assert engine.stats.updates_applied == 55
+
+    def test_suffix_applies_one_per_in_order_insert(self):
+        engine = SuffixMerge(CounterState(0))
+        for i in range(10):
+            engine.insert(i, AddUpdate(1))
+        assert engine.stats.updates_applied == 10
+
+    def test_suffix_redo_cost_proportional_to_displacement(self):
+        engine = SuffixMerge(CounterState(0))
+        for i in range(10):
+            engine.insert(i, AddUpdate(1))
+        before = engine.stats.updates_applied
+        engine.insert(4, AddUpdate(1))  # redo positions 4..10 (7 updates)
+        assert engine.stats.updates_applied - before == 7
+
+    def test_checkpoint_redo_cost_bounded_by_interval(self):
+        engine = CheckpointMerge(CounterState(0), interval=4)
+        for i in range(16):
+            engine.insert(i, AddUpdate(1))
+        before = engine.stats.updates_applied
+        engine.insert(15, AddUpdate(1))
+        # recompute from checkpoint at 12: positions 12..16 -> 5 updates.
+        assert engine.stats.updates_applied - before == 5
+
+    def test_checkpoint_interval_validated(self):
+        with pytest.raises(ValueError):
+            CheckpointMerge(CounterState(0), interval=0)
+
+    def test_factories(self):
+        engine = checkpoint_factory(8)(CounterState(0))
+        assert isinstance(engine, CheckpointMerge)
+        assert engine.interval == 8

@@ -1,0 +1,120 @@
+"""Tests for the workload submitters."""
+
+import random
+
+import pytest
+
+from repro.apps.airline import AirlineState, MoveUp, Request
+from repro.shard import (
+    ClusterConfig,
+    PeriodicSubmitter,
+    PoissonSubmitter,
+    ShardCluster,
+)
+
+
+def make_cluster():
+    return ShardCluster(AirlineState(), ClusterConfig(n_nodes=3))
+
+
+class TestPoissonSubmitter:
+    def test_submits_until_stop(self):
+        cluster = make_cluster()
+        counter = [0]
+
+        def factory(rng):
+            counter[0] += 1
+            return Request(f"P{counter[0]}")
+
+        submitter = PoissonSubmitter(
+            cluster, rate=2.0, make_transaction=factory,
+            rng=random.Random(1), stop_at=20.0,
+        )
+        submitter.start()
+        cluster.quiesce()
+        assert submitter.submitted == counter[0]
+        # rate 2/s over 20s: expect ~40 arrivals, loosely.
+        assert 15 < submitter.submitted < 80
+        assert len(cluster.records) == submitter.submitted
+
+    def test_factory_may_decline(self):
+        cluster = make_cluster()
+        submitter = PoissonSubmitter(
+            cluster, rate=2.0, make_transaction=lambda rng: None,
+            rng=random.Random(1), stop_at=10.0,
+        )
+        submitter.start()
+        cluster.quiesce()
+        assert submitter.submitted == 0
+
+    def test_node_restriction(self):
+        cluster = make_cluster()
+        submitter = PoissonSubmitter(
+            cluster, rate=2.0,
+            make_transaction=lambda rng: Request("X"),
+            rng=random.Random(1), nodes=[2], stop_at=10.0,
+        )
+        submitter.start()
+        cluster.quiesce()
+        assert all(r.origin == 2 for r in cluster.records.values())
+
+    def test_invalid_rate(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            PoissonSubmitter(
+                cluster, rate=0.0,
+                make_transaction=lambda rng: None,
+                rng=random.Random(1),
+            )
+
+
+class TestPeriodicSubmitter:
+    def test_fires_at_interval_per_node(self):
+        cluster = make_cluster()
+        submitter = PeriodicSubmitter(
+            cluster, interval=5.0,
+            make_transactions=lambda: (MoveUp(3),),
+            nodes=[0, 1], stop_at=20.0,
+        )
+        submitter.start()
+        cluster.quiesce()
+        # fires at t=5, 10, 15, 20 -> 4 ticks x 2 nodes.
+        assert submitter.submitted == 8
+
+    def test_multiple_transactions_per_tick(self):
+        cluster = make_cluster()
+        submitter = PeriodicSubmitter(
+            cluster, interval=10.0,
+            make_transactions=lambda: (MoveUp(3), MoveUp(3)),
+            nodes=[0], stop_at=10.0,
+        )
+        submitter.start()
+        cluster.quiesce()
+        assert submitter.submitted == 2
+
+    def test_phase_offset(self):
+        cluster = make_cluster()
+        times = []
+        original = cluster.submit
+
+        def spying_submit(node, txn, at=None):
+            times.append(cluster.sim.now)
+            original(node, txn, at=at)
+
+        cluster.submit = spying_submit
+        submitter = PeriodicSubmitter(
+            cluster, interval=5.0,
+            make_transactions=lambda: (MoveUp(3),),
+            nodes=[0], stop_at=12.0, phase=2.0,
+        )
+        submitter.start()
+        cluster.quiesce()
+        assert times == [7.0, 12.0]
+
+    def test_invalid_interval(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            PeriodicSubmitter(
+                cluster, interval=0.0,
+                make_transactions=lambda: (), nodes=[0],
+            )

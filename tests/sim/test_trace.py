@@ -1,0 +1,76 @@
+"""Tests for the run tracer."""
+
+import pytest
+
+from repro.apps.airline import AirlineState, MoveUp, Request
+from repro.shard import ClusterConfig, ShardCluster
+from repro.sim import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+
+class TestTracerBasics:
+    def test_record_and_query(self):
+        tracer = Tracer()
+        tracer.record(1.0, "initiate", 0, txid=7)
+        tracer.record(2.0, "deliver", 1, txid=7)
+        assert len(tracer) == 2
+        assert tracer.counts() == {"initiate": 1, "deliver": 1}
+        assert tracer.of_kind("deliver")[0].get("txid") == 7
+        assert tracer.of_kind("deliver")[0].get("missing", 42) == 42
+
+    def test_capacity_drops(self):
+        tracer = Tracer(capacity=1)
+        tracer.record(1.0, "a")
+        tracer.record(2.0, "b")
+        assert len(tracer) == 1
+        assert tracer.dropped == 1
+
+    def test_null_tracer_drops_silently(self):
+        NULL_TRACER.record(1.0, "anything", 0, x=1)
+        assert len(NULL_TRACER) == 0
+        assert not NULL_TRACER.enabled
+
+    def test_event_str(self):
+        event = TraceEvent(1.5, "initiate", 0, (("txid", 3),))
+        text = str(event)
+        assert "initiate" in text and "txid=3" in text
+
+    def test_tail(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record(float(i), "e", detail_index=i)
+        assert tracer.tail(2).count("\n") == 1
+
+
+class TestClusterTracing:
+    def test_cluster_records_lifecycle(self):
+        tracer = Tracer()
+        cluster = ShardCluster(
+            AirlineState(), ClusterConfig(n_nodes=3, tracer=tracer)
+        )
+        cluster.submit(0, Request("A"), at=1.0)
+        cluster.submit(1, MoveUp(5), at=5.0)
+        cluster.schedule_crash(2, 2.0, 4.0)
+        cluster.quiesce()
+        counts = tracer.counts()
+        assert counts["initiate"] == 2
+        assert counts["crash"] == 1
+        assert counts["recover"] == 1
+        assert counts.get("deliver", 0) >= 2  # each record reaches peers
+
+    def test_initiate_event_carries_seen_count(self):
+        tracer = Tracer()
+        cluster = ShardCluster(
+            AirlineState(), ClusterConfig(n_nodes=2, tracer=tracer)
+        )
+        cluster.submit(0, Request("A"), at=0.0)
+        cluster.submit(0, Request("B"), at=5.0)
+        cluster.quiesce()
+        initiations = tracer.of_kind("initiate")
+        assert initiations[0].get("seen") == 0
+        assert initiations[1].get("seen") == 1
+
+    def test_default_is_untraced(self):
+        cluster = ShardCluster(AirlineState(), ClusterConfig(n_nodes=2))
+        cluster.submit(0, Request("A"), at=0.0)
+        cluster.quiesce()
+        assert len(cluster.tracer) == 0
