@@ -8,7 +8,7 @@ report (max over reachable states, max over normal states, final cost).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.application import Application
 from ..core.execution import Execution

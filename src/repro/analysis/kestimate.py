@@ -10,7 +10,7 @@ transactions count), per transaction and per family.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..apps.airline.state import AirlineState
 from ..apps.airline.witnesses import (

@@ -10,7 +10,7 @@ notebooks.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..apps.airline import make_airline_application, precedes
 from ..apps.airline.priority import known

@@ -18,7 +18,7 @@ semantic price of availability on this particular run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from ..core.execution import Execution
 

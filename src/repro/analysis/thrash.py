@@ -10,10 +10,10 @@ never take back.  We measure it from the external-action ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict
 
 from ..apps.airline.transactions import INFORM_ASSIGNED, INFORM_WAITLISTED
-from ..shard.external import ExternalLedger, LedgerEntry
+from ..shard.external import ExternalLedger
 
 
 @dataclass

@@ -10,7 +10,7 @@ sampling checkers.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ...core.application import Application
 from ...core.properties import PropertyTable
@@ -27,7 +27,7 @@ from .constraints import (
 )
 from .priority import known, precedes
 from .state import INITIAL_STATE, AirlineState, Person
-from .transactions import DEFAULT_CAPACITY, Cancel, MoveDown, MoveUp, Request
+from .transactions import DEFAULT_CAPACITY
 
 
 def make_airline_application(

@@ -22,7 +22,7 @@ grouping for Corollary 10/11 alongside the execution.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ...core.builder import ExecutionBuilder

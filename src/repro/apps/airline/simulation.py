@@ -13,8 +13,8 @@ analysis modules.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ...core.execution import TimedExecution
 from ...network.broadcast import BroadcastConfig
@@ -46,6 +46,7 @@ class AirlineScenario:
     cancel_fraction: float = 0.15
     mover_interval: float = 2.0
     mover_nodes: Optional[Sequence[int]] = None  # None = every node
+    request_nodes: Optional[Sequence[int]] = None  # None = every node
     seed: int = 0
     delay: Optional[DelayModel] = None
     partitions: Optional[PartitionSchedule] = None
@@ -123,6 +124,7 @@ def run_airline_scenario(scenario: AirlineScenario) -> AirlineRun:
         rate=scenario.request_rate,
         make_transaction=arrivals,
         rng=cluster.streams.stream("arrivals"),
+        nodes=scenario.request_nodes,
         stop_at=scenario.duration,
     )
     mover_nodes = (

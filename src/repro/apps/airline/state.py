@@ -12,7 +12,7 @@ and ``WL(s)`` are the list lengths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from ...core.state import State

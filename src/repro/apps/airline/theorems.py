@@ -9,7 +9,7 @@ through these; the test suite checks them on targeted executions.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ...core.conditions import (
     group_by_family,

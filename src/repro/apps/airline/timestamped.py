@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from ...core.constraint import IntegrityConstraint
 from ...core.monus import monus

@@ -22,10 +22,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ...core.builder import ExecutionBuilder
 from ...core.execution import Execution
 from ...core.transaction import Transaction
-from .state import INITIAL_STATE, AirlineState
+from .state import INITIAL_STATE
 from .timestamped import (
     TS_INITIAL_STATE,
     TSCancel,

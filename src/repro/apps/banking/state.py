@@ -14,7 +14,7 @@ overdraw when replayed after earlier-timestamped withdrawals arrive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 from ...core.state import State
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple
+from typing import FrozenSet, Tuple
 
 from ...core.application import Application
 from ...core.constraint import IntegrityConstraint

@@ -14,7 +14,6 @@ from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from .constraint import ConstraintSet, IntegrityConstraint
 from .state import State
-from .transaction import Transaction
 
 KnownFn = Callable[[State], Tuple]
 PrecedesFn = Callable[[State, object, object], bool]

@@ -20,7 +20,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .execution import Execution, InvalidExecutionError, TimedExecution
 from .state import State
-from .transaction import Decision, ExternalAction, Transaction
+from .transaction import ExternalAction, Transaction
 from .update import Update, apply_sequence
 
 PrefixSpec = Union[str, Iterable[int], "PrefixPolicy"]

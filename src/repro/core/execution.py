@@ -28,7 +28,7 @@ from scratch.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from .state import State
 from .transaction import Decision, ExternalAction, Transaction

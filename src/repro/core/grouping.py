@@ -16,7 +16,7 @@ states by ``f(k)`` when the relevant transactions are k-complete.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from .execution import Execution
 from .state import State

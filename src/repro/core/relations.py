@@ -15,7 +15,7 @@ A function ``f`` *bounds the cost increase* for constraint ``i`` when
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Tuple
 
 from .constraint import IntegrityConstraint
 from .state import State

@@ -15,10 +15,10 @@ can never happen; the benchmark harness exercises exactly this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 from .execution import Execution
-from .grouping import Grouping, PreservesPredicate
+from .grouping import Grouping
 from .relations import CostBound
 from .state import State
 from .transaction import Transaction

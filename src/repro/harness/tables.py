@@ -6,7 +6,7 @@ EXPERIMENTS.md can quote them verbatim.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 Cell = Union[str, int, float, bool, None]
 

@@ -10,8 +10,8 @@ transport, guarantees eventual delivery.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from ..sim.engine import Simulator
 from .link import DelayModel, FixedDelay

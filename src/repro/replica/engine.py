@@ -1,0 +1,242 @@
+"""Policy-driven undo/redo merge views over a shared update sequence.
+
+A SHARD node's database copy must always equal the result of applying its
+log's updates in timestamp order to the initial state (Sections 1.2,
+3.3; [BK]).  The seed implementation gave each merge engine a private
+copy of the update sequence; here the engine is a *view*: it reads
+updates from an :class:`UpdateSource` it does not own — either the
+node's canonical :class:`~repro.replica.log.SystemLog` (via
+:class:`LogUpdateSource`) or, for standalone use and the seed
+compatibility shims, a plain list it manages itself.
+
+Two cost mechanisms:
+
+* **tail fast path** — an insertion at the end of the log (in-order
+  arrival, the overwhelmingly common case) is a single ``apply`` against
+  the cached current state: no undo, no replay.  Counted separately in
+  :class:`MergeStats` so benchmarks can report the hit rate.
+* **checkpoint replay** — an out-of-order insertion invalidates the
+  snapshots past the insertion point and replays from the nearest
+  retained checkpoint at or before it.  Which snapshots are retained is
+  the :mod:`~repro.replica.policy`'s call; eviction runs incrementally
+  during replay so peak memory stays within the policy's bound.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from ..core.state import State
+from ..core.update import Update
+from .log import SystemLog
+from .policy import CheckpointPolicy, EveryPositionPolicy
+
+
+@dataclass
+class MergeStats:
+    """Work and memory accounting, reported by the E11 benchmark."""
+
+    inserts: int = 0
+    updates_applied: int = 0
+    snapshots_held: int = 0
+    fastpath_hits: int = 0
+    undo_redo_merges: int = 0
+    max_displacement: int = 0
+
+    @property
+    def fastpath_rate(self) -> float:
+        return self.fastpath_hits / self.inserts if self.inserts else 0.0
+
+
+@dataclass(frozen=True)
+class MergeOutcome:
+    """What one insertion cost: the fast path, or an undo/redo replay of
+    ``replayed`` updates for an insertion ``displacement`` positions
+    from the tail."""
+
+    fastpath: bool
+    replayed: int
+    displacement: int
+
+
+class UpdateSource(Protocol):
+    """The read interface a merge view needs over the update sequence."""
+
+    def __len__(self) -> int: ...
+
+    def update_at(self, position: int) -> Update: ...
+
+
+class ListUpdateSource:
+    """A self-owned sequence, for standalone engines and tests."""
+
+    def __init__(self) -> None:
+        self._updates: List[Update] = []
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def update_at(self, position: int) -> Update:
+        return self._updates[position]
+
+    def insert(self, position: int, update: Update) -> None:
+        self._updates.insert(position, update)
+
+
+class LogUpdateSource:
+    """A view over a node's canonical :class:`SystemLog` — the log is
+    the single copy of the sequence; nothing is shadowed here."""
+
+    def __init__(self, log: SystemLog) -> None:
+        self._log = log
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def update_at(self, position: int) -> Update:
+        return self._log[position].update
+
+
+class MergeView:
+    """Maintains the materialized state of a timestamp-ordered update
+    sequence it observes, under a checkpoint-retention policy.
+
+    Used in two modes:
+
+    * **attached** (the replica path): construct, then :meth:`attach` a
+      :class:`LogUpdateSource`; the owner inserts into the log and calls
+      :meth:`merge_at` with the insertion position.
+    * **standalone** (seed compatibility, tests): call
+      :meth:`insert`, which manages a private :class:`ListUpdateSource`.
+    """
+
+    def __init__(
+        self,
+        initial_state: State,
+        policy: Optional[CheckpointPolicy] = None,
+        fast_path: bool = True,
+    ):
+        self.initial_state = initial_state
+        self.policy = policy if policy is not None else EveryPositionPolicy()
+        self.fast_path = fast_path
+        self.stats = MergeStats()
+        self._source: Optional[UpdateSource] = None
+        #: sorted retained checkpoint positions; _snapshots[p] is the
+        #: state after the first p updates.  Position 0 is always kept.
+        self._positions: List[int] = [0]
+        self._snapshots: Dict[int, State] = {0: initial_state}
+        self._state = initial_state
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, source: UpdateSource) -> "MergeView":
+        """Bind this view to an externally owned update sequence (must
+        happen before any merging)."""
+        if self._source is not None and len(self._source) > 0:
+            raise RuntimeError("cannot attach a source after merging began")
+        self._source = source
+        return self
+
+    @property
+    def source(self) -> UpdateSource:
+        if self._source is None:
+            self._source = ListUpdateSource()
+        return self._source
+
+    @property
+    def log_length(self) -> int:
+        return len(self.source)
+
+    @property
+    def state(self) -> State:
+        """The materialized state of the full sequence."""
+        return self._state
+
+    @property
+    def snapshot_count(self) -> int:
+        """Snapshots currently held (including the initial state)."""
+        return len(self._positions)
+
+    # -- merging ---------------------------------------------------------
+
+    def insert(self, position: int, update: Update) -> MergeOutcome:
+        """Standalone API: insert ``update`` at ``position`` in the
+        view's own sequence and restore the invariant
+        state == fold(updates, initial_state)."""
+        source = self.source
+        if not isinstance(source, ListUpdateSource):
+            raise TypeError(
+                "attached views merge via merge_at(); the log owner inserts"
+            )
+        if not 0 <= position <= len(source):
+            raise IndexError(f"insert position {position} out of range")
+        source.insert(position, update)
+        return self.merge_at(position)
+
+    def merge_at(self, position: int) -> MergeOutcome:
+        """Restore the invariant after the source gained an update at
+        ``position``; returns what the repair cost."""
+        source = self.source
+        n = len(source)
+        if not 0 <= position < n:
+            raise IndexError(f"merge position {position} out of range")
+        self.stats.inserts += 1
+        displacement = n - 1 - position
+        if self.fast_path and displacement == 0:
+            state = source.update_at(position).apply(self._state)
+            self._state = state
+            self.stats.updates_applied += 1
+            self.stats.fastpath_hits += 1
+            self._retain(n, state, n)
+            outcome = MergeOutcome(fastpath=True, replayed=1, displacement=0)
+        else:
+            self._drop_after(position)
+            base = self._positions[
+                bisect.bisect_right(self._positions, position) - 1
+            ]
+            state = self._snapshots[base]
+            for j in range(base, n):
+                state = source.update_at(j).apply(state)
+                self.stats.updates_applied += 1
+                self._retain(j + 1, state, n)
+            self._state = state
+            self.stats.undo_redo_merges += 1
+            self.stats.max_displacement = max(
+                self.stats.max_displacement, displacement
+            )
+            outcome = MergeOutcome(
+                fastpath=False, replayed=n - base, displacement=displacement
+            )
+        self.policy.observe(displacement)
+        if len(self._positions) > self.stats.snapshots_held:
+            self.stats.snapshots_held = len(self._positions)
+        return outcome
+
+    # -- checkpoint bookkeeping ------------------------------------------
+
+    def _retain(self, position: int, state: State, log_length: int) -> None:
+        if not self.policy.retain(position, log_length):
+            return
+        if position not in self._snapshots:
+            bisect.insort(self._positions, position)
+            self._snapshots[position] = state
+        else:
+            self._snapshots[position] = state
+        drop = self.policy.evict(self._positions, log_length)
+        if drop:
+            dropped = set(drop) - {0}
+            self._positions = [
+                p for p in self._positions if p not in dropped
+            ]
+            for p in dropped:
+                del self._snapshots[p]
+
+    def _drop_after(self, position: int) -> None:
+        """Invalidate checkpoints past an insertion point: a snapshot at
+        p > position no longer reflects the first p updates."""
+        index = bisect.bisect_right(self._positions, position)
+        for p in self._positions[index:]:
+            del self._snapshots[p]
+        del self._positions[index:]

@@ -1,0 +1,229 @@
+"""Checkpoint-retention policies for the replica merge view ([SKS]).
+
+The paper's storage-structure discussion ([SKS]) treats "how many
+intermediate states to keep" as a design axis: more snapshots mean less
+redo work when a message arrives out of timestamp order, fewer snapshots
+mean bounded memory.  The seed implementation hardcoded the two extremes
+(a snapshot per position, or a fixed interval); this module makes the
+axis first-class.
+
+A policy answers two questions for the engine:
+
+* :meth:`CheckpointPolicy.retain` — after materializing the state at a
+  log position, is that snapshot worth keeping at all?
+* :meth:`CheckpointPolicy.evict` — given the currently retained
+  positions and the log length, which snapshots should be dropped now?
+
+and receives feedback through :meth:`CheckpointPolicy.observe`: the
+out-of-order *displacement* of every insertion (0 for in-order tail
+appends), which the adaptive policy uses to resize itself.
+
+Positions follow the engine's convention: a checkpoint at position ``p``
+holds the state after the first ``p`` updates; position 0 (the initial
+state) is always retained and never offered for eviction.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Sequence, Tuple
+
+
+class CheckpointPolicy(abc.ABC):
+    """Decides which materialized states a merge view keeps."""
+
+    name = "policy"
+
+    @abc.abstractmethod
+    def retain(self, position: int, log_length: int) -> bool:
+        """Keep the snapshot at ``position`` (state after ``position``
+        updates) given the log currently holds ``log_length`` updates?"""
+
+    def evict(
+        self, positions: Sequence[int], log_length: int
+    ) -> Tuple[int, ...]:
+        """Positions (never 0) whose snapshots should be dropped now."""
+        return ()
+
+    def observe(self, displacement: int) -> None:
+        """Feedback: an insertion landed ``displacement`` positions from
+        the tail (0 = in-order)."""
+
+
+class InitialOnlyPolicy(CheckpointPolicy):
+    """Keep nothing but the initial state (the naive engine's memory
+    profile: every out-of-order merge replays the whole log)."""
+
+    name = "initial-only"
+
+    def retain(self, position: int, log_length: int) -> bool:
+        return False
+
+
+class EveryPositionPolicy(CheckpointPolicy):
+    """A snapshot after every position — the seed suffix engine's
+    profile: redo work ∝ displacement, memory ∝ log length."""
+
+    name = "every-position"
+
+    def retain(self, position: int, log_length: int) -> bool:
+        return True
+
+
+class FixedIntervalPolicy(CheckpointPolicy):
+    """A snapshot every ``interval`` positions — the seed checkpoint
+    engine's profile: memory ∝ n/interval, redo ≤ displacement + interval."""
+
+    def __init__(self, interval: int = 16):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.name = f"interval-{interval}"
+
+    def retain(self, position: int, log_length: int) -> bool:
+        return position % self.interval == 0
+
+
+def _geometric_bucket(distance: int, base: float) -> int:
+    """The index k with base**k <= distance < base**(k+1) (distance 0
+    gets its own bucket)."""
+    if distance <= 0:
+        return 0
+    bucket, threshold = 1, base
+    while distance >= threshold:
+        threshold *= base
+        bucket += 1
+    return bucket
+
+
+class GeometricPolicy(CheckpointPolicy):
+    """Exponentially spaced snapshots: keep the newest checkpoint in each
+    geometric bucket of distance-from-tail (1, base, base², ...).
+
+    Memory is O(log_base n); redo work for a displacement-d insertion is
+    at most ~base·d, because the nearest surviving checkpoint at or
+    before the insertion point is at distance < base·d from the tail.
+    """
+
+    def __init__(self, base: float = 2.0):
+        if base <= 1.0:
+            raise ValueError("base must be > 1")
+        self.base = base
+        self.name = f"geometric-{base:g}"
+
+    def retain(self, position: int, log_length: int) -> bool:
+        return True
+
+    def evict(
+        self, positions: Sequence[int], log_length: int
+    ) -> Tuple[int, ...]:
+        drop = []
+        seen = set()
+        for p in reversed(positions):
+            if p == 0:
+                continue
+            bucket = _geometric_bucket(log_length - p, self.base)
+            if bucket in seen:
+                drop.append(p)
+            else:
+                seen.add(bucket)
+        return tuple(drop)
+
+
+class TailWindowPolicy(CheckpointPolicy):
+    """Dense snapshots in a window behind the tail, a geometric ladder
+    beyond it.
+
+    Inside the window this behaves exactly like the suffix engine (redo
+    = displacement); beyond it, like :class:`GeometricPolicy`.  Memory
+    is bounded by ``window + O(log n)`` snapshots regardless of log
+    length — the bounded-memory replacement for the seed suffix engine's
+    per-position snapshots.
+    """
+
+    def __init__(self, window: int = 16, ladder_base: float = 2.0):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if ladder_base <= 1.0:
+            raise ValueError("ladder_base must be > 1")
+        self.window = window
+        self.ladder_base = ladder_base
+        self.name = f"tail-window-{window}"
+
+    def retain(self, position: int, log_length: int) -> bool:
+        return True
+
+    def evict(
+        self, positions: Sequence[int], log_length: int
+    ) -> Tuple[int, ...]:
+        drop = []
+        seen = set()
+        for p in reversed(positions):
+            if p == 0:
+                continue
+            distance = log_length - p
+            if distance <= self.window:
+                continue
+            bucket = _geometric_bucket(distance, self.ladder_base)
+            if bucket in seen:
+                drop.append(p)
+            else:
+                seen.add(bucket)
+        return tuple(drop)
+
+
+class AdaptiveWindowPolicy(TailWindowPolicy):
+    """A tail window that resizes itself from the observed out-of-order
+    distance distribution.
+
+    The policy records the displacement of every insertion; every
+    ``resize_every`` observations it sets the window to ``headroom`` ×
+    the ``quantile`` displacement (clamped to [min_window, max_window]).
+    In-order traffic shrinks the window toward ``min_window``; bursts of
+    deep reordering (partitions healing) grow it so subsequent merges
+    stay cheap.
+    """
+
+    def __init__(
+        self,
+        initial_window: int = 16,
+        min_window: int = 4,
+        max_window: int = 1024,
+        quantile: float = 0.95,
+        headroom: float = 2.0,
+        sample_size: int = 256,
+        resize_every: int = 32,
+    ):
+        if not 1 <= min_window <= initial_window <= max_window:
+            raise ValueError(
+                "need 1 <= min_window <= initial_window <= max_window"
+            )
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        super().__init__(window=initial_window)
+        self.min_window = min_window
+        self.max_window = max_window
+        self.quantile = quantile
+        self.headroom = headroom
+        self.resize_every = resize_every
+        self.resizes = 0
+        self._samples: Deque[int] = deque(maxlen=sample_size)
+        self._since_resize = 0
+        self.name = "adaptive"
+
+    def observe(self, displacement: int) -> None:
+        self._samples.append(displacement)
+        self._since_resize += 1
+        if self._since_resize >= self.resize_every:
+            self._since_resize = 0
+            self._resize()
+
+    def _resize(self) -> None:
+        ordered = sorted(self._samples)
+        index = int(self.quantile * (len(ordered) - 1))
+        target = int(self.headroom * ordered[index]) + 1
+        new_window = max(self.min_window, min(self.max_window, target))
+        if new_window != self.window:
+            self.window = new_window
+            self.resizes += 1

@@ -1,0 +1,46 @@
+"""Globally unique timestamps and Lamport clocks (Sections 1.2, 3.3).
+
+SHARD totally orders transactions by a globally unique timestamp: a
+logical counter with node identifiers breaking ties.  Each node's clock
+advances past every timestamp it observes, so a newly issued timestamp is
+strictly greater than everything in the issuing node's log — which is
+exactly what makes the prefix subsequence condition emerge from the
+implementation (a transaction can only "see" predecessors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """A totally ordered (counter, node_id) pair."""
+
+    counter: int
+    node_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ts({self.counter}.{self.node_id})"
+
+
+class LamportClock:
+    """A per-node logical clock issuing globally unique timestamps."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._counter = 0
+
+    def observe(self, ts: Timestamp) -> None:
+        """Advance past an externally observed timestamp."""
+        if ts.counter > self._counter:
+            self._counter = ts.counter
+
+    def issue(self) -> Timestamp:
+        """A fresh timestamp, strictly greater than everything observed."""
+        self._counter += 1
+        return Timestamp(self._counter, self.node_id)
+
+    @property
+    def counter(self) -> int:
+        return self._counter

@@ -9,29 +9,38 @@ target for "what would have happened with full coordination".
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
-from ..core.application import Application
 from ..core.execution import Execution
 from ..core.state import State
 from ..core.transaction import ExternalAction, Transaction
+from ..replica import MaterializedLog
 
 
 class SerialExecutor:
-    """Applies transactions serially against a single authoritative copy."""
+    """Applies transactions serially against a single authoritative copy.
+
+    Storage goes through the replica subsystem's
+    :class:`~repro.replica.replica.MaterializedLog`: every committed
+    update is a tail append on the shared storage seam (always the fast
+    path — the serial regime never reorders)."""
 
     def __init__(self, initial_state: State):
         initial_state.require_well_formed()
         self.initial_state = initial_state
         self._transactions: List[Transaction] = []
-        self.state = initial_state
+        self._storage = MaterializedLog(initial_state)
         self.external_actions: List[Tuple[ExternalAction, ...]] = []
+
+    @property
+    def state(self) -> State:
+        return self._storage.state
 
     def execute(self, transaction: Transaction) -> State:
         """Run decision and update atomically against the current state."""
         decision = transaction.decide(self.state)
         self.external_actions.append(tuple(decision.external_actions))
-        self.state = decision.update.apply(self.state)
+        self._storage.append(decision.update)
         self._transactions.append(transaction)
         return self.state
 

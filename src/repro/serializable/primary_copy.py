@@ -13,7 +13,7 @@ costs each incurs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.state import State
@@ -21,6 +21,7 @@ from ..core.transaction import ExternalAction, Transaction
 from ..network.link import DelayModel, FixedDelay
 from ..network.network import Network
 from ..network.partition import PartitionSchedule
+from ..replica import MaterializedLog
 from ..sim.engine import Simulator
 from ..sim.rng import SeededStreams
 
@@ -75,7 +76,9 @@ class PrimaryCopySystem:
         )
         self.n_nodes = n_nodes
         self.primary = primary
-        self.state = initial_state
+        #: the primary's authoritative copy, stored through the replica
+        #: subsystem (serial appends: always the tail fast path).
+        self._storage = MaterializedLog(initial_state)
         self.stats = PrimaryCopyStats()
         self.completed: List[CompletedRequest] = []
         self.external_actions: List[Tuple[ExternalAction, ...]] = []
@@ -106,10 +109,14 @@ class PrimaryCopySystem:
 
         return handler
 
+    @property
+    def state(self) -> State:
+        return self._storage.state
+
     def _execute(self, request_id: int, txn: Transaction) -> None:
         decision = txn.decide(self.state)
         self.external_actions.append(tuple(decision.external_actions))
-        self.state = decision.update.apply(self.state)
+        self._storage.append(decision.update)
 
     # -- client API ----------------------------------------------------------
 

@@ -16,14 +16,14 @@ comparison of experiment E9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..core.state import State
 from ..core.transaction import ExternalAction, Transaction
 from ..network.link import DelayModel, FixedDelay
-from ..network.network import Network
 from ..network.partition import PartitionSchedule
+from ..replica import MaterializedLog
 from ..sim.engine import Simulator
 from ..sim.rng import SeededStreams
 
@@ -58,11 +58,16 @@ class QuorumSystem:
         self.delay = delay or FixedDelay(1.0)
         self.partitions = partitions or PartitionSchedule.always_connected()
         self.n_nodes = n_nodes
-        self.state = initial_state
+        #: the serialized state, stored through the replica subsystem.
+        self._storage = MaterializedLog(initial_state)
         self.stats = QuorumStats()
         self.latencies: List[float] = []
         self.external_actions: List[Tuple[ExternalAction, ...]] = []
         self._rng = self.streams.stream("network")
+
+    @property
+    def state(self) -> State:
+        return self._storage.state
 
     @property
     def quorum_size(self) -> int:
@@ -102,7 +107,7 @@ class QuorumSystem:
             def commit() -> None:
                 decision = txn.decide(self.state)
                 self.external_actions.append(tuple(decision.external_actions))
-                self.state = decision.update.apply(self.state)
+                self._storage.append(decision.update)
                 self.stats.served += 1
                 self.latencies.append(round_trip)
 

@@ -1,15 +1,26 @@
 """The SHARD system simulation: replicated nodes, timestamps, undo/redo
-merging, and execution extraction."""
+merging, and execution extraction.
 
+Per-node storage (logs, merge views, checkpoint policies) lives in
+:mod:`repro.replica`; this package re-exports the storage names its
+callers historically imported from here.
+"""
+
+from ..replica import (
+    LamportClock,
+    MergeOutcome,
+    Replica,
+    SystemLog,
+    Timestamp,
+    UpdateRecord,
+)
 from .agent import AgentStats, TokenAgent
 from .cluster import ClusterConfig, ShardCluster
 from .external import ExternalLedger, LedgerEntry
 from .history import extract_execution
-from .log import SystemLog, UpdateRecord
 from .node import ShardNode
 from .partial import KeyedRecord, PartialCluster, PartialConfig, PartialNode
 from .sync import SyncManager, SyncStats
-from .timestamps import LamportClock, Timestamp
 from .undo_redo import (
     CheckpointMerge,
     MergeEngine,
@@ -30,6 +41,7 @@ __all__ = [
     "LamportClock",
     "LedgerEntry",
     "MergeEngine",
+    "MergeOutcome",
     "MergeStats",
     "KeyedRecord",
     "NaiveMerge",
@@ -38,6 +50,7 @@ __all__ = [
     "PartialNode",
     "PeriodicSubmitter",
     "PoissonSubmitter",
+    "Replica",
     "ShardCluster",
     "ShardNode",
     "SyncManager",

@@ -25,7 +25,7 @@ This module implements the lock as a migrating **token**:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.transaction import Transaction
 

@@ -15,8 +15,8 @@ from the run for analysis by the core/theorem machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.execution import TimedExecution
 from ..core.state import State
@@ -25,12 +25,12 @@ from ..network.broadcast import BroadcastConfig, ReliableBroadcast
 from ..network.link import DelayModel, FixedDelay
 from ..network.network import Network
 from ..network.partition import PartitionSchedule
+from ..replica import MergeOutcome, UpdateRecord
 from ..sim.engine import Simulator
 from ..sim.rng import SeededStreams
 from ..sim.trace import NULL_TRACER, Tracer
 from .external import ExternalLedger
 from .history import extract_execution
-from .log import UpdateRecord
 from .agent import TOKEN_GRANT, TOKEN_REQUEST, TokenAgent
 from .node import ShardNode
 from .sync import SyncManager
@@ -67,6 +67,12 @@ class ShardCluster:
         self.initial_state = initial_state
         self.sim = Simulator()
         self.streams = SeededStreams(self.config.seed)
+        # note: Tracer defines __len__, so an empty tracer is falsy —
+        # test identity, not truthiness.
+        self.tracer = (
+            self.config.tracer if self.config.tracer is not None
+            else NULL_TRACER
+        )
         self.network = Network(
             self.sim,
             delay=self.config.delay or FixedDelay(1.0),
@@ -92,6 +98,7 @@ class ShardCluster:
                 merge_factory=self.config.merge_factory,
                 ledger=self.ledger,
             )
+            node.replica.on_merge = self._make_merge_hook(node_id)
             self.nodes.append(node)
             self.broadcast.attach(
                 node_id, self._make_deliver(node), register_transport=False
@@ -102,19 +109,39 @@ class ShardCluster:
         self.records: Dict[int, UpdateRecord] = {}
         self.rejected_submissions = 0
         self.broadcast.active_filter = lambda n: self.nodes[n].online
-        # note: Tracer defines __len__, so an empty tracer is falsy —
-        # test identity, not truthiness.
-        self.tracer = (
-            self.config.tracer if self.config.tracer is not None
-            else NULL_TRACER
-        )
+
+    # -- tracing ------------------------------------------------------------
+
+    def _trace(self, kind: str, node: Optional[int] = None, **detail) -> None:
+        """The single guarded path to the tracer: every event the cluster
+        emits goes through here, so enabling/disabling is uniform."""
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, kind, node, **detail)
+
+    def _make_merge_hook(
+        self, node_id: int
+    ) -> Callable[[MergeOutcome], None]:
+        """Trace every merge the node's replica performs: tail fast-path
+        hits and undo/redo repairs with their displacement."""
+
+        def on_merge(outcome: MergeOutcome) -> None:
+            if outcome.fastpath:
+                self._trace("merge_fastpath", node_id)
+            else:
+                self._trace(
+                    "merge_undo", node_id,
+                    displacement=outcome.displacement,
+                    replayed=outcome.replayed,
+                )
+
+        return on_merge
 
     def _make_deliver(self, node: ShardNode) -> Callable[[object, object], None]:
         def deliver(key: object, item: object) -> None:
             assert isinstance(item, UpdateRecord)
-            if node.receive(item) and self.tracer.enabled:
-                self.tracer.record(
-                    self.sim.now, "deliver", node.node_id,
+            if node.receive(item):
+                self._trace(
+                    "deliver", node.node_id,
                     txid=item.txid, origin=item.origin,
                 )
 
@@ -152,12 +179,11 @@ class ShardCluster:
         self._next_txid += 1
         record = node.initiate(txid, transaction, self.sim.now)
         self.records[txid] = record
-        if self.tracer.enabled:
-            self.tracer.record(
-                self.sim.now, "initiate", node_id,
-                txid=txid, family=transaction.name,
-                seen=len(record.seen_txids),
-            )
+        self._trace(
+            "initiate", node_id,
+            txid=txid, family=transaction.name,
+            seen=len(record.seen_txids),
+        )
         self.broadcast.publish(node_id, txid, record)
 
     def submit(
@@ -198,11 +224,11 @@ class ShardCluster:
 
         def crash() -> None:
             node.online = False
-            self.tracer.record(self.sim.now, "crash", node_id)
+            self._trace("crash", node_id)
 
         def recover() -> None:
             node.online = True
-            self.tracer.record(self.sim.now, "recover", node_id)
+            self._trace("recover", node_id)
 
         self.sim.schedule_at(start, crash)
         self.sim.schedule_at(end, recover)
@@ -245,11 +271,16 @@ class ShardCluster:
 
     def mutually_consistent(self) -> bool:
         """Do all nodes with equal logs hold equal states?  After
-        :meth:`quiesce`, all logs are equal, so all states must be."""
-        states = [node.state for node in self.nodes]
-        logs = [node.known_txids for node in self.nodes]
-        for i in range(1, len(self.nodes)):
-            if logs[i] == logs[0] and states[i] != states[0]:
+        :meth:`quiesce`, all logs are equal, so all states must be.
+
+        Nodes are grouped by log content and compared pairwise within
+        each group — comparing only against node 0 would let two
+        divergent nodes slip through whenever node 0's log differs from
+        both of theirs."""
+        groups: Dict[frozenset, State] = {}
+        for node in self.nodes:
+            reference = groups.setdefault(node.known_txids, node.state)
+            if node.state != reference:
                 return False
         return True
 

@@ -10,7 +10,7 @@ external-world consistency at the end of a run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.transaction import ExternalAction

@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List
 
 from ..core.execution import Execution, InvalidExecutionError, TimedExecution
 from ..core.state import State
-from .log import UpdateRecord
+from ..replica import UpdateRecord
 
 
 def extract_execution(

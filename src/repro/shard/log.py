@@ -1,75 +1,10 @@
-"""The timestamp-ordered update log kept at every SHARD node.
+"""The timestamp-ordered update log (moved to :mod:`repro.replica.log`).
 
-Each entry records one transaction's update part plus the metadata needed
-to reconstruct the formal execution afterwards: the transaction, its
-origin node, its timestamp, and the set of transaction ids its decision
-saw.  Because messages can arrive out of timestamp order, insertion may
-land anywhere — triggering the undo/redo machinery in
-:mod:`repro.shard.undo_redo`.
+The log is owned by the replica subsystem now — it is the single copy of
+the update sequence that merge views observe.  This module re-exports
+the names for existing imports.
 """
 
-from __future__ import annotations
+from ..replica.log import SystemLog, UpdateRecord
 
-import bisect
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterator, List, Optional, Tuple
-
-from ..core.transaction import ExternalAction, Transaction
-from ..core.update import Update
-from .timestamps import Timestamp
-
-
-@dataclass(frozen=True)
-class UpdateRecord:
-    """One broadcast unit: an update tagged with its global timestamp."""
-
-    ts: Timestamp
-    txid: int
-    transaction: Transaction
-    update: Update
-    origin: int
-    real_time: float
-    seen_txids: FrozenSet[int]
-
-    def __lt__(self, other: "UpdateRecord") -> bool:
-        return self.ts < other.ts
-
-
-class SystemLog:
-    """A list of update records kept sorted by timestamp."""
-
-    def __init__(self) -> None:
-        self._records: List[UpdateRecord] = []
-        self._ids: set = set()
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __iter__(self) -> Iterator[UpdateRecord]:
-        return iter(self._records)
-
-    def __getitem__(self, index: int) -> UpdateRecord:
-        return self._records[index]
-
-    def __contains__(self, txid: int) -> bool:
-        return txid in self._ids
-
-    @property
-    def txids(self) -> FrozenSet[int]:
-        return frozenset(self._ids)
-
-    def insert(self, record: UpdateRecord) -> Optional[int]:
-        """Insert in timestamp order; returns the position, or None if the
-        record was already present (duplicate delivery)."""
-        if record.txid in self._ids:
-            return None
-        position = bisect.bisect_left(self._records, record)
-        self._records.insert(position, record)
-        self._ids.add(record.txid)
-        return position
-
-    def records(self) -> Tuple[UpdateRecord, ...]:
-        return tuple(self._records)
-
-    def max_timestamp(self) -> Optional[Timestamp]:
-        return self._records[-1].ts if self._records else None
+__all__ = ["SystemLog", "UpdateRecord"]

@@ -1,25 +1,25 @@
 """A SHARD node: a full replica processing transactions locally.
 
-Each node holds a complete copy of the database, materialized from its
-timestamp-ordered update log by a merge engine.  Initiating a transaction
-runs the decision part *once*, against the node's current (possibly
-stale) state; the resulting update is timestamped, applied locally and
-handed to the broadcast layer.  Remote updates are merged wherever their
-timestamp lands, with undo/redo restoring the everything-in-order
-invariant — there is no other inter-node concurrency control, exactly as
-Section 1.2 describes.
+Each node's storage is a :class:`repro.replica.Replica`: the canonical
+timestamp-ordered log plus a merge view materializing its fold.
+Initiating a transaction runs the decision part *once*, against the
+node's current (possibly stale) state; the resulting update is
+timestamped, applied locally (an in-order tail append — the fast path)
+and handed to the broadcast layer.  Remote updates are merged wherever
+their timestamp lands, with undo/redo restoring the
+everything-in-order invariant — there is no other inter-node concurrency
+control, exactly as Section 1.2 describes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Optional, Tuple
+from typing import FrozenSet, Optional
 
 from ..core.state import State
 from ..core.transaction import Transaction
+from ..replica import LamportClock, Replica, UpdateRecord
 from .external import ExternalLedger
-from .log import SystemLog, UpdateRecord
-from .timestamps import LamportClock, Timestamp
-from .undo_redo import MergeEngine, MergeEngineFactory, suffix_factory
+from .undo_redo import MergeEngineFactory, suffix_factory
 
 
 class ShardNode:
@@ -34,8 +34,7 @@ class ShardNode:
     ):
         self.node_id = node_id
         self.clock = LamportClock(node_id)
-        self.log = SystemLog()
-        self.merge: MergeEngine = merge_factory(initial_state)
+        self.replica = Replica(initial_state, engine_factory=merge_factory)
         self.ledger = ledger if ledger is not None else ExternalLedger()
         self.transactions_initiated = 0
         #: crash-failure flag: an offline node neither initiates nor
@@ -43,13 +42,23 @@ class ShardNode:
         self.online = True
 
     @property
+    def log(self):
+        """The node's canonical timestamp-ordered log."""
+        return self.replica.log
+
+    @property
+    def merge(self):
+        """The merge view materializing the log (stats live here)."""
+        return self.replica.engine
+
+    @property
     def state(self) -> State:
         """The node's current database copy (its log in timestamp order)."""
-        return self.merge.state
+        return self.replica.state
 
     @property
     def known_txids(self) -> FrozenSet[int]:
-        return self.log.txids
+        return self.replica.txids
 
     def initiate(
         self,
@@ -75,18 +84,11 @@ class ShardNode:
             real_time=now,
             seen_txids=seen,
         )
-        self._insert(record)
+        self.replica.ingest(record)
         self.transactions_initiated += 1
         return record
 
     def receive(self, record: UpdateRecord) -> bool:
         """Merge a remotely initiated record; returns False on duplicate."""
         self.clock.observe(record.ts)
-        return self._insert(record)
-
-    def _insert(self, record: UpdateRecord) -> bool:
-        position = self.log.insert(record)
-        if position is None:
-            return False
-        self.merge.insert(position, record.update)
-        return True
+        return self.replica.ingest(record) is not None

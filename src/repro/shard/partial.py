@@ -27,8 +27,8 @@ This module implements exactly that discipline:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from ..core.execution import TimedExecution
 from ..core.state import State
@@ -36,13 +36,12 @@ from ..core.transaction import Transaction
 from ..network.link import DelayModel, FixedDelay
 from ..network.network import Network
 from ..network.partition import PartitionSchedule
+from ..replica import LamportClock, Replica, UpdateRecord
 from ..sim.engine import Simulator
 from ..sim.rng import SeededStreams
 from .external import ExternalLedger
 from .history import extract_execution
-from .log import SystemLog, UpdateRecord
-from .timestamps import LamportClock
-from .undo_redo import MergeEngine, MergeEngineFactory, suffix_factory
+from .undo_redo import MergeEngineFactory, suffix_factory
 
 ObjectKey = str
 
@@ -95,20 +94,31 @@ class PartialNode:
         self.node_id = node_id
         self.keys = keys
         self.clock = LamportClock(node_id)
-        self.logs: Dict[ObjectKey, SystemLog] = {k: SystemLog() for k in keys}
-        self.merges: Dict[ObjectKey, MergeEngine] = {
-            k: merge_factory(initial_substates[k]) for k in keys
+        #: one replica (canonical log + merge view) per object held.
+        self.replicas: Dict[ObjectKey, Replica] = {
+            k: Replica(initial_substates[k], engine_factory=merge_factory)
+            for k in keys
         }
         self.ledger = ledger
         #: stale summaries of objects this node does NOT hold:
         #: key -> (as-of simulated time, summary value).
         self.summaries: Dict[ObjectKey, Tuple[float, object]] = {}
 
+    @property
+    def logs(self):
+        """The canonical per-object logs (view over the replicas)."""
+        return {k: replica.log for k, replica in self.replicas.items()}
+
+    @property
+    def merges(self):
+        """The per-object merge views (stats live here)."""
+        return {k: replica.engine for k, replica in self.replicas.items()}
+
     def substate(self, key: ObjectKey) -> State:
-        return self.merges[key].state
+        return self.replicas[key].state
 
     def known_txids(self, key: ObjectKey) -> FrozenSet[int]:
-        return self.logs[key].txids
+        return self.replicas[key].txids
 
     def initiate(
         self, txid: int, key: ObjectKey, transaction: Transaction, now: float
@@ -141,11 +151,7 @@ class PartialNode:
         return self._insert(keyed.key, keyed.record)
 
     def _insert(self, key: ObjectKey, record: UpdateRecord) -> bool:
-        position = self.logs[key].insert(record)
-        if position is None:
-            return False
-        self.merges[key].insert(position, record.update)
-        return True
+        return self.replicas[key].ingest(record) is not None
 
     def accept_summary(
         self, key: ObjectKey, as_of: float, value: object
@@ -290,7 +296,7 @@ class PartialCluster:
         return tuple(
             KeyedRecord(key, record)
             for key in sorted(keys)
-            for record in node.logs[key]
+            for record in node.replicas[key].log
         )
 
     # -- submission --------------------------------------------------------------
@@ -377,17 +383,16 @@ class PartialCluster:
 
     def mutually_consistent(self) -> bool:
         """Holders of each object hold identical substates when their
-        logs agree."""
+        logs agree — checked pairwise by grouping holders on log
+        content, not just against the first holder."""
         for key in self.initial_substates:
-            holders = self.holders(key)
-            if not holders:
-                continue
-            reference_node = self.nodes[holders[0]]
-            for other in holders[1:]:
-                node = self.nodes[other]
-                if node.known_txids(key) == reference_node.known_txids(key):
-                    if node.substate(key) != reference_node.substate(key):
-                        return False
+            groups: Dict[FrozenSet[int], State] = {}
+            for holder in self.holders(key):
+                node = self.nodes[holder]
+                txids = node.known_txids(key)
+                reference = groups.setdefault(txids, node.substate(key))
+                if node.substate(key) != reference:
+                    return False
         return True
 
     def summary_view(self, node_id: int) -> Dict[ObjectKey, object]:

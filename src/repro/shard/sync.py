@@ -28,7 +28,7 @@ for the same purpose.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.transaction import Transaction
 

@@ -1,114 +1,75 @@
 """Undo/redo merge engines (Sections 1.2, 3.3; [BK], [SKS]).
 
-A SHARD node's database copy must always equal the result of applying its
-log's updates in timestamp order to the initial state.  When a record
-arrives out of order, the node conceptually *undoes* every later update
-and *redoes* them on top of the newcomer.  Three engines implement this
-contract with different cost profiles:
+Compatibility layer over :mod:`repro.replica`.  The engines here are the
+seed API — ``NaiveMerge``, ``SuffixMerge``, ``CheckpointMerge`` and the
+three factories — now implemented as thin configurations of the replica
+subsystem's policy-driven :class:`~repro.replica.engine.MergeView`:
 
-* :class:`NaiveMerge` — recompute everything from the initial state on
-  every insertion (the specification; O(n) updates per insert);
-* :class:`SuffixMerge` — keep a snapshot after every log position and
-  recompute only the suffix at the insertion point (the paper's undo/redo
-  optimization [BK]: work proportional to how far out of order the
-  message was);
-* :class:`CheckpointMerge` — snapshot every ``interval`` positions,
-  trading redo work against snapshot storage ([SKS]'s storage-structure
-  angle).
+* :class:`NaiveMerge` — no snapshots, no fast path: recompute everything
+  from the initial state on every insertion (the specification; O(n)
+  updates per insert);
+* :class:`SuffixMerge` — the every-position policy with the tail fast
+  path (the paper's undo/redo optimization [BK]: work proportional to
+  how far out of order the message was; memory proportional to the log);
+* :class:`CheckpointMerge` — the fixed-interval policy without the fast
+  path, reproducing the seed engine's exact cost profile ([SKS]'s
+  storage-structure angle).
 
-All engines count the updates they apply, which the undo/redo benchmark
-(E11) reports.
+New code should prefer the replica layer directly
+(:func:`repro.replica.policy_engine_factory` with a bounded policy such
+as :class:`~repro.replica.policy.TailWindowPolicy` or
+:class:`~repro.replica.policy.AdaptiveWindowPolicy`); these classes
+exist so existing imports and cost assertions keep working unchanged.
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable
 
 from ..core.state import State
-from ..core.update import Update
+from ..replica.engine import MergeStats, MergeView
+from ..replica.policy import (
+    EveryPositionPolicy,
+    FixedIntervalPolicy,
+    InitialOnlyPolicy,
+)
+
+__all__ = [
+    "CheckpointMerge",
+    "MergeEngine",
+    "MergeEngineFactory",
+    "MergeStats",
+    "NaiveMerge",
+    "SuffixMerge",
+    "checkpoint_factory",
+    "naive_factory",
+    "suffix_factory",
+]
 
 
-@dataclass
-class MergeStats:
-    inserts: int = 0
-    updates_applied: int = 0
-    snapshots_held: int = 0
+class MergeEngine(MergeView):
+    """Maintains the materialized state of a timestamp-ordered log.
 
-
-class MergeEngine(abc.ABC):
-    """Maintains the materialized state of a timestamp-ordered log."""
-
-    def __init__(self, initial_state: State):
-        self.initial_state = initial_state
-        self.stats = MergeStats()
-        self._updates: List[Update] = []
-
-    @property
-    def log_length(self) -> int:
-        return len(self._updates)
-
-    @abc.abstractmethod
-    def insert(self, position: int, update: Update) -> None:
-        """Insert ``update`` at ``position`` and restore the invariant
-        state == fold(updates, initial_state)."""
-
-    @property
-    @abc.abstractmethod
-    def state(self) -> State:
-        """The materialized state of the full log."""
-
-    def _insert_update(self, position: int, update: Update) -> None:
-        if not 0 <= position <= len(self._updates):
-            raise IndexError(f"insert position {position} out of range")
-        self._updates.insert(position, update)
-        self.stats.inserts += 1
+    The seed base class; today an alias for the replica subsystem's
+    :class:`~repro.replica.engine.MergeView` (standalone mode keeps the
+    seed's ``insert(position, update)`` contract, attached mode serves
+    :class:`~repro.replica.replica.Replica`)."""
 
 
 class NaiveMerge(MergeEngine):
     """Recompute the whole log on every insertion."""
 
     def __init__(self, initial_state: State):
-        super().__init__(initial_state)
-        self._state = initial_state
-
-    def insert(self, position: int, update: Update) -> None:
-        self._insert_update(position, update)
-        state = self.initial_state
-        for u in self._updates:
-            state = u.apply(state)
-            self.stats.updates_applied += 1
-        self._state = state
-
-    @property
-    def state(self) -> State:
-        return self._state
+        super().__init__(
+            initial_state, policy=InitialOnlyPolicy(), fast_path=False
+        )
 
 
 class SuffixMerge(MergeEngine):
     """Snapshot after every position; redo only the tail past the insert."""
 
     def __init__(self, initial_state: State):
-        super().__init__(initial_state)
-        #: _snapshots[i] is the state after the first i updates.
-        self._snapshots: List[State] = [initial_state]
-
-    def insert(self, position: int, update: Update) -> None:
-        self._insert_update(position, update)
-        del self._snapshots[position + 1:]
-        state = self._snapshots[position]
-        for u in self._updates[position:]:
-            state = u.apply(state)
-            self.stats.updates_applied += 1
-            self._snapshots.append(state)
-        self.stats.snapshots_held = max(
-            self.stats.snapshots_held, len(self._snapshots)
-        )
-
-    @property
-    def state(self) -> State:
-        return self._snapshots[-1]
+        super().__init__(initial_state, policy=EveryPositionPolicy())
 
 
 class CheckpointMerge(MergeEngine):
@@ -116,33 +77,12 @@ class CheckpointMerge(MergeEngine):
     checkpoint at or before the insertion point."""
 
     def __init__(self, initial_state: State, interval: int = 16):
-        if interval < 1:
-            raise ValueError("interval must be >= 1")
-        super().__init__(initial_state)
-        self.interval = interval
-        #: checkpoint i holds the state after the first i*interval updates.
-        self._checkpoints: List[State] = [initial_state]
-        self._state = initial_state
-
-    def insert(self, position: int, update: Update) -> None:
-        self._insert_update(position, update)
-        base_index = position // self.interval
-        del self._checkpoints[base_index + 1:]
-        state = self._checkpoints[base_index]
-        start = base_index * self.interval
-        for offset, u in enumerate(self._updates[start:], start=start):
-            state = u.apply(state)
-            self.stats.updates_applied += 1
-            if (offset + 1) % self.interval == 0:
-                self._checkpoints.append(state)
-        self._state = state
-        self.stats.snapshots_held = max(
-            self.stats.snapshots_held, len(self._checkpoints)
+        super().__init__(
+            initial_state,
+            policy=FixedIntervalPolicy(interval),
+            fast_path=False,
         )
-
-    @property
-    def state(self) -> State:
-        return self._state
+        self.interval = interval
 
 
 MergeEngineFactory = Callable[[State], MergeEngine]

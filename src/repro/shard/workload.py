@@ -16,7 +16,7 @@ assembled from these in each app's ``simulation`` module.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..core.transaction import Transaction
 from .cluster import ShardCluster

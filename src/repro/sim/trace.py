@@ -1,16 +1,26 @@
 """Run tracing: a structured event log of what the simulation did.
 
-A :class:`Tracer` collects timestamped events (submissions, initiations,
-deliveries, crashes, sync/agent protocol steps) from a cluster run.  It
-is off by default — the hot paths call :meth:`Tracer.record` on a
-``NULL_TRACER`` that drops everything — and can be attached per cluster
-via ``ClusterConfig(tracer=Tracer())`` for debugging and for the
-trace-based assertions in the test suite.
+A :class:`Tracer` collects timestamped events from a cluster run.  It is
+off by default — cluster call sites all go through one guarded helper
+(``ShardCluster._trace``) against a ``NULL_TRACER`` that drops
+everything — and can be attached per cluster via
+``ClusterConfig(tracer=Tracer())`` for debugging and for the trace-based
+assertions in the test suite.
+
+Event kinds emitted by the cluster:
+
+* ``initiate`` / ``deliver`` — a transaction's decision ran at a node /
+  a remote record was delivered there;
+* ``crash`` / ``recover`` — fail-stop transitions;
+* ``merge_fastpath`` / ``merge_undo`` — the replica layer's per-record
+  storage outcome: an in-order tail append, or an undo/redo repair with
+  its ``displacement`` (positions from the tail) and ``replayed``
+  (updates re-applied).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 

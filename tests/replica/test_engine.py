@@ -1,0 +1,158 @@
+"""Unit tests for the merge view, the replica facade and the
+materialized log: fast path accounting, attach semantics, duplicates."""
+
+import pytest
+
+from repro.apps.airline import AirlineState, Request
+from repro.apps.counter import AddUpdate, CounterState
+from repro.core import apply_sequence
+from repro.replica import (
+    EveryPositionPolicy,
+    ListUpdateSource,
+    LogUpdateSource,
+    MaterializedLog,
+    MergeView,
+    Replica,
+    SystemLog,
+    Timestamp,
+    UpdateRecord,
+)
+
+
+def record(txid: int, update, counter: int, node_id: int = 0) -> UpdateRecord:
+    return UpdateRecord(
+        ts=Timestamp(counter, node_id),
+        txid=txid,
+        transaction=None,
+        update=update,
+        origin=node_id,
+        real_time=float(counter),
+        seen_txids=frozenset(),
+    )
+
+
+class TestFastPath:
+    def test_in_order_appends_all_hit_the_fast_path(self):
+        view = MergeView(CounterState(0))
+        for i in range(50):
+            view.insert(i, AddUpdate(1))
+        assert view.state == CounterState(50)
+        assert view.stats.fastpath_hits == 50
+        assert view.stats.updates_applied == 50
+        assert view.stats.undo_redo_merges == 0
+        assert view.stats.fastpath_rate == 1.0
+
+    def test_out_of_order_insert_takes_the_undo_path(self):
+        view = MergeView(CounterState(0))
+        view.insert(0, AddUpdate(3))
+        view.insert(1, AddUpdate(-5))   # -> 0 (floor at zero)
+        view.insert(0, AddUpdate(4))    # sorted log: [+4, +3, -5] -> 2
+        assert view.state == CounterState(2)
+        assert view.stats.fastpath_hits == 2
+        assert view.stats.undo_redo_merges == 1
+        assert view.stats.max_displacement == 2
+
+    def test_fast_path_disabled_replays(self):
+        view = MergeView(CounterState(0), fast_path=False)
+        for i in range(10):
+            view.insert(i, AddUpdate(1))
+        assert view.stats.fastpath_hits == 0
+        assert view.state == CounterState(10)
+
+    def test_outcome_reports_cost(self):
+        view = MergeView(CounterState(0))
+        outcome = view.insert(0, AddUpdate(1))
+        assert outcome.fastpath and outcome.replayed == 1
+        view.insert(1, AddUpdate(1))
+        outcome = view.insert(0, AddUpdate(1))
+        assert not outcome.fastpath
+        assert outcome.displacement == 2
+        assert outcome.replayed == 3  # every-position policy: from base 0
+
+
+class TestWiring:
+    def test_insert_position_validated(self):
+        view = MergeView(CounterState(0))
+        with pytest.raises(IndexError):
+            view.insert(1, AddUpdate(1))
+
+    def test_attach_after_merging_rejected(self):
+        view = MergeView(CounterState(0))
+        view.insert(0, AddUpdate(1))
+        with pytest.raises(RuntimeError):
+            view.attach(ListUpdateSource())
+
+    def test_attached_view_rejects_standalone_insert(self):
+        log = SystemLog()
+        view = MergeView(CounterState(0)).attach(LogUpdateSource(log))
+        log.insert(record(0, AddUpdate(1), counter=1))
+        view.merge_at(0)
+        with pytest.raises(TypeError):
+            view.insert(1, AddUpdate(1))
+        assert view.state == CounterState(1)
+
+
+class TestReplica:
+    def test_ingest_folds_in_timestamp_order(self):
+        replica = Replica(CounterState(0))
+        replica.ingest(record(0, AddUpdate(3), counter=2))
+        replica.ingest(record(1, AddUpdate(-5), counter=3))
+        replica.ingest(record(2, AddUpdate(4), counter=1))
+        assert replica.state == apply_sequence(
+            [AddUpdate(4), AddUpdate(3), AddUpdate(-5)], CounterState(0)
+        )
+        assert len(replica) == 3
+        assert replica.txids == frozenset({0, 1, 2})
+
+    def test_duplicate_ingest_returns_none(self):
+        replica = Replica(CounterState(0))
+        r = record(0, AddUpdate(1), counter=1)
+        assert replica.ingest(r) is not None
+        assert replica.ingest(r) is None
+        assert replica.state == CounterState(1)
+        assert replica.stats.inserts == 1
+
+    def test_on_merge_hook_sees_every_outcome(self):
+        outcomes = []
+        replica = Replica(CounterState(0), on_merge=outcomes.append)
+        replica.ingest(record(0, AddUpdate(1), counter=2))
+        replica.ingest(record(1, AddUpdate(1), counter=3))
+        replica.ingest(record(2, AddUpdate(1), counter=1))  # out of order
+        assert [o.fastpath for o in outcomes] == [True, True, False]
+        assert outcomes[2].displacement == 2
+
+    def test_log_is_not_shadowed(self):
+        """The engine reads the canonical log: one copy of the sequence."""
+        replica = Replica(AirlineState())
+        replica.ingest(record(0, Request("P1").decide(AirlineState()).update,
+                              counter=1))
+        assert isinstance(replica.engine.source, LogUpdateSource)
+        assert replica.engine.source._log is replica.log
+        assert replica.engine.log_length == len(replica.log)
+
+
+class TestMaterializedLog:
+    def test_appends_ride_the_fast_path(self):
+        storage = MaterializedLog(CounterState(0))
+        for _ in range(20):
+            storage.append(AddUpdate(2))
+        assert storage.state == CounterState(40)
+        assert storage.stats.fastpath_hits == 20
+        assert len(storage) == 20
+
+    def test_holds_no_snapshots_beyond_initial(self):
+        storage = MaterializedLog(CounterState(0))
+        for _ in range(100):
+            storage.append(AddUpdate(1))
+        assert storage.engine.snapshot_count == 1
+
+    def test_policy_bearing_factory_honored(self):
+        storage = MaterializedLog(
+            CounterState(0),
+            engine_factory=lambda s: MergeView(
+                s, policy=EveryPositionPolicy()
+            ),
+        )
+        for _ in range(10):
+            storage.append(AddUpdate(1))
+        assert storage.engine.snapshot_count == 11

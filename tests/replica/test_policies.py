@@ -1,0 +1,150 @@
+"""Unit tests for checkpoint-retention policies and their memory bounds."""
+
+import math
+import random
+
+import pytest
+
+from repro.apps.counter import AddUpdate, CounterState
+from repro.core import apply_sequence
+from repro.replica import (
+    AdaptiveWindowPolicy,
+    EveryPositionPolicy,
+    FixedIntervalPolicy,
+    GeometricPolicy,
+    InitialOnlyPolicy,
+    MergeView,
+    TailWindowPolicy,
+)
+from repro.replica.policy import _geometric_bucket
+
+
+class TestBuckets:
+    def test_geometric_bucket_boundaries(self):
+        assert _geometric_bucket(0, 2.0) == 0
+        assert _geometric_bucket(1, 2.0) == 1
+        assert _geometric_bucket(2, 2.0) == 2
+        assert _geometric_bucket(3, 2.0) == 2
+        assert _geometric_bucket(4, 2.0) == 3
+        assert _geometric_bucket(7, 2.0) == 3
+        assert _geometric_bucket(8, 2.0) == 4
+
+
+class TestPolicyValidation:
+    def test_fixed_interval_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedIntervalPolicy(0)
+
+    def test_geometric_rejects_base_one(self):
+        with pytest.raises(ValueError):
+            GeometricPolicy(1.0)
+
+    def test_tail_window_rejects_zero(self):
+        with pytest.raises(ValueError):
+            TailWindowPolicy(0)
+
+    def test_adaptive_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveWindowPolicy(initial_window=2, min_window=4)
+
+
+class TestRetention:
+    def test_initial_only_retains_nothing(self):
+        policy = InitialOnlyPolicy()
+        assert not policy.retain(1, 10)
+        assert not policy.retain(10, 10)
+
+    def test_every_position_retains_all(self):
+        policy = EveryPositionPolicy()
+        assert all(policy.retain(p, 10) for p in range(1, 11))
+
+    def test_fixed_interval_retains_multiples(self):
+        policy = FixedIntervalPolicy(4)
+        kept = [p for p in range(1, 17) if policy.retain(p, 16)]
+        assert kept == [4, 8, 12, 16]
+
+
+def _in_order_view(policy, n, fast_path=True):
+    view = MergeView(CounterState(0), policy=policy, fast_path=fast_path)
+    for i in range(n):
+        view.insert(i, AddUpdate(1))
+    return view
+
+
+class TestMemoryBounds:
+    def test_every_position_memory_is_linear(self):
+        view = _in_order_view(EveryPositionPolicy(), 200)
+        assert view.snapshot_count == 201  # the seed suffix profile
+
+    def test_geometric_memory_is_logarithmic(self):
+        view = _in_order_view(GeometricPolicy(), 500)
+        assert view.snapshot_count <= math.log2(500) + 3
+
+    def test_tail_window_memory_is_bounded(self):
+        window = 8
+        view = _in_order_view(TailWindowPolicy(window), 500)
+        # window-dense region + geometric ladder + initial state.
+        assert view.snapshot_count <= window + math.log2(500) + 3
+
+    def test_bounded_policies_stay_correct_out_of_order(self):
+        rng = random.Random(7)
+        for policy in (
+            GeometricPolicy(),
+            TailWindowPolicy(4),
+            AdaptiveWindowPolicy(initial_window=4, min_window=2),
+        ):
+            view = MergeView(CounterState(0), policy=policy)
+            updates = []
+            for _ in range(120):
+                update = AddUpdate(rng.randint(-3, 4))
+                position = rng.randint(0, len(updates))
+                updates.insert(position, update)
+                view.insert(position, update)
+            assert view.state == apply_sequence(updates, CounterState(0))
+
+
+class TestAdaptiveResizing:
+    def test_window_shrinks_on_in_order_traffic(self):
+        policy = AdaptiveWindowPolicy(
+            initial_window=64, min_window=4, resize_every=8
+        )
+        for _ in range(8):
+            policy.observe(0)
+        assert policy.window == policy.min_window
+        assert policy.resizes == 1
+
+    def test_window_grows_under_deep_reordering(self):
+        policy = AdaptiveWindowPolicy(
+            initial_window=8, min_window=4, max_window=512, resize_every=8
+        )
+        for _ in range(8):
+            policy.observe(100)
+        # headroom 2.0 over the observed p95 displacement.
+        assert policy.window == 201
+
+    def test_window_clamped_to_max(self):
+        policy = AdaptiveWindowPolicy(
+            initial_window=8, max_window=64, resize_every=4
+        )
+        for _ in range(4):
+            policy.observe(10_000)
+        assert policy.window == 64
+
+    def test_engine_resizes_from_observed_displacements(self):
+        """Out-of-order bursts widen the dense window, so subsequent
+        merges at the same depth replay exactly their displacement."""
+        policy = AdaptiveWindowPolicy(
+            initial_window=4, min_window=4, resize_every=8
+        )
+        view = MergeView(CounterState(0), policy=policy)
+        for i in range(100):
+            view.insert(i, AddUpdate(1))
+        # a sustained burst of displacement-32 insertions: deep enough to
+        # push the p95 of the sample window past the dense region.
+        for _ in range(16):
+            view.insert(view.log_length - 32, AddUpdate(1))
+        assert policy.window > 32
+        before = view.stats.updates_applied
+        view.insert(view.log_length - 32, AddUpdate(1))
+        # now inside the widened window: replay == displacement + 1.
+        assert view.stats.updates_applied - before == 33
