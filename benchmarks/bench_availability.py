@@ -17,9 +17,11 @@ the realized integrity costs — the quantified version of the paper's
 "penalty is paid for this extra availability".
 """
 
+import json
+import os
 import random
 
-from common import run_once, save_tables
+from common import RESULTS_DIR, run_once, save_tables
 
 from repro.apps.airline import (
     AirlineState,
@@ -29,14 +31,20 @@ from repro.apps.airline import (
 )
 from repro.apps.airline.simulation import AirlineScenario, run_airline_scenario
 from repro.harness import Table
-from repro.network import PartitionSchedule, UniformDelay
+from repro.network import BroadcastConfig, PartitionSchedule, UniformDelay
 from repro.serializable import PrimaryCopySystem, QuorumSystem
-from repro.sim.metrics import mean
+from repro.sim.metrics import Summary, mean
 
 CAPACITY = 10
 DURATION = 90.0
 DURATIONS = (0, 20, 40, 70)
 N_NODES = 3
+
+#: BENCH_SMOKE=1 shrinks the gossip A/B experiment for the CI smoke
+#: step (the bandwidth-accounting path still runs end to end).
+BENCH_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+GOSSIP_DURATION = 25.0 if BENCH_SMOKE else DURATION
+GOSSIP_PARTITIONS = (0,) if BENCH_SMOKE else (0, 40)
 
 
 def _partitions(partition_duration):
@@ -143,6 +151,107 @@ def _experiment():
         table.add(duration, "majority-quorum", round(served, 3),
                   round(latency, 2), cost)
     return table, (shard_avail, primary_avail, quorum_avail, shard_cost)
+
+
+def _run_gossip(mode, partition_duration):
+    run = run_airline_scenario(
+        AirlineScenario(
+            capacity=CAPACITY,
+            n_nodes=N_NODES,
+            duration=GOSSIP_DURATION,
+            seed=31,
+            partitions=_partitions(partition_duration),
+            broadcast=BroadcastConfig(mode=mode),
+        )
+    )
+    cluster = run.cluster
+    assert cluster.converged()
+    assert cluster.mutually_consistent()
+    stats = cluster.broadcast.stats
+    delays = Summary.of(stats.delivery_delays)
+    return {
+        "published": stats.published,
+        "items_carried": stats.items_carried,
+        "wire": stats.wire.as_dict(),
+        "delta": {
+            "syns": stats.delta.syns,
+            "skips": stats.delta.skips,
+            "delta_records": stats.delta.delta_records,
+            "timeouts": stats.delta.timeouts,
+            "repair_pulls": stats.delta.repair_pulls,
+        },
+        "delivery_delay": {
+            "count": delays.count,
+            "mean": round(delays.mean, 3),
+            "p50": round(delays.p50, 3),
+            "p95": round(delays.p95, 3),
+            "max": round(delays.max, 3),
+        },
+    }
+
+
+def _gossip_experiment():
+    """E9b: the same dissemination workload under full-set vs digest
+    anti-entropy — delivered delay versus bytes on the wire."""
+    table = Table(
+        "E9b: full-set vs digest gossip — bandwidth and delivery delay",
+        ["partition (s)", "mode", "item copies", "wire bytes",
+         "delay p50", "delay p95", "copies ratio"],
+    )
+    results = {"full": {}, "digest": {}}
+    for duration in GOSSIP_PARTITIONS:
+        for mode in ("full", "digest"):
+            results[mode][duration] = _run_gossip(mode, duration)
+        full = results["full"][duration]
+        digest = results["digest"][duration]
+        ratio = (
+            full["items_carried"] / digest["items_carried"]
+            if digest["items_carried"]
+            else float("inf")
+        )
+        for mode in ("full", "digest"):
+            r = results[mode][duration]
+            table.add(
+                duration, mode, r["items_carried"], r["wire"]["bytes"],
+                r["delivery_delay"]["p50"], r["delivery_delay"]["p95"],
+                round(ratio, 1) if mode == "digest" else "",
+            )
+    return table, results
+
+
+def test_e9b_gossip_bandwidth(benchmark):
+    table, results = run_once(benchmark, _gossip_experiment)
+    save_tables("E9b_gossip_bandwidth", [table])
+    payload = {
+        "workload": {
+            "scenario": "airline E9 default",
+            "duration": GOSSIP_DURATION,
+            "n_nodes": N_NODES,
+            "seed": 31,
+            "partition_durations": list(GOSSIP_PARTITIONS),
+            "smoke": BENCH_SMOKE,
+        },
+        "modes": results,
+        "items_carried_ratio": {
+            str(d): round(
+                results["full"][d]["items_carried"]
+                / results["digest"][d]["items_carried"], 2
+            )
+            for d in GOSSIP_PARTITIONS
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_gossip.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # the tentpole acceptance criterion: on the default workload, digest
+    # mode ships at least 5x fewer item copies than full-set
+    # dissemination while every run converges to mutual consistency
+    # (asserted inside _run_gossip for each run above).
+    for duration in GOSSIP_PARTITIONS:
+        full = results["full"][duration]["items_carried"]
+        digest = results["digest"][duration]["items_carried"]
+        assert full >= 5 * digest, (duration, full, digest)
 
 
 def test_e9_availability(benchmark):

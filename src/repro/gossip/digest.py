@@ -1,0 +1,170 @@
+"""Timestamp-range digests over a node's known update set.
+
+A digest is a compact, comparable summary of everything a node has
+delivered: the timestamp axis is cut into fixed-width ranges ("cells"),
+and each non-empty cell carries a count and an order-independent
+fingerprint (XOR of per-key hashes).  Two nodes whose digests agree hold
+the same set (up to 64-bit fingerprint collisions, which we accept for a
+simulation); where cells disagree, the anti-entropy delta protocol
+(:mod:`repro.gossip.protocol`) reconciles exactly those ranges instead
+of shipping the entire history.
+
+The index is maintained *incrementally*: every delivered key is folded
+into its cell in O(1), and a rendered digest is cached until the next
+insertion.  A **tail summary** (the maximum timestamp seen) rides along;
+insertions that land strictly below the tail — the same out-of-order
+arrivals that trigger undo/redo in the replica layer — are counted as
+``out_of_order_adds`` and invalidate the cached rendering, mirroring how
+the merge view invalidates snapshots past the insertion point.
+
+Cells are optionally tagged with a *group* (the object key under partial
+replication) so a digest can be restricted to the objects two peers
+share.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+#: A cell identifier: (group, range start).  ``group`` is None for the
+#: fully replicated case and the object key under partial replication.
+Cell = Tuple[object, int]
+
+#: A timestamp as the digest sees it: (counter, tiebreak).
+TsPair = Tuple[int, int]
+
+
+def fingerprint(key: object) -> int:
+    """A stable 64-bit hash of a key (independent of PYTHONHASHSEED)."""
+    data = repr(key).encode("utf-8", "backslashreplace")
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+def _cell_sort_key(cell: Tuple) -> Tuple[str, int]:
+    # groups may mix None and strings; sort on repr for determinism.
+    return (repr(cell[0]), cell[1])
+
+
+@dataclass(frozen=True)
+class RangeDigest:
+    """The wire form of a digest: sorted non-empty cells plus the tail.
+
+    ``cells`` entries are ``(group, lo, count, fingerprint)`` where
+    ``lo`` is the start of a ``width``-wide timestamp-counter range.
+    """
+
+    width: int
+    cells: Tuple[Tuple[object, int, int, int], ...]
+    tail: Optional[TsPair]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def cell_map(self) -> Dict[Cell, Tuple[int, int]]:
+        """``(group, lo) -> (count, fingerprint)`` for comparisons."""
+        return {(g, lo): (count, fp) for g, lo, count, fp in self.cells}
+
+
+class DigestIndex:
+    """Incrementally maintained digest + per-cell membership for one node.
+
+    Membership (which keys live in which cell) never crosses the wire —
+    it is what lets the delta protocol answer "which of my keys fall in
+    this differing range" without scanning the whole known set.
+    """
+
+    def __init__(self, width: int = 32):
+        if width < 1:
+            raise ValueError("digest cell width must be >= 1")
+        self.width = width
+        self._cells: Dict[Cell, List[int]] = {}  # cell -> [count, fp]
+        self._members: Dict[Cell, Set[object]] = {}
+        self._tail: Optional[TsPair] = None
+        self._cached: Optional[RangeDigest] = None
+        self.adds = 0
+        #: insertions below the tail summary: the undo/redo arrivals.
+        self.out_of_order_adds = 0
+        #: full digest renderings (cache misses).
+        self.renders = 0
+
+    def cell_of(self, counter: int, group: object = None) -> Cell:
+        return (group, (counter // self.width) * self.width)
+
+    def add(self, key: object, ts: TsPair, group: object = None) -> Cell:
+        """Fold a newly delivered key into its cell; returns the cell."""
+        cell = self.cell_of(ts[0], group)
+        slot = self._cells.setdefault(cell, [0, 0])
+        slot[0] += 1
+        slot[1] ^= fingerprint(key)
+        self._members.setdefault(cell, set()).add(key)
+        self.adds += 1
+        if self._tail is None or ts >= self._tail:
+            self._tail = ts
+        else:
+            self.out_of_order_adds += 1
+        self._cached = None  # any insertion invalidates the rendering
+        return cell
+
+    @property
+    def tail(self) -> Optional[TsPair]:
+        return self._tail
+
+    def keys_in(self, cell: Cell) -> FrozenSet[object]:
+        return frozenset(self._members.get(cell, ()))
+
+    def digest(
+        self, groups: Optional[FrozenSet[object]] = None
+    ) -> RangeDigest:
+        """The current digest, optionally restricted to ``groups``.
+
+        The unrestricted digest is cached between insertions; restricted
+        renderings are cheap (one pass over non-empty cells) and not
+        cached.
+        """
+        if groups is None:
+            if self._cached is None:
+                self._cached = self._render(None)
+                self.renders += 1
+            return self._cached
+        return self._render(groups)
+
+    def _render(self, groups: Optional[FrozenSet[object]]) -> RangeDigest:
+        cells = tuple(
+            (g, lo, slot[0], slot[1])
+            for (g, lo), slot in sorted(
+                self._cells.items(), key=lambda kv: _cell_sort_key(kv[0])
+            )
+            if groups is None or g in groups
+        )
+        return RangeDigest(self.width, cells, self._tail)
+
+
+def differing_cells(
+    local: DigestIndex,
+    remote: RangeDigest,
+    groups: Optional[FrozenSet[object]] = None,
+) -> Tuple[Cell, ...]:
+    """Cells on which ``local`` and ``remote`` disagree.
+
+    A cell differs when it is non-empty on exactly one side or when its
+    (count, fingerprint) pair differs; the result is restricted to
+    ``groups`` when given (both the remote's advertised cells and the
+    local ones), and sorted for deterministic wire payloads.
+    """
+    mine = local.digest(groups).cell_map()
+    theirs = {
+        cell: value
+        for cell, value in remote.cell_map().items()
+        if groups is None or cell[0] in groups
+    }
+    out = {
+        cell
+        for cell in set(mine) | set(theirs)
+        if mine.get(cell) != theirs.get(cell)
+    }
+    return tuple(sorted(out, key=_cell_sort_key))

@@ -1,0 +1,460 @@
+"""The gossip dissemination service for fully replicated clusters.
+
+:class:`GossipService` is the drop-in engine behind
+:class:`repro.network.broadcast.ReliableBroadcast`.  It keeps the
+paper-facing contract — every attached node's ``on_deliver`` fires
+exactly once per item, flooding gives low latency on the healthy part of
+the network, anti-entropy guarantees eventual delivery — but implements
+dissemination in one of two modes:
+
+* ``mode="full"`` — the legacy Section 3.3 literalism: flood messages
+  piggyback the sender's entire known set and every anti-entropy round
+  ships full history.  O(nodes × history) bytes; kept for A/B runs.
+* ``mode="digest"`` (default) — rumor-mongering floods carry the new
+  record plus a :class:`~repro.gossip.digest.RangeDigest`, anti-entropy
+  runs the SYN/ACK/DELTA push–pull protocol so only missing records
+  cross the wire, and peers are chosen by the partition-aware
+  :class:`~repro.gossip.scheduler.PeerScheduler`.
+
+Digest mode preserves the piggyback transitivity guarantee *causally*
+instead of by brute force: when a ``depends_on`` hook is installed (the
+shard cluster supplies ``record.seen_txids``), received items are held in
+a :class:`~repro.gossip.protocol.CausalBuffer` until their dependencies
+have been delivered, so every node's delivered set remains causally
+closed — the invariant behind the paper's transitive prefix
+subsequences.  With ``piggyback=False`` the digest (and hence the repair
+pull and the gating) is disabled, faithfully reproducing the
+intransitivity the paper warns about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.metrics import WireStats
+from .digest import DigestIndex, RangeDigest, differing_cells, fingerprint
+from .protocol import (
+    GOSSIP_KINDS,
+    CausalBuffer,
+    DeltaStats,
+    ExchangeEngine,
+)
+from .scheduler import PeerScheduler
+
+DeliverFn = Callable[[object, object], None]  # (key, item)
+
+#: hook: (key, item) -> keys this item must be delivered after.
+DependsFn = Callable[[object, object], Tuple]
+#: hook: (key, item) -> (counter, tiebreak) placing the item on the
+#: digest's timestamp axis.
+TimestampFn = Callable[[object, object], Tuple[int, int]]
+
+
+def default_timestamp_of(key: object, item: object) -> Tuple[int, int]:
+    """Place an item on the digest axis.
+
+    Update records carry a Lamport timestamp — use it, so digest cells
+    align with the log's natural order and the tail summary tracks the
+    newest timestamp.  Opaque items (plain test payloads) are spread
+    pseudo-randomly but stably over a small counter range instead.
+    """
+    ts = getattr(item, "ts", None)
+    counter = getattr(ts, "counter", None)
+    if counter is not None:
+        return (counter, getattr(ts, "node_id", 0))
+    return (fingerprint(key) & 0x3FF, 0)
+
+
+@dataclass
+class GossipConfig:
+    """Dissemination knobs (field order keeps ``BroadcastConfig`` compat)."""
+
+    flood: bool = True
+    piggyback: bool = True
+    anti_entropy_interval: float = 5.0
+    fanout: int = 1
+    #: "digest" (delta reconciliation) or "full" (legacy full-set A/B).
+    mode: str = "digest"
+    #: timestamp-counter width of one digest cell.
+    bucket_width: int = 32
+    #: how long an initiator waits for an ACK before declaring the peer
+    #: unreachable and backing off.
+    ack_timeout: float = 4.0
+    #: cap on exponential backoff, as a multiple of the anti-entropy
+    #: interval; backoff expiry doubles as the recovery probe.
+    max_backoff_factor: float = 8.0
+    #: minimum spacing of rumor-triggered repair pulls per peer pair.
+    repair_cooldown: float = 2.0
+
+
+@dataclass
+class GossipStats:
+    published: int = 0
+    flood_messages: int = 0
+    anti_entropy_messages: int = 0
+    #: record copies shipped, across floods, deltas and full-set rounds —
+    #: the item-copy axis the full-vs-digest benchmarks compare.
+    items_carried: int = 0
+    deliveries: int = 0
+    delta: DeltaStats = field(default_factory=DeltaStats)
+    wire: WireStats = field(default_factory=WireStats)
+    #: publish-to-deliver delay of every remote delivery of a published
+    #: item (one sample per receiving node).
+    delivery_delays: List[float] = field(default_factory=list)
+    #: deliveries that had to wait in a causal buffer first.
+    causally_deferred: int = 0
+
+
+class _FlatStore:
+    """Store adapter: one flat keyspace per node (full replication)."""
+
+    def __init__(self, service: "GossipService"):
+        self.service = service
+
+    def digest_for(self, node: int, peer: int) -> RangeDigest:
+        return self.service._index[node].digest()
+
+    def diff(self, node: int, remote: RangeDigest, peer: int) -> Tuple:
+        return differing_cells(self.service._index[node], remote)
+
+    def keys_in(self, node: int, cell: Tuple):
+        return self.service._index[node].keys_in(cell)
+
+    def has(self, node: int, group: object, key: object) -> bool:
+        if key in self.service._known[node]:
+            return True
+        buffer = self.service._buffers.get(node)
+        return buffer is not None and key in buffer
+
+    def item_for(self, node: int, group: object, key: object) -> object:
+        known = self.service._known[node]
+        if key in known:
+            return known[key]
+        return self.service._buffers[node].peek(key)
+
+    def merge(self, node: int, wire_items) -> None:
+        self.service._merge(node, [(k, item) for _g, k, item in wire_items])
+
+    def extra_for(self, node: int, peer: int) -> None:
+        return None
+
+    def accept_extra(self, node: int, src: int, extra: object) -> None:
+        pass
+
+
+class GossipService:
+    """The dissemination service shared by all nodes of a cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network,
+        config: Optional[GossipConfig] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.config = config or GossipConfig()
+        if self.config.mode not in ("digest", "full"):
+            raise ValueError(f"unknown gossip mode {self.config.mode!r}")
+        # seeded-instance default: peer choice must never touch the
+        # module-global random (reproducibility satellite).
+        self.rng = rng if rng is not None else random.Random(0)
+        self.stats = GossipStats()
+        self._known: Dict[int, Dict[object, object]] = {}
+        self._deliver: Dict[int, DeliverFn] = {}
+        self._index: Dict[int, DigestIndex] = {}
+        self._buffers: Dict[int, CausalBuffer] = {}
+        self._published_at: Dict[object, float] = {}
+        self._anti_entropy_started = False
+        self._anti_entropy_stopped = False
+        #: optional predicate: nodes for which it returns False neither
+        #: gossip nor get picked as gossip targets (crashed nodes).
+        self.active_filter: Optional[Callable[[int], bool]] = None
+        #: optional hooks installed by the owning cluster.
+        self.depends_on: Optional[DependsFn] = None
+        self.timestamp_of: TimestampFn = default_timestamp_of
+        #: optional trace sink: (kind, node, **detail).
+        self.on_event: Optional[Callable[..., None]] = None
+        self.scheduler = PeerScheduler(
+            self.rng,
+            base_backoff=self.config.anti_entropy_interval,
+            max_backoff_factor=self.config.max_backoff_factor,
+        )
+        self.engine = ExchangeEngine(
+            sim,
+            self._engine_send,
+            _FlatStore(self),
+            self.scheduler,
+            self.stats.delta,
+            self.stats.wire,
+            ack_timeout=self.config.ack_timeout,
+            repair_cooldown=self.config.repair_cooldown,
+            count_records=self._count_records,
+            trace=self._trace,
+        )
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _engine_send(self, src: int, dst: int, payload: object) -> None:
+        self.network.send(src, dst, payload)
+
+    def _count_records(self, n: int) -> None:
+        self.stats.items_carried += n
+
+    def _trace(self, kind: str, node: int, **detail) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, node, **detail)
+
+    def _is_active(self, node_id: int) -> bool:
+        return self.active_filter is None or self.active_filter(node_id)
+
+    def _gating(self) -> bool:
+        """Causal delivery gating is a digest-mode, piggyback-mode
+        feature: it is what stands in for the full-set piggyback's
+        transitivity, so ``piggyback=False`` must disable it too."""
+        return (
+            self.config.mode == "digest"
+            and self.config.piggyback
+            and self.depends_on is not None
+        )
+
+    # -- membership -----------------------------------------------------
+
+    def attach(
+        self,
+        node_id: int,
+        on_deliver: DeliverFn,
+        register_transport: bool = True,
+    ) -> None:
+        """Register a node.
+
+        With ``register_transport=True`` (the default) the service owns
+        the node's network handler.  Pass False when the caller
+        multiplexes several protocols over the transport (e.g. the
+        cluster's synchronization messages) and will forward gossip
+        payloads via :meth:`receive`.
+        """
+        if node_id in self._known:
+            raise ValueError(f"node {node_id} already attached")
+        self._known[node_id] = {}
+        self._deliver[node_id] = on_deliver
+        self._index[node_id] = DigestIndex(self.config.bucket_width)
+        self._buffers[node_id] = CausalBuffer(
+            depends_on=lambda key, item: (
+                self.depends_on(key, item) if self.depends_on else ()
+            ),
+            deliver=lambda key, item, n=node_id: self._deliver_one(
+                n, key, item
+            ),
+            is_delivered=lambda key, n=node_id: key in self._known[n],
+        )
+
+        if register_transport:
+            def handler(src: int, payload: object, _node: int = node_id) -> None:
+                self.receive(_node, payload, src=src)
+
+            self.network.register(node_id, handler)
+
+    def receive(
+        self, node_id: int, payload: object, src: int = -1
+    ) -> None:
+        """Handle a dissemination payload delivered to ``node_id``.
+
+        ``src`` is required for the digest protocol kinds (the exchange
+        replies to its peer); legacy ``"items"`` payloads ignore it.
+        """
+        kind = payload[0]
+        if kind == "items":
+            self._merge(node_id, payload[1])
+        elif kind in GOSSIP_KINDS:
+            self.engine.handle(node_id, src, payload)
+        else:
+            raise ValueError(f"unknown broadcast payload kind {kind!r}")
+
+    def known_items(self, node_id: int) -> Tuple:
+        """Snapshot of (key, item) pairs known at ``node_id``."""
+        return tuple(self._known[node_id].items())
+
+    def merge_items(self, node_id: int, items) -> None:
+        """Merge externally obtained items into ``node_id``'s set (used by
+        the synchronized-transaction pull protocol)."""
+        self._merge(node_id, items)
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._known))
+
+    def known_keys(self, node_id: int) -> Tuple:
+        return tuple(self._known[node_id])
+
+    # -- digest views (used by the synchronized pull path) ----------------
+
+    def digest(self, node_id: int) -> RangeDigest:
+        return self._index[node_id].digest()
+
+    def delta_records(
+        self, node_id: int, remote: RangeDigest
+    ) -> Tuple[Tuple[object, object], ...]:
+        """(key, item) pairs ``node_id`` holds in cells differing from
+        ``remote`` — everything a peer with that digest might lack."""
+        index = self._index[node_id]
+        known = self._known[node_id]
+        out = []
+        for cell in differing_cells(index, remote):
+            for key in sorted(index.keys_in(cell), key=repr):
+                out.append((key, known[key]))
+        return tuple(out)
+
+    # -- publishing -------------------------------------------------------
+
+    def publish(self, node_id: int, key: object, item: object) -> None:
+        """Introduce a new item at ``node_id`` and flood it (if enabled).
+
+        The publishing node "delivers" to itself immediately (its own
+        database reflects its own transactions at once).
+        """
+        self.stats.published += 1
+        if key not in self._published_at:
+            self._published_at[key] = self.sim.now
+        self._merge(node_id, [(key, item)])
+        if not self.config.flood:
+            return
+        if self.config.mode == "full":
+            payload = (
+                tuple(self._known[node_id].items())
+                if self.config.piggyback
+                else ((key, item),)
+            )
+            for dst in self.node_ids:
+                if dst != node_id:
+                    self.stats.flood_messages += 1
+                    self.stats.items_carried += len(payload)
+                    self.stats.wire.message(records=len(payload))
+                    self.network.send(node_id, dst, ("items", payload))
+        else:
+            # rumor mongering: the new record plus (with piggyback) a
+            # digest of the sender's whole set, instead of the set itself.
+            digest = (
+                self._index[node_id].digest()
+                if self.config.piggyback
+                else None
+            )
+            for dst in self.node_ids:
+                if dst != node_id:
+                    self.stats.flood_messages += 1
+                    self.engine.send_rumor(
+                        node_id, dst, ((None, key, item),), digest
+                    )
+
+    # -- anti-entropy -------------------------------------------------------
+
+    def start_anti_entropy(self) -> None:
+        """Begin the periodic gossip timers (staggered per node)."""
+        if self._anti_entropy_started:
+            return
+        self._anti_entropy_started = True
+        interval = self.config.anti_entropy_interval
+        for i, node_id in enumerate(self.node_ids):
+            offset = interval * (i + 1) / (len(self.node_ids) + 1)
+            self.sim.schedule(offset, self._make_gossip_tick(node_id))
+
+    def stop_anti_entropy(self) -> None:
+        """Stop the gossip timers (no further ticks are scheduled)."""
+        self._anti_entropy_stopped = True
+
+    def _make_gossip_tick(self, node_id: int) -> Callable[[], None]:
+        def tick() -> None:
+            if self._anti_entropy_stopped:
+                return
+            self._gossip_once(node_id)
+            self.sim.schedule(
+                self.config.anti_entropy_interval,
+                self._make_gossip_tick(node_id),
+            )
+
+        return tick
+
+    def _gossip_once(self, node_id: int) -> None:
+        if not self._is_active(node_id):
+            return
+        peers = [
+            n for n in self.node_ids if n != node_id and self._is_active(n)
+        ]
+        if not peers:
+            return
+        if self.config.mode == "full":
+            targets = self.rng.sample(
+                peers, min(self.config.fanout, len(peers))
+            )
+            payload = tuple(self._known[node_id].items())
+            for dst in targets:
+                self.stats.anti_entropy_messages += 1
+                self.stats.items_carried += len(payload)
+                self.stats.wire.message(records=len(payload))
+                self.network.send(node_id, dst, ("items", payload))
+        else:
+            targets = self.scheduler.pick(
+                node_id, peers, self.sim.now, fanout=self.config.fanout
+            )
+            for dst in targets:
+                self.stats.anti_entropy_messages += 1
+                self.engine.initiate(node_id, dst)
+
+    def exchange_all(self, rounds: int = 1) -> None:
+        """Synchronously push every node's set to every other node
+        ``rounds`` times, bypassing timers and the network (used to
+        quiesce a run after healing partitions)."""
+        for _ in range(rounds):
+            snapshot = {
+                n: tuple(known.items()) for n, known in self._known.items()
+            }
+            for src, items in snapshot.items():
+                for dst in self.node_ids:
+                    if dst != src:
+                        self._merge(dst, items)
+
+    # -- receipt ----------------------------------------------------------
+
+    def _merge(self, node_id: int, items) -> None:
+        known = self._known[node_id]
+        gating = self._gating()
+        buffer = self._buffers[node_id]
+        for key, item in items:
+            if key in known:
+                continue
+            if gating:
+                buffer.offer(key, item)
+            else:
+                self._deliver_one(node_id, key, item)
+
+    def _deliver_one(self, node_id: int, key: object, item: object) -> None:
+        """The single point where an item becomes *delivered* at a node:
+        known-set, digest index, stats and the callback all update here."""
+        self._known[node_id][key] = item
+        self._index[node_id].add(key, self.timestamp_of(key, item))
+        self.stats.deliveries += 1
+        published = self._published_at.get(key)
+        if published is not None and self.sim.now > published:
+            self.stats.delivery_delays.append(self.sim.now - published)
+        self._deliver[node_id](key, item)
+
+    # -- convergence ---------------------------------------------------------
+
+    def converged(self) -> bool:
+        """All nodes know the same item set."""
+        sets = [frozenset(k) for k in self._known.values()]
+        return all(s == sets[0] for s in sets[1:]) if sets else True
+
+    def missing_counts(self) -> Dict[int, int]:
+        """Per node: how many globally-known items it has not yet seen."""
+        universe = set()
+        for known in self._known.values():
+            universe |= set(known)
+        return {
+            n: len(universe) - len(known)
+            for n, known in self._known.items()
+        }

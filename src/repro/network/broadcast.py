@@ -4,14 +4,19 @@ Two complementary mechanisms:
 
 * **flooding** — when a node publishes an item it immediately sends it to
   every reachable peer (low latency on the healthy part of the network);
-  with ``piggyback=True`` the flood message carries the sender's *entire*
-  known set, which is what makes prefix subsequences transitive
+  with ``piggyback=True`` the flood carries the sender's knowledge —
+  the *entire* known set in ``mode="full"``, a compact digest of it in
+  ``mode="digest"`` — which is what makes prefix subsequences transitive
   ("piggybacking information about known transactions on messages",
   Section 3.3);
-* **anti-entropy** — every node periodically sends its full known set to
-  randomly chosen peers, which guarantees that, barring permanent
-  failure, every node eventually receives every item — including across
-  healed partitions.
+* **anti-entropy** — every node periodically reconciles with chosen
+  peers, which guarantees that, barring permanent failure, every node
+  eventually receives every item — including across healed partitions.
+
+The engine lives in :mod:`repro.gossip`: by default anti-entropy is the
+digest-driven push–pull delta protocol (only missing records cross the
+wire, unreachable peers back off exponentially); ``mode="full"`` keeps
+the legacy full-set exchange for A/B comparison.
 
 Items are opaque; uniqueness comes from caller-supplied keys.  Each
 attached node's ``on_deliver`` callback fires exactly once per item, in
@@ -20,211 +25,12 @@ merge order.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from ..gossip.service import GossipConfig, GossipService, GossipStats
 
-from ..sim.engine import Simulator
-from .network import Network
-
-DeliverFn = Callable[[object, object], None]  # (key, item)
+#: Historical names: the broadcast layer is the gossip service.
+BroadcastConfig = GossipConfig
+BroadcastStats = GossipStats
 
 
-@dataclass
-class BroadcastConfig:
-    flood: bool = True
-    piggyback: bool = True
-    anti_entropy_interval: float = 5.0
-    fanout: int = 1
-
-
-@dataclass
-class BroadcastStats:
-    published: int = 0
-    flood_messages: int = 0
-    anti_entropy_messages: int = 0
-    items_carried: int = 0
-    deliveries: int = 0
-
-
-class ReliableBroadcast:
+class ReliableBroadcast(GossipService):
     """The broadcast service shared by all nodes of a cluster."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        network: Network,
-        config: Optional[BroadcastConfig] = None,
-        rng: Optional[random.Random] = None,
-    ):
-        self.sim = sim
-        self.network = network
-        self.config = config or BroadcastConfig()
-        self.rng = rng or random.Random(0)
-        self.stats = BroadcastStats()
-        self._known: Dict[int, Dict[object, object]] = {}
-        self._deliver: Dict[int, DeliverFn] = {}
-        self._anti_entropy_started = False
-        self._anti_entropy_stopped = False
-        #: optional predicate: nodes for which it returns False neither
-        #: gossip nor get picked as gossip targets (crashed nodes).
-        self.active_filter: Optional[Callable[[int], bool]] = None
-
-    def _is_active(self, node_id: int) -> bool:
-        return self.active_filter is None or self.active_filter(node_id)
-
-    # -- membership -----------------------------------------------------
-
-    def attach(
-        self,
-        node_id: int,
-        on_deliver: DeliverFn,
-        register_transport: bool = True,
-    ) -> None:
-        """Register a node.
-
-        With ``register_transport=True`` (the default) the broadcast owns
-        the node's network handler.  Pass False when the caller
-        multiplexes several protocols over the transport (e.g. the
-        cluster's synchronization messages) and will forward broadcast
-        payloads via :meth:`receive`.
-        """
-        if node_id in self._known:
-            raise ValueError(f"node {node_id} already attached")
-        self._known[node_id] = {}
-        self._deliver[node_id] = on_deliver
-
-        if register_transport:
-            def handler(src: int, payload: object, _node: int = node_id) -> None:
-                self.receive(_node, payload)
-
-            self.network.register(node_id, handler)
-
-    def receive(self, node_id: int, payload: object) -> None:
-        """Handle a broadcast payload delivered to ``node_id``."""
-        kind, items = payload
-        assert kind == "items"
-        self._merge(node_id, items)
-
-    def known_items(self, node_id: int) -> Tuple:
-        """Snapshot of (key, item) pairs known at ``node_id``."""
-        return tuple(self._known[node_id].items())
-
-    def merge_items(self, node_id: int, items) -> None:
-        """Merge externally obtained items into ``node_id``'s set (used by
-        the synchronized-transaction pull protocol)."""
-        self._merge(node_id, items)
-
-    @property
-    def node_ids(self) -> Tuple[int, ...]:
-        return tuple(sorted(self._known))
-
-    def known_keys(self, node_id: int) -> Tuple:
-        return tuple(self._known[node_id])
-
-    # -- publishing -------------------------------------------------------
-
-    def publish(self, node_id: int, key: object, item: object) -> None:
-        """Introduce a new item at ``node_id`` and flood it (if enabled).
-
-        The publishing node "delivers" to itself immediately (its own
-        database reflects its own transactions at once).
-        """
-        self.stats.published += 1
-        self._merge(node_id, [(key, item)])
-        if self.config.flood:
-            payload = (
-                tuple(self._known[node_id].items())
-                if self.config.piggyback
-                else ((key, item),)
-            )
-            for dst in self.node_ids:
-                if dst != node_id:
-                    self.stats.flood_messages += 1
-                    self.stats.items_carried += len(payload)
-                    self.network.send(node_id, dst, ("items", payload))
-
-    # -- anti-entropy -------------------------------------------------------
-
-    def start_anti_entropy(self) -> None:
-        """Begin the periodic gossip timers (staggered per node)."""
-        if self._anti_entropy_started:
-            return
-        self._anti_entropy_started = True
-        interval = self.config.anti_entropy_interval
-        for i, node_id in enumerate(self.node_ids):
-            offset = interval * (i + 1) / (len(self.node_ids) + 1)
-            self.sim.schedule(offset, self._make_gossip_tick(node_id))
-
-    def stop_anti_entropy(self) -> None:
-        """Stop the gossip timers (no further ticks are scheduled)."""
-        self._anti_entropy_stopped = True
-
-    def _make_gossip_tick(self, node_id: int) -> Callable[[], None]:
-        def tick() -> None:
-            if self._anti_entropy_stopped:
-                return
-            self._gossip_once(node_id)
-            self.sim.schedule(
-                self.config.anti_entropy_interval,
-                self._make_gossip_tick(node_id),
-            )
-
-        return tick
-
-    def _gossip_once(self, node_id: int) -> None:
-        if not self._is_active(node_id):
-            return
-        peers = [
-            n for n in self.node_ids if n != node_id and self._is_active(n)
-        ]
-        if not peers:
-            return
-        targets = self.rng.sample(peers, min(self.config.fanout, len(peers)))
-        payload = tuple(self._known[node_id].items())
-        for dst in targets:
-            self.stats.anti_entropy_messages += 1
-            self.stats.items_carried += len(payload)
-            self.network.send(node_id, dst, ("items", payload))
-
-    def exchange_all(self, rounds: int = 1) -> None:
-        """Synchronously push every node's set to every other node
-        ``rounds`` times, bypassing timers and the network (used to
-        quiesce a run after healing partitions)."""
-        for _ in range(rounds):
-            snapshot = {
-                n: tuple(known.items()) for n, known in self._known.items()
-            }
-            for src, items in snapshot.items():
-                for dst in self.node_ids:
-                    if dst != src:
-                        self._merge(dst, items)
-
-    # -- receipt ----------------------------------------------------------
-
-    def _merge(self, node_id: int, items) -> None:
-        known = self._known[node_id]
-        deliver = self._deliver[node_id]
-        for key, item in items:
-            if key in known:
-                continue
-            known[key] = item
-            self.stats.deliveries += 1
-            deliver(key, item)
-
-    # -- convergence ---------------------------------------------------------
-
-    def converged(self) -> bool:
-        """All nodes know the same item set."""
-        sets = [frozenset(k) for k in self._known.values()]
-        return all(s == sets[0] for s in sets[1:]) if sets else True
-
-    def missing_counts(self) -> Dict[int, int]:
-        """Per node: how many globally-known items it has not yet seen."""
-        universe = set()
-        for known in self._known.values():
-            universe |= set(known)
-        return {
-            n: len(universe) - len(known)
-            for n, known in self._known.items()
-        }

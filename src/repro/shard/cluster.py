@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.execution import TimedExecution
 from ..core.state import State
 from ..core.transaction import Transaction
+from ..gossip import GOSSIP_KINDS
 from ..network.broadcast import BroadcastConfig, ReliableBroadcast
 from ..network.link import DelayModel, FixedDelay
 from ..network.network import Network
@@ -87,6 +88,11 @@ class ShardCluster:
             self.config.broadcast or BroadcastConfig(),
             rng=self.streams.stream("gossip"),
         )
+        # digest rumors stand in for the full-set piggyback; causal
+        # delivery gating (on each record's seen-set) is what preserves
+        # the Section 3.3 transitivity guarantee under delta gossip.
+        self.broadcast.depends_on = lambda key, item: item.seen_txids
+        self.broadcast.on_event = self._trace
         self.ledger = ExternalLedger()
         self.sync = SyncManager(self)
         self.agents: Dict[str, TokenAgent] = {}
@@ -154,8 +160,8 @@ class ShardCluster:
             if not self.nodes[node_id].online:
                 return  # crashed nodes drop everything on the floor
             kind = payload[0]
-            if kind == "items":
-                self.broadcast.receive(node_id, payload)
+            if kind == "items" or kind in GOSSIP_KINDS:
+                self.broadcast.receive(node_id, payload, src=src)
             elif kind in (TOKEN_REQUEST, TOKEN_GRANT):
                 self.agents[payload[1]].handle(node_id, src, payload)
             else:

@@ -18,6 +18,13 @@ This module implements exactly that discipline:
 * updates are disseminated only to the object's holders — flooding to
   holders, and anti-entropy between *sharing* peers — so bandwidth
   scales with replication degree, not cluster size;
+* in the default ``mode="digest"``, anti-entropy runs the gossip
+  subsystem's push–pull delta protocol over per-object digests (cells
+  are tagged with the object key as their *group*, and each exchange is
+  restricted to the objects both peers hold), floods are single-record
+  rumors carrying a shared-groups digest, and received records are
+  causally gated on their per-object seen-sets; ``mode="full"`` keeps
+  the legacy full-log exchange for A/B runs;
 * per object, everything reduces to the fully-replicated theory: the
   extracted per-object executions satisfy the prefix subsequence
   condition, and all of the paper's per-constraint results apply
@@ -27,17 +34,28 @@ This module implements exactly that discipline:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from ..core.execution import TimedExecution
 from ..core.state import State
 from ..core.transaction import Transaction
+from ..gossip import (
+    GOSSIP_KINDS,
+    CausalBuffer,
+    DeltaStats,
+    DigestIndex,
+    ExchangeEngine,
+    PeerScheduler,
+    RangeDigest,
+    differing_cells,
+)
 from ..network.link import DelayModel, FixedDelay
 from ..network.network import Network
 from ..network.partition import PartitionSchedule
 from ..replica import LamportClock, Replica, UpdateRecord
 from ..sim.engine import Simulator
+from ..sim.metrics import WireStats
 from ..sim.rng import SeededStreams
 from .external import ExternalLedger
 from .history import extract_execution
@@ -64,6 +82,13 @@ class PartialConfig:
     loss_probability: float = 0.0
     anti_entropy_interval: float = 5.0
     flood: bool = True
+    #: "digest" (delta reconciliation over per-object range digests) or
+    #: "full" (legacy full-log exchange, kept for A/B comparison).
+    mode: str = "digest"
+    bucket_width: int = 32
+    ack_timeout: float = 4.0
+    max_backoff_factor: float = 8.0
+    repair_cooldown: float = 2.0
     merge_factory: MergeEngineFactory = suffix_factory
     #: optional summary function (Section 6: "data ... present in summary
     #: form"): substate -> an opaque summary value.  When set, every
@@ -78,6 +103,8 @@ class PartialStats:
     flood_messages: int = 0
     anti_entropy_messages: int = 0
     items_carried: int = 0
+    delta: DeltaStats = field(default_factory=DeltaStats)
+    wire: WireStats = field(default_factory=WireStats)
 
 
 class PartialNode:
@@ -90,6 +117,7 @@ class PartialNode:
         initial_substates: Dict[ObjectKey, State],
         merge_factory: MergeEngineFactory,
         ledger: ExternalLedger,
+        bucket_width: int = 32,
     ):
         self.node_id = node_id
         self.keys = keys
@@ -100,6 +128,11 @@ class PartialNode:
             for k in keys
         }
         self.ledger = ledger
+        #: digest over every held object's log; cells are grouped by
+        #: object key so exchanges can be restricted to shared objects.
+        self.index = DigestIndex(bucket_width)
+        #: (object key, txid) -> record, for delta-protocol lookups.
+        self.records_held: Dict[Tuple[ObjectKey, int], UpdateRecord] = {}
         #: stale summaries of objects this node does NOT hold:
         #: key -> (as-of simulated time, summary value).
         self.summaries: Dict[ObjectKey, Tuple[float, object]] = {}
@@ -151,7 +184,15 @@ class PartialNode:
         return self._insert(keyed.key, keyed.record)
 
     def _insert(self, key: ObjectKey, record: UpdateRecord) -> bool:
-        return self.replicas[key].ingest(record) is not None
+        accepted = self.replicas[key].ingest(record) is not None
+        if accepted:
+            self.index.add(
+                record.txid,
+                (record.ts.counter, record.ts.node_id),
+                group=key,
+            )
+            self.records_held[(key, record.txid)] = record
+        return accepted
 
     def accept_summary(
         self, key: ObjectKey, as_of: float, value: object
@@ -168,6 +209,74 @@ class PartialNode:
         """The cached (possibly stale) summary of a foreign object."""
         entry = self.summaries.get(key)
         return entry[1] if entry else None
+
+
+class _PartialStore:
+    """Store adapter driving the gossip engine over per-object groups.
+
+    Every digest (and diff) is restricted to the objects *both* peers
+    hold — non-shared objects are invisible to the exchange, which is
+    how "bandwidth scales with replication degree" survives the move to
+    delta gossip.  Summaries (Section 6) ride as the protocol's
+    ``extra`` payloads on SYN/ACK/rumor messages.
+    """
+
+    def __init__(self, cluster: "PartialCluster"):
+        self.cluster = cluster
+
+    def _shared(self, node: int, peer: int) -> FrozenSet[ObjectKey]:
+        nodes = self.cluster.nodes
+        if peer not in nodes:
+            return frozenset()
+        return nodes[node].keys & nodes[peer].keys
+
+    def digest_for(self, node: int, peer: int) -> RangeDigest:
+        return self.cluster.nodes[node].index.digest(
+            groups=self._shared(node, peer)
+        )
+
+    def diff(self, node: int, remote: RangeDigest, peer: int) -> Tuple:
+        return differing_cells(
+            self.cluster.nodes[node].index,
+            remote,
+            groups=self._shared(node, peer),
+        )
+
+    def keys_in(self, node: int, cell: Tuple):
+        return self.cluster.nodes[node].index.keys_in(cell)
+
+    def has(self, node: int, group: ObjectKey, key: int) -> bool:
+        pnode = self.cluster.nodes[node]
+        if group not in pnode.keys:
+            return False
+        if (group, key) in pnode.records_held:
+            return True
+        return (group, key) in self.cluster._buffers[node]
+
+    def item_for(self, node: int, group: ObjectKey, key: int) -> UpdateRecord:
+        pnode = self.cluster.nodes[node]
+        record = pnode.records_held.get((group, key))
+        if record is not None:
+            return record
+        return self.cluster._buffers[node].peek((group, key))
+
+    def merge(self, node: int, wire_items) -> None:
+        pnode = self.cluster.nodes[node]
+        buffer = self.cluster._buffers[node]
+        for group, txid, record in wire_items:
+            pnode.clock.observe(record.ts)
+            if group in pnode.keys:
+                buffer.offer((group, txid), record)
+
+    def extra_for(self, node: int, peer: int):
+        return self.cluster._summaries_from(node) or None
+
+    def accept_extra(self, node: int, src: int, extra) -> None:
+        if not extra:
+            return
+        pnode = self.cluster.nodes[node]
+        for key, as_of, value in extra:
+            pnode.accept_summary(key, as_of, value)
 
 
 class PartialCluster:
@@ -197,19 +306,51 @@ class PartialCluster:
         )
         self.ledger = ExternalLedger()
         self.stats = PartialStats()
+        if config.mode not in ("digest", "full"):
+            raise ValueError(f"unknown gossip mode {config.mode!r}")
         self.nodes: Dict[int, PartialNode] = {}
+        self._buffers: Dict[int, CausalBuffer] = {}
         for node_id, keys in sorted(config.placement.items()):
             node = PartialNode(
                 node_id, frozenset(keys), self.initial_substates,
                 config.merge_factory, self.ledger,
+                bucket_width=config.bucket_width,
             )
             self.nodes[node_id] = node
             self.network.register(node_id, self._make_handler(node))
+            # gate deliveries on the record's per-object seen-set so each
+            # replica's log stays causally closed under delta gossip.
+            self._buffers[node_id] = CausalBuffer(
+                depends_on=lambda gk, rec: tuple(
+                    (gk[0], dep) for dep in rec.seen_txids
+                ),
+                deliver=lambda gk, rec, n=node: n._insert(gk[0], rec),
+                is_delivered=lambda gk, n=node: gk in n.records_held,
+            )
         self._next_txid = 0
         self.records: Dict[int, KeyedRecord] = {}
         self._gossip_rng = self.streams.stream("gossip")
+        self.scheduler = PeerScheduler(
+            self._gossip_rng,
+            base_backoff=config.anti_entropy_interval,
+            max_backoff_factor=config.max_backoff_factor,
+        )
+        self.engine = ExchangeEngine(
+            self.sim,
+            lambda src, dst, payload: self.network.send(src, dst, payload),
+            _PartialStore(self),
+            self.scheduler,
+            self.stats.delta,
+            self.stats.wire,
+            ack_timeout=config.ack_timeout,
+            repair_cooldown=config.repair_cooldown,
+            count_records=self._count_records,
+        )
         self._anti_entropy_stopped = False
         self._start_anti_entropy()
+
+    def _count_records(self, n: int) -> None:
+        self.stats.items_carried += n
 
     # -- topology helpers ---------------------------------------------------
 
@@ -232,7 +373,11 @@ class PartialCluster:
 
     def _make_handler(self, node: PartialNode) -> Callable[[int, object], None]:
         def handler(src: int, payload: object) -> None:
-            kind, items, summaries = payload
+            kind = payload[0]
+            if kind in GOSSIP_KINDS:
+                self.engine.handle(node.node_id, src, payload)
+                return
+            _, items, summaries = payload
             assert kind == "keyed_items"
             for keyed in items:
                 node.receive(keyed)
@@ -278,6 +423,11 @@ class PartialCluster:
             peers = self.sharing_peers(node_id)
         if not peers:
             return
+        if self.config.mode == "digest":
+            for peer in self.scheduler.pick(node_id, peers, self.sim.now):
+                self.stats.anti_entropy_messages += 1
+                self.engine.initiate(node_id, peer)
+            return
         peer = self._gossip_rng.choice(peers)
         shared = self.nodes[node_id].keys & self.nodes[peer].keys
         items = self._items_for(node_id, shared)
@@ -285,6 +435,9 @@ class PartialCluster:
         if items or summaries:
             self.stats.anti_entropy_messages += 1
             self.stats.items_carried += len(items)
+            self.stats.wire.message(
+                records=len(items), summaries=len(summaries)
+            )
             self.network.send(
                 node_id, peer, ("keyed_items", items, summaries)
             )
@@ -319,7 +472,26 @@ class PartialCluster:
                 txid, key, transaction, self.sim.now
             )
             self.records[txid] = keyed
-            if self.config.flood:
+            if self.config.flood and self.config.mode == "digest":
+                # rumor mongering: the new record plus a digest of the
+                # shared objects (digest-mismatch triggers a repair
+                # pull); causal gating at receivers stands in for the
+                # full-log piggyback's per-object transitivity.
+                record = keyed.record
+                for holder in self.holders(key):
+                    if holder != node_id:
+                        self.stats.flood_messages += 1
+                        self.engine.send_rumor(
+                            node_id,
+                            holder,
+                            ((key, record.txid, record),),
+                            self.nodes[node_id].index.digest(
+                                groups=self.nodes[node_id].keys
+                                & self.nodes[holder].keys
+                            ),
+                            extra=self._summaries_from(node_id) or None,
+                        )
+            elif self.config.flood:
                 # piggyback the node's full log for the object: the
                 # transitivity trick of Section 3.3, per object.
                 items = self._items_for(node_id, frozenset({key}))
@@ -328,6 +500,9 @@ class PartialCluster:
                     if holder != node_id:
                         self.stats.flood_messages += 1
                         self.stats.items_carried += len(items)
+                        self.stats.wire.message(
+                            records=len(items), summaries=len(summaries)
+                        )
                         self.network.send(
                             node_id, holder,
                             ("keyed_items", items, summaries),

@@ -8,14 +8,24 @@ available manner".  This module implements that mixed mode on top of the
 cluster:
 
 * a synchronized submission first *pulls*: the origin broadcasts a
-  ``sync_pull`` and waits for every other node to push its full known
-  item set;
+  ``sync_pull`` and waits for every other node to push what the origin
+  is missing;
 * when all pushes arrive, the origin merges them and only then runs the
   decision — its prefix now contains every transaction any node had
   issued by its push time;
 * if some node is unreachable (partition) the pull times out and the
   transaction is **rejected** — exactly the availability price the paper
   predicts for serializable operation.
+
+Under the digest gossip mode the pull is delta-shaped: the ``sync_pull``
+carries the origin's :class:`~repro.gossip.digest.RangeDigest`, and each
+peer pushes only the records it holds in timestamp ranges where the
+digests disagree — the origin's round-trip count (and hence latency) is
+unchanged, but the pushes no longer ship the peers' full histories.
+Completeness is preserved because a record the origin lacks necessarily
+makes its cell's (count, fingerprint) differ from the origin's.  In
+``mode="full"`` peers push their entire known sets (the legacy A/B
+behavior).
 
 The guarantee is honest rather than absolute: transactions initiated
 concurrently with the pull can still land before the synchronized one in
@@ -33,7 +43,7 @@ from typing import Dict, List, Tuple
 from ..core.transaction import Transaction
 
 #: message kinds used by the protocol (multiplexed on the cluster's
-#: transport next to the broadcast's "items" payloads).
+#: transport next to the broadcast's gossip payloads).
 SYNC_PULL = "sync_pull"
 SYNC_PUSH = "sync_push"
 
@@ -45,6 +55,8 @@ class SyncStats:
     rejected: int = 0
     #: pull latencies of served synchronized transactions.
     latencies: List[float] = field(default_factory=list)
+    #: records carried by sync_push replies (delta-sized in digest mode).
+    pushed_records: int = 0
 
     @property
     def availability(self) -> float:
@@ -58,7 +70,6 @@ class _PendingSync:
     started_at: float
     awaiting: set
     timeout_handle: object
-    done: bool = False
 
 
 class SyncManager:
@@ -69,6 +80,11 @@ class SyncManager:
         self.stats = SyncStats()
         self._pending: Dict[int, _PendingSync] = {}
         self._next_id = 0
+
+    @property
+    def pending_count(self) -> int:
+        """Open pulls (leak check: must drain to 0 after every outcome)."""
+        return len(self._pending)
 
     # -- submission ------------------------------------------------------
 
@@ -102,9 +118,17 @@ class SyncManager:
                 awaiting=set(others),
                 timeout_handle=handle,
             )
+            digest = (
+                cluster.broadcast.digest(node_id)
+                if cluster.broadcast.config.mode == "digest"
+                else None
+            )
             for other in others:
+                cluster.broadcast.stats.wire.message(
+                    cells=digest.n_cells if digest is not None else 0
+                )
                 cluster.network.send(
-                    node_id, other, (SYNC_PULL, sync_id, node_id)
+                    node_id, other, (SYNC_PULL, sync_id, node_id, digest)
                 )
 
         cluster.sim.schedule(0.0, fire)
@@ -114,15 +138,23 @@ class SyncManager:
     def handle(self, node_id: int, src: int, payload: Tuple) -> None:
         kind = payload[0]
         if kind == SYNC_PULL:
-            _, sync_id, origin = payload
-            items = self.cluster.broadcast.known_items(node_id)
+            _, sync_id, origin, digest = payload
+            broadcast = self.cluster.broadcast
+            if digest is not None:
+                # delta push: only records in ranges where the origin's
+                # digest disagrees with ours.
+                items = broadcast.delta_records(node_id, digest)
+            else:
+                items = broadcast.known_items(node_id)
+            self.stats.pushed_records += len(items)
+            broadcast.stats.wire.message(records=len(items))
             self.cluster.network.send(
                 node_id, origin, (SYNC_PUSH, sync_id, node_id, items)
             )
         elif kind == SYNC_PUSH:
             _, sync_id, pusher, items = payload
             pending = self._pending.get(sync_id)
-            if pending is None or pending.done:
+            if pending is None:
                 return
             self.cluster.broadcast.merge_items(pending.origin, items)
             pending.awaiting.discard(pusher)
@@ -131,10 +163,18 @@ class SyncManager:
 
     # -- outcomes --------------------------------------------------------------
 
+    def _finish(self, sync_id: int) -> "_PendingSync | None":
+        """Single exit path: drop the entry and cancel its timer, so no
+        completed pull can leak a pending record or a live handle."""
+        pending = self._pending.pop(sync_id, None)
+        if pending is not None:
+            pending.timeout_handle.cancel()
+        return pending
+
     def _complete(self, sync_id: int) -> None:
-        pending = self._pending.pop(sync_id)
-        pending.done = True
-        pending.timeout_handle.cancel()
+        pending = self._finish(sync_id)
+        if pending is None:
+            return
         self.cluster.initiate_now(pending.origin, pending.transaction)
         self.stats.served += 1
         self.stats.latencies.append(
@@ -142,8 +182,6 @@ class SyncManager:
         )
 
     def _on_timeout(self, sync_id: int) -> None:
-        pending = self._pending.pop(sync_id, None)
-        if pending is None or pending.done:
+        if self._finish(sync_id) is None:
             return
-        pending.done = True
         self.stats.rejected += 1

@@ -1,10 +1,75 @@
-"""Time-series metrics and summary statistics for simulation runs."""
+"""Time-series metrics, summary statistics and wire accounting for runs."""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+#: Abstract per-unit wire costs used by the bytes-on-wire accounting.
+#: The simulation never serializes payloads, so bandwidth is modeled as a
+#: weighted sum of what a message carries: full update records dominate
+#: (a transaction, its update, its seen-set), bare keys and digest cells
+#: are an order of magnitude cheaper, summaries sit in between.  The
+#: *ratios* are what the gossip benchmarks compare; the absolute scale is
+#: nominal "bytes".
+WIRE_COSTS: Dict[str, int] = {
+    "message": 16,   # fixed header per message
+    "record": 128,   # one full update record
+    "key": 8,        # one bare item key (txid)
+    "cell": 12,      # one digest cell (group, range, count, fingerprint)
+    "summary": 24,   # one cached-summary triple (partial replication)
+}
+
+
+@dataclass
+class WireStats:
+    """Counts of what crossed the (simulated) wire, by payload unit.
+
+    Shared by the legacy full-set dissemination paths and the digest
+    gossip subsystem so full-set vs. digest runs are comparable on one
+    axis: modeled bytes shipped."""
+
+    messages: int = 0
+    records: int = 0
+    keys: int = 0
+    cells: int = 0
+    summaries: int = 0
+
+    def message(
+        self,
+        records: int = 0,
+        keys: int = 0,
+        cells: int = 0,
+        summaries: int = 0,
+    ) -> None:
+        """Account one sent message and its payload units."""
+        self.messages += 1
+        self.records += records
+        self.keys += keys
+        self.cells += cells
+        self.summaries += summaries
+
+    @property
+    def bytes(self) -> int:
+        """Modeled bytes on the wire under :data:`WIRE_COSTS`."""
+        return (
+            self.messages * WIRE_COSTS["message"]
+            + self.records * WIRE_COSTS["record"]
+            + self.keys * WIRE_COSTS["key"]
+            + self.cells * WIRE_COSTS["cell"]
+            + self.summaries * WIRE_COSTS["summary"]
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "messages": self.messages,
+            "records": self.records,
+            "keys": self.keys,
+            "cells": self.cells,
+            "summaries": self.summaries,
+            "bytes": self.bytes,
+        }
 
 
 @dataclass

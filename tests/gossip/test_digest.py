@@ -1,0 +1,125 @@
+"""Tests for timestamp-range digests."""
+
+import pytest
+
+from repro.gossip import DigestIndex, differing_cells, fingerprint
+
+
+def build(pairs, width=8):
+    """An index over (key, counter) pairs."""
+    index = DigestIndex(width)
+    for key, counter in pairs:
+        index.add(key, (counter, 0))
+    return index
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint("tx-1") == fingerprint("tx-1")
+        assert fingerprint(("a", 1)) == fingerprint(("a", 1))
+
+    def test_distinct_keys_differ(self):
+        assert fingerprint("tx-1") != fingerprint("tx-2")
+
+    def test_64_bits(self):
+        assert 0 <= fingerprint("x") < 2**64
+
+
+class TestDigestIndex:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            DigestIndex(0)
+
+    def test_cell_of(self):
+        index = DigestIndex(8)
+        assert index.cell_of(0) == (None, 0)
+        assert index.cell_of(7) == (None, 0)
+        assert index.cell_of(8) == (None, 8)
+        assert index.cell_of(17, group="f1") == ("f1", 16)
+
+    def test_order_independence(self):
+        """The XOR fingerprint makes digests set-valued: insertion order
+        never shows."""
+        pairs = [(f"k{i}", i) for i in range(20)]
+        a = build(pairs)
+        b = build(list(reversed(pairs)))
+        assert a.digest() == b.digest()
+
+    def test_counts_per_cell(self):
+        index = build([("a", 0), ("b", 1), ("c", 9)])
+        cells = {(g, lo): count for g, lo, count, _ in index.digest().cells}
+        assert cells == {(None, 0): 2, (None, 8): 1}
+
+    def test_membership(self):
+        index = build([("a", 0), ("b", 1), ("c", 9)])
+        assert index.keys_in((None, 0)) == frozenset({"a", "b"})
+        assert index.keys_in((None, 8)) == frozenset({"c"})
+        assert index.keys_in((None, 16)) == frozenset()
+
+    def test_tail_and_out_of_order(self):
+        index = DigestIndex(8)
+        index.add("a", (5, 0))
+        index.add("b", (9, 0))
+        assert index.tail == (9, 0)
+        assert index.out_of_order_adds == 0
+        # a below-tail insertion: the undo/redo arrival.
+        index.add("c", (3, 0))
+        assert index.tail == (9, 0)
+        assert index.out_of_order_adds == 1
+
+    def test_rendering_is_cached_between_insertions(self):
+        index = build([("a", 0), ("b", 9)])
+        index.digest()
+        index.digest()
+        assert index.renders == 1
+        index.add("c", (20, 0))  # invalidates
+        index.digest()
+        assert index.renders == 2
+
+    def test_group_restriction(self):
+        index = DigestIndex(8)
+        index.add(1, (0, 0), group="f1")
+        index.add(2, (0, 0), group="f2")
+        full = index.digest()
+        only_f1 = index.digest(groups=frozenset({"f1"}))
+        assert full.n_cells == 2
+        assert only_f1.n_cells == 1
+        assert only_f1.cells[0][0] == "f1"
+
+
+class TestDifferingCells:
+    def test_equal_sets_no_difference(self):
+        pairs = [(f"k{i}", i * 3) for i in range(10)]
+        a, b = build(pairs), build(pairs)
+        assert differing_cells(a, b.digest()) == ()
+
+    def test_difference_is_localized(self):
+        """Only the cell containing the missing key differs — the delta
+        protocol reconciles that range alone."""
+        pairs = [(f"k{i}", i) for i in range(32)]
+        a = build(pairs, width=8)
+        b = build(pairs + [("extra", 20)], width=8)
+        assert differing_cells(a, b.digest()) == ((None, 16),)
+        assert differing_cells(b, a.digest()) == ((None, 16),)
+
+    def test_one_side_empty(self):
+        a = build([])
+        b = build([("x", 0), ("y", 12)])
+        assert differing_cells(a, b.digest()) == ((None, 0), (None, 8))
+
+    def test_same_count_different_keys_detected(self):
+        """Counts agree but fingerprints don't: the XOR catches swaps."""
+        a = build([("a", 0)])
+        b = build([("b", 0)])
+        assert differing_cells(a, b.digest()) == ((None, 0),)
+
+    def test_group_restriction_filters_both_sides(self):
+        a = DigestIndex(8)
+        a.add(1, (0, 0), group="f1")
+        a.add(2, (0, 0), group="f2")
+        b = DigestIndex(8)
+        b.add(3, (0, 0), group="f2")
+        only_f2 = differing_cells(a, b.digest(), groups=frozenset({"f2"}))
+        assert only_f2 == (("f2", 0),)
+        # unrestricted, f1 (present on one side only) differs too.
+        assert differing_cells(a, b.digest()) == (("f1", 0), ("f2", 0))

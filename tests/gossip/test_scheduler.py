@@ -1,0 +1,94 @@
+"""Tests for partition-aware peer scheduling."""
+
+import random
+
+import pytest
+
+from repro.gossip import PeerScheduler
+
+
+def make(seed=0, base=2.0, factor=8.0):
+    return PeerScheduler(
+        random.Random(seed), base_backoff=base, max_backoff_factor=factor
+    )
+
+
+class TestBackoff:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(base=0.0)
+        with pytest.raises(ValueError):
+            make(factor=0.5)
+
+    def test_failure_backs_off_exponentially(self):
+        s = make(base=2.0, factor=8.0)
+        s.failure(0, 1, now=0.0)
+        assert not s.eligible(0, 1, 3.9)   # 2 * 2^1 = 4
+        assert s.eligible(0, 1, 4.0)
+        s.failure(0, 1, now=4.0)
+        assert not s.eligible(0, 1, 11.9)  # 2 * 2^2 = 8
+        assert s.eligible(0, 1, 12.0)
+
+    def test_backoff_caps_at_max_factor(self):
+        s = make(base=2.0, factor=8.0)
+        for i in range(10):
+            s.failure(0, 1, now=float(i))
+        # delay never exceeds base * factor = 16.
+        assert s.eligible(0, 1, 9.0 + 16.0)
+        assert not s.eligible(0, 1, 9.0 + 15.9)
+
+    def test_success_resets(self):
+        s = make()
+        for i in range(5):
+            s.failure(0, 1, now=0.0)
+        s.success(0, 1, now=100.0)
+        assert s.failures(0, 1) == 0
+        assert s.eligible(0, 1, 100.0)
+
+    def test_pairs_are_directed_and_independent(self):
+        s = make()
+        s.failure(0, 1, now=0.0)
+        assert not s.eligible(0, 1, 1.0)
+        assert s.eligible(1, 0, 1.0)
+        assert s.eligible(0, 2, 1.0)
+
+
+class TestPick:
+    def test_skips_backing_off_peers(self):
+        s = make()
+        s.failure(0, 1, now=0.0)
+        for _ in range(20):
+            assert s.pick(0, [1, 2], now=1.0) == [2]
+
+    def test_starved_round_recorded(self):
+        s = make()
+        s.failure(0, 1, now=0.0)
+        s.failure(0, 2, now=0.0)
+        assert s.pick(0, [1, 2], now=1.0) == []
+        assert s.stats.starved_rounds == 1
+
+    def test_backoff_expiry_is_the_recovery_probe(self):
+        s = make(base=2.0)
+        s.failure(0, 1, now=0.0)
+        assert s.pick(0, [1], now=4.0) == [1]
+        assert s.stats.probes == 1
+
+    def test_fanout(self):
+        s = make()
+        chosen = s.pick(0, [1, 2, 3], now=0.0, fanout=2)
+        assert len(chosen) == 2
+        assert len(set(chosen)) == 2
+
+    def test_deterministic_under_injected_rng(self):
+        """Peer choice comes only from the injected rng: perturbing the
+        module-global random must not change the pick sequence."""
+        def picks(seed):
+            s = make(seed=seed)
+            out = []
+            for t in range(30):
+                random.seed(t * 1337)  # would derail a global-rng user
+                out.extend(s.pick(0, [1, 2, 3, 4], now=float(t)))
+            return out
+
+        assert picks(7) == picks(7)
+        assert picks(7) != picks(8)  # and the seed genuinely matters

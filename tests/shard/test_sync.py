@@ -1,11 +1,8 @@
 """Tests for synchronized (mixed-mode) transactions."""
 
-import pytest
-
 from repro.apps.banking import (
     AUDIT_REPORT,
     Audit,
-    BankState,
     Deposit,
     INITIAL_BANK_STATE,
 )
@@ -110,6 +107,70 @@ class TestSyncProtocol:
         # the synchronized MOVE_UP saw every one of the 6 requests, even
         # though nothing else disseminated.
         assert e.deficit(mover_index) == 0
+
+    def test_pending_entries_drain_after_service(self):
+        """The leak fix: served pulls drop their pending record and
+        cancel the timeout handle (no stray timer events remain)."""
+        cluster = ShardCluster(
+            INITIAL_BANK_STATE,
+            ClusterConfig(n_nodes=3, broadcast=quiet_broadcast()),
+        )
+        cluster.sim.schedule_at(
+            0.0, lambda: cluster.submit_synchronized(0, Audit())
+        )
+        cluster.quiesce()
+        assert cluster.sync.stats.served == 1
+        assert cluster.sync.pending_count == 0
+        assert cluster.sim.pending == 0
+
+    def test_pending_entries_drain_after_rejection(self):
+        partitions = PartitionSchedule.split(0, 100, [0], [1, 2])
+        cluster = ShardCluster(
+            INITIAL_BANK_STATE,
+            ClusterConfig(
+                n_nodes=3,
+                partitions=partitions,
+                broadcast=quiet_broadcast(),
+            ),
+        )
+        cluster.sim.schedule_at(
+            1.0, lambda: cluster.submit_synchronized(0, Audit(), timeout=5.0)
+        )
+        cluster.run(until=20.0)
+        assert cluster.sync.stats.rejected == 1
+        assert cluster.sync.pending_count == 0
+
+    def test_digest_pull_pushes_fewer_records_than_full(self):
+        """The delta-shaped pull: peers ship only what the origin's
+        digest shows it lacks, yet the audit still sees everything."""
+        def run(mode):
+            cluster = ShardCluster(
+                INITIAL_BANK_STATE,
+                ClusterConfig(
+                    n_nodes=3,
+                    broadcast=BroadcastConfig(
+                        mode=mode, anti_entropy_interval=1e9
+                    ),
+                ),
+            )
+            for i in range(10):
+                cluster.submit(i % 3, Deposit("alice", 1), at=float(i))
+            cluster.sim.schedule_at(
+                20.0, lambda: cluster.submit_synchronized(0, Audit())
+            )
+            cluster.quiesce()
+            assert cluster.sync.stats.served == 1
+            report = [
+                entry.action.payload[0]
+                for entry in cluster.ledger
+                if entry.action.kind == AUDIT_REPORT
+            ]
+            assert report == [10]
+            return cluster.sync.stats.pushed_records
+
+        # flooding keeps nodes nearly in sync, so the digest pull has
+        # little left to ship; the full pull reships both known sets.
+        assert run("digest") < run("full")
 
     def test_mixed_mode_costs(self):
         """A synchronized MOVE_UP never overbooks even when plain movers
