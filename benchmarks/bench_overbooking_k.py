@@ -20,7 +20,6 @@ se — replication lag alone is benign for overbooking.
 
 from common import run_once, save_tables
 
-from repro.apps.airline import make_airline_application
 from repro.apps.airline.generator import random_airline_execution
 from repro.apps.airline.theorems import corollary6_overbooking, corollary8
 from repro.harness import Table
@@ -32,7 +31,6 @@ KS = (0, 1, 2, 4, 8)
 
 
 def _experiment():
-    app = make_airline_application(capacity=CAPACITY)
     table = Table(
         "E2: max overbooking cost vs k (capacity 10, 240 txns, 5 seeds)",
         ["k", "drop regime", "bound 900k", "worst cost", "holds",

@@ -20,7 +20,7 @@ import random
 
 from common import run_once, save_tables
 
-from repro.apps.airline import AirlineState, MoveUp, Request, make_airline_application
+from repro.apps.airline import AirlineState, MoveUp, Request
 from repro.apps.airline.simulation import AirlineScenario, run_airline_scenario
 from repro.apps.airline.theorems import corollary8
 from repro.core import is_transitive, transitivity_violations
@@ -64,8 +64,6 @@ def _partial_table():
         2: frozenset({"f2"}),
     }
     full_placement = {i: frozenset({"f1", "f2"}) for i in range(3)}
-    app = make_airline_application(capacity=CAPACITY)
-
     table = Table(
         "E14a: partial vs full replication, two flights, 30s partition",
         ["placement", "flight", "txns", "mover k", "bound holds",

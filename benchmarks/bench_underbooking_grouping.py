@@ -14,7 +14,6 @@ import random
 
 from common import run_once, save_tables
 
-from repro.apps.airline import make_airline_application
 from repro.apps.airline.generator import GeneratorConfig, generate
 from repro.apps.airline.theorems import corollary10, corollary11
 from repro.analysis import normal_state_costs
@@ -27,7 +26,6 @@ KS = (0, 1, 2, 4)
 
 
 def _experiment():
-    app = make_airline_application(capacity=CAPACITY)
     table = Table(
         "E3: costs at normal states vs k (grouped runs, capacity 10)",
         ["k", "bound 300k", "worst normal underbooking",

@@ -31,7 +31,9 @@ def _parse_partition(spec: Optional[str]) -> Optional[PartitionSchedule]:
         start_text, end_text = spec.split(":")
         start, end = float(start_text), float(end_text)
     except ValueError:
-        raise SystemExit(f"bad --partition {spec!r}; expected START:END")
+        raise SystemExit(
+            f"bad --partition {spec!r}; expected START:END"
+        ) from None
     return PartitionSchedule.split(start, end, [0], [1, 2])
 
 

@@ -204,8 +204,10 @@ def priority_counterexamples(
         s2 = transaction.run(s, s)
         known_before = set(application.known(s))
         known_after = set(application.known(s2))
-        for p in known_before:
-            for q in known_after:
+        # sorted: the counterexample list's order must not depend on set
+        # iteration (hash randomization would reorder it across runs).
+        for p in sorted(known_before, key=repr):
+            for q in sorted(known_after, key=repr):
                 if p == q:
                     continue
                 if q in known_before:
@@ -241,8 +243,9 @@ def strong_priority_counterexamples(
         s2 = transaction.run(s, s_prime)
         known_before = set(application.known(s_prime))
         known_after = set(application.known(s2))
-        for p in known_before:
-            for q in known_after:
+        # sorted for the same cross-run determinism as above.
+        for p in sorted(known_before, key=repr):
+            for q in sorted(known_after, key=repr):
                 if p == q:
                     continue
                 if q in known_before:

@@ -1,0 +1,48 @@
+"""shardlint: AST-based checker for the paper's semantic contracts.
+
+The type system cannot see the contracts the SHARD correctness story
+rests on: update parts must be pure state transformers (they are rerun
+arbitrarily many times under reordering, Section 2.2), decision parts
+run exactly once and own all external actions, and the simulation layer
+must be bit-for-bit reproducible for the trace-based condition checks to
+mean anything.  shardlint enforces those conventions statically:
+
+* **R1 update-purity** — ``Update.apply`` overrides may not do I/O, draw
+  randomness or wall-clock time, write attributes on ``self`` or
+  globals, or mutate the input state in place;
+* **R2 decision/update separation** — ``Transaction.decide`` must not
+  mutate state and produces effects only via ``ExternalAction``;
+  ``Transaction.run`` overrides must route through decide + apply;
+* **R3 sim determinism** — no module-global ``random.*`` calls,
+  unseeded ``random.Random()``, wall-clock reads, or ``os.urandom``:
+  randomness must flow from ``sim.rng.SeededStreams`` or an injected
+  ``random.Random``;
+* **R4 iteration-order hazards** — order-sensitive consumption of
+  ``set``/``frozenset`` values without an enclosing ``sorted()``;
+* **R5 trace-schema** — every trace emit call site's event kind and
+  detail keys must match the ``EVENT_SCHEMAS`` registry in
+  ``repro.sim.trace``.
+
+Findings are suppressed per line with a justified comment::
+
+    risky_call()  # shardlint: ignore[R4] -- order irrelevant: feeds a set
+
+Run it as ``python -m repro.lint src/repro`` (see :mod:`repro.lint.cli`)
+or through :func:`lint_paths` / :func:`run_lint` from tests.
+"""
+
+from .findings import Finding
+from .engine import LintResult, lint_paths, lint_source, run_lint
+from .registry import RULES, Rule, all_rules, register
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,398 @@
+"""Shared AST analyses: name resolution, set-typed expressions, and the
+taint-based in-place-mutation finder used by the purity rules.
+
+Everything here is deliberately *syntactic*.  shardlint runs with no
+type information and no imports of the code under analysis, so each
+helper implements a conservative approximation that is documented where
+it matters.  False negatives are acceptable (conventions plus review
+catch the rest); false positives are paid for by suppression comments,
+so the heuristics lean precise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+# -- dotted names ---------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The leftmost Name of an attribute/subscript chain, else None.
+
+    ``state.waiting[0].x`` → ``state``; calls break the chain (their
+    result is a fresh value, not an alias of the receiver — a shallow
+    approximation that matches the immutable-leaning style the states
+    use).
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_func_name(call: ast.Call) -> Optional[str]:
+    """The called plain name (``open`` in ``open(...)``), else None."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+# -- imports --------------------------------------------------------------
+
+
+class ImportMap:
+    """Local-name → module bindings for one module.
+
+    ``modules`` maps an alias to the module it names (``import random``
+    → ``{"random": "random"}``, ``import numpy as np`` → ``{"np":
+    "numpy"}``; for ``import os.path`` the binding is the top package
+    ``os``).  ``members`` maps a from-imported name to ``(module,
+    original_name)``.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.modules: Dict[str, str] = {}
+        self.members: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    self.modules[alias.asname or top] = (
+                        alias.name if alias.asname else top
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.members[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+
+    def module_of(self, name: str) -> Optional[str]:
+        return self.modules.get(name)
+
+    def member_origin(self, name: str) -> Optional[Tuple[str, str]]:
+        return self.members.get(name)
+
+
+# -- class/base helpers ---------------------------------------------------
+
+
+def base_last_segments(classdef: ast.ClassDef) -> Tuple[str, ...]:
+    """Last dotted segment of every base class expression."""
+    out: List[str] = []
+    for base in classdef.bases:
+        name = dotted_name(base)
+        if name is not None:
+            out.append(name.split(".")[-1])
+    return tuple(out)
+
+
+def subclasses_of(tree: ast.Module, suffix: str) -> Iterator[ast.ClassDef]:
+    """Classes whose some base name ends with ``suffix``.
+
+    Purely nominal: ``RequestUpdate(AirlineUpdate)`` is recognized as an
+    update class because ``AirlineUpdate`` ends with ``Update``.  The
+    abstract roots (``Update(abc.ABC)``, ``Transaction(abc.ABC)``) are
+    *not* matched — their bases do not carry the suffix — which is what
+    exempts the framework's own abstract methods.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and any(
+            seg == suffix or seg.endswith(suffix)
+            for seg in base_last_segments(node)
+        ):
+            yield node
+
+
+def find_method(
+    classdef: ast.ClassDef, name: str
+) -> Optional[ast.FunctionDef]:
+    for node in classdef.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def positional_params(func: ast.FunctionDef) -> Tuple[str, ...]:
+    return tuple(a.arg for a in func.args.posonlyargs + func.args.args)
+
+
+# -- module-level string constants ---------------------------------------
+
+
+def module_string_constants(tree: ast.Module) -> Dict[str, str]:
+    """Top-level ``NAME = "literal"`` bindings (e.g. trace-kind
+    constants), so rules can resolve ``_trace(GOSSIP_SYN, ...)``."""
+    out: Dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            out[node.targets[0].id] = node.value.value
+    return out
+
+
+# -- set-typed expressions (rule R4) -------------------------------------
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def is_set_expr(
+    node: ast.AST, set_names: frozenset = frozenset()
+) -> bool:
+    """Is ``node`` syntactically guaranteed to evaluate to a set?
+
+    Covers literals (``{a, b}``), set comprehensions, ``set(...)`` /
+    ``frozenset(...)`` calls, the set operators ``| & - ^`` with a set
+    operand, the four set-algebra methods called on a set expression,
+    and plain names the caller has proven set-typed (``set_names``, from
+    :func:`set_typed_names`).  Values that are merely *annotated* as
+    sets are not recognized — that is the deliberate precision/recall
+    trade-off.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        name = call_func_name(node)
+        if name in _SET_CONSTRUCTORS:
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and is_set_expr(node.func.value, set_names)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return (
+            is_set_expr(node.left, set_names)
+            or is_set_expr(node.right, set_names)
+        )
+    return False
+
+
+def scope_statements(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Every node of a scope, *not* descending into nested function or
+    class bodies (those are separate scopes with their own bindings)."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue  # a nested scope: its own pass handles its body
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def set_typed_names(body: Sequence[ast.stmt]) -> frozenset:
+    """Names of one scope that are sets on *every* assignment.
+
+    Flow-insensitive: a name qualifies only if each of its bindings in
+    the scope is a syntactic set expression (``seen = set()``) and it is
+    never rebound by a loop target, ``with ... as``, or an unknown
+    value.  Augmented set algebra (``seen |= ...``) keeps the type, so
+    the accumulate-into-a-set idiom is recognized.
+    """
+    candidates: set = set()
+    poisoned: set = set()
+
+    def poison_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            poisoned.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                poison_target(elt)
+        elif isinstance(target, ast.Starred):
+            poison_target(target.value)
+
+    for node in scope_statements(body):
+        if isinstance(node, ast.Assign):
+            simple_set = is_set_expr(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name) and simple_set:
+                    candidates.add(target.id)
+                else:
+                    poison_target(target)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and is_set_expr(node.value):
+                candidates.add(node.target.id)
+            else:
+                poison_target(node.target)
+        elif isinstance(node, ast.AugAssign):
+            if not isinstance(node.op, _SET_BINOPS):
+                poison_target(node.target)
+        elif isinstance(node, ast.For):
+            poison_target(node.target)
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            poison_target(node.optional_vars)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                poisoned.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            poisoned.update(node.names)
+        elif isinstance(node, ast.NamedExpr):
+            poison_target(node.target)
+        elif isinstance(node, ast.excepthandler) and node.name:
+            poisoned.add(node.name)
+    return frozenset(candidates - poisoned)
+
+
+# -- taint-based mutation analysis (rules R1/R2) -------------------------
+
+#: method names that mutate their receiver in place.  ``update`` and
+#: ``pop`` also exist on immutable-ish objects, but a pure transformer
+#: has no business calling either on anything reached from the state.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "discard", "pop", "popitem",
+    "clear", "update", "setdefault", "add", "sort", "reverse",
+    "appendleft", "popleft", "extendleft", "rotate",
+    "difference_update", "intersection_update", "symmetric_difference_update",
+    "write", "writelines",
+})
+
+
+class MutationFinder(ast.NodeVisitor):
+    """Finds in-place mutation of values reachable from protected names.
+
+    Taint starts at the protected parameter names and flows through
+    plain aliasing assignments (``lst = state.waiting``) and loop
+    targets (``for g, members in state.groups``).  Calls break taint:
+    ``list(state.waiting)`` is treated as a fresh copy.  The pass is a
+    single forward walk, which matches the straight-line style of
+    decision/update bodies.
+
+    Each violation is reported as ``(node, description)``.
+    """
+
+    def __init__(self, protected: Sequence[str]):
+        self.tainted: Set[str] = set(protected)
+        self.violations: List[Tuple[ast.AST, str]] = []
+
+    # taint propagation ---------------------------------------------------
+
+    def _is_tainted(self, node: ast.AST) -> bool:
+        root = root_name(node)
+        return root is not None and root in self.tainted
+
+    def _bind_target(self, target: ast.AST, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, tainted)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, tainted)
+
+    def _flag(self, node: ast.AST, description: str) -> None:
+        self.violations.append((node, description))
+
+    def _check_write_target(self, target: ast.AST, verb: str) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            if self._is_tainted(target):
+                root = root_name(target)
+                self._flag(target, f"{verb} `{root}` in place")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_write_target(elt, verb)
+
+    # visitors ------------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        tainted = self._is_tainted(node.value)
+        for target in node.targets:
+            self._check_write_target(target, "assigns into")
+            self._bind_target(target, tainted)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+            self._check_write_target(node.target, "assigns into")
+            self._bind_target(node.target, self._is_tainted(node.value))
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        # `x += ...` on a bare tainted name rebinds the local (fine for
+        # immutables) *unless* the value is a list/set reached from the
+        # state, where += mutates in place.  Flag attribute/subscript
+        # targets, which always go through the shared object.
+        self._check_write_target(node.target, "augments")
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_write_target(target, "deletes from")
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self._bind_target(node.target, self._is_tainted(node.iter))
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_comprehension_generators(self, generators) -> None:
+        for gen in generators:
+            self.visit(gen.iter)
+            self._bind_target(gen.target, self._is_tainted(gen.iter))
+            for cond in gen.ifs:
+                self.visit(cond)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.visit(node.elt)
+
+    visit_SetComp = visit_ListComp
+    visit_GeneratorExp = visit_ListComp
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.visit(node.key)
+        self.visit(node.value)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+            and self._is_tainted(node.func.value)
+        ):
+            root = root_name(node.func.value)
+            self._flag(
+                node,
+                f"calls `.{node.func.attr}()` on a value reached from "
+                f"`{root}`",
+            )
+        name = call_func_name(node)
+        if name in ("setattr", "delattr") and node.args:
+            if self._is_tainted(node.args[0]):
+                root = root_name(node.args[0])
+                self._flag(node, f"calls `{name}()` on `{root}`")
+        self.generic_visit(node)
+
+    def run(self, body: Sequence[ast.stmt]) -> List[Tuple[ast.AST, str]]:
+        for stmt in body:
+            self.visit(stmt)
+        return self.violations

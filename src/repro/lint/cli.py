@@ -1,0 +1,87 @@
+"""``python -m repro.lint`` — the shardlint command line.
+
+Examples::
+
+    python -m repro.lint src/repro                 # text report
+    python -m repro.lint src/repro --format=json   # CI artifact
+    python -m repro.lint src/repro --select R3,R4  # a rule subset
+    python -m repro.lint --list-rules
+
+Exit status: 0 when no unsuppressed finding remains (suppression
+problems still print as warnings unless ``--strict`` promotes them),
+1 when findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .engine import run_lint
+from .reporters import render_json, render_rule_list, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "shardlint: AST contract checker for the SHARD purity, "
+            "determinism and trace invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail on suppression problems (malformed/unused)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select else None
+    )
+    try:
+        result, status = run_lint(paths, select=select, strict=args.strict)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
+        return 2  # unreachable; parser.error raises SystemExit(2)
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.show_suppressed))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

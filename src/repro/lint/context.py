@@ -1,0 +1,54 @@
+"""The per-module view rules are given to check."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+from .astutil import ImportMap, module_string_constants
+from .findings import Finding
+
+
+class ModuleContext:
+    """One parsed source file plus the lookups every rule needs.
+
+    The expensive artifacts (import map, string-constant table) are
+    built once here, so adding a rule costs one AST walk, not a reparse.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.imports = ImportMap(tree)
+        self.string_constants: Dict[str, str] = module_string_constants(tree)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleContext":
+        return cls(path, source, ast.parse(source, filename=path))
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+    def resolve_string(self, node: ast.AST) -> Optional[str]:
+        """The string value of ``node`` if statically known: a literal,
+        or a Name bound to a module-level string constant."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.string_constants.get(node.id)
+        return None
+
+    def module_alias(self, name: str) -> Optional[str]:
+        return self.imports.module_of(name)
+
+    def member_origin(self, name: str) -> Optional[Tuple[str, str]]:
+        return self.imports.member_origin(name)

@@ -1,0 +1,157 @@
+"""The lint driver: walk files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .context import ModuleContext
+from .findings import Finding, sort_findings
+from .registry import Rule, all_rules
+from .suppressions import SuppressionSheet
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    ``findings`` are the live (unsuppressed) violations — the exit
+    status; ``suppressed`` records what the ignore comments silenced,
+    with their written justifications; ``problems`` are defects in the
+    suppression comments themselves (malformed markers, missing
+    reasons, ignores that matched nothing), which warn by default and
+    fail under ``--strict``.
+    """
+
+    findings: Tuple[Finding, ...] = ()
+    suppressed: Tuple[Finding, ...] = ()
+    problems: Tuple[Finding, ...] = ()
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = field(default=())
+
+    def ok(self, strict: bool = False) -> bool:
+        if strict:
+            return not self.findings and not self.problems
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, deduplicated .py list —
+    sorted so reports (and CI diffs of reports) are stable."""
+    out = []
+    seen = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        full = os.path.join(dirpath, filename)
+                        if full not in seen:
+                            seen.add(full)
+                            out.append(full)
+        elif path not in seen:
+            seen.add(path)
+            out.append(path)
+    return sorted(out)
+
+
+def lint_source(
+    path: str,
+    source: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint one in-memory module (the unit the fixture tests drive)."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        ctx = ModuleContext.parse(path, source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule="PARSE",
+            message=f"syntax error: {exc.msg}",
+        )
+        return LintResult(
+            findings=(finding,),
+            files_checked=1,
+            rules_run=tuple(r.rule_id for r in rules),
+        )
+
+    sheet = SuppressionSheet(source)
+    live: List[Finding] = []
+    silenced: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            suppression = sheet.lookup(finding.line, finding.rule)
+            if suppression is not None:
+                suppression.used = True
+                silenced.append(
+                    finding.with_suppression(suppression.reason)
+                )
+            else:
+                live.append(finding)
+
+    problems: List[Finding] = [
+        Finding(path=path, line=bad.line, col=0, rule="SUPPRESS",
+                message=bad.message)
+        for bad in sheet.malformed
+    ]
+    for unused in sheet.unused():
+        problems.append(Finding(
+            path=path, line=unused.line, col=0, rule="SUPPRESS",
+            message=(
+                "unused suppression "
+                f"ignore[{','.join(unused.rules)}]: no finding of these "
+                "rules on this line — remove it or fix the rule list"
+            ),
+        ))
+
+    return LintResult(
+        findings=sort_findings(live),
+        suppressed=sort_findings(silenced),
+        problems=sort_findings(problems),
+        files_checked=1,
+        rules_run=tuple(r.rule_id for r in rules),
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every .py file under ``paths`` with the selected rules."""
+    rules = all_rules(select)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    problems: List[Finding] = []
+    files = iter_python_files(paths)
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        result = lint_source(path, source, rules)
+        findings.extend(result.findings)
+        suppressed.extend(result.suppressed)
+        problems.extend(result.problems)
+    return LintResult(
+        findings=sort_findings(findings),
+        suppressed=sort_findings(suppressed),
+        problems=sort_findings(problems),
+        files_checked=len(files),
+        rules_run=tuple(r.rule_id for r in rules),
+    )
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    strict: bool = False,
+) -> Tuple[LintResult, int]:
+    """Lint and map the outcome to a process exit status."""
+    result = lint_paths(paths, select)
+    return result, (0 if result.ok(strict) else 1)

@@ -1,0 +1,49 @@
+"""The finding record shared by rules, the engine and the reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line``/``col`` are 1-based/0-based as in the ``ast`` module, so a
+    finding points at exactly the node that triggered it.  ``suppressed``
+    and ``suppression_reason`` are filled in by the engine after matching
+    the file's suppression comments; rules never set them.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    suppressed: bool = field(default=False, compare=False)
+    suppression_reason: Optional[str] = field(default=None, compare=False)
+
+    def with_suppression(self, reason: str) -> "Finding":
+        return replace(self, suppressed=True, suppression_reason=reason)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> dict:
+        out = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.suppressed:
+            out["suppressed"] = True
+            out["suppression_reason"] = self.suppression_reason
+        return out
+
+
+def sort_findings(findings) -> Tuple[Finding, ...]:
+    """Stable report order: by path, then line, then column, then rule."""
+    return tuple(sorted(findings))

@@ -1,0 +1,59 @@
+"""The pluggable rule registry.
+
+A rule is a class with a ``rule_id``, a one-line ``title``, and a
+``check(context)`` generator of findings.  Registration is a decorator,
+so dropping a new module into :mod:`repro.lint.rules` (and importing it
+from the package) is all it takes to extend the pass — the engine, CLI,
+``--select`` filtering and the reporters pick it up from here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Type
+
+from .context import ModuleContext
+from .findings import Finding
+
+
+class Rule(abc.ABC):
+    """One contract check, run once per module."""
+
+    #: stable identifier used in reports and suppression comments.
+    rule_id: str = ""
+    #: one-line summary shown by ``--list-rules``.
+    title: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``ctx``."""
+
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to the registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> Tuple[Rule, ...]:
+    """Instantiate the registered rules, optionally restricted to the
+    ``select`` ids (unknown ids raise, so typos fail loudly)."""
+    # rule modules self-register on import; imported lazily so the
+    # registry module itself has no import cycle with the rules.
+    from . import rules as _rules  # noqa: F401  (import for side effect)
+
+    if select is None:
+        wanted: Sequence[str] = sorted(RULES)
+    else:
+        wanted = list(select)
+        unknown = [r for r in wanted if r not in RULES]
+        if unknown:
+            raise KeyError(f"unknown rule ids: {', '.join(unknown)}")
+    return tuple(RULES[rule_id]() for rule_id in wanted)

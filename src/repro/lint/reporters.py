@@ -1,0 +1,63 @@
+"""Text and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+from .registry import RULES
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-oriented report: one line per finding, grep-friendly."""
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule}: {finding.message}"
+        )
+    for problem in result.problems:
+        lines.append(
+            f"{problem.location()}: {problem.rule}: {problem.message} "
+            "(warning)"
+        )
+    if verbose:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule}: suppressed "
+                f"({finding.suppression_reason}): {finding.message}"
+            )
+    lines.append(
+        f"shardlint: {result.files_checked} files, "
+        f"rules [{', '.join(result.rules_run)}]: "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.problems)} suppression problem(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-oriented report (the CI artifact)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "problems": [f.as_dict() for f in result.problems],
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "problems": len(result.problems),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    from .registry import all_rules
+
+    all_rules()  # force registration
+    lines = []
+    for rule_id in sorted(RULES):
+        lines.append(f"{rule_id}  {RULES[rule_id].title}")
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Rule modules self-register on import; import them all here."""
+
+from . import determinism, iteration, purity, separation, traceschema
+
+__all__ = [
+    "determinism",
+    "iteration",
+    "purity",
+    "separation",
+    "traceschema",
+]

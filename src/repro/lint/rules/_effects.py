@@ -1,0 +1,89 @@
+"""Shared effect/hidden-input detection for the purity rules.
+
+R1 (update purity) and R2 (decision/update separation) both need the
+same question answered about a method body: does it reach outside the
+state it was handed?  The checks:
+
+* calls to I/O builtins (``print``, ``open``, ``input``);
+* calls into effectful or nondeterministic modules (``os``, ``sys``,
+  ``random``, ``time``, ... — resolved through the module's import map,
+  so ``import numpy.random as npr; npr.shuffle(...)`` is caught too);
+* from-imported members of those modules (``from random import
+  choice``);
+* ``global`` / ``nonlocal`` declarations (the only syntactic way a
+  method body can rebind module state).
+
+Writes to ``self`` and mutation of the state parameter are handled by
+:class:`repro.lint.astutil.MutationFinder`, not here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..astutil import call_func_name, dotted_name
+from ..context import ModuleContext
+
+#: builtins whose mere call is an external effect.
+IO_BUILTINS = frozenset({"print", "open", "input", "breakpoint", "exec"})
+
+#: modules a pure state transformer may not call into.  Split by flavor
+#: only for the message text.
+EFFECT_MODULES = frozenset({
+    "os", "sys", "io", "socket", "subprocess", "shutil", "pathlib",
+    "logging", "requests", "urllib", "http", "threading",
+    "multiprocessing", "sqlite3", "pickle", "tempfile",
+})
+NONDETERMINISM_MODULES = frozenset({
+    "random", "time", "datetime", "uuid", "secrets",
+})
+BANNED_MODULES = EFFECT_MODULES | NONDETERMINISM_MODULES
+
+
+def _flavor(module: str) -> str:
+    if module.split(".")[0] in NONDETERMINISM_MODULES:
+        return "a hidden nondeterministic input"
+    return "an external effect"
+
+
+def effect_calls(
+    ctx: ModuleContext, body: List[ast.stmt]
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(node, description)`` for every effectful call in
+    ``body``."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                description = _describe_call(ctx, node)
+                if description is not None:
+                    yield node, description
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                keyword = (
+                    "global" if isinstance(node, ast.Global) else "nonlocal"
+                )
+                yield node, (
+                    f"declares `{keyword} {', '.join(node.names)}` — may "
+                    "not rebind names outside the state"
+                )
+
+
+def _describe_call(ctx: ModuleContext, call: ast.Call) -> Optional[str]:
+    name = call_func_name(call)
+    if name in IO_BUILTINS:
+        return f"calls `{name}()` — an external effect"
+    if name is not None:
+        origin = ctx.member_origin(name)
+        if origin is not None and origin[0].split(".")[0] in BANNED_MODULES:
+            module, member = origin
+            return (
+                f"calls `{name}()` (from {module}.{member}) — "
+                f"{_flavor(module)}"
+            )
+    dotted = dotted_name(call.func)
+    if dotted is not None and "." in dotted:
+        root = dotted.split(".")[0]
+        module = ctx.module_alias(root)
+        if module is not None and module.split(".")[0] in BANNED_MODULES:
+            return f"calls `{dotted}()` — {_flavor(module)}"
+    return None

@@ -1,0 +1,116 @@
+"""R3 — simulation determinism.
+
+Every correctness claim this repo checks — conditions (1)–(4),
+t-bounded delay, k-completeness — is asserted over *replayable* runs:
+the pinned-seed tests only mean something if the only randomness in a
+simulation flows from ``sim.rng.SeededStreams`` or an explicitly
+injected ``random.Random``.  The rule therefore bans, anywhere under
+the linted tree:
+
+* module-global ``random.*`` calls (``random.choice(...)``,
+  ``from random import shuffle; shuffle(...)``) — they read the shared
+  interpreter-wide generator any import can perturb;
+* unseeded ``random.Random()`` — a fresh generator seeded from the OS;
+* wall-clock reads: ``time.time()`` and friends, ``datetime.now()`` /
+  ``utcnow()`` / ``today()``;
+* OS entropy: ``os.urandom``, ``uuid.uuid1``/``uuid4``, ``secrets.*``.
+
+Seeded construction (``random.Random(seed)``) and merely naming the
+types (annotations, ``isinstance``) stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import call_func_name, dotted_name
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: nondeterministic zero-argument-ish calls per module: module → members.
+_WALLCLOCK_TIME = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+})
+_WALLCLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+_ENTROPY_UUID = frozenset({"uuid1", "uuid4"})
+
+
+@register
+class SimDeterminismRule(Rule):
+    rule_id = "R3"
+    title = (
+        "no global-RNG, wall-clock or OS-entropy calls: randomness flows "
+        "from SeededStreams or an injected Random"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                message = self._describe(ctx, node)
+                if message is not None:
+                    yield ctx.finding(self.rule_id, node, message)
+
+    def _describe(
+        self, ctx: ModuleContext, call: ast.Call
+    ) -> Optional[str]:
+        # from-imported members: `from random import choice`.
+        name = call_func_name(call)
+        if name is not None:
+            origin = ctx.member_origin(name)
+            if origin is not None:
+                return self._describe_member(call, *origin, alias=name)
+
+        dotted = dotted_name(call.func)
+        if dotted is None or "." not in dotted:
+            return None
+        root, rest = dotted.split(".", 1)
+        module = ctx.module_alias(root)
+        if module is not None:
+            return self._describe_member(call, module, rest, alias=dotted)
+        # `from datetime import datetime; datetime.now()`: the root is a
+        # from-imported member, not a module alias.
+        origin = ctx.member_origin(root)
+        if origin is not None:
+            module, member = origin
+            return self._describe_member(
+                call, module, f"{member}.{rest}", alias=dotted
+            )
+        return None
+
+    def _describe_member(
+        self, call: ast.Call, module: str, member: str, alias: str
+    ) -> Optional[str]:
+        top = module.split(".")[0]
+        if top == "random":
+            if member == "Random":
+                if not call.args and not call.keywords:
+                    return (
+                        "unseeded `random.Random()` draws its seed from "
+                        "the OS; inject a seeded instance or use "
+                        "`sim.rng.SeededStreams`"
+                    )
+                return None
+            if member == "SystemRandom":
+                return "`random.SystemRandom` is OS entropy, unreproducible"
+            return (
+                f"module-global `{alias}()` call: draws from the shared "
+                "interpreter-wide generator; use `sim.rng.SeededStreams` "
+                "or an injected `random.Random`"
+            )
+        if top == "time" and member in _WALLCLOCK_TIME:
+            return (
+                f"`{alias}()` reads the wall clock; simulated time comes "
+                "from the Simulator"
+            )
+        if top == "datetime" and member.split(".")[-1] in _WALLCLOCK_DATETIME:
+            return f"`{alias}()` reads the wall clock"
+        if top == "os" and member == "urandom":
+            return f"`{alias}()` is OS entropy, unreproducible"
+        if top == "uuid" and member in _ENTROPY_UUID:
+            return f"`{alias}()` is OS-entropy/clock-derived"
+        if top == "secrets":
+            return f"`{alias}()` is OS entropy, unreproducible"
+        return None

@@ -1,0 +1,186 @@
+"""R4 — set-iteration-order hazards.
+
+Python set iteration order depends on element hashes and insertion
+history, and for strings it changes across interpreter runs with hash
+randomization.  Feeding a set into anything order-sensitive therefore
+silently breaks run reproducibility — the class of bug that makes two
+"identical" simulations diverge.  The rule flags order-sensitive
+consumption of *syntactically* set-typed expressions — set literals and
+comprehensions, ``set(...)``/``frozenset(...)`` calls, ``| & - ^``
+algebra, plus local names that are provably sets because every one of
+their assignments in the scope is one (``seen = set()`` … ``seen |=
+...``; see :func:`repro.lint.astutil.set_typed_names`):
+
+* ``for`` statements and list/dict/generator comprehensions iterating a
+  set (a generator feeding an order-insensitive reducer like
+  ``sorted``/``sum``/``min``/``max``/``any``/``all``/``set`` is fine,
+  as is a set comprehension — its result is again order-blind);
+* materializing calls: ``list(s)``, ``tuple(s)``, ``enumerate(s)``,
+  ``iter(s)``, ``next(iter(s))``, ``reversed(...)``, ``str.join``;
+* randomized choice over a set: ``rng.choice(list(s))``,
+  ``rng.sample(s, k)``, ``rng.shuffle(...)`` — nondeterministic even
+  with a seeded generator, because the *population order* varies.
+
+The fix is almost always ``sorted(s)`` (with an explicit ``key=`` when
+elements are not naturally ordered).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set, Tuple
+
+from ..astutil import (
+    call_func_name,
+    is_set_expr,
+    scope_statements,
+    set_typed_names,
+)
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: reducers whose result does not depend on iteration order.
+ORDER_INSENSITIVE = frozenset({
+    "sorted", "sum", "min", "max", "len", "any", "all", "set",
+    "frozenset", "bool",
+})
+#: calls that materialize their argument's order.
+ORDER_SENSITIVE_CALLS = frozenset({
+    "list", "tuple", "enumerate", "iter", "next", "reversed",
+})
+#: seeded-Random methods whose outcome depends on population order.
+RNG_METHODS = frozenset({"choice", "choices", "sample", "shuffle"})
+
+_MESSAGE = (
+    "iteration order of a set is nondeterministic across runs; wrap it "
+    "in sorted(...) (with a key= if needed)"
+)
+
+
+@register
+class IterationOrderRule(Rule):
+    rule_id = "R4"
+    title = (
+        "order-sensitive consumption of set/frozenset values needs an "
+        "enclosing sorted()"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        allowed = self._order_blind_generators(ctx.tree)
+        for body, shadowed in self._scopes(ctx.tree):
+            set_names = set_typed_names(body) - shadowed
+            for node in scope_statements(body):
+                yield from self._check_node(ctx, node, set_names, allowed)
+
+    @staticmethod
+    def _scopes(
+        tree: ast.Module,
+    ) -> Iterator[Tuple[Sequence[ast.stmt], frozenset]]:
+        """Each binding scope with the names its parameters shadow.
+
+        Lambda bodies are not separate scopes here (they hold a single
+        expression and cannot rebind names); their sinks are simply not
+        tracked, a documented gap of the nominal analysis.
+        """
+        yield tree.body, frozenset()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                params = frozenset(
+                    a.arg for a in (
+                        args.posonlyargs + args.args + args.kwonlyargs
+                        + ([args.vararg] if args.vararg else [])
+                        + ([args.kwarg] if args.kwarg else [])
+                    )
+                )
+                yield node.body, params
+            elif isinstance(node, ast.ClassDef):
+                yield node.body, frozenset()
+
+    def _check_node(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        set_names: frozenset,
+        allowed: Set[int],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.For) and is_set_expr(node.iter, set_names):
+            yield ctx.finding(
+                self.rule_id, node.iter,
+                f"for-loop over a set expression: {_MESSAGE}",
+            )
+        elif isinstance(node, (ast.ListComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            if id(node) in allowed:
+                return
+            for gen in node.generators:
+                if is_set_expr(gen.iter, set_names):
+                    yield ctx.finding(
+                        self.rule_id, gen.iter,
+                        f"comprehension over a set expression: {_MESSAGE}",
+                    )
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(ctx, node, set_names)
+
+    def _order_blind_generators(self, tree: ast.Module) -> Set[int]:
+        """Generator expressions passed directly to an order-insensitive
+        reducer — ``sorted(x for x in s)`` and friends are fine."""
+        allowed: Set[int] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and call_func_name(node) in ORDER_INSENSITIVE
+            ):
+                for arg in node.args:
+                    if isinstance(arg, ast.GeneratorExp):
+                        allowed.add(id(arg))
+        return allowed
+
+    def _check_call(
+        self, ctx: ModuleContext, call: ast.Call,
+        set_names: frozenset = frozenset(),
+    ) -> Iterator[Finding]:
+        name = call_func_name(call)
+        if (
+            name in ORDER_SENSITIVE_CALLS
+            and call.args
+            and is_set_expr(call.args[0], set_names)
+        ):
+            yield ctx.finding(
+                self.rule_id, call,
+                f"`{name}()` materializes a set's order: {_MESSAGE}",
+            )
+            return
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in RNG_METHODS
+            and call.args
+        ):
+            population = call.args[0]
+            # unwrap list(...)/tuple(...) so `rng.choice(list(s))` is
+            # still recognized as choosing over a set's order.
+            if (
+                isinstance(population, ast.Call)
+                and call_func_name(population) in ("list", "tuple")
+                and population.args
+            ):
+                population = population.args[0]
+            if is_set_expr(population, set_names):
+                yield ctx.finding(
+                    self.rule_id, call,
+                    f"`.{func.attr}()` over a set population: draw order "
+                    "depends on set hashing; sort the population first",
+                )
+
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and call.args
+            and is_set_expr(call.args[0], set_names)
+        ):
+            yield ctx.finding(
+                self.rule_id, call,
+                f"`.join()` over a set expression: {_MESSAGE}",
+            )

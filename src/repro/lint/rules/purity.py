@@ -1,0 +1,90 @@
+"""R1 — update purity.
+
+The undo/redo merge replays an update arbitrarily many times against
+different states (Section 2.2), so ``Update.apply`` must be a pure
+state transformer: same input state, same output state, nothing else
+touched.  The rule audits every ``apply`` override of a class that
+nominally subclasses ``Update`` for
+
+* external effects and hidden inputs (I/O, ``random``/``time``/
+  ``os.urandom`` — see :mod:`._effects`);
+* writes to ``self`` (an update that caches on itself produces
+  different results on replay);
+* in-place mutation of anything reached from the state parameter —
+  replayed updates share structure with states still referenced by the
+  log, so ``state.waiting.append(p)`` corrupts history even when the
+  returned value looks right.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import (
+    MutationFinder,
+    find_method,
+    positional_params,
+    subclasses_of,
+)
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+from ._effects import effect_calls
+
+
+def _purity_violations(
+    ctx: ModuleContext,
+    rule_id: str,
+    method: ast.FunctionDef,
+    owner: str,
+    role: str,
+) -> Iterator[Finding]:
+    """The checks shared by ``apply`` and ``decide`` bodies."""
+    params = positional_params(method)
+    self_name = params[0] if params else "self"
+    state_params = list(params[1:]) or list(params)
+
+    for node, description in effect_calls(ctx, method.body):
+        yield ctx.finding(
+            rule_id,
+            node,
+            f"{owner}.{method.name} {description}; {role} must be a pure "
+            f"function of the state",
+        )
+
+    finder = MutationFinder(state_params)
+    for node, description in finder.run(method.body):
+        yield ctx.finding(
+            rule_id,
+            node,
+            f"{owner}.{method.name} {description}; {role} may not mutate "
+            f"its input state",
+        )
+
+    self_finder = MutationFinder([self_name])
+    for node, description in self_finder.run(method.body):
+        yield ctx.finding(
+            rule_id,
+            node,
+            f"{owner}.{method.name} {description}; {role} may not write "
+            f"attributes on `{self_name}`",
+        )
+
+
+@register
+class UpdatePurityRule(Rule):
+    rule_id = "R1"
+    title = (
+        "Update.apply overrides must be pure state transformers "
+        "(rerun under reordering, §2.2)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for classdef in subclasses_of(ctx.tree, "Update"):
+            method = find_method(classdef, "apply")
+            if method is None:
+                continue
+            yield from _purity_violations(
+                ctx, self.rule_id, method, classdef.name, "an update part"
+            )

@@ -1,0 +1,75 @@
+"""R2 — decision/update separation.
+
+A transaction's decision part runs exactly once, at the origin node,
+and owns every external action; the update part it returns is what the
+system replays (Sections 1.2 and 2.3).  Two checks keep that split
+honest:
+
+* ``Transaction.decide`` must not mutate the observed state and may not
+  perform effects directly — effects belong in the returned
+  ``ExternalAction`` tuple, where the ledger records them exactly once.
+  The same purity machinery as R1 applies: the decision must be a pure
+  function of the state (condition (3)), because two nodes observing
+  the same apparent state must decide identically.
+* a ``Transaction.run`` override must still route through the
+  decision's update part (``self.decide(...).update.apply(...)`` or a
+  ``super().run(...)`` delegation).  A ``run`` that edits state
+  directly bypasses the only code path the undo/redo merge can replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name, find_method, subclasses_of
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+from .purity import _purity_violations
+
+
+def _run_routes_through_update(method: ast.FunctionDef) -> bool:
+    """Does the ``run`` body call ``decide`` and ``apply``, or delegate
+    to ``super().run``?  Purely nominal, like the rest of the pass."""
+    called = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                called.add(node.func.attr)
+                receiver = node.func.value
+                if (
+                    node.func.attr == "run"
+                    and isinstance(receiver, ast.Call)
+                    and dotted_name(receiver.func) == "super"
+                ):
+                    return True
+    return "decide" in called and "apply" in called
+
+
+@register
+class DecisionSeparationRule(Rule):
+    rule_id = "R2"
+    title = (
+        "Transaction.decide must not mutate state; effects only via "
+        "ExternalAction; run() routes through the update part"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for classdef in subclasses_of(ctx.tree, "Transaction"):
+            decide = find_method(classdef, "decide")
+            if decide is not None:
+                yield from _purity_violations(
+                    ctx, self.rule_id, decide, classdef.name,
+                    "a decision part",
+                )
+            run = find_method(classdef, "run")
+            if run is not None and not _run_routes_through_update(run):
+                yield ctx.finding(
+                    self.rule_id,
+                    run,
+                    f"{classdef.name}.run overrides Transaction.run "
+                    "without routing through the update part (expected "
+                    "`self.decide(...).update.apply(...)` or "
+                    "`super().run(...)`)",
+                )

@@ -1,0 +1,117 @@
+"""R5 — trace-schema conformance.
+
+The trace is the ground truth the correctness checks read — conditions
+(1)–(4) are asserted over event streams, and the event vocabulary in
+the ``repro.sim.trace`` docstring is documentation that used to drift
+from the call sites (the gossip events were missing from it for a full
+PR).  ``EVENT_SCHEMAS`` in :mod:`repro.sim.trace` now *declares* every
+event kind and its detail keys; this rule pins every emit site to it:
+
+* any ``_trace(kind, ...)`` or ``tracer.record(time, kind, ...)`` call
+  whose kind is statically known (a string literal or a module-level
+  string constant) must name a registered kind;
+* its keyword detail keys must match the declared schema exactly —
+  extras and omissions are both drift (a ``**detail`` splat downgrades
+  the check to "no unknown keys", since the splatted names are not
+  statically visible).
+
+Forwarding wrappers (``def _trace(self, kind, ...)`` passing a variable
+kind along) are skipped: only sites that *name* an event are checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..astutil import dotted_name
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+
+def _default_schemas() -> Dict[str, FrozenSet[str]]:
+    from ...sim.trace import EVENT_SCHEMAS
+
+    return EVENT_SCHEMAS
+
+
+@register
+class TraceSchemaRule(Rule):
+    rule_id = "R5"
+    title = (
+        "trace emit call sites must match the EVENT_SCHEMAS registry "
+        "(kind and detail keys)"
+    )
+
+    def __init__(self, schemas: Optional[Dict[str, FrozenSet[str]]] = None):
+        self.schemas = schemas if schemas is not None else _default_schemas()
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind_arg = self._emit_kind_arg(node)
+            if kind_arg is None:
+                continue
+            kind = ctx.resolve_string(kind_arg)
+            if kind is None:
+                continue  # forwarded variable kind: not an emit site
+            yield from self._check_emit(ctx, node, kind)
+
+    def _emit_kind_arg(self, call: ast.Call) -> Optional[ast.AST]:
+        """The argument holding the event kind, if this call is a trace
+        emit: ``_trace(kind, ...)`` or ``<...>tracer.record(time, kind,
+        ...)``."""
+        func = call.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "_trace" and call.args:
+            return call.args[0]
+        if name == "record" and isinstance(func, ast.Attribute):
+            receiver = dotted_name(func.value) or ""
+            if receiver.split(".")[-1].lower().endswith("tracer"):
+                if len(call.args) >= 2:
+                    return call.args[1]
+        return None
+
+    def _check_emit(
+        self, ctx: ModuleContext, call: ast.Call, kind: str
+    ) -> Iterator[Finding]:
+        schema = self.schemas.get(kind)
+        if schema is None:
+            known = ", ".join(sorted(self.schemas))
+            yield ctx.finding(
+                self.rule_id, call,
+                f"trace event kind {kind!r} is not declared in "
+                f"sim.trace.EVENT_SCHEMAS (known kinds: {known})",
+            )
+            return
+        keys, has_splat = self._detail_keys(call)
+        extras = sorted(set(keys) - schema)
+        if extras:
+            yield ctx.finding(
+                self.rule_id, call,
+                f"trace event {kind!r} emits undeclared detail keys "
+                f"{extras}; declared: {sorted(schema)}",
+            )
+        if not has_splat:
+            missing = sorted(schema - set(keys))
+            if missing:
+                yield ctx.finding(
+                    self.rule_id, call,
+                    f"trace event {kind!r} omits declared detail keys "
+                    f"{missing}; declared: {sorted(schema)}",
+                )
+
+    @staticmethod
+    def _detail_keys(call: ast.Call) -> Tuple[List[str], bool]:
+        keys: List[str] = []
+        has_splat = False
+        for kw in call.keywords:
+            if kw.arg is None:
+                has_splat = True
+            elif kw.arg != "node":
+                keys.append(kw.arg)
+        return keys, has_splat

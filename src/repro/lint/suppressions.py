@@ -1,0 +1,123 @@
+"""Per-line suppression comments.
+
+A finding is silenced by annotating the line it anchors to::
+
+    peers = list(active)  # shardlint: ignore[R4] -- digest cells re-sort
+
+Several rules may be listed (``ignore[R1,R4]``) and ``*`` matches every
+rule.  The ``-- reason`` part is mandatory: a suppression without a
+written justification suppresses nothing and is itself reported, so the
+audit trail the paper's contracts deserve cannot silently decay.
+Suppressions that match no finding are reported as unused (warnings by
+default, errors under ``--strict``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: the full, well-formed form (see the module docstring for an example).
+_SUPPRESSION = re.compile(
+    r"#\s*shardlint:\s*ignore\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+#: anything that tries to talk to shardlint, for malformed-marker reports.
+_MARKER = re.compile(r"#\s*shardlint\b")
+
+_RULE_ID = re.compile(r"^(?:\*|[A-Z][A-Z0-9]*)$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``ignore[...]`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    used: bool = field(default=False)
+
+    def matches(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+@dataclass(frozen=True)
+class BadSuppression:
+    """A shardlint marker that does not suppress anything."""
+
+    line: int
+    message: str
+
+
+class SuppressionSheet:
+    """All suppression comments of one file, indexed by line.
+
+    The source is tokenized so only genuine ``#`` comments count — a
+    suppression example quoted inside a docstring or a string literal
+    (this module is full of them) is not a suppression.
+    """
+
+    def __init__(self, source: str):
+        self.by_line: Dict[int, Suppression] = {}
+        self.malformed: List[BadSuppression] = []
+        for lineno, text in self._comments(source):
+            self._parse_line(lineno, text)
+
+    @staticmethod
+    def _comments(source: str):
+        try:
+            for token in tokenize.generate_tokens(
+                io.StringIO(source).readline
+            ):
+                if token.type == tokenize.COMMENT:
+                    yield token.start[0], token.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # unparseable tail: the engine reports the syntax error
+            # through its own PARSE finding; no suppressions beyond
+            # what was already tokenized.
+            return
+
+    def _parse_line(self, lineno: int, text: str) -> None:
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            if _MARKER.search(text):
+                self.malformed.append(BadSuppression(
+                    lineno,
+                    "malformed shardlint comment: expected "
+                    "'# shardlint: ignore[RULE] -- reason'",
+                ))
+            return
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = match.group("reason")
+        if not rules or not all(_RULE_ID.match(r) for r in rules):
+            self.malformed.append(BadSuppression(
+                lineno,
+                "suppression lists no valid rule ids "
+                "(expected e.g. ignore[R1] or ignore[R1,R4])",
+            ))
+            return
+        if not reason:
+            self.malformed.append(BadSuppression(
+                lineno,
+                "suppression has no justification: append "
+                "'-- <why this finding is acceptable>'",
+            ))
+            return
+        self.by_line[lineno] = Suppression(lineno, rules, reason)
+
+    def lookup(self, line: int, rule: str) -> Optional[Suppression]:
+        """The suppression covering ``rule`` on ``line``, if any."""
+        suppression = self.by_line.get(line)
+        if suppression is not None and suppression.matches(rule):
+            return suppression
+        return None
+
+    def unused(self) -> Sequence[Suppression]:
+        return tuple(
+            s for _, s in sorted(self.by_line.items()) if not s.used
+        )

@@ -230,7 +230,7 @@ class MergeView:
             self._positions = [
                 p for p in self._positions if p not in dropped
             ]
-            for p in dropped:
+            for p in sorted(dropped):
                 del self._snapshots[p]
 
     def _drop_after(self, position: int) -> None:

@@ -7,7 +7,9 @@ everything — and can be attached per cluster via
 ``ClusterConfig(tracer=Tracer())`` for debugging and for the trace-based
 assertions in the test suite.
 
-Event kinds emitted by the cluster:
+Event kinds emitted by the cluster (this list is checked against
+:data:`EVENT_SCHEMAS` by the test suite, and every emit call site is
+checked against it by shardlint rule R5 — it cannot drift):
 
 * ``initiate`` / ``deliver`` — a transaction's decision ran at a node /
   a remote record was delivered there;
@@ -15,13 +17,37 @@ Event kinds emitted by the cluster:
 * ``merge_fastpath`` / ``merge_undo`` — the replica layer's per-record
   storage outcome: an in-order tail append, or an undo/redo repair with
   its ``displacement`` (positions from the tail) and ``replayed``
-  (updates re-applied).
+  (updates re-applied);
+* ``gossip_syn`` / ``gossip_delta`` / ``gossip_skip`` — one anti-entropy
+  exchange: a digest SYN left a node, a DELTA shipped missing records,
+  or the exchange found the peers already in sync.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+#: The full trace vocabulary: event kind → the exact detail keys every
+#: emit of that kind carries.  Adding an event means adding it here
+#: *and* to the bullet list above (a unit test holds them equal), and
+#: shardlint rule R5 statically checks each ``_trace``/``record`` call
+#: site against this registry.
+EVENT_SCHEMAS: Dict[str, FrozenSet[str]] = {
+    # transaction lifecycle
+    "initiate": frozenset({"txid", "family", "seen"}),
+    "deliver": frozenset({"txid", "origin"}),
+    # fail-stop transitions
+    "crash": frozenset(),
+    "recover": frozenset(),
+    # replica-layer merge outcomes
+    "merge_fastpath": frozenset(),
+    "merge_undo": frozenset({"displacement", "replayed"}),
+    # digest anti-entropy exchanges
+    "gossip_syn": frozenset({"peer", "cells", "reason"}),
+    "gossip_delta": frozenset({"peer", "pushed", "wanted"}),
+    "gossip_skip": frozenset({"peer"}),
+}
 
 
 @dataclass(frozen=True)
@@ -44,17 +70,34 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects events; see module docstring."""
+    """Collects events; see module docstring.
+
+    With ``strict=True`` every recorded event is validated against
+    :data:`EVENT_SCHEMAS` at runtime — the dynamic counterpart of the
+    static R5 check, useful in tests that drive tracing through code
+    paths shardlint cannot see (callbacks, ``**detail`` splats).
+    """
 
     enabled = True
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None,
+                 strict: bool = False):
         self.capacity = capacity
+        self.strict = strict
         self._events: List[TraceEvent] = []
         self.dropped = 0
 
     def record(self, time: float, kind: str, node: Optional[int] = None,
                **detail) -> None:
+        if self.strict:
+            schema = EVENT_SCHEMAS.get(kind)
+            if schema is None:
+                raise ValueError(f"unregistered trace event kind {kind!r}")
+            if set(detail) != set(schema):
+                raise ValueError(
+                    f"trace event {kind!r} detail keys "
+                    f"{sorted(detail)} != declared {sorted(schema)}"
+                )
         if self.capacity is not None and len(self._events) >= self.capacity:
             self.dropped += 1
             return

@@ -54,7 +54,6 @@ class TestScenarioDriver:
             AirlineScenario(capacity=5, duration=30, seed=2,
                             mover_nodes=[1])
         )
-        e = run.execution
         mover_origins = {
             r.origin
             for r in run.cluster.records.values()

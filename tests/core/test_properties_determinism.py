@@ -1,0 +1,92 @@
+"""Regression tests for the order of sampled counterexample lists.
+
+``priority_counterexamples`` / ``strong_priority_counterexamples``
+enumerate person pairs from ``set(application.known(...))``.  Set
+iteration order depends on insertion history (and, for strings, on
+per-run hash randomization), so before the ``sorted(..., key=repr)``
+fix the reported counterexample order could differ between two runs
+over the *same* states — breaking run-to-run reproducibility of the
+checker reports.  These tests pin the order: permuting the insertion
+order of ``known`` must not change the output, and the output must be
+the repr-sorted enumeration.
+
+The person ids {0, 8, 16, 24, 32} are chosen to collide in a small
+set's hash table, so their set iteration order genuinely depends on
+insertion order — without the fix, the permuted runs below disagree.
+"""
+
+from repro.core.properties import (
+    priority_counterexamples,
+    strong_priority_counterexamples,
+)
+
+#: ids whose set iteration order is insertion-dependent (all ≡ 0 mod 8).
+PEOPLE = (0, 8, 16, 24, 32)
+
+#: the fixed enumeration order the checkers must emit: sorted by repr.
+REPR_ORDER = sorted(PEOPLE, key=repr)  # [0, 16, 24, 32, 8]
+
+
+class _State:
+    """Duck-typed state: a tuple of known persons plus a broken flag."""
+
+    def __init__(self, people, broken=False):
+        self.people = tuple(people)
+        self.broken = broken
+
+    def well_formed(self):
+        return True
+
+
+class _BreakEverything:
+    """A 'transaction' whose run returns a state where every priority
+    edge is dropped — so every ordered pair is a counterexample."""
+
+    def run(self, seen, applied):
+        return _State(applied.people, broken=True)
+
+
+class _App:
+    """Priority holds in intact states and fails in broken ones."""
+
+    def known(self, state):
+        return state.people
+
+    def precedes(self, state, p, q):
+        return not state.broken
+
+
+EXPECTED_PAIRS = [
+    (p, q) for p in REPR_ORDER for q in REPR_ORDER if p != q
+]
+
+
+def test_priority_counterexample_order_is_insertion_invariant():
+    outputs = []
+    for people in (PEOPLE, tuple(reversed(PEOPLE))):
+        cex = priority_counterexamples(
+            _BreakEverything(), _App(), [_State(people)]
+        )
+        outputs.append([(p, q) for (_, p, q) in cex])
+    assert outputs[0] == outputs[1] == EXPECTED_PAIRS
+
+
+def test_strong_priority_counterexample_order_is_insertion_invariant():
+    outputs = []
+    for people in (PEOPLE, tuple(reversed(PEOPLE))):
+        s = _State(people)
+        cex = strong_priority_counterexamples(
+            _BreakEverything(), _App(), [(s, _State(people))]
+        )
+        outputs.append([(p, q) for (_, _, p, q) in cex])
+    assert outputs[0] == outputs[1] == EXPECTED_PAIRS
+
+
+def test_counterexamples_empty_when_priority_holds():
+    class _Identity:
+        def run(self, seen, applied):
+            return _State(applied.people, broken=False)
+
+    assert priority_counterexamples(
+        _Identity(), _App(), [_State(PEOPLE)]
+    ) == []

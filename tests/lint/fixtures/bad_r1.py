@@ -1,0 +1,20 @@
+"""R1 fixture: an ``Update.apply`` override that mutates its input.
+
+The replayed update part must be a pure state transformer; appending to
+a structure reached from the state parameter corrupts shared history.
+"""
+
+
+class Update:
+    """Local stand-in for :class:`repro.core.update.Update`."""
+
+    def apply(self, state):
+        raise NotImplementedError
+
+
+class AppendRowUpdate(Update):
+    """Deliberate violation: mutates the input state in place."""
+
+    def apply(self, state):
+        state.rows.append("row")
+        return state

@@ -1,0 +1,20 @@
+"""R2 fixture: a ``Transaction.decide`` that mutates the observed state.
+
+The decision part is a pure function of what it sees (condition (3));
+editing the state belongs to the update part.
+"""
+
+
+class Transaction:
+    """Local stand-in for :class:`repro.core.transaction.Transaction`."""
+
+    def decide(self, state):
+        raise NotImplementedError
+
+
+class AuditTransaction(Transaction):
+    """Deliberate violation: pops a key out of the observed state."""
+
+    def decide(self, state):
+        state.pop("audited")
+        return state

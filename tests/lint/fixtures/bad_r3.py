@@ -1,0 +1,8 @@
+"""R3 fixture: a wall-clock read inside simulation code."""
+
+import time
+
+
+def stamp_event(event):
+    """Deliberate violation: timestamps from the host clock."""
+    return (time.time(), event)

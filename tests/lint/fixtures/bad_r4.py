@@ -1,0 +1,7 @@
+"""R4 fixture: materializing a set's iteration order."""
+
+
+def live_cells(cells):
+    """Deliberate violation: ``list`` over a set-typed local."""
+    live = {cell for cell in cells if cell is not None}
+    return list(live)

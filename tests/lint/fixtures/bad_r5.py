@@ -1,0 +1,11 @@
+"""R5 fixture: a trace emit whose kind is not in ``EVENT_SCHEMAS``."""
+
+
+class Emitter:
+    """Minimal emitter with the guarded ``_trace`` helper shape."""
+
+    def _trace(self, kind, **detail):
+        self.last = (kind, detail)
+
+    def engage(self):
+        self._trace("warp_drive", factor=9)

@@ -1,0 +1,15 @@
+"""Clean twin of ``bad_r1``: a pure ``Update.apply`` override."""
+
+
+class Update:
+    """Local stand-in for :class:`repro.core.update.Update`."""
+
+    def apply(self, state):
+        raise NotImplementedError
+
+
+class AppendRowUpdate(Update):
+    """Builds a new state value instead of editing the observed one."""
+
+    def apply(self, state):
+        return state + ("row",)

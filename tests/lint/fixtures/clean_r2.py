@@ -1,0 +1,26 @@
+"""Clean twin of ``bad_r2``: a pure decision and a routing ``run``."""
+
+
+class Decision:
+    def __init__(self, update):
+        self.update = update
+
+
+class Transaction:
+    """Local stand-in for :class:`repro.core.transaction.Transaction`."""
+
+    def decide(self, state):
+        raise NotImplementedError
+
+    def run(self, seen, applied):
+        return self.decide(seen).update.apply(applied)
+
+
+class AuditTransaction(Transaction):
+    """Reads the state, never writes it; ``run`` delegates upward."""
+
+    def decide(self, state):
+        return Decision(("noop", len(state)))
+
+    def run(self, seen, applied):
+        return super().run(seen, applied)

@@ -1,0 +1,14 @@
+"""Clean twin of ``bad_r3``: time and randomness are injected."""
+
+import random
+
+
+def stamp_event(event, now):
+    """Simulated time arrives as an argument."""
+    return (now, event)
+
+
+def make_rng(seed):
+    """Seeded construction is legal; only bare ``random.Random()`` is
+    flagged."""
+    return random.Random(seed)

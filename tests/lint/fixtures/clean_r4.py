@@ -1,0 +1,6 @@
+"""Clean twin of ``bad_r4``: the set is sorted before consumption."""
+
+
+def live_cells(cells):
+    live = {cell for cell in cells if cell is not None}
+    return sorted(live)

@@ -1,0 +1,11 @@
+"""Clean twin of ``bad_r5``: the emit matches the declared schema."""
+
+
+class Emitter:
+    """Minimal emitter with the guarded ``_trace`` helper shape."""
+
+    def _trace(self, kind, **detail):
+        self.last = (kind, detail)
+
+    def deliver(self, txid, origin):
+        self._trace("deliver", txid=txid, origin=origin)

@@ -1,0 +1,6 @@
+"""Suppression fixture: an ignore with no reason suppresses nothing."""
+
+
+def snapshot(cells):
+    live = {cell for cell in cells if cell is not None}
+    return list(live)  # shardlint: ignore[R4]

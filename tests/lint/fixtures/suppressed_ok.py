@@ -1,0 +1,6 @@
+"""Suppression fixture: a justified ignore silences the R4 finding."""
+
+
+def snapshot(cells):
+    live = {cell for cell in cells if cell is not None}
+    return list(live)  # shardlint: ignore[R4] -- caller re-sorts the snapshot

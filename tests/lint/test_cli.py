@@ -1,0 +1,74 @@
+"""The ``python -m repro.lint`` command line: exit codes and reports."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def test_findings_exit_1_and_print_locations(capsys):
+    status = main([str(FIXTURES / "bad_r4.py")])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "bad_r4.py:7:" in out
+    assert "R4:" in out
+    assert "1 finding(s)" in out
+
+
+def test_clean_file_exits_0(capsys):
+    status = main([str(FIXTURES / "clean_r4.py")])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "0 finding(s)" in out
+
+
+def test_json_report_shape(capsys):
+    status = main([str(FIXTURES / "bad_r3.py"), "--format=json"])
+    report = json.loads(capsys.readouterr().out)
+    assert status == 1
+    assert report["files_checked"] == 1
+    assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5"]
+    assert report["summary"]["findings"] == 1
+    (finding,) = report["findings"]
+    assert finding["rule"] == "R3"
+    assert finding["line"] == 8
+
+
+def test_select_limits_the_rules(capsys):
+    status = main([str(FIXTURES / "bad_r4.py"), "--select", "R1,R2"])
+    capsys.readouterr()
+    assert status == 0
+
+
+def test_unknown_rule_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(FIXTURES / "bad_r4.py"), "--select", "R99"])
+    assert excinfo.value.code == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_strict_promotes_suppression_problems(capsys):
+    path = str(FIXTURES / "unused_ignore.py")
+    assert main([path]) == 0
+    assert main([path, "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "unused suppression" in out
+
+
+def test_show_suppressed_prints_the_reason(capsys):
+    status = main([str(FIXTURES / "suppressed_ok.py"), "--show-suppressed"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "caller re-sorts the snapshot" in out
+
+
+def test_list_rules(capsys):
+    status = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert status == 0
+    for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        assert rule_id in out

@@ -1,0 +1,72 @@
+"""Fixture suite: each rule fires on its seeded violation and stays
+quiet on the clean twin (all rules enabled for both, so fixtures also
+prove they do not trip *other* rules)."""
+
+import pathlib
+
+import pytest
+
+from repro.lint import all_rules, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name):
+    path = FIXTURES / name
+    return lint_source(str(path), path.read_text(encoding="utf-8"))
+
+
+#: (fixture, expected rule id, expected 1-based line of the finding)
+BAD_CASES = [
+    ("bad_r1.py", "R1", 19),  # state.rows.append("row")
+    ("bad_r2.py", "R2", 19),  # state.pop("audited")
+    ("bad_r3.py", "R3", 8),   # time.time()
+    ("bad_r4.py", "R4", 7),   # list(live)
+    ("bad_r5.py", "R5", 11),  # self._trace("warp_drive", ...)
+]
+
+CLEAN_FIXTURES = [
+    "clean_r1.py", "clean_r2.py", "clean_r3.py", "clean_r4.py",
+    "clean_r5.py",
+]
+
+
+@pytest.mark.parametrize("name,rule,line", BAD_CASES)
+def test_bad_fixture_fires_exactly_once(name, rule, line):
+    result = lint_fixture(name)
+    assert [f.rule for f in result.findings] == [rule]
+    assert result.findings[0].line == line
+    assert result.findings[0].path.endswith(name)
+    assert result.problems == ()
+
+
+@pytest.mark.parametrize("name", CLEAN_FIXTURES)
+def test_clean_twin_is_silent(name):
+    result = lint_fixture(name)
+    assert result.findings == ()
+    assert result.suppressed == ()
+    assert result.problems == ()
+
+
+def test_all_rules_registered():
+    assert [r.rule_id for r in all_rules()] == ["R1", "R2", "R3", "R4", "R5"]
+
+
+def test_unknown_rule_selection_rejected():
+    with pytest.raises(KeyError):
+        all_rules(["R1", "R99"])
+
+
+def test_select_subset_skips_other_rules():
+    path = FIXTURES / "bad_r4.py"
+    result = lint_source(
+        str(path), path.read_text(encoding="utf-8"), all_rules(["R1"])
+    )
+    assert result.findings == ()
+    assert result.rules_run == ("R1",)
+
+
+def test_syntax_error_becomes_parse_finding():
+    result = lint_source("broken.py", "def f(:\n    pass\n")
+    assert [f.rule for f in result.findings] == ["PARSE"]
+    assert result.findings[0].line == 1

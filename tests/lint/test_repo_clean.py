@@ -1,0 +1,32 @@
+"""The repo-wide gate: ``src/repro`` itself must lint clean.
+
+This is the tier-1 mirror of the CI shardlint job — the contracts the
+rules encode (update purity, decision/update separation, seeded
+randomness, set-order hygiene, trace-schema conformance) hold for every
+module shipped, and every suppression carries a written reason.
+"""
+
+import pathlib
+
+from repro.lint import lint_paths
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_tree_has_no_unsuppressed_findings():
+    result = lint_paths([str(SRC)])
+    locations = [f"{f.location()} {f.rule}: {f.message}"
+                 for f in result.findings]
+    assert not locations, "\n".join(locations)
+
+
+def test_src_tree_has_no_suppression_problems():
+    result = lint_paths([str(SRC)])
+    problems = [f"{p.location()} {p.message}" for p in result.problems]
+    assert not problems, "\n".join(problems)
+
+
+def test_gate_actually_covers_the_tree():
+    result = lint_paths([str(SRC)])
+    assert result.files_checked > 100
+    assert result.rules_run == ("R1", "R2", "R3", "R4", "R5")

@@ -1,0 +1,238 @@
+"""Targeted rule-behavior tests on inline sources — the edge cases the
+fixture pairs do not cover (aliasing, from-imports, splats, routing)."""
+
+import textwrap
+
+from repro.lint import all_rules, lint_source
+
+
+def lint(source, select=None):
+    rules = all_rules(select) if select else None
+    return lint_source("inline.py", textwrap.dedent(source), rules)
+
+
+def rules_of(result):
+    return [f.rule for f in result.findings]
+
+
+# -- R1 ----------------------------------------------------------------------
+
+
+def test_r1_flags_self_writes():
+    result = lint(
+        """
+        class CacheUpdate(Update):
+            def apply(self, state):
+                self.memo = state
+                return state
+        """
+    )
+    assert rules_of(result) == ["R1"]
+    assert "self" in result.findings[0].message
+
+
+def test_r1_flags_io_and_nondeterminism():
+    result = lint(
+        """
+        import random
+
+        class NoisyUpdate(Update):
+            def apply(self, state):
+                print(state)
+                return random.choice(state)
+        """
+    )
+    # print -> R1; random.choice -> both R1 (effect in apply) and R3
+    assert rules_of(result) == ["R1", "R1", "R3"]
+
+
+def test_r1_tracks_aliases_of_the_state_param():
+    result = lint(
+        """
+        class AliasUpdate(Update):
+            def apply(self, state):
+                rows = state.rows
+                rows.append(1)
+                return state
+        """
+    )
+    assert rules_of(result) == ["R1"]
+
+
+def test_r1_ignores_classes_without_update_base():
+    result = lint(
+        """
+        class Helper:
+            def apply(self, state):
+                state.append(1)
+                return state
+        """
+    )
+    assert result.findings == ()
+
+
+# -- R2 ----------------------------------------------------------------------
+
+
+def test_r2_flags_run_that_bypasses_the_update_part():
+    result = lint(
+        """
+        class ShortcutTransaction(Transaction):
+            def run(self, seen, applied):
+                return applied.replace(done=True)
+        """
+    )
+    assert rules_of(result) == ["R2"]
+    assert "routing through the update part" in result.findings[0].message
+
+
+def test_r2_accepts_run_calling_decide_and_apply():
+    result = lint(
+        """
+        class GoodTransaction(Transaction):
+            def run(self, seen, applied):
+                return self.decide(seen).update.apply(applied)
+        """
+    )
+    assert result.findings == ()
+
+
+# -- R3 ----------------------------------------------------------------------
+
+
+def test_r3_flags_from_imported_members():
+    result = lint(
+        """
+        from random import shuffle
+        from datetime import datetime
+
+        def scramble(items):
+            shuffle(items)
+            return datetime.now()
+        """
+    )
+    assert rules_of(result) == ["R3", "R3"]
+
+
+def test_r3_allows_seeded_random_and_injected_rng():
+    result = lint(
+        """
+        import random
+
+        def draw(rng, seed):
+            local = random.Random(seed)
+            return rng.random() + local.random()
+        """
+    )
+    assert result.findings == ()
+
+
+def test_r3_flags_unseeded_random_instance():
+    result = lint("import random\nrng = random.Random()\n")
+    assert rules_of(result) == ["R3"]
+
+
+# -- R4 ----------------------------------------------------------------------
+
+
+def test_r4_flags_for_loop_over_set_literal():
+    result = lint(
+        """
+        def f():
+            out = []
+            for x in {3, 1, 2}:
+                out.append(x)
+            return out
+        """
+    )
+    assert rules_of(result) == ["R4"]
+
+
+def test_r4_flags_rng_choice_over_set_population():
+    result = lint(
+        """
+        def pick(rng, peers):
+            active = set(peers)
+            return rng.choice(list(active))
+        """
+    )
+    # list(active) materializes the order, and .choice draws over it
+    assert rules_of(result) == ["R4", "R4"]
+
+
+def test_r4_allows_sorted_and_order_blind_reducers():
+    result = lint(
+        """
+        def f(items):
+            seen = set(items)
+            total = sum(x for x in seen)
+            return sorted(seen), total, len(seen)
+        """
+    )
+    assert result.findings == ()
+
+
+def test_r4_respects_parameter_shadowing():
+    result = lint(
+        """
+        def outer():
+            seen = set()
+            return seen
+
+        def inner(seen):
+            return list(seen)
+        """
+    )
+    # `seen` in inner() is a parameter, not the set-typed local of outer()
+    assert result.findings == ()
+
+
+# -- R5 ----------------------------------------------------------------------
+
+
+def test_r5_flags_extra_and_missing_detail_keys():
+    result = lint(
+        """
+        class C:
+            def f(self):
+                self._trace("deliver", txid=1, origin=2, extra=3)
+                self._trace("deliver", txid=1)
+        """
+    )
+    messages = [f.message for f in result.findings]
+    assert rules_of(result) == ["R5", "R5"]
+    assert "undeclared detail keys" in messages[0]
+    assert "omits declared detail keys" in messages[1]
+
+
+def test_r5_splat_downgrades_missing_key_check():
+    result = lint(
+        """
+        class C:
+            def f(self, **detail):
+                self._trace("deliver", **detail)
+        """
+    )
+    assert result.findings == ()
+
+
+def test_r5_checks_tracer_record_sites():
+    result = lint(
+        """
+        def f(tracer):
+            tracer.record(0.0, "warp_drive", node=1)
+        """
+    )
+    assert rules_of(result) == ["R5"]
+    assert "not declared" in result.findings[0].message
+
+
+def test_r5_skips_forwarded_variable_kinds():
+    result = lint(
+        """
+        class C:
+            def _trace(self, kind, **detail):
+                self.tracer.record(self.now, kind, **detail)
+        """
+    )
+    assert result.findings == ()

@@ -1,0 +1,102 @@
+"""Suppression comments: silencing, mandatory reasons, unused/malformed
+markers, and how ``--strict`` promotes suppression problems."""
+
+import pathlib
+
+from repro.lint import lint_source
+from repro.lint.suppressions import SuppressionSheet
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name):
+    path = FIXTURES / name
+    return lint_source(str(path), path.read_text(encoding="utf-8"))
+
+
+def test_justified_ignore_silences_the_finding():
+    result = lint_fixture("suppressed_ok.py")
+    assert result.findings == ()
+    assert result.problems == ()
+    assert [f.rule for f in result.suppressed] == ["R4"]
+    assert result.suppressed[0].suppression_reason == (
+        "caller re-sorts the snapshot"
+    )
+    assert result.ok()
+    assert result.ok(strict=True)
+
+
+def test_missing_reason_suppresses_nothing():
+    result = lint_fixture("missing_reason.py")
+    assert [f.rule for f in result.findings] == ["R4"]  # still live
+    assert result.suppressed == ()
+    assert [p.rule for p in result.problems] == ["SUPPRESS"]
+    assert "no justification" in result.problems[0].message
+
+
+def test_unused_ignore_is_reported():
+    result = lint_fixture("unused_ignore.py")
+    assert result.findings == ()
+    assert [p.rule for p in result.problems] == ["SUPPRESS"]
+    assert "unused suppression" in result.problems[0].message
+    # warnings by default, failures under strict
+    assert result.ok()
+    assert not result.ok(strict=True)
+
+
+def test_wildcard_and_multi_rule_ignores():
+    source = (
+        "def f(cells):\n"
+        "    live = {c for c in cells}\n"
+        "    return list(live)  # shardlint: ignore[*] -- demo\n"
+    )
+    result = lint_source("w.py", source)
+    assert result.findings == ()
+    assert [f.rule for f in result.suppressed] == ["R4"]
+
+    source = source.replace("ignore[*]", "ignore[R1,R4]")
+    result = lint_source("m.py", source)
+    assert result.findings == ()
+    assert [f.rule for f in result.suppressed] == ["R4"]
+
+
+def test_ignore_for_a_different_rule_does_not_apply():
+    source = (
+        "def f(cells):\n"
+        "    live = {c for c in cells}\n"
+        "    return list(live)  # shardlint: ignore[R1] -- wrong rule\n"
+    )
+    result = lint_source("x.py", source)
+    assert [f.rule for f in result.findings] == ["R4"]
+    # and the R1 ignore is flagged as unused
+    assert [p.rule for p in result.problems] == ["SUPPRESS"]
+
+
+def test_malformed_marker_is_reported():
+    sheet = SuppressionSheet("x = 1  # shardlint: disable[R4]\n")
+    assert not sheet.by_line
+    assert len(sheet.malformed) == 1
+    assert "malformed" in sheet.malformed[0].message
+
+
+def test_invalid_rule_list_is_reported():
+    sheet = SuppressionSheet("x = 1  # shardlint: ignore[] -- why\n")
+    assert not sheet.by_line
+    assert len(sheet.malformed) == 1
+    assert "no valid rule ids" in sheet.malformed[0].message
+
+
+def test_examples_inside_strings_are_not_suppressions():
+    source = (
+        'DOC = "use  # shardlint: ignore[R4] -- like this"\n'
+        "\n"
+        "def f():\n"
+        '    """Example::\n'
+        "\n"
+        "        x = list(s)  # shardlint: ignore[R4] -- sample\n"
+        '    """\n'
+        "    return DOC\n"
+    )
+    sheet = SuppressionSheet(source)
+    assert not sheet.by_line
+    assert not sheet.malformed

@@ -1,0 +1,61 @@
+"""Regression test for checkpoint eviction determinism.
+
+``MergeView._retain`` deletes evicted snapshots by iterating the
+policy's drop set; the deletions now run in ``sorted`` order so the
+bookkeeping never depends on set iteration.  The test drives eviction
+through a policy that returns its drops in scrambled, duplicated
+set form and checks the view's invariants and final state against a
+straight fold.
+"""
+
+from repro.apps.counter import AddUpdate, CounterState
+from repro.replica import MergeView
+from repro.replica.policy import CheckpointPolicy
+
+
+class ScrambledEvictPolicy(CheckpointPolicy):
+    """Retains everything, then evicts all but every 4th position —
+    reporting the victims as an unordered set."""
+
+    def retain(self, position, log_length):
+        return True
+
+    def evict(self, positions, log_length):
+        return {p for p in positions if p % 4 != 0}
+
+    def observe(self, displacement):
+        return None
+
+
+def test_scrambled_set_eviction_keeps_the_view_consistent():
+    view = MergeView(CounterState(0), policy=ScrambledEvictPolicy())
+    amounts = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8]
+    for i, amount in enumerate(amounts):
+        view.insert(i, AddUpdate(amount))
+    # out-of-order insert forces a replay from a retained checkpoint
+    view.insert(2, AddUpdate(7))
+
+    expected = CounterState(0)
+    for amount in [3, 1, 7, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8]:
+        expected = AddUpdate(amount).apply(expected)
+    assert view.state == expected
+
+    # invariants: positions sorted, snapshots keyed exactly by them,
+    # position 0 always retained, survivors all multiples of 4.
+    assert view._positions == sorted(view._positions)
+    assert set(view._snapshots) == set(view._positions)
+    assert view._positions[0] == 0
+    assert all(p % 4 == 0 for p in view._positions)
+
+
+def test_eviction_order_cannot_change_the_materialized_state():
+    views = [
+        MergeView(CounterState(0), policy=ScrambledEvictPolicy()),
+        MergeView(CounterState(0)),
+    ]
+    for i in range(20):
+        for view in views:
+            view.insert(i, AddUpdate(i % 5))
+    for view in views:
+        view.insert(0, AddUpdate(2))
+    assert views[0].state == views[1].state

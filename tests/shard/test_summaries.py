@@ -7,7 +7,6 @@ gossip/floods, and decisions (here: routing new requests to the
 least-loaded flight) can read them.
 """
 
-import random
 
 import pytest
 
@@ -96,7 +95,6 @@ class TestSummaryDrivenRouting:
         """A front-end node without full copies routes each request to
         the flight its (stale) summaries say is least loaded."""
         cluster = make_cluster()
-        rng = random.Random(0)
 
         def least_loaded(node_id):
             view = cluster.summary_view(node_id)

@@ -1,0 +1,59 @@
+"""EVENT_SCHEMAS: the docstring vocabulary cannot drift, and the
+strict tracer enforces schemas at runtime."""
+
+import re
+
+import pytest
+
+import repro.sim.trace as trace_module
+from repro.sim.trace import EVENT_SCHEMAS, Tracer
+
+
+def docstring_kinds():
+    """Event kinds named in the module docstring's bullet list: the
+    ````kind```` tokens on each ``*`` line, before the em-dash."""
+    section = trace_module.__doc__.split("Event kinds emitted", 1)[1]
+    kinds = set()
+    for line in section.splitlines():
+        line = line.strip()
+        if line.startswith("* "):
+            head = line.split("—", 1)[0]
+            kinds.update(re.findall(r"``([a-z_]+)``", head))
+    return kinds
+
+
+def test_docstring_lists_exactly_the_registered_kinds():
+    assert docstring_kinds() == set(EVENT_SCHEMAS)
+
+
+def test_schemas_are_frozen_key_sets():
+    for kind, schema in EVENT_SCHEMAS.items():
+        assert isinstance(schema, frozenset), kind
+        assert all(isinstance(key, str) for key in schema), kind
+
+
+def test_strict_tracer_accepts_conforming_events():
+    tracer = Tracer(strict=True)
+    tracer.record(0.0, "deliver", node=1, txid=7, origin=2)
+    tracer.record(1.0, "crash", node=1)
+    assert [e.kind for e in tracer.events] == ["deliver", "crash"]
+
+
+def test_strict_tracer_rejects_unknown_kind():
+    tracer = Tracer(strict=True)
+    with pytest.raises(ValueError, match="unregistered trace event kind"):
+        tracer.record(0.0, "warp_drive", node=1)
+
+
+def test_strict_tracer_rejects_detail_key_drift():
+    tracer = Tracer(strict=True)
+    with pytest.raises(ValueError, match="detail keys"):
+        tracer.record(0.0, "deliver", node=1, txid=7)  # missing origin
+    with pytest.raises(ValueError, match="detail keys"):
+        tracer.record(0.0, "crash", node=1, why="power")  # extra key
+
+
+def test_default_tracer_stays_permissive():
+    tracer = Tracer()
+    tracer.record(0.0, "anything", node=1, free=True)
+    assert len(tracer) == 1
