@@ -1,0 +1,59 @@
+"""Deterministic fault injection with invariant oracles (``repro.chaos``).
+
+The subsystem turns the repo's correctness checkers into *oracles under
+adversarial schedules*: a composable :class:`FaultPlan` DSL
+(:mod:`~repro.chaos.faults`), an injection layer threading through the
+simulator, network, replica and gossip seams
+(:mod:`~repro.chaos.inject`), an oracle registry replaying each run
+against convergence, the Section 3 conditions and the airline cost
+bounds (:mod:`~repro.chaos.oracles`), and a seeded plan generator plus
+greedy shrinker behind ``python -m repro.chaos``
+(:mod:`~repro.chaos.plans`, :mod:`~repro.chaos.shrink`,
+:mod:`~repro.chaos.cli`).
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    ClockSkew,
+    Crash,
+    DelaySpike,
+    Duplicate,
+    Fault,
+    FaultPlan,
+    Partition,
+    Reorder,
+    fault_from_dict,
+    fault_to_dict,
+)
+from .harness import ChaosReport, ChaosScenario, compute_t_bound, run_chaos
+from .inject import ChaosInjector, MessageFaultLayer
+from .oracles import ORACLES, OracleContext, Violation, run_oracles
+from .plans import generate_plan
+from .shrink import ShrinkResult, shrink_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "ORACLES",
+    "ChaosInjector",
+    "ChaosReport",
+    "ChaosScenario",
+    "ClockSkew",
+    "Crash",
+    "DelaySpike",
+    "Duplicate",
+    "Fault",
+    "FaultPlan",
+    "MessageFaultLayer",
+    "OracleContext",
+    "Partition",
+    "Reorder",
+    "ShrinkResult",
+    "Violation",
+    "compute_t_bound",
+    "fault_from_dict",
+    "fault_to_dict",
+    "generate_plan",
+    "run_chaos",
+    "run_oracles",
+    "shrink_plan",
+]

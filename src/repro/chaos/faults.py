@@ -1,0 +1,278 @@
+"""The composable fault-plan DSL.
+
+A :class:`FaultPlan` is an immutable bag of fault declarations drawn
+from six primitives, each a frozen dataclass that serializes to a flat
+JSON dict (``kind`` plus its parameters) and back — the wire format the
+CLI emits for reproducers and the shrinker minimizes over:
+
+* :class:`Crash` — fail-stop a node during ``[at, recover_at)``; with
+  ``lose_volatile=True`` the crash also rolls the node's replica back to
+  its last retained checkpoint (everything after it must be re-fetched
+  through anti-entropy);
+* :class:`Partition` — split the node set into groups during
+  ``[start, end)``, appended onto the cluster's existing
+  :class:`~repro.network.partition.PartitionSchedule` (conjunction
+  precedence: overlaps only ever cut more edges);
+* :class:`Duplicate` / :class:`Reorder` / :class:`DelaySpike` — message
+  faults applied at the transport seam (see
+  :class:`repro.chaos.inject.MessageFaultLayer`);
+* :class:`ClockSkew` — jump a node's Lamport counter forward by
+  ``drift`` ticks at time ``at`` (backward skew is rejected by
+  construction: it could reissue timestamps).
+
+Validation happens at plan construction: windows must have positive
+length, probabilities must be actual probabilities, crashes on the same
+node must not overlap (a node cannot crash while crashed), and drifts
+must be forward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type, Union
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Fail-stop ``node`` during ``[at, recover_at)``."""
+
+    node: int
+    at: float
+    recover_at: float
+    lose_volatile: bool = False
+
+    KIND = "crash"
+
+    def __post_init__(self) -> None:
+        if self.recover_at <= self.at:
+            raise ValueError("crash must recover strictly after it begins")
+        if self.at < 0:
+            raise ValueError("crash time must be nonnegative")
+
+    @property
+    def horizon(self) -> float:
+        return self.recover_at
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Split the nodes into ``groups`` during ``[start, end)``."""
+
+    start: float
+    end: float
+    groups: Tuple[Tuple[int, ...], ...]
+
+    KIND = "partition"
+
+    def __post_init__(self) -> None:
+        # normalize JSON-decoded lists into hashable tuples
+        object.__setattr__(
+            self, "groups", tuple(tuple(g) for g in self.groups)
+        )
+        if self.end <= self.start:
+            raise ValueError("partition window must have positive length")
+        if self.start < 0:
+            raise ValueError("partition start must be nonnegative")
+        if not any(self.groups):
+            raise ValueError("partition must name at least one nonempty group")
+
+    @property
+    def horizon(self) -> float:
+        return self.end
+
+
+@dataclass(frozen=True)
+class _MessageWindow:
+    """Common shape of the windowed message faults."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"{type(self).__name__} window must have positive length"
+            )
+        if self.start < 0:
+            raise ValueError(
+                f"{type(self).__name__} start must be nonnegative"
+            )
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+    @property
+    def horizon(self) -> float:
+        return self.end
+
+
+@dataclass(frozen=True)
+class Duplicate(_MessageWindow):
+    """Each delivery in the window spawns an extra copy with probability
+    ``probability``, arriving up to ``lag`` later than the original."""
+
+    probability: float = 0.3
+    lag: float = 2.0
+
+    KIND = "duplicate"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.probability <= 1:
+            raise ValueError("duplicate probability must be in [0, 1]")
+        if self.lag < 0:
+            raise ValueError("duplicate lag must be nonnegative")
+
+
+@dataclass(frozen=True)
+class Reorder(_MessageWindow):
+    """Each delivery in the window is held back by ``extra_delay`` with
+    probability ``probability``, letting later sends overtake it."""
+
+    probability: float = 0.3
+    extra_delay: float = 3.0
+
+    KIND = "reorder"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.probability <= 1:
+            raise ValueError("reorder probability must be in [0, 1]")
+        if self.extra_delay <= 0:
+            raise ValueError("reorder extra delay must be positive")
+
+
+@dataclass(frozen=True)
+class DelaySpike(_MessageWindow):
+    """Every delivery in the window (optionally only those sent by
+    ``src``) is slowed by ``extra_delay`` — a congested or flaky link."""
+
+    extra_delay: float = 3.0
+    src: Optional[int] = None
+
+    KIND = "delay_spike"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.extra_delay <= 0:
+            raise ValueError("delay spike must add positive delay")
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Jump ``node``'s Lamport counter forward by ``drift`` at ``at``."""
+
+    node: int
+    at: float
+    drift: int
+
+    KIND = "clock_skew"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("skew time must be nonnegative")
+        if self.drift < 1:
+            raise ValueError(
+                "clock skew must be forward (drift >= 1); backward skew "
+                "could reissue timestamps"
+            )
+
+    @property
+    def horizon(self) -> float:
+        return self.at
+
+
+Fault = Union[Crash, Partition, Duplicate, Reorder, DelaySpike, ClockSkew]
+
+FAULT_KINDS: Dict[str, Type] = {
+    cls.KIND: cls
+    for cls in (Crash, Partition, Duplicate, Reorder, DelaySpike, ClockSkew)
+}
+
+
+def fault_to_dict(fault: Fault) -> Dict[str, object]:
+    out: Dict[str, object] = {"kind": fault.KIND}
+    out.update(dataclasses.asdict(fault))
+    return out
+
+
+def fault_from_dict(data: Dict[str, object]) -> Fault:
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults to inject into one run."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        crashes: Dict[int, List[Crash]] = {}
+        for fault in self.faults:
+            if isinstance(fault, Crash):
+                crashes.setdefault(fault.node, []).append(fault)
+        for node, node_crashes in crashes.items():
+            node_crashes.sort(key=lambda c: c.at)
+            for a, b in zip(node_crashes, node_crashes[1:]):
+                if b.at < a.recover_at:
+                    raise ValueError(
+                        f"overlapping crashes on node {node}: "
+                        f"[{a.at}, {a.recover_at}) and [{b.at}, {b.recover_at})"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def horizon(self) -> float:
+        """The time by which every fault has fully played out (all
+        crashes recovered, all windows closed)."""
+        return max((f.horizon for f in self.faults), default=0.0)
+
+    def check_nodes(self, n_nodes: int) -> None:
+        """Reject faults referring to nodes outside ``range(n_nodes)``."""
+        for fault in self.faults:
+            nodes: Tuple[int, ...]
+            if isinstance(fault, (Crash, ClockSkew)):
+                nodes = (fault.node,)
+            elif isinstance(fault, Partition):
+                nodes = tuple(n for g in fault.groups for n in g)
+            elif isinstance(fault, DelaySpike) and fault.src is not None:
+                nodes = (fault.src,)
+            else:
+                continue
+            for n in nodes:
+                if not 0 <= n < n_nodes:
+                    raise ValueError(
+                        f"fault {fault!r} names node {n}, outside "
+                        f"range({n_nodes})"
+                    )
+
+    def without(self, index: int) -> "FaultPlan":
+        """The plan minus the fault at ``index`` (shrinking step)."""
+        return FaultPlan(
+            self.faults[:index] + self.faults[index + 1:]
+        )
+
+    # -- JSON wire format -------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [fault_to_dict(f) for f in self.faults]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dicts(), sort_keys=True)
+
+    @classmethod
+    def from_dicts(cls, data) -> "FaultPlan":
+        return cls(tuple(fault_from_dict(d) for d in data))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dicts(json.loads(text))

@@ -1,0 +1,195 @@
+"""Applying a fault plan to a live cluster.
+
+Two pieces:
+
+* :class:`MessageFaultLayer` implements the transport-seam
+  :class:`~repro.network.network.FaultLayer` protocol: the network hands
+  it every would-be delivery and gets back the delays of the copies that
+  should actually arrive.  Duplication, reordering and delay spikes all
+  happen here, invisible to the protocol layers (whose robustness to
+  them is precisely what the oracles then check).
+* :class:`ChaosInjector` wires a :class:`~repro.chaos.faults.FaultPlan`
+  into a :class:`~repro.shard.cluster.ShardCluster`: it installs the
+  message layer, appends partition windows onto the cluster's schedule,
+  and schedules crash/recover/skew closures into the simulator.  A crash
+  flips the node's ``online`` flag (the dispatcher then drops all
+  payloads); with ``lose_volatile`` it additionally rolls the replica
+  back to its last retained checkpoint and scrubs the lost records from
+  the gossip layer, so anti-entropy has to re-fetch them.  Recovery
+  flips the flag back and immediately triggers one anti-entropy exchange
+  (the catch-up pull).
+
+Every perturbation is announced through the cluster's guarded ``_trace``
+helper as a ``fault_inject`` event (plus the existing ``crash`` /
+``recover`` kinds), so the trace oracle can replay exactly what the
+chaos layer did against what the protocol layers claimed happened.
+
+All randomness draws from the cluster's dedicated ``"chaos"`` seeded
+stream: for a fixed scenario seed and plan, the perturbed run is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..network.network import NetworkStats
+from ..sim.metrics import WireStats
+from .faults import (
+    ClockSkew,
+    Crash,
+    DelaySpike,
+    Duplicate,
+    FaultPlan,
+    Partition,
+    Reorder,
+)
+
+#: (fault kind, node, info) — the injector forwards these to the tracer.
+FaultReporter = Callable[[str, int, str], None]
+
+
+class MessageFaultLayer:
+    """The transport interposer for the windowed message faults."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        rng: random.Random,
+        stats: NetworkStats,
+        wire: Optional[WireStats] = None,
+        on_fault: Optional[FaultReporter] = None,
+    ):
+        self.rng = rng
+        self.stats = stats
+        self.wire = wire
+        self.on_fault = on_fault
+        self._spikes = [f for f in plan.faults if isinstance(f, DelaySpike)]
+        self._reorders = [f for f in plan.faults if isinstance(f, Reorder)]
+        self._duplicates = [f for f in plan.faults if isinstance(f, Duplicate)]
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self._spikes or self._reorders or self._duplicates)
+
+    def _report(self, kind: str, node: int, info: str) -> None:
+        if self.on_fault is not None:
+            self.on_fault(kind, node, info)
+
+    def deliveries(
+        self,
+        now: float,
+        src: int,
+        dst: int,
+        payload: object,
+        delay: float,
+    ) -> List[float]:
+        """Map one would-be delivery to the delays of its actual copies.
+
+        Perturbations compose: a delivery can be spiked, reordered *and*
+        duplicated in one pass (the duplicate inherits the inflated
+        delay plus its own lag).  Fault windows are consulted in plan
+        order and the rng is drawn per active window, so the sequence of
+        draws — and hence the whole run — is seed-deterministic.
+        """
+        for spike in self._spikes:
+            if spike.active_at(now) and (
+                spike.src is None or spike.src == src
+            ):
+                delay += spike.extra_delay
+                self.stats.delay_spiked += 1
+                self._report("delay_spike", src, f"{src}->{dst}")
+        for fault in self._reorders:
+            if fault.active_at(now) and self.rng.random() < fault.probability:
+                delay += fault.extra_delay
+                self.stats.reordered += 1
+                if self.wire is not None:
+                    self.wire.reorder()
+                self._report("reorder", src, f"{src}->{dst}")
+        out = [delay]
+        for fault in self._duplicates:
+            if fault.active_at(now) and self.rng.random() < fault.probability:
+                out.append(delay + self.rng.uniform(0.0, fault.lag))
+                self.stats.duplicated += 1
+                if self.wire is not None:
+                    self.wire.duplicate()
+                self._report("duplicate", src, f"{src}->{dst}")
+        return out
+
+
+class ChaosInjector:
+    """Installs a fault plan into a cluster before its run starts."""
+
+    def __init__(self, cluster, plan: FaultPlan):
+        plan.check_nodes(len(cluster.nodes))
+        self.cluster = cluster
+        self.plan = plan
+        self.layer = MessageFaultLayer(
+            plan,
+            cluster.streams.stream("chaos"),
+            cluster.network.stats,
+            wire=cluster.broadcast.stats.wire,
+            on_fault=self._on_message_fault,
+        )
+        self._installed = False
+
+    def _on_message_fault(self, kind: str, node: int, info: str) -> None:
+        self.cluster._trace("fault_inject", node, fault=kind, info=info)
+
+    def install(self) -> None:
+        """Wire every fault into the cluster; idempotence guarded."""
+        if self._installed:
+            raise RuntimeError("fault plan already installed")
+        self._installed = True
+        if self.layer.has_faults:
+            self.cluster.network.fault_layer = self.layer
+        for fault in self.plan.faults:
+            if isinstance(fault, Crash):
+                self._install_crash(fault)
+            elif isinstance(fault, Partition):
+                self.cluster.network.partitions.add(
+                    fault.start, fault.end, *fault.groups
+                )
+            elif isinstance(fault, ClockSkew):
+                self._install_skew(fault)
+            # message faults live in the layer; nothing to schedule
+
+    def _install_crash(self, fault: Crash) -> None:
+        node = self.cluster.nodes[fault.node]
+
+        def crash() -> None:
+            node.online = False
+            self.cluster._trace("crash", fault.node)
+            if fault.lose_volatile:
+                lost = node.replica.lose_volatile()
+                if lost:
+                    self.cluster.broadcast.forget(
+                        fault.node, [record.txid for record in lost]
+                    )
+                self.cluster._trace(
+                    "fault_inject", fault.node,
+                    fault="lose_volatile", info=f"lost={len(lost)}",
+                )
+
+        def recover() -> None:
+            node.online = True
+            self.cluster._trace("recover", fault.node)
+            # immediate catch-up pull instead of waiting out the node's
+            # periodic tick (and its peers' backoff toward it).
+            self.cluster.broadcast.trigger_anti_entropy(fault.node)
+
+        self.cluster.sim.schedule_at(fault.at, crash)
+        self.cluster.sim.schedule_at(fault.recover_at, recover)
+
+    def _install_skew(self, fault: ClockSkew) -> None:
+        node = self.cluster.nodes[fault.node]
+
+        def skew() -> None:
+            node.clock.advance(fault.drift)
+            self.cluster._trace(
+                "fault_inject", fault.node,
+                fault="clock_skew", info=f"drift={fault.drift}",
+            )
+
+        self.cluster.sim.schedule_at(fault.at, skew)

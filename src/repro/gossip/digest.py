@@ -110,6 +110,29 @@ class DigestIndex:
         self._cached = None  # any insertion invalidates the rendering
         return cell
 
+    def discard(self, key: object, ts: TsPair, group: object = None) -> None:
+        """Remove a previously added key from its cell (crash losing
+        volatile state; see :meth:`GossipService.forget`).
+
+        XOR-folding makes removal exact: re-XORing the key's fingerprint
+        cancels it.  The tail summary is *not* recomputed — it may stay
+        past the surviving maximum, which only costs accuracy on the
+        ``out_of_order_adds`` counter, never correctness (cell compare
+        drives reconciliation, not the tail).
+        """
+        cell = self.cell_of(ts[0], group)
+        members = self._members.get(cell)
+        if members is None or key not in members:
+            raise KeyError(f"key {key!r} not present in digest cell {cell}")
+        members.remove(key)
+        slot = self._cells[cell]
+        slot[0] -= 1
+        slot[1] ^= fingerprint(key)
+        if slot[0] == 0:
+            del self._cells[cell]
+            del self._members[cell]
+        self._cached = None
+
     @property
     def tail(self) -> Optional[TsPair]:
         return self._tail

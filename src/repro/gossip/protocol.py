@@ -342,6 +342,13 @@ class CausalBuffer:
         if key in self._pending:
             self.buffered_total += 1
 
+    def clear(self) -> int:
+        """Drop everything buffered (crash losing volatile state);
+        returns how many pending items were discarded."""
+        n = len(self._pending)
+        self._pending.clear()
+        return n
+
     def _ready(self, key: object, item: object) -> bool:
         return all(self._is_delivered(d) for d in self.depends_on(key, item))
 

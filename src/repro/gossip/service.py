@@ -404,6 +404,33 @@ class GossipService:
                 self.stats.anti_entropy_messages += 1
                 self.engine.initiate(node_id, dst)
 
+    def trigger_anti_entropy(self, node_id: int) -> None:
+        """Run one immediate anti-entropy exchange from ``node_id``
+        (crash recovery: a rejoining node pulls itself back up to date
+        without waiting for its periodic tick)."""
+        self._gossip_once(node_id)
+
+    def forget(self, node_id: int, keys) -> int:
+        """Scrub ``keys`` from ``node_id``'s delivered set and digest,
+        and drop anything sitting in its causal buffer (crash losing
+        volatile state).  Returns how many keys were actually removed.
+
+        The scrubbed keys look exactly like never-received items to the
+        delta protocol afterwards, so anti-entropy re-fetches them from
+        any peer that still holds them.
+        """
+        known = self._known[node_id]
+        index = self._index[node_id]
+        removed = 0
+        for key in keys:
+            item = known.pop(key, None)
+            if item is None:
+                continue
+            index.discard(key, self.timestamp_of(key, item))
+            removed += 1
+        self._buffers[node_id].clear()
+        return removed
+
     def exchange_all(self, rounds: int = 1) -> None:
         """Synchronously push every node's set to every other node
         ``rounds`` times, bypassing timers and the network (used to

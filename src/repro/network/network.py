@@ -5,13 +5,21 @@ are separated (or unlucky under the loss probability) is silently dropped
 — reliability is the *broadcast layer's* job (anti-entropy retransmits),
 matching the paper's architecture where the broadcast protocol, not the
 transport, guarantees eventual delivery.
+
+A :class:`FaultLayer` (see :mod:`repro.chaos.inject`) can be interposed
+on the transport: every would-be delivery is handed to it and comes back
+as zero or more deliveries at perturbed delays — which is how message
+duplication, reordering and delay spikes are injected without the
+protocol layers knowing.  The layer reports what it did through the
+``duplicated`` / ``reordered`` / ``delay_spiked`` counters it bumps on
+:class:`NetworkStats`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..sim.engine import Simulator
 from .link import DelayModel, FixedDelay
@@ -26,6 +34,35 @@ class NetworkStats:
     delivered: int = 0
     dropped_partition: int = 0
     dropped_loss: int = 0
+    #: extra message copies scheduled by an interposed fault layer
+    #: (``delivered`` counts every arriving copy, so it can exceed
+    #: ``sent`` when duplication faults are active).
+    duplicated: int = 0
+    #: deliveries whose delay a fault layer inflated so that later
+    #: sends could overtake them.
+    reordered: int = 0
+    #: deliveries slowed by an active delay-spike fault window.
+    delay_spiked: int = 0
+
+
+class FaultLayer(Protocol):
+    """Transport fault interposer (implemented by ``repro.chaos``).
+
+    Maps one would-be delivery to the delays of the copies that should
+    actually arrive: ``[delay]`` passes the message through untouched,
+    ``[delay, delay']`` duplicates it, and inflated values reorder it
+    past later traffic.  Implementations own the bookkeeping on the
+    :class:`NetworkStats` they were handed.
+    """
+
+    def deliveries(
+        self,
+        now: float,
+        src: int,
+        dst: int,
+        payload: object,
+        delay: float,
+    ) -> List[float]: ...
 
 
 class Network:
@@ -41,12 +78,20 @@ class Network:
     ):
         if not 0 <= loss_probability < 1:
             raise ValueError("loss probability must be in [0, 1)")
+        if rng is None:
+            raise ValueError(
+                "Network requires an explicitly seeded random.Random "
+                "(pass rng=...); implicit fallback RNGs make runs "
+                "unreproducible"
+            )
         self.sim = sim
         self.delay = delay or FixedDelay(1.0)
         self.partitions = partitions or PartitionSchedule.always_connected()
         self.loss_probability = loss_probability
-        self.rng = rng or random.Random(0)
+        self.rng = rng
         self.stats = NetworkStats()
+        #: optional transport fault interposer (see module docstring).
+        self.fault_layer: Optional[FaultLayer] = None
         self._handlers: Dict[int, Handler] = {}
 
     def register(self, node_id: int, handler: Handler) -> None:
@@ -79,6 +124,18 @@ class Network:
             self.stats.dropped_loss += 1
             return False
         delay = self.delay.sample(self.rng)
+        if self.fault_layer is None:
+            self._schedule_delivery(src, dst, payload, delay)
+        else:
+            for perturbed in self.fault_layer.deliveries(
+                self.sim.now, src, dst, payload, delay
+            ):
+                self._schedule_delivery(src, dst, payload, perturbed)
+        return True
+
+    def _schedule_delivery(
+        self, src: int, dst: int, payload: object, delay: float
+    ) -> None:
         handler = self._handlers[dst]
 
         def deliver() -> None:
@@ -86,7 +143,6 @@ class Network:
             handler(src, payload)
 
         self.sim.schedule(delay, deliver)
-        return True
 
     def broadcast(self, src: int, payload: object) -> int:
         """Best-effort send to every other node; returns #accepted."""

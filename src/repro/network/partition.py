@@ -15,10 +15,20 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 @dataclass(frozen=True)
 class PartitionInterval:
-    """During [start, end), the nodes are split into ``groups``.
+    """During the half-open window ``[start, end)``, the nodes are split
+    into ``groups``.
+
+    Boundary semantics: the interval is active at exactly ``t == start``
+    and inactive at exactly ``t == end`` — a message sent at the instant
+    the partition heals goes through.  This matches the simulator's
+    convention that ``run(until)`` processes events *at* ``until``: a
+    heal scheduled at ``end`` and a send at the same instant agree that
+    the network is whole.
 
     Nodes not mentioned in any group form an implicit extra group (fully
-    connected among themselves, cut off from every listed group).
+    connected among themselves, cut off from every listed group).  At
+    least one listed group must be nonempty — an interval that splits
+    nobody is a schedule bug, not a no-op.
     """
 
     start: float
@@ -28,6 +38,10 @@ class PartitionInterval:
     def __post_init__(self) -> None:
         if self.end <= self.start:
             raise ValueError("partition interval must have positive length")
+        if not any(self.groups):
+            raise ValueError(
+                "partition interval must name at least one nonempty group"
+            )
         seen: set = set()
         for group in self.groups:
             if seen & group:
@@ -50,8 +64,13 @@ class PartitionInterval:
 class PartitionSchedule:
     """A set of partition intervals; empty means always fully connected.
 
-    Overlapping intervals are allowed; a pair may communicate at time t
-    only if *every* interval active at t allows it.
+    Overlapping intervals are allowed, and their groupings may disagree;
+    the precedence rule is **conjunction**: a pair may communicate at
+    time t only if *every* interval active at t allows it.  Overlaps
+    therefore only ever cut more edges, never restore one — there is no
+    ambiguity to reject, the stricter interval always wins.  Each
+    interval's window is half-open ``[start, end)`` (see
+    :class:`PartitionInterval` for the boundary rationale).
     """
 
     def __init__(self, intervals: Iterable[PartitionInterval] = ()):

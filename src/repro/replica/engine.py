@@ -214,6 +214,31 @@ class MergeView:
             self.stats.snapshots_held = len(self._positions)
         return outcome
 
+    # -- crash recovery (repro.chaos) ------------------------------------
+
+    @property
+    def latest_checkpoint(self) -> int:
+        """The largest retained checkpoint position — the stable prefix
+        length that survives a volatile-state-losing crash."""
+        return self._positions[-1]
+
+    def rewind_to(self, position: int) -> State:
+        """Reset the view to the retained checkpoint at ``position``,
+        discarding every later snapshot and the cached tail state.
+
+        The caller owns the source and must truncate it to the same
+        length — after both, the invariant
+        state == fold(updates, initial_state) holds again.
+        """
+        if position not in self._snapshots:
+            raise ValueError(
+                f"no retained checkpoint at position {position} "
+                f"(have {self._positions})"
+            )
+        self._drop_after(position)
+        self._state = self._snapshots[position]
+        return self._state
+
     # -- checkpoint bookkeeping ------------------------------------------
 
     def _retain(self, position: int, state: State, log_length: int) -> None:

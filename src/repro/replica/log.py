@@ -75,5 +75,22 @@ class SystemLog:
     def records(self) -> Tuple[UpdateRecord, ...]:
         return tuple(self._records)
 
+    def truncate(self, length: int) -> Tuple[UpdateRecord, ...]:
+        """Drop every record past the first ``length``; returns the lost
+        suffix (in timestamp order).
+
+        Models a crash losing volatile state: the prefix up to the last
+        stable checkpoint survives, the rest is gone and must be
+        re-fetched via anti-entropy.
+        """
+        if not 0 <= length <= len(self._records):
+            raise ValueError(
+                f"truncate length {length} outside [0, {len(self._records)}]"
+            )
+        lost = tuple(self._records[length:])
+        del self._records[length:]
+        self._ids.difference_update(r.txid for r in lost)
+        return lost
+
     def max_timestamp(self) -> Optional[Timestamp]:
         return self._records[-1].ts if self._records else None

@@ -16,7 +16,7 @@ baselines — goes through one seam.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Optional
+from typing import Callable, FrozenSet, Optional, Tuple
 
 from ..core.state import State
 from ..core.update import Update
@@ -93,6 +93,21 @@ class Replica:
         if self.on_merge is not None:
             self.on_merge(outcome)
         return outcome
+
+    def lose_volatile(self) -> Tuple[UpdateRecord, ...]:
+        """Crash semantics (repro.chaos): everything past the last
+        retained checkpoint is volatile and lost; the stable prefix
+        survives.  Returns the lost records so the owner can scrub them
+        from dissemination state — anti-entropy re-fetches them later.
+
+        Under ``EveryPositionPolicy`` the whole log is checkpointed and
+        nothing is lost; a sparse policy (e.g. ``FixedIntervalPolicy``)
+        makes crashes actually destructive.
+        """
+        stable = self.engine.latest_checkpoint
+        lost = self.log.truncate(stable)
+        self.engine.rewind_to(stable)
+        return lost
 
 
 class MaterializedLog:

@@ -41,6 +41,19 @@ class LamportClock:
         self._counter += 1
         return Timestamp(self._counter, self.node_id)
 
+    def advance(self, n: int) -> None:
+        """Skew the clock forward by ``n`` ticks (chaos ``ClockSkew``).
+
+        Only forward skew is modeled: moving a Lamport counter backwards
+        could reissue an already-used timestamp and break the global
+        uniqueness the whole ordering rests on, so ``n`` must be >= 1.
+        Forward skew preserves every clock invariant — it is
+        indistinguishable from having observed a larger timestamp.
+        """
+        if n < 1:
+            raise ValueError("clock skew must advance by at least 1 tick")
+        self._counter += n
+
     @property
     def counter(self) -> int:
         return self._counter

@@ -35,6 +35,23 @@ class WireStats:
     keys: int = 0
     cells: int = 0
     summaries: int = 0
+    #: extra copies materialized by chaos duplication faults.  The
+    #: transport seam does not know a copy's payload composition, so a
+    #: duplicate is charged one message *header* only — the accounted
+    #: bytes are a lower bound when duplication is active, and a nonzero
+    #: count flags a bench as fault-perturbed.
+    dup_messages: int = 0
+    #: deliveries reordered by chaos faults.  Reordering ships no extra
+    #: bytes; the counter only marks the run as perturbed.
+    reorders: int = 0
+
+    def duplicate(self) -> None:
+        """Account one fault-injected duplicate message copy."""
+        self.dup_messages += 1
+
+    def reorder(self) -> None:
+        """Account one fault-injected delivery reordering."""
+        self.reorders += 1
 
     def message(
         self,
@@ -59,6 +76,7 @@ class WireStats:
             + self.keys * WIRE_COSTS["key"]
             + self.cells * WIRE_COSTS["cell"]
             + self.summaries * WIRE_COSTS["summary"]
+            + self.dup_messages * WIRE_COSTS["message"]
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -68,6 +86,8 @@ class WireStats:
             "keys": self.keys,
             "cells": self.cells,
             "summaries": self.summaries,
+            "dup_messages": self.dup_messages,
+            "reorders": self.reorders,
             "bytes": self.bytes,
         }
 

@@ -20,7 +20,9 @@ checked against it by shardlint rule R5 — it cannot drift):
   (updates re-applied);
 * ``gossip_syn`` / ``gossip_delta`` / ``gossip_skip`` — one anti-entropy
   exchange: a digest SYN left a node, a DELTA shipped missing records,
-  or the exchange found the peers already in sync.
+  or the exchange found the peers already in sync;
+* ``fault_inject`` — the chaos layer perturbed the run at this node
+  (``fault`` names the fault kind, ``info`` carries its parameters).
 """
 
 from __future__ import annotations
@@ -47,6 +49,8 @@ EVENT_SCHEMAS: Dict[str, FrozenSet[str]] = {
     "gossip_syn": frozenset({"peer", "cells", "reason"}),
     "gossip_delta": frozenset({"peer", "pushed", "wanted"}),
     "gossip_skip": frozenset({"peer"}),
+    # chaos fault injection (repro.chaos)
+    "fault_inject": frozenset({"fault", "info"}),
 }
 
 

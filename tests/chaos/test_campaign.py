@@ -1,0 +1,155 @@
+"""End-to-end campaign tests: the acceptance bar for ``repro.chaos``.
+
+The healthy-campaign test scales with the ``CHAOS_RUNS`` environment
+variable (default keeps the suite fast; set ``CHAOS_RUNS=1000`` for the
+full certification run — 1000 seeded runs, zero violations, ~15 s).
+"""
+
+import json
+import os
+
+from repro.chaos import (
+    ChaosScenario,
+    Crash,
+    DelaySpike,
+    FaultPlan,
+    Partition,
+    compute_t_bound,
+    run_chaos,
+    shrink_plan,
+)
+from repro.chaos.cli import main, run_campaign
+
+RUNS = int(os.environ.get("CHAOS_RUNS", "100"))
+
+
+class TestHealthyCampaign:
+    def test_no_oracle_violations_across_seeded_runs(self):
+        result = run_campaign(0, RUNS, shrink=False)
+        assert result["violations"] == 0, result["failures"]
+        assert result["failing_runs"] == 0
+
+    def test_targeted_mixed_plan_survives_all_oracles(self):
+        plan = FaultPlan((
+            Crash(node=0, at=4.0, recover_at=12.0, lose_volatile=True),
+            Partition(start=8.0, end=16.0, groups=((1,), (0, 2))),
+            DelaySpike(start=2.0, end=20.0, extra_delay=3.0),
+        ))
+        report = run_chaos(ChaosScenario(), plan)
+        assert report.ok, [v.as_dict() for v in report.violations]
+        assert report.summary["transactions"] > 0
+
+
+class TestWeakenedConfiguration:
+    """piggyback=False must fail the transitivity oracle and shrink."""
+
+    def test_violated_and_shrunk_to_tiny_plan(self):
+        scenario = ChaosScenario(piggyback=False, delay="fixed")
+        result = run_campaign(
+            7, 20, scenario=scenario, oracles=("transitivity",)
+        )
+        assert result["failing_runs"] > 0
+        for failure in result["failures"]:
+            assert failure["shrunk_size"] <= 3
+            # the reproducer is complete: its JSON plan still fails.
+            shrunk = FaultPlan.from_dicts(failure["shrunk_plan"])
+            rerun = run_chaos(
+                ChaosScenario(
+                    piggyback=False, delay="fixed",
+                    seed=failure["cluster_seed"],
+                ),
+                shrunk,
+                oracles=("transitivity",),
+            )
+            assert not rerun.ok
+
+    def test_weakening_is_what_breaks_it(self):
+        # the same plan under the default (piggyback=True) configuration
+        # passes the same oracle: the violation is the ablation's fault.
+        plan = FaultPlan((
+            Partition(start=5.0, end=20.0, groups=((0,), (1, 2))),
+        ))
+        weak = run_chaos(
+            ChaosScenario(piggyback=False, delay="fixed"), plan,
+            oracles=("transitivity",),
+        )
+        strong = run_chaos(
+            ChaosScenario(piggyback=True, delay="fixed"), plan,
+            oracles=("transitivity",),
+        )
+        assert not weak.ok
+        assert strong.ok
+
+
+class TestDeterminism:
+    def test_fixed_seed_runs_are_bit_identical(self):
+        plan = FaultPlan((
+            Crash(node=1, at=3.0, recover_at=9.0),
+            DelaySpike(start=0.0, end=15.0, extra_delay=2.0),
+        ))
+        first = run_chaos(ChaosScenario(seed=5), plan)
+        second = run_chaos(ChaosScenario(seed=5), plan)
+        assert first.fingerprint == second.fingerprint
+        assert first.summary == second.summary
+
+    def test_campaigns_replay_identically(self):
+        first = run_campaign(3, 5, shrink=False)
+        second = run_campaign(3, 5, shrink=False)
+        assert first == second
+
+
+class TestShrinker:
+    def test_minimizes_against_predicate(self):
+        plan = FaultPlan((
+            Crash(node=0, at=1.0, recover_at=2.0),
+            Crash(node=1, at=1.0, recover_at=2.0),
+            Crash(node=2, at=1.0, recover_at=2.0),
+        ))
+        # "fails" iff node 1 still crashes somewhere in the plan.
+        result = shrink_plan(
+            plan,
+            lambda p: any(
+                isinstance(f, Crash) and f.node == 1 for f in p.faults
+            ),
+        )
+        assert len(result.plan) == 1
+        assert result.plan.faults[0].node == 1
+        assert result.probes <= 6
+
+
+class TestTBound:
+    def test_larger_fault_spans_loosen_the_bound(self):
+        scenario = ChaosScenario()
+        short = FaultPlan((Crash(node=0, at=2.0, recover_at=4.0),))
+        long = FaultPlan((Crash(node=0, at=2.0, recover_at=24.0),))
+        assert compute_t_bound(scenario, long) \
+            > compute_t_bound(scenario, short)
+
+    def test_empty_plan_still_pays_gossip_slack(self):
+        assert compute_t_bound(ChaosScenario(), FaultPlan()) > 0
+
+
+class TestCli:
+    def test_json_campaign_exits_zero_when_clean(self, capsys):
+        assert main([
+            "--seed", "0", "--runs", "3", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == 0
+        assert payload["runs"] == 3
+
+    def test_weakened_ablation_exits_nonzero(self, capsys):
+        code = main([
+            "--seed", "7", "--runs", "8", "--format", "json",
+            "--no-piggyback", "--oracles", "transitivity",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["failing_runs"] > 0
+        for failure in payload["failures"]:
+            assert failure["shrunk_size"] <= 3
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert main(["--runs", "0"]) == 2
+        assert main(["--oracles", "entropy"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,126 @@
+"""Tests for the fault-plan DSL: validation and the JSON wire format."""
+
+import pytest
+
+from repro.chaos import (
+    ClockSkew,
+    Crash,
+    DelaySpike,
+    Duplicate,
+    FaultPlan,
+    Partition,
+    Reorder,
+    fault_from_dict,
+    fault_to_dict,
+)
+
+
+def mixed_plan() -> FaultPlan:
+    return FaultPlan((
+        Crash(node=0, at=2.0, recover_at=9.0, lose_volatile=True),
+        Partition(start=4.0, end=12.0, groups=((0,), (1, 2))),
+        Duplicate(start=1.0, end=6.0, probability=0.4, lag=1.5),
+        Reorder(start=3.0, end=8.0, probability=0.2, extra_delay=2.5),
+        DelaySpike(start=5.0, end=7.0, extra_delay=2.0, src=1),
+        ClockSkew(node=2, at=6.0, drift=13),
+    ))
+
+
+class TestFaultValidation:
+    def test_crash_must_recover_after_start(self):
+        with pytest.raises(ValueError):
+            Crash(node=0, at=5.0, recover_at=5.0)
+        with pytest.raises(ValueError):
+            Crash(node=0, at=-1.0, recover_at=2.0)
+
+    def test_partition_windows_and_groups(self):
+        with pytest.raises(ValueError):
+            Partition(start=5.0, end=5.0, groups=((0,), (1,)))
+        with pytest.raises(ValueError):
+            Partition(start=0.0, end=1.0, groups=((), ()))
+
+    def test_message_fault_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Duplicate(start=0.0, end=1.0, probability=1.5)
+        with pytest.raises(ValueError):
+            Reorder(start=0.0, end=1.0, probability=-0.1)
+        with pytest.raises(ValueError):
+            Reorder(start=1.0, end=0.5)
+
+    def test_delay_spike_must_slow_things_down(self):
+        with pytest.raises(ValueError):
+            DelaySpike(start=0.0, end=1.0, extra_delay=0.0)
+
+    def test_clock_skew_must_be_forward(self):
+        with pytest.raises(ValueError):
+            ClockSkew(node=0, at=1.0, drift=0)
+        ClockSkew(node=0, at=1.0, drift=1)  # minimum forward jump is fine
+
+    def test_window_membership_is_half_open(self):
+        window = Duplicate(start=2.0, end=5.0)
+        assert window.active_at(2.0)
+        assert window.active_at(4.999)
+        assert not window.active_at(5.0)
+        assert not window.active_at(1.999)
+
+
+class TestFaultPlan:
+    def test_overlapping_crashes_on_one_node_rejected(self):
+        with pytest.raises(ValueError, match="overlapping crashes"):
+            FaultPlan((
+                Crash(node=1, at=0.0, recover_at=10.0),
+                Crash(node=1, at=5.0, recover_at=15.0),
+            ))
+        # back-to-back (recover == next crash) is allowed,
+        FaultPlan((
+            Crash(node=1, at=0.0, recover_at=5.0),
+            Crash(node=1, at=5.0, recover_at=10.0),
+        ))
+        # as are overlapping crashes on different nodes.
+        FaultPlan((
+            Crash(node=0, at=0.0, recover_at=10.0),
+            Crash(node=1, at=5.0, recover_at=15.0),
+        ))
+
+    def test_horizon_is_latest_fault_end(self):
+        assert mixed_plan().horizon() == 12.0
+        assert FaultPlan().horizon() == 0.0
+
+    def test_check_nodes(self):
+        plan = mixed_plan()
+        plan.check_nodes(3)
+        with pytest.raises(ValueError, match="outside"):
+            plan.check_nodes(2)
+        with pytest.raises(ValueError, match="outside"):
+            FaultPlan((DelaySpike(0.0, 1.0, src=7),)).check_nodes(3)
+
+    def test_without_drops_one_fault(self):
+        plan = mixed_plan()
+        smaller = plan.without(1)
+        assert len(smaller) == len(plan) - 1
+        assert all(not isinstance(f, Partition) for f in smaller.faults)
+
+
+class TestWireFormat:
+    def test_json_round_trip_identity(self):
+        plan = mixed_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert FaultPlan.from_dicts(plan.to_dicts()) == plan
+
+    def test_every_kind_round_trips(self):
+        for fault in mixed_plan().faults:
+            data = fault_to_dict(fault)
+            assert data["kind"] == type(fault).KIND
+            assert fault_from_dict(data) == fault
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            fault_from_dict({"kind": "meteor_strike"})
+
+    def test_partition_groups_survive_json_lists(self):
+        # json.loads yields lists; the constructor re-tuples them.
+        plan = FaultPlan((
+            Partition(start=0.0, end=1.0, groups=((0,), (1, 2))),
+        ))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.faults[0].groups == ((0,), (1, 2))

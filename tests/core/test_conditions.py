@@ -3,7 +3,9 @@
 from repro.apps.counter import Allocate, CounterState, Release
 from repro.core import (
     Execution,
+    TimedExecution,
     all_k_complete,
+    bounded_delay_violations,
     centralization_violations,
     family_predicate,
     group_by_family,
@@ -124,3 +126,63 @@ class TestAtomicity:
         e = run([(), (0,)])
         assert is_atomic(e, [])
         assert is_atomic(e, [1])
+
+
+class TestBoundedDelay:
+    """bounded_delay_violations and the TimedExecution refinement."""
+
+    def timed(self, prefixes, times):
+        return TimedExecution(run(prefixes), times)
+
+    def test_stale_missing_predecessor_reported(self):
+        e = self.timed([(), ()], [0.0, 10.0])
+        assert bounded_delay_violations(e, 5.0) == [(1, 0)]
+        assert not e.has_bounded_delay(5.0)
+
+    def test_recent_missing_predecessor_allowed(self):
+        e = self.timed([(), ()], [0.0, 3.0])
+        assert bounded_delay_violations(e, 5.0) == []
+        assert e.has_bounded_delay(5.0)
+
+    def test_boundary_tie_counts_as_stale(self):
+        # times[j] == times[i] - t sits exactly on the bound; the
+        # condition is inclusive, so a miss is still a violation.
+        e = self.timed([(), ()], [0.0, 5.0])
+        assert bounded_delay_violations(e, 5.0) == [(1, 0)]
+
+    def test_tied_times_with_zero_bound(self):
+        # simultaneous initiations under t=0: every missing predecessor
+        # is a violation, seen ones are fine.
+        missing = self.timed([(), ()], [4.0, 4.0])
+        assert bounded_delay_violations(missing, 0.0) == [(1, 0)]
+        seen = self.timed([(), (0,)], [4.0, 4.0])
+        assert bounded_delay_violations(seen, 0.0) == []
+
+    def test_complete_prefixes_never_violate(self):
+        e = self.timed([(), (0,), (0, 1)], [0.0, 0.0, 100.0])
+        assert bounded_delay_violations(e, 1.0) == []
+
+
+class TestAtomicityUnderTies:
+    """is_atomic on transactions with tied initiation times: atomicity
+    is a prefix property, so ties only matter through the index order
+    the tie-break imposes."""
+
+    def test_tied_pair_seeing_each_other_is_atomic(self):
+        e = run([(), (0,), (0, 1)])
+        times = [0.0, 5.0, 5.0]  # 1 and 2 tied, broken by node id
+        timed = TimedExecution(e, times)
+        assert timed.is_orderly()
+        assert is_atomic(timed, [1, 2])
+
+    def test_tied_pair_not_seeing_each_other_is_not_atomic(self):
+        # concurrent (tied) initiations that miss each other cannot be
+        # an atomic run, whatever the tie-break order.
+        e = run([(), (0,), (0,)])
+        timed = TimedExecution(e, [0.0, 5.0, 5.0])
+        assert not is_atomic(timed, [1, 2])
+
+    def test_tied_pair_with_differing_outside_views(self):
+        e = run([(), (), (0, 1), (1, 2)])
+        timed = TimedExecution(e, [0.0, 0.0, 5.0, 5.0])
+        assert not is_atomic(timed, [2, 3])

@@ -16,6 +16,7 @@ from repro.sim import Simulator
 
 def make_network(**kwargs):
     sim = Simulator()
+    kwargs.setdefault("rng", random.Random(0))
     net = Network(sim, **kwargs)
     inboxes = {0: [], 1: [], 2: []}
     for node in inboxes:
@@ -108,7 +109,13 @@ class TestNetwork:
 
     def test_duplicate_registration_rejected(self):
         sim = Simulator()
-        net = Network(sim)
+        net = Network(sim, rng=random.Random(0))
         net.register(0, lambda s, p: None)
         with pytest.raises(ValueError):
             net.register(0, lambda s, p: None)
+
+    def test_missing_rng_rejected(self):
+        """No silent global-RNG fallback: every network draw must come
+        from an explicitly seeded stream (shardlint R3 in spirit)."""
+        with pytest.raises(ValueError, match="seeded random.Random"):
+            Network(Simulator())

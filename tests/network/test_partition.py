@@ -33,6 +33,10 @@ class TestPartitionInterval:
                 0.0, 1.0, (frozenset({0}), frozenset({0, 1}))
             )
 
+    def test_all_empty_groups_rejected(self):
+        with pytest.raises(ValueError, match="nonempty group"):
+            PartitionInterval(0.0, 1.0, (frozenset(), frozenset()))
+
 
 class TestPartitionSchedule:
     def test_always_connected(self):
@@ -60,3 +64,27 @@ class TestPartitionSchedule:
         assert not schedule.connected(1, 2, 7)
         # at t=12 only the second is active.
         assert schedule.connected(1, 2, 12)
+
+    def test_boundaries_are_half_open(self):
+        # [start, end): split at exactly start, healed at exactly end.
+        schedule = PartitionSchedule.split(10.0, 20.0, [0], [1])
+        assert schedule.connected(0, 1, 9.999)
+        assert not schedule.connected(0, 1, 10.0)
+        assert not schedule.connected(0, 1, 19.999)
+        assert schedule.connected(0, 1, 20.0)
+        assert schedule.partitioned_at(10.0)
+        assert not schedule.partitioned_at(20.0)
+
+    def test_stricter_interval_wins_on_overlap(self):
+        # first interval keeps 0-1 together; an overlapping one splits
+        # them.  Conjunction precedence: the stricter interval wins.
+        schedule = PartitionSchedule.split(0.0, 10.0, [0, 1], [2])
+        schedule.add(0.0, 10.0, [0], [1, 2])
+        # 0-1 allowed by the first, split by the second: blocked.
+        assert not schedule.connected(0, 1, 5.0)
+        # 1-2 allowed by the second, split by the first: also blocked.
+        assert not schedule.connected(1, 2, 5.0)
+        # identical re-addition changes nothing (conjunction idempotent).
+        schedule.add(0.0, 10.0, [0], [1, 2])
+        assert not schedule.connected(0, 1, 5.0)
+        assert schedule.connected(0, 0, 5.0)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import SeededStreams, Summary, TimeSeries, mean, percentile, stddev
+from repro.sim.metrics import WIRE_COSTS, WireStats
 
 
 class TestSeededStreams:
@@ -79,3 +80,30 @@ class TestStats:
         assert s.mean == 2.5
         empty = Summary.of([])
         assert empty.count == 0
+
+
+class TestWireStats:
+    def test_duplicate_charges_one_message_header(self):
+        stats = WireStats()
+        stats.message(records=2)
+        base = stats.bytes
+        stats.duplicate()
+        assert stats.dup_messages == 1
+        assert stats.bytes == base + WIRE_COSTS["message"]
+
+    def test_reorder_ships_no_bytes(self):
+        stats = WireStats()
+        stats.message(keys=3)
+        base = stats.bytes
+        stats.reorder()
+        assert stats.reorders == 1
+        assert stats.bytes == base
+
+    def test_fault_counters_surface_in_as_dict(self):
+        stats = WireStats()
+        stats.duplicate()
+        stats.duplicate()
+        stats.reorder()
+        snapshot = stats.as_dict()
+        assert snapshot["dup_messages"] == 2
+        assert snapshot["reorders"] == 1
