@@ -22,6 +22,73 @@ from .plans import generate_plan
 from .shrink import shrink_plan
 
 
+def run_index(
+    seed: int,
+    index: int,
+    scenario: Optional[ChaosScenario] = None,
+    oracles: Optional[Tuple[str, ...]] = None,
+    shrink: bool = True,
+) -> Dict[str, object]:
+    """One campaign run, derived deterministically from (seed, index).
+
+    Module-level and picklable on purpose: the serial loop below and the
+    parallel runner (:mod:`repro.perf.campaign`) both call exactly this
+    function, so the worker count cannot change what any run computes.
+    Every name-derived seeded stream depends only on (seed, index), not
+    on execution order.
+
+    The generated plan is validated against the cluster size *once*,
+    here; the chaos run itself and every shrink probe (a subplan of the
+    validated plan) skip the injector's re-validation.
+    """
+    base = scenario if scenario is not None else ChaosScenario()
+    streams = SeededStreams(seed)
+    plan_rng = streams.stream(f"plan:{index}")
+    run_seed = streams.stream(f"cluster:{index}").randrange(2 ** 31)
+    run_scenario = replace(base, seed=run_seed)
+    plan = generate_plan(plan_rng, run_scenario)
+    plan.check_nodes(run_scenario.n_nodes)
+    report = run_chaos(
+        run_scenario, plan, oracles=oracles, plan_validated=True
+    )
+    result: Dict[str, object] = {
+        "run": index,
+        "cluster_seed": run_seed,
+        "fingerprint": report.fingerprint,
+        "ok": report.ok,
+        "violations": len(report.violations),
+        "failure": None,
+    }
+    if report.ok:
+        return result
+    failing_oracles = tuple(sorted(
+        {v.oracle for v in report.violations}
+    ))
+    failure: Dict[str, object] = {
+        "run": index,
+        "cluster_seed": run_seed,
+        "oracles": list(failing_oracles),
+        "violations": [v.as_dict() for v in report.violations],
+        "plan": plan.to_dicts(),
+    }
+    if shrink:
+        def still_fails(candidate) -> bool:
+            rerun = run_chaos(
+                run_scenario, candidate,
+                oracles=oracles, plan_validated=True,
+            )
+            return any(
+                v.oracle in failing_oracles for v in rerun.violations
+            )
+
+        shrunk = shrink_plan(plan, still_fails)
+        failure["shrunk_plan"] = shrunk.plan.to_dicts()
+        failure["shrunk_size"] = len(shrunk.plan)
+        failure["shrink_probes"] = shrunk.probes
+    result["failure"] = failure
+    return result
+
+
 def run_campaign(
     seed: int,
     runs: int,
@@ -31,40 +98,16 @@ def run_campaign(
 ) -> Dict[str, object]:
     """Run a seeded campaign; returns a JSON-ready summary dict."""
     base = scenario if scenario is not None else ChaosScenario()
-    streams = SeededStreams(seed)
     failures = []
     total_violations = 0
     for index in range(runs):
-        plan_rng = streams.stream(f"plan:{index}")
-        run_seed = streams.stream(f"cluster:{index}").randrange(2 ** 31)
-        run_scenario = replace(base, seed=run_seed)
-        plan = generate_plan(plan_rng, run_scenario)
-        report = run_chaos(run_scenario, plan, oracles=oracles)
-        if report.ok:
+        result = run_index(
+            seed, index, scenario=base, oracles=oracles, shrink=shrink
+        )
+        if result["failure"] is None:
             continue
-        total_violations += len(report.violations)
-        failing_oracles = tuple(sorted(
-            {v.oracle for v in report.violations}
-        ))
-        failure: Dict[str, object] = {
-            "run": index,
-            "cluster_seed": run_seed,
-            "oracles": list(failing_oracles),
-            "violations": [v.as_dict() for v in report.violations],
-            "plan": plan.to_dicts(),
-        }
-        if shrink:
-            def still_fails(candidate) -> bool:
-                rerun = run_chaos(run_scenario, candidate, oracles=oracles)
-                return any(
-                    v.oracle in failing_oracles for v in rerun.violations
-                )
-
-            result = shrink_plan(plan, still_fails)
-            failure["shrunk_plan"] = result.plan.to_dicts()
-            failure["shrunk_size"] = len(result.plan)
-            failure["shrink_probes"] = result.probes
-        failures.append(failure)
+        total_violations += result["violations"]
+        failures.append(result["failure"])
     return {
         "seed": seed,
         "runs": runs,

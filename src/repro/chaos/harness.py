@@ -164,8 +164,14 @@ def run_chaos(
     scenario: ChaosScenario,
     plan: FaultPlan,
     oracles: Optional[Tuple[str, ...]] = None,
+    plan_validated: bool = False,
 ) -> ChaosReport:
-    """Simulate one faulted run to quiescence and judge it."""
+    """Simulate one faulted run to quiescence and judge it.
+
+    ``plan_validated=True`` promises the plan was already checked
+    against ``scenario.n_nodes`` (campaigns validate once per generated
+    plan; shrink probes are subplans of validated plans), skipping the
+    injector's per-run re-validation."""
     tracer = Tracer(strict=True)
     delay = (
         UniformDelay(0.2, scenario.max_delay)
@@ -191,7 +197,7 @@ def run_chaos(
             tracer=tracer,
         ),
     )
-    injector = ChaosInjector(cluster, plan)
+    injector = ChaosInjector(cluster, plan, validate=not plan_validated)
     injector.install()
 
     requests = PoissonSubmitter(

@@ -121,8 +121,12 @@ class MessageFaultLayer:
 class ChaosInjector:
     """Installs a fault plan into a cluster before its run starts."""
 
-    def __init__(self, cluster, plan: FaultPlan):
-        plan.check_nodes(len(cluster.nodes))
+    def __init__(self, cluster, plan: FaultPlan, validate: bool = True):
+        # ``validate=False`` is the campaign hot-path: the caller already
+        # checked the plan against this cluster size once (at generation
+        # time), so per-run and per-shrink-probe re-validation is skipped.
+        if validate:
+            plan.check_nodes(len(cluster.nodes))
         self.cluster = cluster
         self.plan = plan
         self.layer = MessageFaultLayer(

@@ -60,7 +60,7 @@ MOVER_FAMILIES = ("MOVE_UP", "MOVE_DOWN")
 #: event kinds a crashed node must not emit (fault_inject is exempt:
 #: lose_volatile legitimately fires while the node is down).
 ACTIVE_KINDS = frozenset({
-    "initiate", "deliver", "merge_fastpath", "merge_undo",
+    "initiate", "deliver", "merge_fastpath", "merge_undo", "merge_batch",
     "gossip_syn", "gossip_delta", "gossip_skip",
 })
 

@@ -45,6 +45,8 @@ from .protocol import (
 from .scheduler import PeerScheduler
 
 DeliverFn = Callable[[object, object], None]  # (key, item)
+#: batch of (key, item) pairs released by one merge, in delivery order.
+BatchDeliverFn = Callable[[Tuple[Tuple[object, object], ...]], None]
 
 #: hook: (key, item) -> keys this item must be delivered after.
 DependsFn = Callable[[object, object], Tuple]
@@ -166,6 +168,14 @@ class GossipService:
         self.stats = GossipStats()
         self._known: Dict[int, Dict[object, object]] = {}
         self._deliver: Dict[int, DeliverFn] = {}
+        #: optional per-node batch callbacks: when registered, every
+        #: ``_merge`` hands all the items it released for a node to the
+        #: batch callback in one call (so the replica can pay a single
+        #: undo/redo cycle per gossip DELTA) instead of one ``on_deliver``
+        #: call per item.
+        self._deliver_batch: Dict[int, BatchDeliverFn] = {}
+        #: the open delivery batch per node while a ``_merge`` runs.
+        self._batch_sink: Dict[int, List[Tuple[object, object]]] = {}
         self._index: Dict[int, DigestIndex] = {}
         self._buffers: Dict[int, CausalBuffer] = {}
         self._published_at: Dict[object, float] = {}
@@ -229,6 +239,7 @@ class GossipService:
         node_id: int,
         on_deliver: DeliverFn,
         register_transport: bool = True,
+        on_deliver_batch: Optional[BatchDeliverFn] = None,
     ) -> None:
         """Register a node.
 
@@ -237,11 +248,20 @@ class GossipService:
         multiplexes several protocols over the transport (e.g. the
         cluster's synchronization messages) and will forward gossip
         payloads via :meth:`receive`.
+
+        With ``on_deliver_batch`` every merge (a DELTA, a flood payload,
+        a quiescence exchange) hands all the items it released for the
+        node to that callback in one call, in delivery order, instead of
+        invoking ``on_deliver`` per item; ``on_deliver`` remains the
+        fallback for paths outside a merge.  Exactly-once is unchanged:
+        items enter the known set the moment they are released.
         """
         if node_id in self._known:
             raise ValueError(f"node {node_id} already attached")
         self._known[node_id] = {}
         self._deliver[node_id] = on_deliver
+        if on_deliver_batch is not None:
+            self._deliver_batch[node_id] = on_deliver_batch
         self._index[node_id] = DigestIndex(self.config.bucket_width)
         self._buffers[node_id] = CausalBuffer(
             depends_on=lambda key, item: (
@@ -450,24 +470,46 @@ class GossipService:
         known = self._known[node_id]
         gating = self._gating()
         buffer = self._buffers[node_id]
-        for key, item in items:
-            if key in known:
-                continue
-            if gating:
-                buffer.offer(key, item)
-            else:
-                self._deliver_one(node_id, key, item)
+        # open a delivery batch: everything _deliver_one releases during
+        # this merge — direct deliveries *and* causal-buffer flushes —
+        # lands in one sink, flushed to the batch callback afterwards.
+        batching = (
+            node_id in self._deliver_batch
+            and node_id not in self._batch_sink
+        )
+        if batching:
+            self._batch_sink[node_id] = []
+        try:
+            for key, item in items:
+                if key in known:
+                    continue
+                if gating:
+                    buffer.offer(key, item)
+                else:
+                    self._deliver_one(node_id, key, item)
+        finally:
+            if batching:
+                batch = tuple(self._batch_sink.pop(node_id))
+                if batch:
+                    self._deliver_batch[node_id](batch)
 
     def _deliver_one(self, node_id: int, key: object, item: object) -> None:
         """The single point where an item becomes *delivered* at a node:
-        known-set, digest index, stats and the callback all update here."""
+        known-set, digest index and stats all update here.  The callback
+        fires per item, unless a delivery batch is open for the node —
+        then the item joins the batch and the batch callback fires once
+        when the merge completes."""
         self._known[node_id][key] = item
         self._index[node_id].add(key, self.timestamp_of(key, item))
         self.stats.deliveries += 1
         published = self._published_at.get(key)
         if published is not None and self.sim.now > published:
             self.stats.delivery_delays.append(self.sim.now - published)
-        self._deliver[node_id](key, item)
+        sink = self._batch_sink.get(node_id)
+        if sink is not None:
+            sink.append((key, item))
+        else:
+            self._deliver[node_id](key, item)
 
     # -- convergence ---------------------------------------------------------
 

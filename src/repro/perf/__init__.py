@@ -1,0 +1,45 @@
+"""Performance tooling: profiling spans, parallel campaigns, CI gate.
+
+Three pieces, all built on the determinism contracts the rest of the
+repo already enforces:
+
+* :mod:`repro.perf.timer` — :class:`PerfTimer` wall-clock profiling
+  spans, recorded into :class:`repro.sim.metrics.PhaseTimings`.  The
+  *only* sanctioned wall-clock read in the tree (profiling measures the
+  host, never the simulation).
+* :mod:`repro.perf.campaign` — ``python -m repro.perf.campaign``: fans
+  seeded chaos runs and merge-hot-path seed cells
+  (:mod:`repro.perf.cells`) across a ``multiprocessing`` pool.  Every
+  run derives its randomness from ``(seed, index)`` alone, results are
+  merged in index order, and the aggregate fingerprint is bit-identical
+  whatever the worker count.
+* :mod:`repro.perf.gate` — ``python -m repro.perf.gate``: the CI
+  perf-regression gate.  Re-runs the smoke baseline recorded in the
+  committed ``BENCH_perf.json`` and fails on any determinism or work
+  regression; wall-clock is only ever compared within one machine.
+"""
+
+from .campaign import (
+    aggregate_fingerprint,
+    campaign_json,
+    run_parallel_campaign,
+    run_parallel_cells,
+)
+from .cells import DEFAULT_CELLS, SMOKE_CELLS, CellSpec, run_cell
+from .gate import run_gate, smoke_baseline
+from .timer import PerfTimer, wall_clock
+
+__all__ = [
+    "CellSpec",
+    "DEFAULT_CELLS",
+    "PerfTimer",
+    "SMOKE_CELLS",
+    "aggregate_fingerprint",
+    "campaign_json",
+    "run_cell",
+    "run_gate",
+    "run_parallel_campaign",
+    "run_parallel_cells",
+    "smoke_baseline",
+    "wall_clock",
+]

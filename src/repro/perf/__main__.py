@@ -1,0 +1,8 @@
+"""``python -m repro.perf`` — alias for ``python -m repro.perf.campaign``."""
+
+import sys
+
+from .campaign import main
+
+if __name__ == "__main__":
+    sys.exit(main())

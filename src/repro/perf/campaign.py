@@ -1,0 +1,234 @@
+"""``python -m repro.perf.campaign`` — deterministic parallel campaigns.
+
+Fans seeded chaos runs (:func:`repro.chaos.cli.run_index`) and merge
+hot-path seed cells (:mod:`repro.perf.cells`) across a
+``multiprocessing`` pool.  The determinism contract:
+
+* every run's randomness derives from ``(seed, index)`` alone via
+  name-derived :class:`~repro.sim.rng.SeededStreams`, never from
+  execution order or worker identity;
+* workers return results tagged with their index; the merge sorts by
+  index, so result order is scheduling-independent;
+* the JSON payload contains no timings, worker counts or host facts —
+  :func:`campaign_json` of the same ``(seed, runs, scenario)`` is
+  byte-identical at ``--workers 1`` and ``--workers N``;
+* the ``aggregate_fingerprint`` hashes the per-run fingerprints in index
+  order, so one short string certifies a whole campaign.
+
+Profiling (``--profile``) rides alongside: workers measure their own
+wall-clock with :class:`~repro.perf.timer.PerfTimer`'s sanctioned clock
+and hand the durations back *outside* the deterministic payload.
+
+Exit status: 0 when every run passed every oracle, 1 when any oracle
+was violated, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chaos.cli import run_index
+from ..chaos.harness import ChaosScenario
+from ..chaos.oracles import ORACLES
+from .cells import DEFAULT_CELLS, CellSpec, run_cell
+from .timer import PerfTimer, wall_clock
+
+
+def aggregate_fingerprint(fingerprints: Sequence[str]) -> str:
+    """One hash over the per-run fingerprints, in index order."""
+    digest = hashlib.sha256()
+    for fingerprint in fingerprints:
+        digest.update(fingerprint.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+def campaign_json(payload: Dict[str, object]) -> str:
+    """The canonical byte form of a campaign payload (what the
+    determinism regression tests compare across worker counts)."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+# -- pool plumbing ---------------------------------------------------------
+# Task functions must be module-level so the pool can pickle them by
+# reference; each returns (index, result, elapsed_seconds) and the
+# elapsed part never enters the deterministic payload.
+
+def _chaos_task(task) -> Tuple[int, Dict[str, object], float]:
+    seed, index, scenario, oracles, shrink = task
+    start = wall_clock()
+    result = run_index(
+        seed, index, scenario=scenario, oracles=oracles, shrink=shrink
+    )
+    return index, result, wall_clock() - start
+
+
+def _cell_task(task) -> Tuple[int, Dict[str, object], float]:
+    index, spec = task
+    start = wall_clock()
+    return index, run_cell(spec), wall_clock() - start
+
+
+def _fan_out(worker, tasks, workers: int) -> List[Tuple]:
+    """Run ``worker`` over ``tasks``; in-process when ``workers <= 1``,
+    else over an unordered pool (the caller re-sorts by index)."""
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    chunksize = max(1, len(tasks) // (workers * 8))
+    with multiprocessing.Pool(processes=workers) as pool:
+        return list(pool.imap_unordered(worker, tasks, chunksize=chunksize))
+
+
+# -- campaigns -------------------------------------------------------------
+
+def run_parallel_campaign(
+    seed: int,
+    runs: int,
+    workers: int = 1,
+    scenario: Optional[ChaosScenario] = None,
+    oracles: Optional[Tuple[str, ...]] = None,
+    shrink: bool = True,
+    timer: Optional[PerfTimer] = None,
+) -> Dict[str, object]:
+    """A seeded chaos campaign fanned over ``workers`` processes.
+
+    Returns the same summary shape as
+    :func:`repro.chaos.cli.run_campaign` plus the per-run fingerprint
+    list and their ``aggregate_fingerprint`` — and is bit-identical to
+    the ``workers=1`` payload for any worker count.
+    """
+    base = scenario if scenario is not None else ChaosScenario()
+    tasks = [(seed, index, base, oracles, shrink) for index in range(runs)]
+    if timer is None:
+        timer = PerfTimer()
+    with timer.span("campaign"):
+        outcomes = _fan_out(_chaos_task, tasks, workers)
+    outcomes.sort(key=lambda outcome: outcome[0])
+    results = [result for _, result, _ in outcomes]
+    for _, _, elapsed in outcomes:
+        timer.add("chaos_run", elapsed)
+    failures = [r["failure"] for r in results if r["failure"] is not None]
+    fingerprints = [r["fingerprint"] for r in results]
+    return {
+        "seed": seed,
+        "runs": runs,
+        "scenario": base.as_dict(),
+        "oracles": list(oracles) if oracles is not None else list(ORACLES),
+        "violations": sum(r["violations"] for r in results),
+        "failing_runs": len(failures),
+        "failures": failures,
+        "fingerprints": fingerprints,
+        "aggregate_fingerprint": aggregate_fingerprint(fingerprints),
+    }
+
+
+def run_parallel_cells(
+    specs: Sequence[CellSpec] = DEFAULT_CELLS,
+    workers: int = 1,
+    timer: Optional[PerfTimer] = None,
+) -> List[Dict[str, object]]:
+    """Run merge seed cells over the pool; rows come back in spec order."""
+    tasks = list(enumerate(specs))
+    if timer is None:
+        timer = PerfTimer()
+    with timer.span("cells"):
+        outcomes = _fan_out(_cell_task, tasks, workers)
+    outcomes.sort(key=lambda outcome: outcome[0])
+    for _, _, elapsed in outcomes:
+        timer.add("cell_run", elapsed)
+    return [row for _, row, _ in outcomes]
+
+
+# -- CLI -------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.campaign",
+        description="deterministic parallel chaos campaigns and merge "
+        "seed cells",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed (default 0)")
+    parser.add_argument("--runs", type=int, default=10,
+                        help="number of chaos runs (default 10)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="pool size; 1 = in-process (default 1)")
+    parser.add_argument("--format", choices=("json", "text"),
+                        default="text", help="output format")
+    parser.add_argument("--cells", action="store_true",
+                        help="also run the merge hot-path seed cells")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking failing plans")
+    parser.add_argument("--profile", action="store_true",
+                        help="include per-phase wall-clock timings "
+                        "(non-deterministic; kept out of fingerprints)")
+    return parser
+
+
+def _render_text(output: Dict[str, object]) -> str:
+    campaign = output["campaign"]
+    lines = [
+        f"perf campaign: seed={campaign['seed']} runs={campaign['runs']} "
+        f"violations={campaign['violations']} "
+        f"fingerprint={campaign['aggregate_fingerprint']}"
+    ]
+    for failure in campaign["failures"]:
+        lines.append(
+            f"  run {failure['run']}: oracles={','.join(failure['oracles'])}"
+        )
+    if not campaign["failures"]:
+        lines.append("  all runs passed every oracle")
+    for row in output.get("cells", ()):
+        lines.append(
+            f"  cell {row['cell']}: inserts={row['inserts']} "
+            f"fastpath={row['fastpath_rate']:.2%} "
+            f"cost-cache hits={row['cost_hit_rate']:.2%}"
+        )
+    profile = output.get("profile")
+    if profile:
+        for phase, entry in profile["phases"].items():
+            lines.append(
+                f"  phase {phase}: total={entry['total_s']:.3f}s "
+                f"n={entry['count']}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.runs < 1:
+        print("--runs must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    timer = PerfTimer()
+    campaign = run_parallel_campaign(
+        args.seed, args.runs,
+        workers=args.workers, shrink=not args.no_shrink, timer=timer,
+    )
+    output: Dict[str, object] = {"campaign": campaign}
+    if args.cells:
+        output["cells"] = run_parallel_cells(
+            DEFAULT_CELLS, workers=args.workers, timer=timer
+        )
+    if args.profile:
+        output["profile"] = {
+            "workers": args.workers,
+            "phases": timer.as_dict(),
+        }
+    if args.format == "json":
+        print(json.dumps(output, sort_keys=True, indent=2))
+    else:
+        print(_render_text(output))
+    return 0 if campaign["violations"] == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

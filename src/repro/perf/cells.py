@@ -1,0 +1,143 @@
+"""Merge hot-path seed cells: E11's regimes with the cost cache on.
+
+A *cell* is one deterministic airline workload (one of the E11 merge
+regimes) run with the incremental per-prefix constraint-cost cache
+installed (``cost_fn`` = the Fly-by-Night application's total constraint
+cost).  :func:`run_cell` is module-level and takes a frozen, picklable
+:class:`CellSpec`, so the parallel campaign runner can fan cells across
+a process pool; its result row is fully deterministic in the spec.
+
+:data:`DEFAULT_CELLS` mirrors the four E11 regimes; :data:`SMOKE_CELLS`
+are the same regimes at smoke duration, used by the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..apps.airline.application import make_airline_application
+from ..apps.airline.simulation import AirlineScenario, run_airline_scenario
+from ..network.link import UniformDelay
+from ..network.partition import PartitionSchedule
+from ..replica import TailWindowPolicy, policy_engine_factory
+
+#: regime name -> (delay bounds, partition window, scenario overrides).
+#: Mirrors benchmarks/bench_undo_redo.py: "single-writer" is the
+#: centralized in-order workload (all fast path), "jittery" and
+#: "partitioned" are the out-of-order regimes where undo/redo — and
+#: hence the cost cache — does real work.
+REGIMES: Dict[str, Tuple[Tuple[float, float], Optional[Tuple], Dict]] = {
+    "single-writer": (
+        (0.005, 0.02), None, {"request_nodes": [0], "mover_nodes": [0]}
+    ),
+    "in-order": ((0.1, 0.3), None, {}),
+    "jittery": ((0.1, 5.0), None, {}),
+    "partitioned": ((0.1, 0.3), (10.0, 40.0), {}),
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One deterministic merge workload (JSON-flat, picklable)."""
+
+    name: str
+    regime: str
+    duration: float = 60.0
+    seed: int = 5
+    capacity: int = 10
+    request_rate: float = 2.0
+    window: int = 16
+
+    def __post_init__(self) -> None:
+        if self.regime not in REGIMES:
+            raise ValueError(f"unknown cell regime {self.regime!r}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "regime": self.regime,
+            "duration": self.duration,
+            "seed": self.seed,
+            "capacity": self.capacity,
+            "request_rate": self.request_rate,
+            "window": self.window,
+        }
+
+
+def _specs(duration: float, prefix: str) -> Tuple[CellSpec, ...]:
+    return tuple(
+        CellSpec(name=f"{prefix}:{regime}", regime=regime, duration=duration)
+        for regime in REGIMES
+    )
+
+
+DEFAULT_CELLS: Tuple[CellSpec, ...] = _specs(60.0, "e11")
+SMOKE_CELLS: Tuple[CellSpec, ...] = _specs(15.0, "smoke")
+
+
+def run_cell(spec: CellSpec) -> Dict[str, object]:
+    """Run one cell to quiescence; returns its deterministic result row."""
+    (low, high), partition, overrides = REGIMES[spec.regime]
+    cost_fn = make_airline_application(spec.capacity).cost
+    factory = policy_engine_factory(
+        lambda: TailWindowPolicy(spec.window), cost_fn=cost_fn
+    )
+    partitions = (
+        PartitionSchedule.split(partition[0], partition[1], [0], [1, 2])
+        if partition is not None
+        else None
+    )
+    run = run_airline_scenario(
+        AirlineScenario(
+            capacity=spec.capacity,
+            n_nodes=3,
+            duration=spec.duration,
+            seed=spec.seed,
+            request_rate=spec.request_rate,
+            delay=UniformDelay(low, high),
+            partitions=partitions,
+            merge_factory=factory,
+            **overrides,
+        )
+    )
+    stats = [node.merge.stats for node in run.cluster.nodes]
+    costs = [node.merge.cost_stats for node in run.cluster.nodes]
+    inserts = sum(s.inserts for s in stats)
+    fastpath = sum(s.fastpath_hits for s in stats)
+    hits = sum(c.hits for c in costs)
+    evaluations = sum(c.evaluations for c in costs)
+    state_digest = hashlib.sha256(
+        repr(run.final_state).encode("utf-8")
+    ).hexdigest()[:16]
+    return {
+        "cell": spec.name,
+        "regime": spec.regime,
+        "spec": spec.as_dict(),
+        "log_length": len(run.execution),
+        "inserts": inserts,
+        "updates_applied": sum(s.updates_applied for s in stats),
+        "fastpath_hits": fastpath,
+        "fastpath_rate": round(fastpath / inserts, 4) if inserts else 0.0,
+        "undo_redo_merges": sum(s.undo_redo_merges for s in stats),
+        "batch_merges": sum(s.batch_merges for s in stats),
+        "batched_inserts": sum(s.batched_inserts for s in stats),
+        "cost_evaluations": evaluations,
+        "cost_hits": hits,
+        "cost_invalidated": sum(c.invalidated for c in costs),
+        "cost_hit_rate": (
+            round(hits / (hits + evaluations), 4)
+            if hits + evaluations else 0.0
+        ),
+        "final_cost": run.cluster.nodes[0].merge.state_cost,
+        "state_fingerprint": state_digest,
+    }
+
+
+def aggregate_hit_rate(rows) -> float:
+    """Pooled cost-cache hit rate over a set of cell rows."""
+    hits = sum(r["cost_hits"] for r in rows)
+    evaluations = sum(r["cost_evaluations"] for r in rows)
+    total = hits + evaluations
+    return hits / total if total else 0.0

@@ -1,0 +1,249 @@
+"""``python -m repro.perf.gate`` — the CI perf-regression gate.
+
+Compares the committed ``benchmarks/results/BENCH_perf.json`` against a
+fresh smoke run, honestly split by what is comparable across machines:
+
+* **deterministic sections** (campaign fingerprints, per-cell work
+  counters, state fingerprints) must match the committed baseline
+  *exactly* — any drift means the merge path, the cost cache or the
+  campaign derivation changed behaviour;
+* **worker independence** is re-proven: the smoke baseline is computed
+  at ``workers=1`` and ``workers=N`` and the two payloads must be
+  identical;
+* **float metrics** (the pooled cost-cache hit rate) are held within a
+  tolerance band of the committed value;
+* **wall-clock** is only ever compared within this machine's own fresh
+  runs (parallel vs serial) — committed timings from another host gate
+  nothing.  With fewer than two usable cores the wall-clock check is
+  recorded as skipped, not failed.
+
+Exit status: 0 clean, 1 any regression, 2 usage/baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..chaos.harness import ChaosScenario
+from .campaign import run_parallel_campaign, run_parallel_cells
+from .cells import SMOKE_CELLS, aggregate_hit_rate
+from .timer import PerfTimer
+
+#: the smoke workload re-run by the gate; small enough for CI, fixed so
+#: the committed baseline and every fresh run compute the same thing.
+SMOKE_SEED = 0
+SMOKE_RUNS = 6
+SMOKE_SCENARIO = ChaosScenario(duration=8.0)
+
+#: per-cell counters that must match the committed baseline exactly.
+EXACT_CELL_KEYS = (
+    "log_length", "inserts", "updates_applied", "fastpath_hits",
+    "undo_redo_merges", "batch_merges", "batched_inserts",
+    "cost_evaluations", "cost_hits", "state_fingerprint",
+)
+
+DEFAULT_BASELINE = Path("benchmarks/results/BENCH_perf.json")
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def smoke_baseline(
+    workers: int = 1, timer: Optional[PerfTimer] = None
+) -> Dict[str, object]:
+    """The gate's deterministic smoke payload (identical for every
+    worker count; that identity is itself one of the gate's checks)."""
+    campaign = run_parallel_campaign(
+        SMOKE_SEED, SMOKE_RUNS,
+        workers=workers, scenario=SMOKE_SCENARIO, shrink=False, timer=timer,
+    )
+    cells = run_parallel_cells(SMOKE_CELLS, workers=workers, timer=timer)
+    return {
+        "seed": SMOKE_SEED,
+        "runs": SMOKE_RUNS,
+        "scenario": SMOKE_SCENARIO.as_dict(),
+        "aggregate_fingerprint": campaign["aggregate_fingerprint"],
+        "fingerprints": campaign["fingerprints"],
+        "violations": campaign["violations"],
+        "cells": cells,
+        "cost_hit_rate": round(aggregate_hit_rate(cells), 4),
+    }
+
+
+def _compare_cells(
+    fresh_cells, committed_cells, problems: List[str]
+) -> None:
+    committed_by_name = {row["cell"]: row for row in committed_cells}
+    for row in fresh_cells:
+        committed = committed_by_name.pop(row["cell"], None)
+        if committed is None:
+            problems.append(f"cell {row['cell']}: missing from baseline")
+            continue
+        for key in EXACT_CELL_KEYS:
+            if row.get(key) != committed.get(key):
+                problems.append(
+                    f"cell {row['cell']}: {key} changed "
+                    f"{committed.get(key)!r} -> {row.get(key)!r}"
+                )
+    for name in committed_by_name:
+        problems.append(f"cell {name}: in baseline but not re-run")
+
+
+def run_gate(
+    baseline_path: Path = DEFAULT_BASELINE,
+    tolerance: float = 0.02,
+    wall_factor: float = 2.0,
+    workers: int = 2,
+) -> Tuple[int, Dict[str, object]]:
+    """Run the gate; returns (exit_status, JSON-ready report)."""
+    try:
+        committed = json.loads(Path(baseline_path).read_text())
+    except (OSError, ValueError) as exc:
+        return 2, {"error": f"cannot read baseline {baseline_path}: {exc}"}
+    expected = committed.get("smoke_baseline")
+    if not isinstance(expected, dict):
+        return 2, {
+            "error": f"baseline {baseline_path} has no smoke_baseline section"
+        }
+
+    timer = PerfTimer()
+    with timer.span("gate_serial"):
+        fresh_serial = smoke_baseline(workers=1)
+    with timer.span("gate_parallel"):
+        fresh_parallel = smoke_baseline(workers=workers)
+
+    problems: List[str] = []
+    if fresh_serial != fresh_parallel:
+        problems.append(
+            f"worker count changed the deterministic payload "
+            f"(workers=1 vs workers={workers})"
+        )
+    if (
+        fresh_serial["aggregate_fingerprint"]
+        != expected.get("aggregate_fingerprint")
+    ):
+        problems.append(
+            "campaign fingerprint drifted: "
+            f"{expected.get('aggregate_fingerprint')!r} -> "
+            f"{fresh_serial['aggregate_fingerprint']!r}"
+        )
+    if fresh_serial["violations"] != expected.get("violations"):
+        problems.append(
+            f"smoke violations changed {expected.get('violations')!r} -> "
+            f"{fresh_serial['violations']!r}"
+        )
+    _compare_cells(
+        fresh_serial["cells"], expected.get("cells", ()), problems
+    )
+    committed_rate = expected.get("cost_hit_rate", 0.0)
+    if fresh_serial["cost_hit_rate"] < committed_rate - tolerance:
+        problems.append(
+            f"cost-cache hit rate fell below band: "
+            f"{fresh_serial['cost_hit_rate']} < {committed_rate} - {tolerance}"
+        )
+
+    cores = usable_cores()
+    serial_s = timer.timings.total("gate_serial")
+    parallel_s = timer.timings.total("gate_parallel")
+    wall_check: Dict[str, object] = {
+        "cores": cores,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "wall_factor": wall_factor,
+    }
+    if cores < 2 or workers < 2:
+        wall_check["status"] = "skipped (needs >= 2 cores and workers)"
+    elif parallel_s > serial_s * wall_factor:
+        wall_check["status"] = "failed"
+        problems.append(
+            f"parallel smoke took {parallel_s:.2f}s vs serial "
+            f"{serial_s:.2f}s (allowed factor {wall_factor})"
+        )
+    else:
+        wall_check["status"] = "ok"
+
+    report = {
+        "baseline": str(baseline_path),
+        "workers": workers,
+        "tolerance": tolerance,
+        "problems": problems,
+        "wall_clock": wall_check,
+        "fresh": {
+            "aggregate_fingerprint": fresh_serial["aggregate_fingerprint"],
+            "cost_hit_rate": fresh_serial["cost_hit_rate"],
+        },
+    }
+    return (1 if problems else 0), report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.gate",
+        description="perf-regression gate: committed BENCH_perf.json vs "
+        "a fresh smoke run",
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help=f"baseline JSON (default {DEFAULT_BASELINE})")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="hit-rate tolerance band (default 0.02)")
+    parser.add_argument("--wall-factor", type=float, default=2.0,
+                        help="max parallel/serial wall-clock ratio "
+                        "(default 2.0; same-machine comparison only)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="parallel worker count to prove against "
+                        "(default 2)")
+    parser.add_argument("--format", choices=("json", "text"),
+                        default="text", help="output format")
+    return parser
+
+
+def _render_text(status: int, report: Dict[str, object]) -> str:
+    if "error" in report:
+        return f"perf gate error: {report['error']}"
+    lines = [
+        f"perf gate vs {report['baseline']}: "
+        + ("CLEAN" if status == 0 else "REGRESSED")
+    ]
+    wall = report["wall_clock"]
+    lines.append(
+        f"  wall-clock [{wall['status']}]: serial {wall['serial_s']}s, "
+        f"parallel {wall['parallel_s']}s on {wall['cores']} core(s)"
+    )
+    lines.append(
+        f"  fresh fingerprint {report['fresh']['aggregate_fingerprint']}, "
+        f"cost-cache hit rate {report['fresh']['cost_hit_rate']}"
+    )
+    for problem in report["problems"]:
+        lines.append(f"  problem: {problem}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    status, report = run_gate(
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+        wall_factor=args.wall_factor,
+        workers=args.workers,
+    )
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(_render_text(status, report))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Wall-clock profiling spans.
+
+Everything simulated in this repo runs on virtual time; shardlint rule
+R3 bans wall-clock reads tree-wide so no simulation result can depend on
+the host.  Profiling is the one legitimate consumer of real time — it
+measures the *host's* effort, not the simulation's behaviour — so the
+single sanctioned read lives here, explicitly suppressed and justified,
+and every other module takes durations as plain numbers
+(:class:`repro.sim.metrics.PhaseTimings` is pure storage).
+
+:class:`PerfTimer` takes an injectable clock so tests drive it with a
+fake and stay deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from ..sim.metrics import PhaseTimings
+
+Clock = Callable[[], float]
+
+
+def wall_clock() -> float:
+    """Monotonic host time in seconds — the one sanctioned wall-clock
+    read in the tree (see the module docstring)."""
+    return time.perf_counter()  # shardlint: ignore[R3] -- profiling measures the host, not simulated time
+
+
+class PerfTimer:
+    """Records named wall-clock spans into a :class:`PhaseTimings`.
+
+    Usage::
+
+        timer = PerfTimer()
+        with timer.span("campaign"):
+            run_parallel_campaign(...)
+        timer.as_dict()  # {"campaign": {"total_s": ..., ...}}
+    """
+
+    def __init__(
+        self,
+        timings: Optional[PhaseTimings] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.timings = timings if timings is not None else PhaseTimings()
+        self.clock = clock if clock is not None else wall_clock
+
+    @contextmanager
+    def span(self, phase: str) -> Iterator[None]:
+        """Time a ``with`` block under ``phase`` (accumulates; exceptions
+        still record the elapsed time)."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.timings.add(phase, self.clock() - start)
+
+    def timed(self, phase: str, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` inside a span; returns its result."""
+        with self.span(phase):
+            return fn(*args, **kwargs)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Record an externally measured duration (e.g. one handed back
+        by a pool worker)."""
+        self.timings.add(phase, seconds)
+
+    def as_dict(self):
+        return self.timings.as_dict()

@@ -9,6 +9,7 @@ baselines all store state through this package.
 """
 
 from .engine import (
+    CostCacheStats,
     ListUpdateSource,
     LogUpdateSource,
     MergeOutcome,
@@ -38,6 +39,7 @@ from .timestamps import LamportClock, Timestamp
 __all__ = [
     "AdaptiveWindowPolicy",
     "CheckpointPolicy",
+    "CostCacheStats",
     "EngineFactory",
     "EveryPositionPolicy",
     "FixedIntervalPolicy",

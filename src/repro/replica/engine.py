@@ -20,18 +20,37 @@ Two cost mechanisms:
   retained checkpoint at or before it.  Which snapshots are retained is
   the :mod:`~repro.replica.policy`'s call; eviction runs incrementally
   during replay so peak memory stays within the policy's bound.
+
+Two hot-path extensions (the performance pass):
+
+* **batched spans** — :meth:`MergeView.merge_span` repairs the view once
+  after the source gained a whole *batch* of updates (a gossip DELTA, a
+  quiescence exchange), paying a single undo/redo cycle from the
+  earliest insertion point instead of one cycle per record.
+* **incremental constraint costs** — with a ``cost_fn`` installed the
+  view maintains the per-prefix integrity-constraint cost series
+  ``cost(fold(updates[:j], initial))`` for every prefix length ``j``,
+  keyed by log position.  An insertion at position ``p`` leaves every
+  prefix of length ``<= p`` unchanged, so only the suffix costs are
+  invalidated and re-evaluated (during the replay, whose states are in
+  hand anyway); the surviving prefix entries are *hits* — evaluations a
+  from-scratch recomputation of the series would have repeated.
+  :class:`CostCacheStats` reports the hit rate.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
 from ..core.state import State
 from ..core.update import Update
 from .log import SystemLog
 from .policy import CheckpointPolicy, EveryPositionPolicy
+
+#: integrity-constraint cost of one state (the paper's ``cost(s)``).
+CostFn = Callable[[State], float]
 
 
 @dataclass
@@ -44,21 +63,48 @@ class MergeStats:
     fastpath_hits: int = 0
     undo_redo_merges: int = 0
     max_displacement: int = 0
+    #: repairs that covered more than one freshly inserted record
+    #: (gossip DELTA batches, quiescence exchanges), and how many
+    #: records those batched repairs covered in total.
+    batch_merges: int = 0
+    batched_inserts: int = 0
 
     @property
     def fastpath_rate(self) -> float:
         return self.fastpath_hits / self.inserts if self.inserts else 0.0
 
 
+@dataclass
+class CostCacheStats:
+    """Accounting for the incremental per-prefix cost cache.
+
+    ``evaluations`` counts actual ``cost_fn`` calls; ``hits`` counts
+    prefix costs that survived an undo/redo repair and were reused —
+    exactly the evaluations a from-scratch recomputation of the whole
+    cost series (what a cache-less merge does on every non-tail insert)
+    would have repeated.  Tail fast-path appends put nothing at risk, so
+    they evaluate once and contribute no hits."""
+
+    evaluations: int = 0
+    hits: int = 0
+    invalidated: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.evaluations
+        return self.hits / total if total else 0.0
+
+
 @dataclass(frozen=True)
 class MergeOutcome:
-    """What one insertion cost: the fast path, or an undo/redo replay of
-    ``replayed`` updates for an insertion ``displacement`` positions
-    from the tail."""
+    """What one repair cost: the fast path, or an undo/redo replay of
+    ``replayed`` updates for a span of ``added`` insertions beginning
+    ``displacement`` positions from the pre-batch tail."""
 
     fastpath: bool
     replayed: int
     displacement: int
+    added: int = 1
 
 
 class UpdateSource(Protocol):
@@ -117,17 +163,28 @@ class MergeView:
         initial_state: State,
         policy: Optional[CheckpointPolicy] = None,
         fast_path: bool = True,
+        cost_fn: Optional[CostFn] = None,
     ):
         self.initial_state = initial_state
         self.policy = policy if policy is not None else EveryPositionPolicy()
         self.fast_path = fast_path
         self.stats = MergeStats()
+        self.cost_stats = CostCacheStats()
         self._source: Optional[UpdateSource] = None
         #: sorted retained checkpoint positions; _snapshots[p] is the
         #: state after the first p updates.  Position 0 is always kept.
         self._positions: List[int] = [0]
         self._snapshots: Dict[int, State] = {0: initial_state}
         self._state = initial_state
+        self._cost_fn = cost_fn
+        #: per-prefix constraint costs keyed by log position: entry j is
+        #: cost(fold(updates[:j], initial)).  Maintained eagerly (every
+        #: position 0..len(source) is present between merges) and
+        #: invalidated past the insertion point on non-tail inserts and
+        #: rewinds — see ``_drop_after``.
+        self._prefix_costs: Dict[int, float] = {}
+        if cost_fn is not None:
+            self._prefix_costs[0] = self._evaluate_cost(initial_state)
 
     # -- wiring ----------------------------------------------------------
 
@@ -178,20 +235,54 @@ class MergeView:
     def merge_at(self, position: int) -> MergeOutcome:
         """Restore the invariant after the source gained an update at
         ``position``; returns what the repair cost."""
+        return self.merge_span(position, 1)
+
+    def merge_span(self, position: int, added: int) -> MergeOutcome:
+        """Restore the invariant after the source gained ``added``
+        updates, the earliest of which now sits at ``position``.
+
+        This is the batched repair: a gossip DELTA (or quiescence
+        exchange) inserts its whole sorted record batch into the log
+        first, then pays one undo/redo cycle from the earliest insertion
+        point — instead of one cycle per record.  ``merge_at`` is the
+        ``added == 1`` special case.
+        """
         source = self.source
         n = len(source)
-        if not 0 <= position < n:
-            raise IndexError(f"merge position {position} out of range")
-        self.stats.inserts += 1
-        displacement = n - 1 - position
+        if added < 1:
+            raise ValueError(f"span must add at least one update, got {added}")
+        if not 0 <= position <= n - added:
+            raise IndexError(
+                f"merge span start {position} (+{added}) out of range for "
+                f"log of {n}"
+            )
+        self.stats.inserts += added
+        if added > 1:
+            self.stats.batch_merges += 1
+            self.stats.batched_inserts += added
+        #: pre-existing records the repair had to undo past; 0 means the
+        #: batch is a pure tail extension.
+        displacement = n - added - position
         if self.fast_path and displacement == 0:
-            state = source.update_at(position).apply(self._state)
+            state = self._state
+            for j in range(position, n):
+                state = source.update_at(j).apply(state)
+                self.stats.updates_applied += 1
+                self._note_cost(j + 1, state)
+                self._retain(j + 1, state, n)
             self._state = state
-            self.stats.updates_applied += 1
-            self.stats.fastpath_hits += 1
-            self._retain(n, state, n)
-            outcome = MergeOutcome(fastpath=True, replayed=1, displacement=0)
+            self.stats.fastpath_hits += added
+            outcome = MergeOutcome(
+                fastpath=True, replayed=added, displacement=0, added=added
+            )
         else:
+            if self._cost_fn is not None:
+                # entries 0..position survive the insertion; a
+                # from-scratch recomputation of the cost series (the
+                # cache-less behaviour) would re-evaluate them all.
+                self.cost_stats.hits += sum(
+                    1 for p in self._prefix_costs if p <= position
+                )
             self._drop_after(position)
             base = self._positions[
                 bisect.bisect_right(self._positions, position) - 1
@@ -200,6 +291,7 @@ class MergeView:
             for j in range(base, n):
                 state = source.update_at(j).apply(state)
                 self.stats.updates_applied += 1
+                self._note_cost(j + 1, state)
                 self._retain(j + 1, state, n)
             self._state = state
             self.stats.undo_redo_merges += 1
@@ -207,7 +299,10 @@ class MergeView:
                 self.stats.max_displacement, displacement
             )
             outcome = MergeOutcome(
-                fastpath=False, replayed=n - base, displacement=displacement
+                fastpath=False,
+                replayed=n - base,
+                displacement=displacement,
+                added=added,
             )
         self.policy.observe(displacement)
         if len(self._positions) > self.stats.snapshots_held:
@@ -239,6 +334,53 @@ class MergeView:
         self._state = self._snapshots[position]
         return self._state
 
+    # -- incremental constraint costs ------------------------------------
+
+    @property
+    def cost_fn(self) -> Optional[CostFn]:
+        return self._cost_fn
+
+    @property
+    def state_cost(self) -> float:
+        """``cost_fn`` of the current materialized state."""
+        return self.prefix_cost(len(self.source))
+
+    def prefix_cost(self, position: int) -> float:
+        """The constraint cost of the state after the first ``position``
+        updates — from the cache when the entry is live, otherwise (only
+        possible after external source manipulation) recomputed by a
+        replay from the nearest retained checkpoint, filling the cache
+        on the way."""
+        if self._cost_fn is None:
+            raise RuntimeError("no cost_fn installed on this view")
+        if not 0 <= position <= len(self.source):
+            raise IndexError(f"prefix length {position} out of range")
+        cached = self._prefix_costs.get(position)
+        if cached is not None:
+            return cached
+        base = self._positions[
+            bisect.bisect_right(self._positions, position) - 1
+        ]
+        state = self._snapshots[base]
+        for j in range(base, position):
+            state = self.source.update_at(j).apply(state)
+            self._note_cost(j + 1, state)
+        return self._prefix_costs[position]
+
+    def cost_series(self) -> List[float]:
+        """Per-prefix costs for every length 0..len(source)."""
+        return [self.prefix_cost(j) for j in range(len(self.source) + 1)]
+
+    def _evaluate_cost(self, state: State) -> float:
+        self.cost_stats.evaluations += 1
+        return self._cost_fn(state)
+
+    def _note_cost(self, position: int, state: State) -> None:
+        if self._cost_fn is None:
+            return
+        if position not in self._prefix_costs:
+            self._prefix_costs[position] = self._evaluate_cost(state)
+
     # -- checkpoint bookkeeping ------------------------------------------
 
     def _retain(self, position: int, state: State, log_length: int) -> None:
@@ -259,9 +401,15 @@ class MergeView:
                 del self._snapshots[p]
 
     def _drop_after(self, position: int) -> None:
-        """Invalidate checkpoints past an insertion point: a snapshot at
-        p > position no longer reflects the first p updates."""
+        """Invalidate checkpoints (and cached prefix costs) past an
+        insertion point: a snapshot or cost at p > position no longer
+        reflects the first p updates."""
         index = bisect.bisect_right(self._positions, position)
         for p in self._positions[index:]:
             del self._snapshots[p]
         del self._positions[index:]
+        if self._cost_fn is not None:
+            stale = [p for p in self._prefix_costs if p > position]
+            for p in stale:
+                del self._prefix_costs[p]
+            self.cost_stats.invalidated += len(stale)

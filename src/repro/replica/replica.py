@@ -37,14 +37,20 @@ def default_engine_factory(initial_state: State) -> MergeView:
 def policy_engine_factory(
     make_policy: Callable[[], CheckpointPolicy],
     fast_path: bool = True,
+    cost_fn=None,
 ) -> EngineFactory:
     """An engine factory from a policy factory: each node gets a fresh
     policy instance (policies are stateful — the adaptive one resizes
-    from per-node traffic) driving a fast-path merge view."""
+    from per-node traffic) driving a fast-path merge view.  With
+    ``cost_fn`` the view also maintains the incremental per-prefix
+    constraint-cost cache."""
 
     def factory(initial_state: State) -> MergeView:
         return MergeView(
-            initial_state, policy=make_policy(), fast_path=fast_path
+            initial_state,
+            policy=make_policy(),
+            fast_path=fast_path,
+            cost_fn=cost_fn,
         )
 
     return factory
@@ -93,6 +99,35 @@ class Replica:
         if self.on_merge is not None:
             self.on_merge(outcome)
         return outcome
+
+    def ingest_batch(
+        self, records
+    ) -> Tuple[Tuple[UpdateRecord, ...], Optional[MergeOutcome]]:
+        """Insert a whole batch of records (a gossip DELTA, a quiescence
+        exchange), then repair the state *once* from the earliest
+        insertion point — one undo/redo cycle instead of one per record.
+
+        Records are inserted in ascending timestamp order, so the
+        earliest raw insertion position is the batch's final minimum
+        position.  Returns the records actually inserted (duplicates
+        dropped) and the single :class:`MergeOutcome`, or ``((), None)``
+        when every record was a duplicate.
+        """
+        lowest: Optional[int] = None
+        inserted = []
+        for record in sorted(records):
+            position = self.log.insert(record)
+            if position is None:
+                continue
+            inserted.append(record)
+            if lowest is None or position < lowest:
+                lowest = position
+        if lowest is None:
+            return (), None
+        outcome = self.engine.merge_span(lowest, len(inserted))
+        if self.on_merge is not None:
+            self.on_merge(outcome)
+        return tuple(inserted), outcome
 
     def lose_volatile(self) -> Tuple[UpdateRecord, ...]:
         """Crash semantics (repro.chaos): everything past the last

@@ -92,3 +92,12 @@ class ShardNode:
         """Merge a remotely initiated record; returns False on duplicate."""
         self.clock.observe(record.ts)
         return self.replica.ingest(record) is not None
+
+    def receive_batch(self, records) -> tuple:
+        """Merge a batch of remotely obtained records (a gossip DELTA)
+        in one undo/redo cycle; returns the records actually inserted
+        (duplicates dropped)."""
+        for record in records:
+            self.clock.observe(record.ts)
+        inserted, _outcome = self.replica.ingest_batch(records)
+        return inserted

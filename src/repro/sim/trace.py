@@ -18,6 +18,9 @@ checked against it by shardlint rule R5 — it cannot drift):
   storage outcome: an in-order tail append, or an undo/redo repair with
   its ``displacement`` (positions from the tail) and ``replayed``
   (updates re-applied);
+* ``merge_batch`` — a whole record batch (a gossip DELTA, a quiescence
+  exchange) repaired in one undo/redo cycle: ``count`` records entered
+  the log for one repair with the given ``displacement``/``replayed``;
 * ``gossip_syn`` / ``gossip_delta`` / ``gossip_skip`` — one anti-entropy
   exchange: a digest SYN left a node, a DELTA shipped missing records,
   or the exchange found the peers already in sync;
@@ -45,6 +48,7 @@ EVENT_SCHEMAS: Dict[str, FrozenSet[str]] = {
     # replica-layer merge outcomes
     "merge_fastpath": frozenset(),
     "merge_undo": frozenset({"displacement", "replayed"}),
+    "merge_batch": frozenset({"count", "displacement", "replayed"}),
     # digest anti-entropy exchanges
     "gossip_syn": frozenset({"peer", "cells", "reason"}),
     "gossip_delta": frozenset({"peer", "pushed", "wanted"}),

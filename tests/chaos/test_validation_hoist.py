@@ -1,0 +1,79 @@
+"""Plan validation is hoisted: once per generated plan, never per probe.
+
+The seed re-validated every plan inside :class:`ChaosInjector`, so a
+failing run paid the validation again for every shrink probe.  Now
+``run_index`` validates the freshly generated plan once and every chaos
+run it triggers — including all shrink probes, which execute subplans of
+the already-validated plan — passes ``plan_validated=True`` through.
+"""
+
+import pytest
+
+from repro.apps.airline import AirlineState
+from repro.chaos import ChaosScenario, Crash, FaultPlan, run_chaos
+from repro.chaos.cli import run_campaign, run_index
+from repro.chaos.inject import ChaosInjector
+from repro.shard import ClusterConfig, ShardCluster
+
+
+@pytest.fixture
+def counted_validation(monkeypatch):
+    """Spy on FaultPlan.check_nodes, counting every invocation."""
+    calls = []
+    original = FaultPlan.check_nodes
+
+    def spy(self, n_nodes):
+        calls.append(len(self.faults))
+        return original(self, n_nodes)
+
+    monkeypatch.setattr(FaultPlan, "check_nodes", spy)
+    return calls
+
+
+class TestHoistedValidation:
+    def test_clean_campaign_validates_once_per_run(self, counted_validation):
+        runs = 5
+        run_campaign(0, runs, shrink=True)
+        assert len(counted_validation) == runs
+
+    def test_shrinking_failure_adds_no_validations(self, counted_validation):
+        """The weakened ablation fails and shrinks (dozens of probe
+        re-runs), yet validation still happens exactly once per plan."""
+        runs = 6
+        result = run_campaign(
+            7, runs,
+            scenario=ChaosScenario(piggyback=False, delay="fixed"),
+            oracles=("transitivity",),
+            shrink=True,
+        )
+        assert result["failing_runs"] > 0
+        probes = sum(f["shrink_probes"] for f in result["failures"])
+        assert probes > 0  # shrinking really re-ran the harness
+        assert len(counted_validation) == runs
+
+    def test_run_index_validates_exactly_once(self, counted_validation):
+        run_index(0, 3, shrink=True)
+        assert len(counted_validation) == 1
+
+
+class TestInjectorValidationSwitch:
+    @staticmethod
+    def make_cluster():
+        return ShardCluster(AirlineState(), ClusterConfig(n_nodes=3))
+
+    def test_injector_validates_by_default(self):
+        bad = FaultPlan((Crash(node=99, at=1.0, recover_at=2.0),))
+        with pytest.raises(ValueError):
+            ChaosInjector(self.make_cluster(), bad)
+
+    def test_validated_plans_skip_the_recheck(self, counted_validation):
+        plan = FaultPlan((Crash(node=0, at=1.0, recover_at=2.0),))
+        ChaosInjector(self.make_cluster(), plan, validate=False)
+        assert counted_validation == []
+
+    def test_run_chaos_forwards_the_flag(self, counted_validation):
+        plan = FaultPlan((Crash(node=0, at=2.0, recover_at=4.0),))
+        run_chaos(ChaosScenario(duration=6.0), plan, plan_validated=True)
+        assert counted_validation == []
+        run_chaos(ChaosScenario(duration=6.0), plan)
+        assert counted_validation == [1]

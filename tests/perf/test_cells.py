@@ -1,0 +1,69 @@
+"""Seed cells: deterministic result rows for the merge hot path."""
+
+import pytest
+
+from repro.perf.cells import (
+    DEFAULT_CELLS,
+    REGIMES,
+    SMOKE_CELLS,
+    CellSpec,
+    aggregate_hit_rate,
+    run_cell,
+)
+
+
+def smoke(regime):
+    return CellSpec(name=f"t:{regime}", regime=regime, duration=15.0)
+
+
+class TestCellSpec:
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError):
+            CellSpec(name="x", regime="chaotic-good")
+
+    def test_default_sets_cover_every_regime(self):
+        for cells in (DEFAULT_CELLS, SMOKE_CELLS):
+            assert [c.regime for c in cells] == list(REGIMES)
+
+    def test_as_dict_round_trips(self):
+        spec = smoke("jittery")
+        assert CellSpec(**spec.as_dict()) == spec
+
+
+class TestRunCell:
+    def test_repeat_runs_identical(self):
+        spec = smoke("jittery")
+        assert run_cell(spec) == run_cell(spec)
+
+    def test_row_accounting_is_internally_consistent(self):
+        row = run_cell(smoke("partitioned"))
+        assert row["inserts"] > 0
+        assert row["fastpath_hits"] <= row["inserts"]
+        assert row["batched_inserts"] >= 2 * row["batch_merges"]
+        total = row["cost_hits"] + row["cost_evaluations"]
+        assert row["cost_hit_rate"] == pytest.approx(
+            row["cost_hits"] / total, abs=1e-4
+        )
+
+    def test_single_writer_rides_the_fast_path(self):
+        row = run_cell(smoke("single-writer"))
+        assert row["fastpath_rate"] >= 0.95
+        assert row["undo_redo_merges"] == 0
+
+    def test_out_of_order_regime_exercises_the_cache(self):
+        row = run_cell(smoke("jittery"))
+        assert row["undo_redo_merges"] > 0
+        assert row["cost_hits"] > 0
+
+
+class TestAggregateHitRate:
+    def test_pools_rather_than_averages(self):
+        rows = [
+            {"cost_hits": 90, "cost_evaluations": 10},
+            {"cost_hits": 0, "cost_evaluations": 900},
+        ]
+        # pooled: 90 / 1000, not the 0.475 mean of per-row rates.
+        assert aggregate_hit_rate(rows) == pytest.approx(0.09)
+
+    def test_empty_is_zero(self):
+        assert aggregate_hit_rate([]) == 0.0

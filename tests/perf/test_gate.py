@@ -1,0 +1,109 @@
+"""The CI perf-regression gate: clean pass, tamper detection, usage
+errors — driven against real smoke baselines written to tmp_path."""
+
+import json
+
+import pytest
+
+from repro.perf import run_gate, smoke_baseline
+from repro.perf.gate import main
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """One real smoke baseline shared by the module (it is the slow
+    part; every test below compares against a copy of it)."""
+    return smoke_baseline(workers=1)
+
+
+def write_baseline(tmp_path, smoke):
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps({"smoke_baseline": smoke}, indent=2))
+    return path
+
+
+class TestCleanGate:
+    def test_fresh_run_matches_committed_baseline(self, tmp_path, baseline):
+        path = write_baseline(tmp_path, baseline)
+        status, report = run_gate(path, workers=2)
+        assert status == 0, report["problems"]
+        assert report["problems"] == []
+        assert report["fresh"]["aggregate_fingerprint"] == (
+            baseline["aggregate_fingerprint"]
+        )
+        # single-core hosts skip (never fail) the wall-clock check.
+        assert report["wall_clock"]["status"] in ("ok", "skipped (needs >= 2 cores and workers)")
+
+    def test_workers_1_skips_wall_clock(self, tmp_path, baseline):
+        path = write_baseline(tmp_path, baseline)
+        status, report = run_gate(path, workers=1)
+        assert status == 0
+        assert report["wall_clock"]["status"].startswith("skipped")
+
+
+class TestTamperDetection:
+    def test_drifted_fingerprint_fails(self, tmp_path, baseline):
+        tampered = dict(baseline, aggregate_fingerprint="0" * 16)
+        status, report = run_gate(write_baseline(tmp_path, tampered),
+                                  workers=1)
+        assert status == 1
+        assert any("fingerprint" in p for p in report["problems"])
+
+    def test_changed_cell_counter_fails(self, tmp_path, baseline):
+        cells = [dict(row) for row in baseline["cells"]]
+        cells[0]["cost_evaluations"] += 1
+        tampered = dict(baseline, cells=cells)
+        status, report = run_gate(write_baseline(tmp_path, tampered),
+                                  workers=1)
+        assert status == 1
+        assert any("cost_evaluations" in p for p in report["problems"])
+
+    def test_hit_rate_above_band_fails(self, tmp_path, baseline):
+        tampered = dict(
+            baseline, cost_hit_rate=baseline["cost_hit_rate"] + 0.5
+        )
+        status, report = run_gate(write_baseline(tmp_path, tampered),
+                                  workers=1, tolerance=0.02)
+        assert status == 1
+        assert any("hit rate" in p for p in report["problems"])
+
+    def test_hit_rate_within_band_passes(self, tmp_path, baseline):
+        tampered = dict(
+            baseline, cost_hit_rate=baseline["cost_hit_rate"] + 0.01
+        )
+        status, _ = run_gate(write_baseline(tmp_path, tampered),
+                             workers=1, tolerance=0.02)
+        assert status == 0
+
+    def test_missing_cell_fails(self, tmp_path, baseline):
+        tampered = dict(baseline, cells=list(baseline["cells"][1:]))
+        status, report = run_gate(write_baseline(tmp_path, tampered),
+                                  workers=1)
+        assert status == 1
+        assert any("missing from baseline" in p for p in report["problems"])
+
+
+class TestUsageErrors:
+    def test_unreadable_baseline_exits_two(self, tmp_path):
+        status, report = run_gate(tmp_path / "nope.json", workers=1)
+        assert status == 2
+        assert "cannot read baseline" in report["error"]
+
+    def test_missing_section_exits_two(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"experiment": "E16"}))
+        status, report = run_gate(path, workers=1)
+        assert status == 2
+        assert "smoke_baseline" in report["error"]
+
+    def test_cli_validates_workers(self, capsys):
+        assert main(["--workers", "0"]) == 2
+        capsys.readouterr()
+
+    def test_cli_json_reports_error(self, tmp_path, capsys):
+        code = main([
+            "--baseline", str(tmp_path / "nope.json"),
+            "--workers", "1", "--format", "json",
+        ])
+        assert code == 2
+        assert "error" in json.loads(capsys.readouterr().out)

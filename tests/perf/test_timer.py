@@ -1,0 +1,98 @@
+"""Unit tests for the profiling seam: PerfTimer spans + PhaseTimings.
+
+The timer takes an injectable clock, so everything here runs on a fake
+and stays deterministic; PhaseTimings itself never reads a clock at all
+(it is importable from simulation code under shardlint rule R3).
+"""
+
+import pytest
+
+from repro.perf import PerfTimer
+from repro.sim.metrics import PhaseTimings
+
+
+class FakeClock:
+    """A clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPerfTimer:
+    def test_span_records_elapsed_time(self):
+        clock = FakeClock()
+        timer = PerfTimer(clock=clock)
+        with timer.span("merge"):
+            clock.advance(1.5)
+        assert timer.timings.total("merge") == 1.5
+        assert timer.timings.counts["merge"] == 1
+
+    def test_spans_accumulate_per_phase(self):
+        clock = FakeClock()
+        timer = PerfTimer(clock=clock)
+        for _ in range(3):
+            with timer.span("run"):
+                clock.advance(2.0)
+        assert timer.timings.total("run") == 6.0
+        assert timer.timings.mean_of("run") == 2.0
+
+    def test_exceptions_still_record(self):
+        clock = FakeClock()
+        timer = PerfTimer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with timer.span("doomed"):
+                clock.advance(4.0)
+                raise RuntimeError("boom")
+        assert timer.timings.total("doomed") == 4.0
+
+    def test_timed_returns_the_result(self):
+        clock = FakeClock()
+        timer = PerfTimer(clock=clock)
+
+        def work(x):
+            clock.advance(0.5)
+            return x * 2
+
+        assert timer.timed("work", work, 21) == 42
+        assert timer.timings.total("work") == 0.5
+
+    def test_add_records_external_durations(self):
+        timer = PerfTimer(clock=FakeClock())
+        timer.add("worker", 3.0)
+        timer.add("worker", 1.0)
+        assert timer.as_dict() == {
+            "worker": {"total_s": 4.0, "count": 2, "mean_s": 2.0}
+        }
+
+
+class TestPhaseTimings:
+    def test_rejects_negative_durations(self):
+        timings = PhaseTimings()
+        with pytest.raises(ValueError):
+            timings.add("t", -0.1)
+
+    def test_merge_accumulates_both_axes(self):
+        a, b = PhaseTimings(), PhaseTimings()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.total("x") == 3.0 and a.counts["x"] == 2
+        assert a.total("y") == 3.0 and a.counts["y"] == 1
+
+    def test_unknown_phase_reads_as_zero(self):
+        timings = PhaseTimings()
+        assert timings.total("nope") == 0.0
+        assert timings.mean_of("nope") == 0.0
+
+    def test_as_dict_sorted_by_phase(self):
+        timings = PhaseTimings()
+        timings.add("zeta", 1.0)
+        timings.add("alpha", 2.0)
+        assert list(timings.as_dict()) == ["alpha", "zeta"]

@@ -49,23 +49,50 @@ class TestMergeTraceEvents:
         return cluster, tracer
 
     def test_merge_events_cover_every_accepted_record(self):
+        """Per-record events plus the records covered by batched spans
+        account for every accepted insert, exactly once."""
         cluster, tracer = self._run_traced()
         fastpath = len(tracer.of_kind("merge_fastpath"))
         undo = len(tracer.of_kind("merge_undo"))
+        batched = sum(
+            e.get("count") for e in tracer.of_kind("merge_batch")
+        )
         total_inserts = sum(
             node.merge.stats.inserts for node in cluster.nodes
         )
-        assert fastpath + undo == total_inserts
-        assert fastpath > 0 and undo > 0
+        assert fastpath + undo + batched == total_inserts
+        assert fastpath > 0
 
     def test_merge_events_match_engine_stats(self):
         cluster, tracer = self._run_traced()
-        assert len(tracer.of_kind("merge_fastpath")) == sum(
+        batch_events = tracer.of_kind("merge_batch")
+        # batched tail spans contribute `count` records to fastpath_hits;
+        # batched out-of-order spans contribute one undo/redo cycle each.
+        batch_fast_records = sum(
+            e.get("count") for e in batch_events if e.get("displacement") == 0
+        )
+        batch_undo_spans = sum(
+            1 for e in batch_events if e.get("displacement") > 0
+        )
+        assert len(batch_events) == sum(
+            node.merge.stats.batch_merges for node in cluster.nodes
+        )
+        assert sum(e.get("count") for e in batch_events) == sum(
+            node.merge.stats.batched_inserts for node in cluster.nodes
+        )
+        assert len(tracer.of_kind("merge_fastpath")) + batch_fast_records == sum(
             node.merge.stats.fastpath_hits for node in cluster.nodes
         )
-        assert len(tracer.of_kind("merge_undo")) == sum(
+        assert len(tracer.of_kind("merge_undo")) + batch_undo_spans == sum(
             node.merge.stats.undo_redo_merges for node in cluster.nodes
         )
+
+    def test_batch_events_cover_at_least_two_records(self):
+        _, tracer = self._run_traced()
+        for event in tracer.of_kind("merge_batch"):
+            assert event.get("count") >= 2
+            assert event.get("replayed") >= event.get("count")
+            assert event.get("displacement") >= 0
 
     def test_undo_events_carry_displacement(self):
         _, tracer = self._run_traced()
