@@ -1,0 +1,135 @@
+"""Oracles over *recorded* histories: no simulator, no sockets.
+
+The oracle suite was written against a live ``ShardCluster``; this
+module rebuilds an oracle-checkable run from the files a runtime
+deployment leaves behind (see :mod:`repro.runtime.history`) — per-node
+log snapshots plus the merged trace-event streams — and feeds it to the
+same :func:`repro.chaos.oracles.run_oracles` the simulator campaigns
+use.  That is the oracle-portability claim made concrete: conditions
+(1)–(4), convergence, transitivity and the trace discipline are
+properties of the *recorded history*, checkable long after the cluster
+is gone (Biswas & Enea's black-box stance, PAPERS.md).
+
+``python -m repro.chaos.oracles --history DIR`` is the command-line
+face of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.execution import TimedExecution
+from ..core.state import State
+from ..core.update import apply_sequence
+from ..replica import UpdateRecord
+from ..shard.history import extract_execution
+from ..sim.trace import TraceEvent
+from .faults import FaultPlan
+from .oracles import OracleContext, Violation, run_oracles
+
+#: the oracles meaningful without live cluster internals or a sound
+#: time bound: exactly what a recorded history supports.
+OFFLINE_ORACLES: Tuple[str, ...] = (
+    "convergence", "conditions", "transitivity", "trace",
+)
+
+
+class _RecordedBroadcast:
+    """The slice of the broadcast layer the convergence oracle reads."""
+
+    def __init__(self, logs: Dict[int, Tuple[UpdateRecord, ...]]):
+        self._txids = {
+            node: frozenset(r.txid for r in records)
+            for node, records in logs.items()
+        }
+
+    def missing_counts(self) -> Dict[int, int]:
+        union = frozenset().union(*self._txids.values()) \
+            if self._txids else frozenset()
+        return {
+            node: len(union - known)
+            for node, known in sorted(self._txids.items())
+        }
+
+
+@dataclass
+class RecordedRun:
+    """A finished run reconstructed from history files.
+
+    Quacks like the cluster where the oracles look: ``converged()``,
+    ``mutually_consistent()``, ``broadcast.missing_counts()``.
+    """
+
+    initial_state: State
+    logs: Dict[int, Tuple[UpdateRecord, ...]]
+    events: Tuple[TraceEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.broadcast = _RecordedBroadcast(self.logs)
+
+    def converged(self) -> bool:
+        sets = {
+            frozenset(r.txid for r in records)
+            for records in self.logs.values()
+        }
+        return len(sets) <= 1
+
+    def mutually_consistent(self) -> bool:
+        """Nodes with equal logs must replay to equal states (the
+        paper's mutual consistency, re-derived from the records)."""
+        by_log: Dict[frozenset, State] = {}
+        for records in self.logs.values():
+            key = frozenset(r.txid for r in records)
+            state = apply_sequence(
+                (r.update for r in sorted(records, key=lambda r: r.ts)),
+                self.initial_state,
+            )
+            if key in by_log and by_log[key] != state:
+                return False
+            by_log.setdefault(key, state)
+        return True
+
+    def all_records(self) -> Tuple[UpdateRecord, ...]:
+        """The union of the node logs, deduplicated by txid."""
+        seen: Dict[int, UpdateRecord] = {}
+        for records in self.logs.values():
+            for record in records:
+                seen.setdefault(record.txid, record)
+        return tuple(sorted(seen.values(), key=lambda r: r.ts))
+
+
+def check_recorded_run(
+    run: RecordedRun,
+    plan: Optional[FaultPlan] = None,
+    capacity: int = 100,
+    names: Tuple[str, ...] = OFFLINE_ORACLES,
+) -> Tuple[Tuple[Violation, ...], Optional[TimedExecution]]:
+    """Run the offline oracle set over a recorded run.
+
+    Returns (violations, extracted execution).  Extraction re-derives
+    every decision from the recorded prefixes and compares the updates
+    with what the cluster actually shipped — conditions (1)–(4) checked
+    against the recording, not against any in-memory state.
+    """
+    execution: Optional[TimedExecution] = None
+    extract_error: Optional[str] = None
+    try:
+        execution = extract_execution(
+            run.initial_state, run.all_records(), verify=True
+        )
+        execution.validate()
+    except Exception as exc:
+        extract_error = f"{type(exc).__name__}: {exc}"
+    ctx = OracleContext(
+        cluster=run,
+        plan=plan if plan is not None else FaultPlan(()),
+        capacity=capacity,
+        execution=execution,
+        extract_error=extract_error,
+        expect_transitive=True,
+        movers_centralized=False,
+        t_bound=float("inf"),
+        events=run.events,
+    )
+    return tuple(run_oracles(ctx, names)), execution

@@ -314,3 +314,75 @@ def run_oracles(
             raise ValueError(f"unknown oracle {name!r}")
         out.extend(oracle(ctx))
     return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.chaos.oracles --history DIR``: check a
+    *recorded* run — the history files a runtime cluster left behind —
+    with the offline oracle set.  See :mod:`repro.chaos.offline`."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos.oracles",
+        description="run the offline oracles over a recorded history",
+    )
+    parser.add_argument(
+        "--history", required=True,
+        help="directory of events-*.jsonl / records-*.jsonl files",
+    )
+    parser.add_argument(
+        "--plan", default=None,
+        help="optional FaultPlan JSON file the run replayed",
+    )
+    parser.add_argument("--capacity", type=int, default=100)
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+
+    # local imports: offline depends on this module, and the runtime
+    # history reader is only needed on this entry path.
+    from ..apps.airline.state import AirlineState
+    from ..runtime.history import load_history
+    from .offline import RecordedRun, check_recorded_run
+
+    events, logs = load_history(args.history)
+    if not logs:
+        print(f"no records-*.jsonl files under {args.history}")
+        return 2
+    plan = None
+    if args.plan is not None:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    run = RecordedRun(AirlineState(), logs, events)
+    violations, execution = check_recorded_run(
+        run, plan=plan, capacity=args.capacity
+    )
+    if args.format == "json":
+        print(json.dumps({
+            "nodes": sorted(logs),
+            "records": len(run.all_records()),
+            "events": len(events),
+            "transactions": len(execution) if execution is not None else 0,
+            "violations": [v.as_dict() for v in violations],
+            "ok": not violations,
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"recorded run: {len(logs)} node log(s), "
+            f"{len(run.all_records())} record(s), {len(events)} event(s)"
+        )
+        if execution is not None:
+            print(
+                f"extracted execution: {len(execution)} transactions; "
+                "conditions (1)-(4) hold"
+            )
+        for violation in violations:
+            print(f"VIOLATION [{violation.oracle}] {violation.description}")
+        print("ok" if not violations else f"{len(violations)} violation(s)")
+    return 0 if not violations else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -26,7 +26,10 @@ back to the publisher.
 The engine is store-agnostic: both the fully replicated broadcast
 service and the partially replicated cluster drive it through a small
 store interface (digest/diff/keys/records/merge), which is what lets one
-protocol serve both topologies.
+protocol serve both topologies.  It is also *transport-agnostic*: its
+environment is a :class:`repro.ports.Clock` (ack timeouts, repair
+cooldowns) and a send callable — the simulator and the real asyncio
+runtime host the identical state machine (see :mod:`repro.ports`).
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..sim.engine import Simulator
+from ..ports import Clock
 from ..sim.metrics import WireStats
 from .digest import RangeDigest
 from .scheduler import PeerScheduler
@@ -102,7 +105,7 @@ class ExchangeEngine:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         send: SendFn,
         store,
         scheduler: PeerScheduler,
@@ -115,7 +118,7 @@ class ExchangeEngine:
     ):
         if ack_timeout <= 0:
             raise ValueError("ack timeout must be positive")
-        self.sim = sim
+        self.clock = clock
         self.send = send
         self.store = store
         self.scheduler = scheduler
@@ -156,7 +159,7 @@ class ExchangeEngine:
         extra = self.store.extra_for(node, peer)
         syn_id = self._next_syn
         self._next_syn += 1
-        handle = self.sim.schedule(
+        handle = self.clock.schedule(
             self.ack_timeout, lambda: self._on_timeout(syn_id)
         )
         self._sessions[syn_id] = _Session(node, peer, handle, reason)
@@ -172,7 +175,7 @@ class ExchangeEngine:
 
     def repair_pull(self, node: int, peer: int) -> bool:
         """A rumor-triggered pull, rate-limited per directed pair."""
-        now = self.sim.now
+        now = self.clock.now
         last = self._last_repair.get((node, peer))
         if last is not None and now - last < self.repair_cooldown:
             return False
@@ -188,7 +191,7 @@ class ExchangeEngine:
         if session is None:
             return
         self.stats.timeouts += 1
-        self.scheduler.failure(session.node, session.peer, self.sim.now)
+        self.scheduler.failure(session.node, session.peer, self.clock.now)
 
     def _on_ack(self, node: int, src: int, payload: Tuple) -> None:
         _, syn_id, cells, extra = payload
@@ -196,7 +199,7 @@ class ExchangeEngine:
         session = self._sessions.pop(syn_id, None)
         if session is not None:
             session.handle.cancel()
-            self.scheduler.success(node, src, self.sim.now)
+            self.scheduler.success(node, src, self.clock.now)
         if not cells:
             self.stats.skips += 1
             self._trace("gossip_skip", node, peer=src)

@@ -33,7 +33,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..sim.engine import Simulator
+from ..ports import Clock, Rng, Transport
 from ..sim.metrics import WireStats
 from .digest import DigestIndex, RangeDigest, differing_cells, fingerprint
 from .protocol import (
@@ -152,13 +152,13 @@ class GossipService:
 
     def __init__(
         self,
-        sim: Simulator,
-        network,
+        clock: Clock,
+        transport: Transport,
         config: Optional[GossipConfig] = None,
-        rng: Optional[random.Random] = None,
+        rng: Optional[Rng] = None,
     ):
-        self.sim = sim
-        self.network = network
+        self.clock = clock
+        self.transport = transport
         self.config = config or GossipConfig()
         if self.config.mode not in ("digest", "full"):
             raise ValueError(f"unknown gossip mode {self.config.mode!r}")
@@ -166,6 +166,12 @@ class GossipService:
         # module-global random (reproducibility satellite).
         self.rng = rng if rng is not None else random.Random(0)
         self.stats = GossipStats()
+        #: the gossip universe: the node ids floods and anti-entropy
+        #: target.  ``None`` (the default) means "every locally attached
+        #: node" — the simulator topology, where one service hosts the
+        #: whole cluster.  A per-process runtime host attaches only its
+        #: own node and sets this to the full cluster membership.
+        self.membership: Optional[Tuple[int, ...]] = None
         self._known: Dict[int, Dict[object, object]] = {}
         self._deliver: Dict[int, DeliverFn] = {}
         #: optional per-node batch callbacks: when registered, every
@@ -195,7 +201,7 @@ class GossipService:
             max_backoff_factor=self.config.max_backoff_factor,
         )
         self.engine = ExchangeEngine(
-            sim,
+            clock,
             self._engine_send,
             _FlatStore(self),
             self.scheduler,
@@ -210,7 +216,7 @@ class GossipService:
     # -- plumbing ---------------------------------------------------------
 
     def _engine_send(self, src: int, dst: int, payload: object) -> None:
-        self.network.send(src, dst, payload)
+        self.transport.send(src, dst, payload)
 
     def _count_records(self, n: int) -> None:
         self.stats.items_carried += n
@@ -277,7 +283,7 @@ class GossipService:
             def handler(src: int, payload: object, _node: int = node_id) -> None:
                 self.receive(_node, payload, src=src)
 
-            self.network.register(node_id, handler)
+            self.transport.register(node_id, handler)
 
     def receive(
         self, node_id: int, payload: object, src: int = -1
@@ -307,6 +313,13 @@ class GossipService:
     @property
     def node_ids(self) -> Tuple[int, ...]:
         return tuple(sorted(self._known))
+
+    def _targets(self) -> Tuple[int, ...]:
+        """The dissemination universe (see ``membership``)."""
+        return (
+            self.membership if self.membership is not None
+            else self.node_ids
+        )
 
     def known_keys(self, node_id: int) -> Tuple:
         return tuple(self._known[node_id])
@@ -339,7 +352,7 @@ class GossipService:
         """
         self.stats.published += 1
         if key not in self._published_at:
-            self._published_at[key] = self.sim.now
+            self._published_at[key] = self.clock.now
         self._merge(node_id, [(key, item)])
         if not self.config.flood:
             return
@@ -349,12 +362,12 @@ class GossipService:
                 if self.config.piggyback
                 else ((key, item),)
             )
-            for dst in self.node_ids:
+            for dst in self._targets():
                 if dst != node_id:
                     self.stats.flood_messages += 1
                     self.stats.items_carried += len(payload)
                     self.stats.wire.message(records=len(payload))
-                    self.network.send(node_id, dst, ("items", payload))
+                    self.transport.send(node_id, dst, ("items", payload))
         else:
             # rumor mongering: the new record plus (with piggyback) a
             # digest of the sender's whole set, instead of the set itself.
@@ -363,7 +376,7 @@ class GossipService:
                 if self.config.piggyback
                 else None
             )
-            for dst in self.node_ids:
+            for dst in self._targets():
                 if dst != node_id:
                     self.stats.flood_messages += 1
                     self.engine.send_rumor(
@@ -378,9 +391,11 @@ class GossipService:
             return
         self._anti_entropy_started = True
         interval = self.config.anti_entropy_interval
-        for i, node_id in enumerate(self.node_ids):
-            offset = interval * (i + 1) / (len(self.node_ids) + 1)
-            self.sim.schedule(offset, self._make_gossip_tick(node_id))
+        targets = self._targets()
+        for node_id in self.node_ids:
+            i = targets.index(node_id)
+            offset = interval * (i + 1) / (len(targets) + 1)
+            self.clock.schedule(offset, self._make_gossip_tick(node_id))
 
     def stop_anti_entropy(self) -> None:
         """Stop the gossip timers (no further ticks are scheduled)."""
@@ -391,7 +406,7 @@ class GossipService:
             if self._anti_entropy_stopped:
                 return
             self._gossip_once(node_id)
-            self.sim.schedule(
+            self.clock.schedule(
                 self.config.anti_entropy_interval,
                 self._make_gossip_tick(node_id),
             )
@@ -402,7 +417,8 @@ class GossipService:
         if not self._is_active(node_id):
             return
         peers = [
-            n for n in self.node_ids if n != node_id and self._is_active(n)
+            n for n in self._targets()
+            if n != node_id and self._is_active(n)
         ]
         if not peers:
             return
@@ -415,10 +431,10 @@ class GossipService:
                 self.stats.anti_entropy_messages += 1
                 self.stats.items_carried += len(payload)
                 self.stats.wire.message(records=len(payload))
-                self.network.send(node_id, dst, ("items", payload))
+                self.transport.send(node_id, dst, ("items", payload))
         else:
             targets = self.scheduler.pick(
-                node_id, peers, self.sim.now, fanout=self.config.fanout
+                node_id, peers, self.clock.now, fanout=self.config.fanout
             )
             for dst in targets:
                 self.stats.anti_entropy_messages += 1
@@ -503,8 +519,8 @@ class GossipService:
         self._index[node_id].add(key, self.timestamp_of(key, item))
         self.stats.deliveries += 1
         published = self._published_at.get(key)
-        if published is not None and self.sim.now > published:
-            self.stats.delivery_delays.append(self.sim.now - published)
+        if published is not None and self.clock.now > published:
+            self.stats.delivery_delays.append(self.clock.now - published)
         sink = self._batch_sink.get(node_id)
         if sink is not None:
             sink.append((key, item))

@@ -17,6 +17,14 @@ the linted tree:
 
 Seeded construction (``random.Random(seed)``) and merely naming the
 types (annotations, ``isinstance``) stay legal.
+
+One class of module is exempt wholesale: the *real-time adapters* named
+in :data:`ADAPTER_ALLOWLIST`.  The port refactor (``repro.ports``) keeps
+every protocol state machine clock-free — but the adapter that *implements*
+the :class:`~repro.ports.Clock` port for the live runtime has to read the
+host's clock somewhere, exactly once, by design.  The allowlist names
+that module (and only it); protocol and simulator code stays banned from
+wall-clock reads no matter what package it lives in.
 """
 
 from __future__ import annotations
@@ -37,6 +45,20 @@ _WALLCLOCK_TIME = frozenset({
 _WALLCLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
 _ENTROPY_UUID = frozenset({"uuid1", "uuid4"})
 
+#: Real-time adapter modules exempt from R3 (normalized path suffixes).
+#: Keep this list to Clock-port *implementations*: the one place the
+#: runtime is allowed to touch the host clock.  Everything else — all
+#: protocol modules, the simulator, the runtime's own servers and
+#: supervisors — must take time through the Clock port.
+ADAPTER_ALLOWLIST: tuple = (
+    "repro/runtime/clock.py",
+)
+
+
+def _is_allowlisted_adapter(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(normalized.endswith(suffix) for suffix in ADAPTER_ALLOWLIST)
+
 
 @register
 class SimDeterminismRule(Rule):
@@ -47,6 +69,8 @@ class SimDeterminismRule(Rule):
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _is_allowlisted_adapter(ctx.path):
+            return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
                 message = self._describe(ctx, node)

@@ -1,0 +1,95 @@
+"""The transport-agnostic port interfaces the protocol core speaks.
+
+Every protocol state machine in this repo — the SYN/ACK/DELTA exchange
+engine, the gossip dissemination service, the synchronized-transaction
+pull protocol — interacts with its environment exclusively through
+three narrow ports:
+
+* :class:`Clock` — *when*: the current time plus one-shot timers.  In
+  the simulator this is :class:`repro.sim.engine.Simulator` (virtual
+  time, deterministic tie-break); in the real runtime it is
+  :class:`repro.runtime.clock.RuntimeClock` (asyncio ``call_later`` over
+  a shared cluster epoch) or the deterministic
+  :class:`repro.runtime.loopback.VirtualClock`.
+* :class:`Transport` — *where*: fire-and-forget point-to-point payload
+  delivery between integer node ids plus inbound handler registration.
+  Adapters: :class:`repro.network.network.Network` (simulated,
+  partition/loss-aware), :class:`repro.runtime.transport.TcpTransport`
+  (length-prefixed JSON frames over asyncio TCP) and
+  :class:`repro.runtime.loopback.LoopbackNet` (in-memory asyncio).
+  Transports are *unreliable by contract*: a send may be dropped
+  silently — eventual delivery is the anti-entropy layer's job, exactly
+  as in the paper's architecture.
+* :class:`Rng` — *which*: structural alias for the injected, explicitly
+  seeded ``random.Random`` every stochastic choice draws from (never
+  the module-global generator; shardlint rule R3 enforces this).
+
+The protocol modules import only this module for their environment
+types; ``repro/sim`` and ``repro/network`` are *adapters* of these
+ports, not dependencies of the protocol core.  That inversion is what
+lets the identical protocol objects run inside the deterministic
+simulator and inside real processes exchanging real messages
+(:mod:`repro.runtime`) with byte-identical protocol behavior.
+
+The interfaces are :class:`typing.Protocol`\\ s (structural): adapters
+need not inherit anything, they only have to quack.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Protocol, Tuple, runtime_checkable
+
+#: An inbound message handler: ``(src, payload)``.
+Handler = Callable[[int, object], None]
+
+#: A zero-argument timer callback.
+Action = Callable[[], None]
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """Returned by :meth:`Clock.schedule`; allows cancellation."""
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time and one-shot timers, virtual or real.
+
+    ``now`` is seconds on the clock's own axis (simulated seconds in the
+    simulator, scaled seconds since the cluster epoch in the runtime).
+    Implementations must run a timer's action at most once and never
+    after its handle was cancelled.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule(self, delay: float, action: Action) -> TimerHandle: ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Unreliable, fire-and-forget point-to-point message passing.
+
+    ``send`` returns True when the payload was accepted for (attempted)
+    delivery and False when it was dropped at send time; callers must
+    treat *both* as "maybe delivered, maybe not".  ``register`` claims
+    the inbound handler slot of a node id hosted behind this transport.
+    """
+
+    def send(self, src: int, dst: int, payload: object) -> bool: ...
+
+    def register(self, node_id: int, handler: Handler) -> None: ...
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]: ...
+
+
+#: The randomness port: an explicitly seeded stdlib generator.  An alias
+#: rather than a Protocol — the stdlib type *is* the narrow interface
+#: (``random``/``uniform``/``sample``/``choice``/``randrange``), and
+#: naming it documents intent at signatures.
+Rng = random.Random

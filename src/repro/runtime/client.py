@@ -1,0 +1,183 @@
+"""The client API: talk to a live cluster, record what you saw.
+
+:class:`ClusterClient` opens one connection per node and exposes the
+request vocabulary of :mod:`repro.runtime.node` as async methods.  Every
+successful ``submit`` is also recorded to the client's own history file
+(``events-client.jsonl``) as an ``initiate`` trace event — the
+*client-visible* history, in the exact :data:`EVENT_SCHEMAS` vocabulary,
+which is what the offline oracles consume together with the node-side
+streams.  A runtime run is thereby checkable from two independent
+vantage points: what the nodes logged and what the client observed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional, Tuple
+
+from ..core.transaction import Transaction
+from .clock import RuntimeClock
+from .config import ClusterSpec
+from .history import HistoryWriter, events_path
+from .node import REQ, RES
+from .wire import FrameSplitter, encode_frame
+
+
+class RequestError(RuntimeError):
+    """The node answered, but with a failure."""
+
+
+class NodeUnreachable(ConnectionError):
+    """The node did not answer (dead, partitioned, or not yet up)."""
+
+
+class NodeClient:
+    """One node's request channel (lazy connect, auto-reconnect)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 5.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._splitter = FrameSplitter()
+        self._ids = itertools.count()
+
+    async def _connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        self._splitter = FrameSplitter()
+
+    def _disconnect(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = None
+        self._writer = None
+
+    async def request(self, op: str, *args: object) -> object:
+        request_id = next(self._ids)
+        try:
+            await self._connect()
+            self._writer.write(
+                encode_frame((REQ, request_id, op, tuple(args)))
+            )
+            await self._writer.drain()
+            while True:
+                chunk = await asyncio.wait_for(
+                    self._reader.read(65536), self.timeout
+                )
+                if not chunk:
+                    raise ConnectionError("connection closed mid-request")
+                for frame in self._splitter.feed(chunk):
+                    if (
+                        isinstance(frame, tuple) and len(frame) == 4
+                        and frame[0] == RES and frame[1] == request_id
+                    ):
+                        _, _, ok, value = frame
+                        if not ok:
+                            raise RequestError(str(value))
+                        return value
+        except (OSError, asyncio.TimeoutError, ConnectionError) as exc:
+            self._disconnect()
+            raise NodeUnreachable(
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        self._disconnect()
+
+
+class ClusterClient:
+    """The whole cluster's client API + client-visible history."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        record_history: bool = True,
+        timeout: float = 5.0,
+    ):
+        self.spec = spec
+        self.clock = RuntimeClock(spec.epoch, spec.scale)
+        self._nodes: Dict[int, NodeClient] = {
+            node_id: NodeClient(*spec.address(node_id), timeout=timeout)
+            for node_id in spec.node_ids
+        }
+        self.history: Optional[HistoryWriter] = None
+        if record_history and spec.history_dir is not None:
+            self.history = HistoryWriter(
+                events_path(spec.history_dir, "client")
+            )
+        self.submitted = 0
+        self.rejected = 0
+
+    async def ping(self, node_id: int) -> Tuple[int, int]:
+        return await self._nodes[node_id].request("ping")
+
+    async def submit(
+        self, node_id: int, transaction: Transaction
+    ) -> int:
+        """Initiate ``transaction`` at ``node_id``; returns its txid.
+
+        Recorded client-side as the ``initiate`` event the node also
+        logged — the two streams must agree, and the offline trace
+        oracle sees both.
+        """
+        try:
+            txid, seen = await self._nodes[node_id].request(
+                "submit", transaction
+            )
+        except NodeUnreachable:
+            self.rejected += 1
+            raise
+        self.submitted += 1
+        if self.history is not None:
+            self.history.record(
+                self.clock.now, "initiate", node_id,
+                txid=txid, family=transaction.name, seen=seen,
+            )
+        return txid
+
+    async def get(self, node_id: int) -> Tuple[tuple, tuple]:
+        """The node's current (assigned, waiting) lists."""
+        return await self._nodes[node_id].request("get")
+
+    async def status(self, node_id: int) -> tuple:
+        return await self._nodes[node_id].request("status")
+
+    async def snapshot(self, node_id: int) -> tuple:
+        """The node's full log as live UpdateRecord objects."""
+        return await self._nodes[node_id].request("snapshot")
+
+    async def skew(self, node_id: int, drift: int) -> int:
+        return await self._nodes[node_id].request("skew", drift)
+
+    async def dump(self, node_id: int) -> int:
+        """Ask the node to write its records-<id>.jsonl snapshot."""
+        return await self._nodes[node_id].request("dump")
+
+    async def stop(self, node_id: int) -> bool:
+        return await self._nodes[node_id].request("stop")
+
+    async def known_txids(self, node_id: int) -> Tuple[int, ...]:
+        _, _, _, txids = await self.status(node_id)
+        return txids
+
+    async def converged(self) -> bool:
+        """Do all reachable-right-now nodes hold the same txid set?"""
+        seen = set()
+        for node_id in self.spec.node_ids:
+            try:
+                seen.add(await self.known_txids(node_id))
+            except NodeUnreachable:
+                return False
+        return len(seen) == 1
+
+    def close(self) -> None:
+        for node in self._nodes.values():
+            node.close()
+        if self.history is not None:
+            self.history.close()

@@ -1,0 +1,102 @@
+"""The chaos seam, runtime side: a ``FaultPlan`` replayed for real.
+
+The same plan JSON the simulator's :class:`~repro.chaos.inject.ChaosInjector`
+installs maps onto the live cluster like this:
+
+===============  =============================  ===========================
+fault            simulator                      runtime
+===============  =============================  ===========================
+``Crash``        ``node.online = False``        supervisor SIGKILLs the
+                                                process; recovery respawns
+                                                it (empty state — real
+                                                volatile loss) and
+                                                anti-entropy catches it up
+``Partition``    ``Network`` drops at send      socket layer drops frames
+                 time via PartitionSchedule     crossing the cut (same
+                                                send-time, half-open
+                                                ``[start, end)`` semantics)
+``DelaySpike``/  ``MessageFaultLayer`` maps     the *same*
+``Reorder``/     one delivery to perturbed      ``MessageFaultLayer``
+``Duplicate``    copies on the sim heap         object maps one frame to
+                                                perturbed copies on asyncio
+                                                timers
+``ClockSkew``    Lamport counter advanced       supervisor sends the node a
+                 in-process                     ``skew`` control op
+===============  =============================  ===========================
+
+``MessageFaultLayer`` was written transport-agnostically (it takes
+``now`` as an argument and returns delivery delays); this module reuses
+it verbatim rather than reimplementing the windowed-fault semantics —
+one implementation, two transports, zero drift.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..chaos.faults import Crash, ClockSkew, FaultPlan, Partition
+from ..chaos.inject import FaultReporter, MessageFaultLayer
+from ..network.network import NetworkStats
+from ..network.partition import PartitionInterval, PartitionSchedule
+from ..ports import Rng
+
+
+class RuntimeFaultSeam:
+    """One plan's socket-layer faults, evaluated on the plan time axis.
+
+    The transport asks two questions per outbound frame: is this edge
+    cut right now (:meth:`partitioned`), and what delivery delays should
+    this frame's copies get (:meth:`deliveries`).  Crash and skew faults
+    are process-level; the supervisor pulls their schedules from
+    :meth:`crashes` / :meth:`skews` and acts on them itself.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        rng: Rng,
+        on_fault: Optional[FaultReporter] = None,
+    ):
+        self.plan = plan
+        self.stats = NetworkStats()
+        self.layer = MessageFaultLayer(
+            plan, rng, self.stats, on_fault=on_fault
+        )
+        self._partitions = PartitionSchedule([
+            PartitionInterval(
+                fault.start,
+                fault.end,
+                tuple(frozenset(g) for g in fault.groups),
+            )
+            for fault in plan.faults
+            if isinstance(fault, Partition)
+        ])
+
+    def partitioned(self, now: float, src: int, dst: int) -> bool:
+        """Is the ``src -> dst`` edge cut at plan time ``now``?"""
+        if not self._partitions.connected(src, dst, now):
+            self.stats.dropped_partition += 1
+            return True
+        return False
+
+    def deliveries(
+        self, now: float, src: int, dst: int, payload: object, delay: float
+    ) -> List[float]:
+        """Delays for each copy of one frame (see MessageFaultLayer)."""
+        if not self.layer.has_faults:
+            return [delay]
+        return self.layer.deliveries(now, src, dst, payload, delay)
+
+    def crashes(self) -> Tuple[Crash, ...]:
+        """The plan's crash faults, sorted by onset (supervisor side)."""
+        return tuple(sorted(
+            (f for f in self.plan.faults if isinstance(f, Crash)),
+            key=lambda f: (f.at, f.node),
+        ))
+
+    def skews(self) -> Tuple[ClockSkew, ...]:
+        """The plan's clock skews, sorted by onset (supervisor side)."""
+        return tuple(sorted(
+            (f for f in self.plan.faults if isinstance(f, ClockSkew)),
+            key=lambda f: (f.at, f.node),
+        ))

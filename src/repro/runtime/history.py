@@ -1,0 +1,155 @@
+"""Run histories on disk: JSONL trace events + wire-encoded logs.
+
+A runtime run leaves the same evidence a simulator run keeps in memory:
+
+* ``events-<node>.jsonl`` — one trace event per line, in exactly the
+  :data:`repro.sim.trace.EVENT_SCHEMAS` vocabulary (validated on write,
+  so a runtime history can never drift from what the trace oracle and
+  the R5 lint rule understand).  Client-side events the client API
+  records use the same schema.
+* ``records-<node>.jsonl`` — the node's final log, one wire-encoded
+  :class:`~repro.replica.UpdateRecord` per line.
+
+``repro.chaos.offline`` rebuilds an oracle-checkable run from these
+files; nothing in the offline path touches a socket or a simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+from ..replica import UpdateRecord
+from ..sim.trace import EVENT_SCHEMAS, TraceEvent
+from .wire import decode, encode
+
+
+def events_path(history_dir: str, label: object) -> str:
+    return os.path.join(history_dir, f"events-{label}.jsonl")
+
+
+def records_path(history_dir: str, label: object) -> str:
+    return os.path.join(history_dir, f"records-{label}.jsonl")
+
+
+class HistoryWriter:
+    """Append-only JSONL event stream in the trace-event schema.
+
+    Every write is validated against :data:`EVENT_SCHEMAS` (the dynamic
+    R5 check) and flushed — a SIGKILLed node must leave every event it
+    logged before the kill on disk.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle: Optional[TextIO] = open(path, "a", encoding="utf-8")
+
+    def record(
+        self, time: float, kind: str, node: Optional[int] = None, **detail
+    ) -> None:
+        schema = EVENT_SCHEMAS.get(kind)
+        if schema is None:
+            raise ValueError(f"unregistered trace event kind {kind!r}")
+        if set(detail) != set(schema):
+            raise ValueError(
+                f"trace event {kind!r} detail keys {sorted(detail)} "
+                f"!= declared {sorted(schema)}"
+            )
+        if self._handle is None:
+            return
+        line = json.dumps(
+            {"time": time, "kind": kind, "node": node, "detail": detail},
+            sort_keys=True,
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_events(path: str) -> Tuple[TraceEvent, ...]:
+    """One file's events, in write order."""
+    out: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            out.append(TraceEvent(
+                time=data["time"],
+                kind=data["kind"],
+                node=data["node"],
+                detail=tuple(sorted(data["detail"].items())),
+            ))
+    return tuple(out)
+
+
+def merged_events(paths: Iterable[str]) -> Tuple[TraceEvent, ...]:
+    """All files' events merged into one global time-sorted stream.
+
+    Ties break by (node, kind) so the merge is stable across runs; the
+    per-node streams are individually ordered, which is all the trace
+    oracle's monotonicity check needs after a stable merge.
+    """
+    out: List[TraceEvent] = []
+    for path in paths:
+        out.extend(read_events(path))
+    out.sort(key=lambda e: (e.time, -1 if e.node is None else e.node, e.kind))
+    return tuple(out)
+
+
+def dump_records(path: str, records: Iterable[UpdateRecord]) -> int:
+    """Write a node's log snapshot; returns the record count."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in sorted(records, key=lambda r: r.ts):
+            handle.write(encode(record) + "\n")
+            count += 1
+    return count
+
+
+def load_records(path: str) -> Tuple[UpdateRecord, ...]:
+    out: List[UpdateRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = decode(line)
+            assert isinstance(record, UpdateRecord)
+            out.append(record)
+    return tuple(out)
+
+
+def load_history(
+    history_dir: str,
+) -> Tuple[Tuple[TraceEvent, ...], Dict[int, Tuple[UpdateRecord, ...]]]:
+    """Everything a recorded run left behind: (merged events, node logs).
+
+    Node logs are keyed by node id, parsed from ``records-<id>.jsonl``
+    names; event files may carry any label (node ids, ``client``).
+    """
+    event_files = sorted(
+        os.path.join(history_dir, name)
+        for name in os.listdir(history_dir)
+        if name.startswith("events-") and name.endswith(".jsonl")
+    )
+    logs: Dict[int, Tuple[UpdateRecord, ...]] = {}
+    for name in sorted(os.listdir(history_dir)):
+        if name.startswith("records-") and name.endswith(".jsonl"):
+            label = name[len("records-"):-len(".jsonl")]
+            logs[int(label)] = load_records(
+                os.path.join(history_dir, name)
+            )
+    return merged_events(event_files), logs

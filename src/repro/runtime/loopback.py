@@ -1,0 +1,162 @@
+"""Deterministic in-process asyncio adapters: VirtualClock + LoopbackNet.
+
+The transcript-parity tests need a second, *independent* implementation
+of the Clock/Transport ports that still replays deterministically: same
+seeds in, same SYN/ACK/DELTA sequence out.  :class:`VirtualClock` is a
+virtual-time event heap with the same ordering contract as
+:class:`repro.sim.engine.Simulator` — ``(time, scheduling order)`` —
+but pumped through a live asyncio event loop (:meth:`VirtualClock.run`
+is a coroutine that yields to the loop between events, so handlers run
+under asyncio exactly as they do under the TCP adapter).
+:class:`LoopbackNet` delivers payloads between locally attached handlers
+with a fixed per-hop delay and an optional drop hook (the chaos seam's
+in-process stand-in for a cut cable).
+
+If the protocol core is truly transport-agnostic, driving the same
+:class:`~repro.gossip.service.GossipService` through *this* pair must
+produce the identical protocol transcript the Simulator + Network pair
+produces.  The Hypothesis test in
+``tests/runtime/test_loopback_parity.py`` holds exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ports import Action, Handler
+
+
+class _VirtualTimer:
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Action):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def __lt__(self, other: "_VirtualTimer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class VirtualClock:
+    """A virtual-time Clock adapter pumped through asyncio.
+
+    Ordering contract matches the Simulator: events fire in ``(time,
+    scheduling order)``; a handler scheduling at the current time runs
+    after everything already queued for that time, never before.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[_VirtualTimer] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, action: Action) -> _VirtualTimer:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        entry = _VirtualTimer(
+            self.now + delay, next(self._counter), action
+        )
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    async def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Pump events in virtual-time order, yielding to the asyncio
+        loop between events (handlers may spawn tasks; they run in the
+        gaps, exactly as under a real clock)."""
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.now = until
+                return
+            entry = heapq.heappop(self._queue)
+            self.now = entry.time
+            entry.action()
+            self.events_processed += 1
+            processed += 1
+            await asyncio.sleep(0)
+        if until is not None and until > self.now:
+            self.now = until
+
+    def run_sync(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Drive :meth:`run` to completion on a private event loop."""
+        asyncio.run(self.run(until=until, max_events=max_events))
+
+
+#: optional chaos hook: (now, src, dst, payload) -> drop this send?
+DropFn = Callable[[float, int, int, object], bool]
+
+
+class LoopbackNet:
+    """In-memory Transport adapter over a :class:`VirtualClock`.
+
+    Sends are delivered to the destination handler after ``delay``
+    virtual seconds through the clock's heap — the same path the
+    Simulator's Network uses, which is what makes the delivery order
+    (and hence the protocol transcript) comparable event for event.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        delay: float = 1.0,
+        drop: Optional[DropFn] = None,
+    ):
+        self.clock = clock
+        self.delay = delay
+        self.drop = drop
+        self._handlers: Dict[int, Handler] = {}
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    def register(self, node_id: int, handler: Handler) -> None:
+        self._handlers[node_id] = handler
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._handlers))
+
+    def send(self, src: int, dst: int, payload: object) -> bool:
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination node {dst}")
+        self.sent += 1
+        if self.drop is not None and self.drop(
+            self.clock.now, src, dst, payload
+        ):
+            self.dropped += 1
+            return False
+        handler = self._handlers[dst]
+
+        def deliver() -> None:
+            self.delivered += 1
+            handler(src, payload)
+
+        self.clock.schedule(self.delay, deliver)
+        return True

@@ -1,0 +1,278 @@
+"""One replica process: the protocol core behind an asyncio TCP server.
+
+``python -m repro.runtime.node --spec '<NodeSpec JSON>'`` hosts exactly
+the objects the simulator hosts — a :class:`~repro.shard.node.ShardNode`,
+a :class:`~repro.network.broadcast.ReliableBroadcast` (the gossip
+service) and a :class:`~repro.shard.sync.SyncManager` — wired to the
+live port adapters instead of the simulated ones.  The process model is
+the paper's: every node is a full replica, processes transactions
+locally without cross-node coordination, and relies on
+flooding + anti-entropy for eventual delivery.
+
+Besides peer gossip, the server answers a small client vocabulary
+(see :data:`OPS`): submit a transaction, read the local state, snapshot
+the log, advance the Lamport clock (the ClockSkew fault's live form),
+dump history files, stop.  Client frames share the TCP port with the
+protocol; the transport forwards anything that is not a peer envelope.
+
+Crash faults never reach this module: a live crash is the supervisor
+SIGKILLing the process mid-flight, and recovery is a respawn — state
+gone, log gone — followed by genuine anti-entropy catch-up.  That is a
+strictly stronger perturbation than the simulator's ``online`` flag and
+exactly the volatile-loss story of the paper's Section 4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional
+
+from ..apps.airline.state import AirlineState
+from ..gossip import GOSSIP_KINDS
+from ..network.broadcast import BroadcastConfig, ReliableBroadcast
+from ..replica import MergeOutcome, UpdateRecord
+from ..shard.node import ShardNode
+from ..shard.sync import SyncManager
+from ..sim.rng import SeededStreams
+from .clock import RuntimeClock
+from .config import NodeSpec
+from .faults import RuntimeFaultSeam
+from .history import HistoryWriter, dump_records, events_path, records_path
+from .transport import TcpTransport
+from .wire import encode_frame
+
+#: request frame: ("req", request_id, op, args-tuple)
+REQ = "req"
+#: response frame: ("res", request_id, ok, value)
+RES = "res"
+
+OPS = ("ping", "get", "submit", "status", "snapshot", "skew", "dump", "stop")
+
+
+class NodeServer:
+    """The live host for one ShardNode."""
+
+    def __init__(self, spec: NodeSpec):
+        self.spec = spec
+        cluster = spec.cluster
+        self.clock = RuntimeClock(cluster.epoch, cluster.scale)
+        streams = SeededStreams(cluster.seed)
+        plan = cluster.plan()
+        self.faults: Optional[RuntimeFaultSeam] = None
+        if plan is not None:
+            self.faults = RuntimeFaultSeam(
+                plan,
+                # per-process stream: each node perturbs its *outbound*
+                # edges, so streams must not be shared across processes.
+                streams.stream(f"chaos-{spec.node_id}"),
+                on_fault=self._on_message_fault,
+            )
+        self.transport = TcpTransport(
+            cluster, spec.node_id, self.clock, faults=self.faults
+        )
+        self.transport.on_request = self._on_request
+        self.node = ShardNode(spec.node_id, AirlineState())
+        self.node.replica.on_merge = self._on_merge
+        self.broadcast = ReliableBroadcast(
+            self.clock,
+            self.transport,
+            BroadcastConfig(
+                anti_entropy_interval=cluster.anti_entropy_interval,
+                fanout=cluster.fanout,
+            ),
+            rng=streams.stream(f"gossip-{spec.node_id}"),
+        )
+        # this process hosts one node; gossip targets the whole cluster.
+        self.broadcast.membership = cluster.node_ids
+        self.broadcast.depends_on = lambda key, item: item.seen_txids
+        self.broadcast.on_event = self._trace
+        self.broadcast.attach(
+            spec.node_id,
+            self._deliver,
+            register_transport=False,
+            on_deliver_batch=self._deliver_batch,
+        )
+        self.transport.register(spec.node_id, self._dispatch)
+        self.sync = SyncManager(
+            clock=self.clock,
+            transport=self.transport,
+            broadcast=self.broadcast,
+            apply=self._apply_synchronized,
+        )
+        self.history: Optional[HistoryWriter] = None
+        if cluster.history_dir is not None:
+            self.history = HistoryWriter(
+                events_path(cluster.history_dir, spec.node_id)
+            )
+        self._seq = 0
+        self._stopping = asyncio.Event()
+
+    # -- tracing ----------------------------------------------------------
+
+    def _trace(self, kind: str, node=None, **detail) -> None:
+        if self.history is not None:
+            self.history.record(self.clock.now, kind, node, **detail)
+
+    def _on_message_fault(self, kind: str, node: int, info: str) -> None:
+        self._trace("fault_inject", node, fault=kind, info=info)
+
+    def _on_merge(self, outcome: MergeOutcome) -> None:
+        node_id = self.spec.node_id
+        if outcome.added > 1:
+            self._trace(
+                "merge_batch", node_id,
+                count=outcome.added,
+                displacement=outcome.displacement,
+                replayed=outcome.replayed,
+            )
+        elif outcome.fastpath:
+            self._trace("merge_fastpath", node_id)
+        else:
+            self._trace(
+                "merge_undo", node_id,
+                displacement=outcome.displacement,
+                replayed=outcome.replayed,
+            )
+
+    # -- protocol plumbing -------------------------------------------------
+
+    def _dispatch(self, src: int, payload: object) -> None:
+        kind = payload[0]
+        if kind == "items" or kind in GOSSIP_KINDS:
+            self.broadcast.receive(self.spec.node_id, payload, src=src)
+        else:
+            self.sync.handle(self.spec.node_id, src, payload)
+
+    def _deliver(self, key: object, item: object) -> None:
+        assert isinstance(item, UpdateRecord)
+        if self.node.receive(item):
+            self._trace(
+                "deliver", self.spec.node_id,
+                txid=item.txid, origin=item.origin,
+            )
+
+    def _deliver_batch(self, batch: tuple) -> None:
+        records = [item for _key, item in batch]
+        for item in self.node.receive_batch(records):
+            self._trace(
+                "deliver", self.spec.node_id,
+                txid=item.txid, origin=item.origin,
+            )
+
+    # -- submission --------------------------------------------------------
+
+    def initiate_now(self, transaction) -> UpdateRecord:
+        """The availability path: decide locally, publish, return the
+        record (clients get its txid and seen-count back)."""
+        txid = self.spec.txid(self._seq)
+        self._seq += 1
+        record = self.node.initiate(txid, transaction, self.clock.now)
+        self._trace(
+            "initiate", self.spec.node_id,
+            txid=txid, family=transaction.name,
+            seen=len(record.seen_txids),
+        )
+        self.broadcast.publish(self.spec.node_id, txid, record)
+        return record
+
+    def _apply_synchronized(self, origin: int, transaction) -> None:
+        assert origin == self.spec.node_id
+        self.initiate_now(transaction)
+
+    # -- client API --------------------------------------------------------
+
+    async def _on_request(
+        self, frame: object, writer: asyncio.StreamWriter
+    ) -> None:
+        if not (
+            isinstance(frame, tuple) and len(frame) == 4
+            and frame[0] == REQ
+        ):
+            return
+        _, request_id, op, args = frame
+        try:
+            value = self._handle_op(op, args)
+            response = (RES, request_id, True, value)
+        except Exception as exc:  # surfaces to the client, not the log
+            response = (RES, request_id, False, f"{type(exc).__name__}: {exc}")
+        writer.write(encode_frame(response))
+        await writer.drain()
+        if op == "stop":
+            self._stopping.set()
+
+    def _handle_op(self, op: str, args: tuple) -> object:
+        node_id = self.spec.node_id
+        if op == "ping":
+            return (node_id, self.spec.incarnation)
+        if op == "get":
+            state = self.node.state
+            return (state.assigned, state.waiting)
+        if op == "submit":
+            (transaction,) = args
+            record = self.initiate_now(transaction)
+            return (record.txid, len(record.seen_txids))
+        if op == "status":
+            return (
+                len(self.node.log),
+                self.node.transactions_initiated,
+                self.spec.incarnation,
+                tuple(sorted(self.node.known_txids)),
+            )
+        if op == "snapshot":
+            return tuple(self.node.log)
+        if op == "skew":
+            (drift,) = args
+            self.node.clock.advance(drift)
+            self._trace(
+                "fault_inject", node_id,
+                fault="clock_skew", info=f"drift={drift}",
+            )
+            return self.node.clock.counter
+        if op == "dump":
+            if self.spec.cluster.history_dir is None:
+                raise RuntimeError("no history directory configured")
+            count = dump_records(
+                records_path(self.spec.cluster.history_dir, node_id),
+                self.node.log,
+            )
+            return count
+        if op == "stop":
+            return True
+        raise ValueError(f"unknown op {op!r}")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def serve(self) -> None:
+        await self.transport.start()
+        self.broadcast.start_anti_entropy()
+        # announce readiness on stdout: the supervisor waits for this.
+        print(f"ready {self.spec.node_id} {self.spec.incarnation}", flush=True)
+        await self._stopping.wait()
+        await self.transport.close()
+        if self.history is not None:
+            self.history.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.node",
+        description="host one SHARD replica process",
+    )
+    parser.add_argument(
+        "--spec", required=True,
+        help="NodeSpec JSON (or @path to read it from a file)",
+    )
+    args = parser.parse_args(argv)
+    text = args.spec
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    server = NodeServer(NodeSpec.from_json(text))
+    asyncio.run(server.serve())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

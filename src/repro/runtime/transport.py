@@ -1,0 +1,193 @@
+"""The asyncio TCP Transport adapter.
+
+One node process runs one :class:`TcpTransport`: a TCP server accepting
+frames from peers and clients, plus one persistent outbound connection
+per peer.  Protocol payloads travel as ``("msg", src, payload)``
+envelopes in the tagged JSON codec of :mod:`repro.runtime.wire` on
+4-byte length-prefixed frames; any other frame is handed to the node
+server's request handler (the client API shares the port).
+
+Faithfulness to the port contract:
+
+* **Unreliable by design.**  ``send`` never blocks the protocol: frames
+  are queued to a per-peer sender task, and if the peer is unreachable
+  the frame is dropped — exactly the "maybe delivered, maybe not" the
+  Transport port promises and the anti-entropy layer assumes.  Senders
+  reconnect lazily on the next send.
+* **The chaos seam sits where the cable is.**  An installed
+  :class:`~repro.runtime.faults.RuntimeFaultSeam` is consulted per
+  outbound frame: partitioned edges drop at send time (the simulator's
+  convention), delay/reorder/duplicate faults map one frame onto
+  perturbed copies scheduled on the clock — the *same*
+  ``MessageFaultLayer`` arithmetic the simulator uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+from ..ports import Handler
+from .clock import RuntimeClock
+from .config import ClusterSpec
+from .faults import RuntimeFaultSeam
+from .wire import FrameSplitter, encode_frame
+
+#: protocol envelope tag (peer-to-peer); anything else is a request.
+MSG = "msg"
+
+#: non-protocol frames (client requests) are awaited on this hook.
+RequestHandler = Callable[
+    [object, asyncio.StreamWriter], Awaitable[None]
+]
+
+
+class TcpTransport:
+    """The live Transport adapter for one node process."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        node_id: int,
+        clock: RuntimeClock,
+        faults: Optional[RuntimeFaultSeam] = None,
+    ):
+        self.spec = spec
+        self.node_id = node_id
+        self.clock = clock
+        self.faults = faults
+        self.on_request: Optional[RequestHandler] = None
+        self._handlers: Dict[int, Handler] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queues: Dict[int, asyncio.Queue] = {}
+        self._senders: Dict[int, asyncio.Task] = {}
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    # -- Transport port ---------------------------------------------------
+
+    def register(self, node_id: int, handler: Handler) -> None:
+        self._handlers[node_id] = handler
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return self.spec.node_ids
+
+    def send(self, src: int, dst: int, payload: object) -> bool:
+        """Queue one protocol payload for ``dst``; never blocks."""
+        self.sent += 1
+        now = self.clock.now
+        if self.faults is not None and self.faults.partitioned(
+            now, src, dst
+        ):
+            self.dropped += 1
+            return False
+        delays = (
+            self.faults.deliveries(now, src, dst, payload, 0.0)
+            if self.faults is not None
+            else [0.0]
+        )
+        frame = encode_frame((MSG, src, payload))
+        for delay in delays:
+            if delay <= 0.0:
+                self._enqueue(dst, frame)
+            else:
+                self.clock.schedule(
+                    delay, lambda d=dst, f=frame: self._enqueue(d, f)
+                )
+        return True
+
+    # -- outbound ---------------------------------------------------------
+
+    def _enqueue(self, dst: int, frame: bytes) -> None:
+        if dst in self._handlers:
+            # self-delivery short-circuits the socket (gossip never
+            # self-sends, but the sync path may in degenerate configs).
+            splitter = FrameSplitter()
+            for _, src, payload in splitter.feed(frame):
+                self.delivered += 1
+                self._handlers[dst](src, payload)
+            return
+        queue = self._queues.get(dst)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[dst] = queue
+            self._senders[dst] = asyncio.get_running_loop().create_task(
+                self._sender(dst, queue)
+            )
+        queue.put_nowait(frame)
+
+    async def _sender(self, dst: int, queue: asyncio.Queue) -> None:
+        """Own the outbound connection to ``dst``: lazy connect, write
+        queued frames, drop them (and the connection) on any error."""
+        writer: Optional[asyncio.StreamWriter] = None
+        host, port = self.spec.address(dst)
+        while True:
+            frame = await queue.get()
+            if frame is None:
+                break
+            try:
+                if writer is None:
+                    _, writer = await asyncio.open_connection(host, port)
+                writer.write(frame)
+                await writer.drain()
+            except OSError:
+                self.dropped += 1
+                if writer is not None:
+                    writer.close()
+                writer = None
+        if writer is not None:
+            writer.close()
+
+    # -- inbound ----------------------------------------------------------
+
+    async def start(self) -> None:
+        host, port = self.spec.address(self.node_id)
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port
+        )
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        splitter = FrameSplitter()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for frame in splitter.feed(chunk):
+                    await self._dispatch(frame, writer)
+        except (OSError, ValueError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(
+        self, frame: object, writer: asyncio.StreamWriter
+    ) -> None:
+        if (
+            isinstance(frame, tuple)
+            and len(frame) == 3
+            and frame[0] == MSG
+        ):
+            _, src, payload = frame
+            handler = self._handlers.get(self.node_id)
+            if handler is not None:
+                self.delivered += 1
+                handler(src, payload)
+        elif self.on_request is not None:
+            await self.on_request(frame, writer)
+
+    async def close(self) -> None:
+        for queue in self._queues.values():
+            queue.put_nowait(None)
+        for task in self._senders.values():
+            try:
+                await asyncio.wait_for(task, timeout=1.0)
+            except asyncio.TimeoutError:
+                task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()

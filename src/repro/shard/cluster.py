@@ -94,7 +94,12 @@ class ShardCluster:
         self.broadcast.depends_on = lambda key, item: item.seen_txids
         self.broadcast.on_event = self._trace
         self.ledger = ExternalLedger()
-        self.sync = SyncManager(self)
+        self.sync = SyncManager(
+            clock=self.sim,
+            transport=self.network,
+            broadcast=self.broadcast,
+            apply=self.initiate_now,
+        )
         self.agents: Dict[str, TokenAgent] = {}
         self.nodes: List[ShardNode] = []
         for node_id in range(self.config.n_nodes):

@@ -38,9 +38,15 @@ for the same purpose.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..core.transaction import Transaction
+from ..ports import Clock, Transport
+
+#: runs a transaction's decision at a node, now (the host's submission
+#: path — ``ShardCluster.initiate_now`` in the simulator, the node
+#: server's local initiate in the runtime).
+ApplyFn = Callable[[int, Transaction], None]
 
 #: message kinds used by the protocol (multiplexed on the cluster's
 #: transport next to the broadcast's gossip payloads).
@@ -73,13 +79,33 @@ class _PendingSync:
 
 
 class SyncManager:
-    """Drives the pull protocol; owned by a :class:`ShardCluster`."""
+    """Drives the pull protocol.
 
-    def __init__(self, cluster) -> None:
-        self.cluster = cluster
+    Owned by a :class:`~repro.shard.cluster.ShardCluster` in the
+    simulator and by a :class:`~repro.runtime.node.NodeServer` in the
+    real runtime — both hand it the same four ports: a clock for
+    timeouts, a transport for the pull/push messages, the gossip
+    service whose digests shape the deltas, and the host's submission
+    path for the finally-complete decision.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        transport: Transport,
+        broadcast,
+        apply: ApplyFn,
+    ) -> None:
+        self.clock = clock
+        self.transport = transport
+        self.broadcast = broadcast
+        self.apply = apply
         self.stats = SyncStats()
         self._pending: Dict[int, _PendingSync] = {}
         self._next_id = 0
+
+    def _members(self) -> Tuple[int, ...]:
+        return self.broadcast._targets()
 
     @property
     def pending_count(self) -> int:
@@ -95,43 +121,42 @@ class SyncManager:
         timeout: float = 10.0,
     ) -> None:
         """Schedule a synchronized submission now (see module docstring)."""
-        cluster = self.cluster
 
         def fire() -> None:
             self.stats.requested += 1
             sync_id = self._next_id
             self._next_id += 1
-            others = [n for n in range(len(cluster.nodes)) if n != node_id]
+            others = [n for n in self._members() if n != node_id]
             if not others:
                 # single node: trivially complete.
-                cluster.initiate_now(node_id, transaction)
+                self.apply(node_id, transaction)
                 self.stats.served += 1
                 self.stats.latencies.append(0.0)
                 return
-            handle = cluster.sim.schedule(
+            handle = self.clock.schedule(
                 timeout, lambda: self._on_timeout(sync_id)
             )
             self._pending[sync_id] = _PendingSync(
                 origin=node_id,
                 transaction=transaction,
-                started_at=cluster.sim.now,
+                started_at=self.clock.now,
                 awaiting=set(others),
                 timeout_handle=handle,
             )
             digest = (
-                cluster.broadcast.digest(node_id)
-                if cluster.broadcast.config.mode == "digest"
+                self.broadcast.digest(node_id)
+                if self.broadcast.config.mode == "digest"
                 else None
             )
             for other in others:
-                cluster.broadcast.stats.wire.message(
+                self.broadcast.stats.wire.message(
                     cells=digest.n_cells if digest is not None else 0
                 )
-                cluster.network.send(
+                self.transport.send(
                     node_id, other, (SYNC_PULL, sync_id, node_id, digest)
                 )
 
-        cluster.sim.schedule(0.0, fire)
+        self.clock.schedule(0.0, fire)
 
     # -- message handling ---------------------------------------------------
 
@@ -139,7 +164,7 @@ class SyncManager:
         kind = payload[0]
         if kind == SYNC_PULL:
             _, sync_id, origin, digest = payload
-            broadcast = self.cluster.broadcast
+            broadcast = self.broadcast
             if digest is not None:
                 # delta push: only records in ranges where the origin's
                 # digest disagrees with ours.
@@ -148,7 +173,7 @@ class SyncManager:
                 items = broadcast.known_items(node_id)
             self.stats.pushed_records += len(items)
             broadcast.stats.wire.message(records=len(items))
-            self.cluster.network.send(
+            self.transport.send(
                 node_id, origin, (SYNC_PUSH, sync_id, node_id, items)
             )
         elif kind == SYNC_PUSH:
@@ -156,7 +181,7 @@ class SyncManager:
             pending = self._pending.get(sync_id)
             if pending is None:
                 return
-            self.cluster.broadcast.merge_items(pending.origin, items)
+            self.broadcast.merge_items(pending.origin, items)
             pending.awaiting.discard(pusher)
             if not pending.awaiting:
                 self._complete(sync_id)
@@ -175,10 +200,10 @@ class SyncManager:
         pending = self._finish(sync_id)
         if pending is None:
             return
-        self.cluster.initiate_now(pending.origin, pending.transaction)
+        self.apply(pending.origin, pending.transaction)
         self.stats.served += 1
         self.stats.latencies.append(
-            self.cluster.sim.now - pending.started_at
+            self.clock.now - pending.started_at
         )
 
     def _on_timeout(self, sync_id: int) -> None:

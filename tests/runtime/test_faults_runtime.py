@@ -1,0 +1,82 @@
+"""The runtime fault seam keeps the simulator's fault semantics."""
+
+import random
+
+from repro.chaos.faults import (
+    ClockSkew,
+    Crash,
+    DelaySpike,
+    Duplicate,
+    FaultPlan,
+    Partition,
+)
+from repro.chaos.inject import MessageFaultLayer
+from repro.network.network import NetworkStats
+from repro.runtime.faults import RuntimeFaultSeam
+
+
+def seam(*faults, seed=0):
+    return RuntimeFaultSeam(FaultPlan(tuple(faults)), random.Random(seed))
+
+
+class TestPartitions:
+    def test_window_is_half_open(self):
+        s = seam(Partition(start=2.0, end=5.0, groups=((0,), (1, 2))))
+        assert not s.partitioned(1.9, 0, 1)
+        assert s.partitioned(2.0, 0, 1)
+        assert s.partitioned(4.9, 0, 1)
+        assert not s.partitioned(5.0, 0, 1)
+
+    def test_same_group_stays_connected(self):
+        s = seam(Partition(start=0.0, end=10.0, groups=((0,), (1, 2))))
+        assert not s.partitioned(3.0, 1, 2)
+        assert s.partitioned(3.0, 2, 0)
+
+    def test_drops_are_counted(self):
+        s = seam(Partition(start=0.0, end=1.0, groups=((0,), (1,))))
+        s.partitioned(0.5, 0, 1)
+        s.partitioned(0.5, 1, 0)
+        assert s.stats.dropped_partition == 2
+
+
+class TestMessageFaults:
+    def test_clean_plan_is_a_passthrough(self):
+        s = seam()
+        assert s.deliveries(1.0, 0, 1, "payload", 0.25) == [0.25]
+
+    def test_delay_spike_slows_frames_in_window(self):
+        s = seam(DelaySpike(start=0.0, end=10.0, extra_delay=3.0))
+        assert s.deliveries(5.0, 0, 1, "p", 1.0) == [4.0]
+        assert s.deliveries(15.0, 0, 1, "p", 1.0) == [1.0]
+
+    def test_matches_simulator_layer_for_the_same_seed(self):
+        """The seam must defer to MessageFaultLayer verbatim: identical
+        plan + seed => identical per-frame delay decisions."""
+        plan = FaultPlan((
+            Duplicate(start=0.0, end=20.0, probability=0.5, lag=2.0),
+        ))
+        s = RuntimeFaultSeam(plan, random.Random(42))
+        reference = MessageFaultLayer(
+            plan, random.Random(42), NetworkStats()
+        )
+        for i in range(30):
+            now = float(i)
+            assert s.deliveries(now, 0, 1, f"m{i}", 1.0) == \
+                reference.deliveries(now, 0, 1, f"m{i}", 1.0)
+
+
+class TestProcessSchedules:
+    def test_crashes_sorted_by_onset(self):
+        s = seam(
+            Crash(node=2, at=9.0, recover_at=12.0),
+            Crash(node=0, at=3.0, recover_at=5.0),
+            Partition(start=1.0, end=2.0, groups=((0,), (1, 2))),
+        )
+        assert [(c.node, c.at) for c in s.crashes()] == [(0, 3.0), (2, 9.0)]
+
+    def test_skews_sorted_by_onset(self):
+        s = seam(
+            ClockSkew(node=1, at=7.0, drift=4),
+            ClockSkew(node=0, at=2.0, drift=1),
+        )
+        assert [(k.node, k.at) for k in s.skews()] == [(0, 2.0), (1, 7.0)]

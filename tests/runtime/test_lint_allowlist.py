@@ -1,0 +1,39 @@
+"""R3's adapter allowlist: wall-clock confined to the clock adapter."""
+
+import textwrap
+
+from repro.lint import all_rules, lint_source
+from repro.lint.rules.determinism import ADAPTER_ALLOWLIST
+
+WALL_CLOCK_SOURCE = textwrap.dedent(
+    """
+    import time
+
+    def wall_epoch():
+        return time.time()
+    """
+)
+
+
+def r3_findings(path):
+    result = lint_source(path, WALL_CLOCK_SOURCE, all_rules(["R3"]))
+    return [f for f in result.findings if f.rule == "R3"]
+
+
+def test_the_clock_adapter_is_allowlisted():
+    assert "repro/runtime/clock.py" in ADAPTER_ALLOWLIST
+    assert r3_findings("src/repro/runtime/clock.py") == []
+    # path comparison is suffix-based: absolute checkouts qualify too.
+    assert r3_findings("/some/checkout/src/repro/runtime/clock.py") == []
+
+
+def test_everything_else_is_still_flagged():
+    assert r3_findings("src/repro/runtime/transport.py")
+    assert r3_findings("src/repro/gossip/service.py")
+    assert r3_findings("src/repro/runtime/clock_evil.py")
+
+
+def test_allowlist_is_narrow():
+    """The escape hatch stays a single module wide: growing it is a
+    deliberate, reviewed act, not a drive-by."""
+    assert ADAPTER_ALLOWLIST == ("repro/runtime/clock.py",)

@@ -1,0 +1,122 @@
+"""Offline oracles: recorded histories convict or acquit a dead cluster."""
+
+import dataclasses
+import json
+import random
+
+from repro.apps.airline.state import AirlineState
+from repro.chaos.offline import RecordedRun, check_recorded_run
+from repro.apps.airline.transactions import Cancel, MoveUp, Request
+from repro.chaos import oracles as oracle_cli
+from repro.shard.cluster import ClusterConfig, ShardCluster
+from repro.runtime.history import HistoryWriter, dump_records
+
+
+def healthy_logs(seed=0, n_ops=12):
+    """Produce logs the honest way: run a simulated cluster to
+    convergence and take each node's delivered records."""
+    cluster = ShardCluster(
+        AirlineState(), ClusterConfig(n_nodes=3, seed=seed)
+    )
+    rng = random.Random(seed)
+    persons = [f"p{i}" for i in range(6)]
+    for i in range(n_ops):
+        person = rng.choice(persons)
+        txn = rng.choice((
+            Request(person), Cancel(person), MoveUp(capacity=3)
+        ))
+        cluster.submit(i % 3, txn, at=float(i))
+    cluster.sim.run(until=200.0)
+    assert cluster.converged()
+    return {
+        node.node_id: tuple(node.log) for node in cluster.nodes
+    }
+
+
+class TestRecordedRun:
+    def test_healthy_run_passes_every_offline_oracle(self):
+        run = RecordedRun(AirlineState(), healthy_logs())
+        violations, execution = check_recorded_run(run, capacity=3)
+        assert violations == ()
+        assert execution is not None and len(execution) > 0
+        assert run.converged()
+        assert run.mutually_consistent()
+
+    def test_dropped_record_is_a_convergence_violation(self):
+        logs = healthy_logs()
+        logs[2] = logs[2][:-1]  # node 2 "lost" its last delivery
+        run = RecordedRun(AirlineState(), logs)
+        violations, _ = check_recorded_run(run, capacity=3)
+        assert any(v.oracle == "convergence" for v in violations)
+        assert run.broadcast.missing_counts()[2] == 1
+
+    def test_forged_update_is_a_conditions_violation(self):
+        """Rewriting a shipped update so it no longer matches what the
+        transaction decides over its recorded prefix must trip the
+        conditions oracle (condition (2) re-derivation)."""
+        logs = healthy_logs()
+        tampered = list(logs[0])
+        victim = next(
+            i for i, r in enumerate(tampered)
+            if r.transaction.name == "REQUEST"
+        )
+        other = next(
+            r for r in tampered
+            if r.transaction.name == "REQUEST"
+            and r.update != tampered[victim].update
+        )
+        forged = dataclasses.replace(tampered[victim], update=other.update)
+        tampered[victim] = forged
+        run = RecordedRun(
+            AirlineState(),
+            {0: tuple(tampered), 1: tuple(tampered), 2: tuple(tampered)},
+        )
+        violations, execution = check_recorded_run(run, capacity=3)
+        assert any(v.oracle == "conditions" for v in violations)
+        assert execution is None
+
+    def test_all_records_dedupes_by_txid(self):
+        logs = healthy_logs()
+        run = RecordedRun(AirlineState(), logs)
+        union = run.all_records()
+        assert len(union) == len({r.txid for r in union})
+        assert len(union) == len(logs[0])
+
+
+class TestOracleCli:
+    def write_history(self, tmp_path, logs):
+        for node_id, records in logs.items():
+            dump_records(
+                str(tmp_path / f"records-{node_id}.jsonl"), records
+            )
+        writer = HistoryWriter(str(tmp_path / "events-client.jsonl"))
+        for record in sorted(logs[0], key=lambda r: r.ts):
+            writer.record(
+                record.real_time, "initiate", record.origin,
+                txid=record.txid, family=record.transaction.name,
+                seen=len(record.seen_txids),
+            )
+        writer.close()
+
+    def test_cli_acquits_a_healthy_history(self, tmp_path, capsys):
+        self.write_history(tmp_path, healthy_logs())
+        code = oracle_cli.main(
+            ["--history", str(tmp_path), "--capacity", "3",
+             "--format", "json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert report["nodes"] == [0, 1, 2]
+
+    def test_cli_convicts_a_tampered_history(self, tmp_path, capsys):
+        logs = healthy_logs()
+        logs[1] = logs[1][:-2]
+        self.write_history(tmp_path, logs)
+        code = oracle_cli.main(
+            ["--history", str(tmp_path), "--capacity", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "convergence" in out

@@ -1,0 +1,86 @@
+"""The port seam: every adapter structurally satisfies its port."""
+
+import random
+
+from repro.network import FixedDelay, Network
+from repro.ports import Clock, TimerHandle, Transport
+from repro.runtime.clock import RuntimeClock
+from repro.runtime.loopback import LoopbackNet, VirtualClock
+from repro.sim import Simulator
+
+
+def test_simulator_is_a_clock():
+    sim = Simulator()
+    assert isinstance(sim, Clock)
+    handle = sim.schedule(1.0, lambda: None)
+    assert isinstance(handle, TimerHandle)
+
+
+def test_network_is_a_transport():
+    sim = Simulator()
+    net = Network(sim, delay=FixedDelay(1.0), rng=random.Random(0))
+    assert isinstance(net, Transport)
+
+
+def test_virtual_clock_is_a_clock():
+    clock = VirtualClock()
+    assert isinstance(clock, Clock)
+    fired = []
+    handle = clock.schedule(2.0, lambda: fired.append("a"))
+    clock.schedule(1.0, lambda: fired.append("b"))
+    handle.cancel()
+    clock.run_sync()
+    assert fired == ["b"]
+
+
+def test_virtual_clock_orders_like_the_simulator():
+    """Same-time events fire in scheduling order (the sim's tie-break)."""
+    sim, virtual = Simulator(), VirtualClock()
+    for clock in (sim, virtual):
+        order = []
+        clock.schedule(1.0, lambda: order.append(1))
+        clock.schedule(1.0, lambda: order.append(2))
+        clock.schedule(0.5, lambda: order.append(0))
+        if isinstance(clock, Simulator):
+            clock.run()
+            sim_order = order
+        else:
+            clock.run_sync()
+            assert order == sim_order == [0, 1, 2]
+
+
+def test_loopback_net_is_a_transport():
+    clock = VirtualClock()
+    net = LoopbackNet(clock)
+    assert isinstance(net, Transport)
+    got = []
+    net.register(0, lambda src, payload: got.append((src, payload)))
+    net.register(1, lambda src, payload: None)
+    assert net.node_ids == (0, 1)
+    assert net.send(1, 0, "hello")
+    clock.run_sync()
+    assert got == [(1, "hello")]
+
+
+def test_loopback_drop_hook_cuts_delivery():
+    clock = VirtualClock()
+    net = LoopbackNet(clock, drop=lambda now, src, dst, payload: dst == 0)
+    got = []
+    net.register(0, lambda src, payload: got.append(payload))
+    net.register(1, lambda src, payload: got.append(payload))
+    assert not net.send(1, 0, "cut")
+    assert net.send(0, 1, "ok")
+    clock.run_sync()
+    assert got == ["ok"]
+    assert net.dropped == 1
+
+
+def test_runtime_clock_is_a_clock():
+    clock = RuntimeClock(epoch=0.0, scale=1.0)
+    assert isinstance(clock, Clock)
+    assert clock.now > 0  # the epoch is in the past
+
+
+def test_runtime_clock_scales_the_plan_axis():
+    one_unit_wall = RuntimeClock(epoch=0.0, scale=0.05).to_wall(1.0)
+    assert abs(one_unit_wall - 0.05) < 1e-12

@@ -1,0 +1,116 @@
+"""Wire codec: every protocol payload roundtrips to an equal object."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.airline.state import AirlineState
+from repro.apps.airline.transactions import Cancel, MoveDown, MoveUp, Request
+from repro.core.update import IDENTITY
+from repro.gossip.digest import RangeDigest
+from repro.replica import UpdateRecord
+from repro.replica.timestamps import Timestamp
+from repro.runtime import wire
+
+persons = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=4
+)
+transactions = st.one_of(
+    persons.map(Request),
+    persons.map(Cancel),
+    st.integers(1, 5).map(MoveUp),
+    st.integers(1, 5).map(MoveDown),
+)
+
+
+@st.composite
+def update_records(draw):
+    txn = draw(transactions)
+    decision = txn.decide(AirlineState(("a",), ("b", "c")))
+    return UpdateRecord(
+        ts=Timestamp(draw(st.integers(1, 99)), draw(st.integers(0, 5))),
+        txid=draw(st.integers(0, 2**20)),
+        transaction=txn,
+        update=decision.update,
+        origin=draw(st.integers(0, 5)),
+        real_time=draw(
+            st.floats(0, 1e6, allow_nan=False, allow_infinity=False)
+        ),
+        seen_txids=frozenset(draw(st.lists(st.integers(0, 99), max_size=6))),
+    )
+
+
+digests = st.builds(
+    RangeDigest,
+    width=st.just(32),
+    cells=st.lists(
+        st.tuples(
+            st.none(), st.integers(0, 8), st.integers(1, 9),
+            st.integers(0, 2**30),
+        ),
+        max_size=4,
+    ).map(tuple),
+    tail=st.one_of(
+        st.none(), st.tuples(st.integers(0, 99), st.integers(0, 5))
+    ),
+)
+
+
+class TestRoundtrip:
+    @given(update_records())
+    def test_update_record(self, record):
+        assert wire.decode(wire.encode(record)) == record
+
+    @given(digests)
+    def test_digest(self, digest):
+        assert wire.decode(wire.encode(digest)) == digest
+
+    @given(st.integers(0, 999), digests)
+    def test_syn_payload(self, syn_id, digest):
+        payload = ("gossip_syn", syn_id, digest, None)
+        assert wire.decode(wire.encode(payload)) == payload
+
+    @given(st.lists(update_records(), min_size=1, max_size=3))
+    def test_delta_payload(self, records):
+        items = tuple((None, r.txid, r) for r in records)
+        want = ((None, 7), (None, 9))
+        payload = ("gossip_delta", 3, items, want)
+        assert wire.decode(wire.encode(payload)) == payload
+
+    def test_identity_update_stays_singleton(self):
+        record = UpdateRecord(
+            Timestamp(1, 0), 0, MoveUp(1), IDENTITY, 0, 0.0, frozenset()
+        )
+        assert wire.decode(wire.encode(record)).update is IDENTITY
+
+    def test_sync_pull_without_digest(self):
+        payload = ("sync_pull", 0, 2, None)
+        assert wire.decode(wire.encode(payload)) == payload
+
+    def test_list_vs_tuple_distinction_survives(self):
+        assert wire.decode(wire.encode([1, (2, 3)])) == [1, (2, 3)]
+        assert wire.decode(wire.encode((1, [2]))) == (1, [2])
+
+
+class TestFraming:
+    @given(st.lists(st.tuples(st.integers(), persons), max_size=5))
+    def test_frames_roundtrip_under_any_chunking(self, payloads):
+        stream = b"".join(wire.encode_frame(p) for p in payloads)
+        # worst-case chunking: one byte at a time.
+        splitter = wire.FrameSplitter()
+        out = []
+        for i in range(len(stream)):
+            out.extend(splitter.feed(stream[i:i + 1]))
+        assert out == payloads
+
+    def test_split_frames_rejects_trailing_garbage(self):
+        data = wire.encode_frame(("x",)) + b"\x00\x00"
+        with pytest.raises(ValueError):
+            wire.split_frames(data)
+
+    def test_unknown_type_is_loud(self):
+        with pytest.raises(TypeError):
+            wire.encode(object())
+
+    def test_unknown_family_is_loud(self):
+        with pytest.raises(ValueError):
+            wire.decode('{"%tx":["NO_SUCH",[]]}')
