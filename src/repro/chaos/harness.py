@@ -93,6 +93,12 @@ class ChaosReport:
     violations: Tuple[Violation, ...]
     fingerprint: str
     summary: Dict[str, object]
+    #: the finished cluster, only when ``run_chaos(keep_cluster=True)``
+    #: asked for it (E18 re-checks one run under many oracle sets);
+    #: never serialized and never part of report equality.
+    cluster: Optional[object] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def ok(self) -> bool:
@@ -165,13 +171,16 @@ def run_chaos(
     plan: FaultPlan,
     oracles: Optional[Tuple[str, ...]] = None,
     plan_validated: bool = False,
+    keep_cluster: bool = False,
 ) -> ChaosReport:
     """Simulate one faulted run to quiescence and judge it.
 
     ``plan_validated=True`` promises the plan was already checked
     against ``scenario.n_nodes`` (campaigns validate once per generated
     plan; shrink probes are subplans of validated plans), skipping the
-    injector's per-run re-validation."""
+    injector's per-run re-validation.  ``keep_cluster=True`` attaches
+    the finished cluster (and its trace) to the report so callers can
+    re-run further oracles without re-simulating."""
     tracer = Tracer(strict=True)
     delay = (
         UniformDelay(0.2, scenario.max_delay)
@@ -268,4 +277,5 @@ def run_chaos(
         violations=violations,
         fingerprint=fingerprint,
         summary=summary,
+        cluster=cluster if keep_cluster else None,
     )

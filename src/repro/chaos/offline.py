@@ -11,7 +11,12 @@ properties of the *recorded history*, checkable long after the cluster
 is gone (Biswas & Enea's black-box stance, PAPERS.md).
 
 ``python -m repro.chaos.oracles --history DIR`` is the command-line
-face of this module.
+face of this module; it exits 0 (all oracles passed), 1 (violations)
+or 2 (usage error), like ``python -m repro.chaos``.  The default
+offline set includes the black-box transactional consistency checkers
+(``consistency_rc`` / ``consistency_ra`` / ``consistency_causal``,
+:mod:`repro.consistency`); name ``consistency_prefix`` explicitly to
+run the opt-in prefix check as well.
 """
 
 from __future__ import annotations
@@ -29,9 +34,13 @@ from .faults import FaultPlan
 from .oracles import OracleContext, Violation, run_oracles
 
 #: the oracles meaningful without live cluster internals or a sound
-#: time bound: exactly what a recorded history supports.
+#: time bound: exactly what a recorded history supports.  The
+#: ``consistency_*`` family (``repro.consistency``) is black-box by
+#: construction; ``consistency_prefix`` stays opt-in here as everywhere
+#: (reordered gossip legitimately yields non-prefix snapshots).
 OFFLINE_ORACLES: Tuple[str, ...] = (
     "convergence", "conditions", "transitivity", "trace",
+    "consistency_rc", "consistency_ra", "consistency_causal",
 )
 
 

@@ -29,6 +29,25 @@ consistency predicates — pointed at adversarial schedules:
 * ``trace`` — the trace stream itself is well-formed: time-monotone,
   crash/recover alternate per node, and no node initiates, delivers or
   gossips while crashed.
+* ``consistency_rc`` / ``consistency_ra`` / ``consistency_causal`` /
+  ``consistency_prefix`` — the black-box transactional checkers of
+  :mod:`repro.consistency` (Biswas & Enea) over the history the run
+  recorded: update records plus crash events, nothing internal.  Node
+  sessions split at crashes (a respawned incarnation is a new session),
+  so the default-set members hold for *any* faulted run of a correct
+  implementation: ``consistency_rc`` and ``consistency_ra`` always run;
+  ``consistency_causal`` joins the default set only when the
+  configuration promises causally closed visibility
+  (``expect_transitive``, i.e. piggybacking on); ``consistency_prefix``
+  runs only when named — gossip reordering legitimately produces
+  non-prefix snapshots, and showing exactly that is E18's job.
+
+``python -m repro.chaos.oracles --history DIR`` checks a *recorded*
+run from its files alone and follows the ``python -m repro.chaos`` exit
+convention — 0: every oracle passed; 1: at least one violation;
+2: usage error (unreadable or empty history, unknown oracle).  Its
+``--format=json`` object carries the campaign-report field shapes:
+``violations`` is a count, ``failures`` the detailed list.
 """
 
 from __future__ import annotations
@@ -276,6 +295,71 @@ def oracle_trace(ctx: OracleContext) -> List[Violation]:
     return out
 
 
+def _consistency_history(ctx: OracleContext):
+    """The run's checker history, built once per context from records.
+
+    Works for both the live cluster (``.records`` dict) and the offline
+    :class:`~repro.chaos.offline.RecordedRun` (``.all_records()``) —
+    either way the input is recorded update records plus crash events,
+    never cluster internals.
+    """
+    cached = getattr(ctx, "_consistency_history", None)
+    if cached is None:
+        from ..consistency.adapters import history_from_trace
+
+        all_records = getattr(ctx.cluster, "all_records", None)
+        if callable(all_records):
+            records = all_records()
+        else:
+            by_txid = getattr(ctx.cluster, "records", None) or {}
+            records = tuple(by_txid.values())
+        cached = history_from_trace(records, ctx.events)
+        ctx._consistency_history = cached
+    return cached
+
+
+def _make_consistency_oracle(name: str, model: str) -> Oracle:
+    def oracle(ctx: OracleContext) -> List[Violation]:
+        from ..consistency.checkers import check
+
+        history = _consistency_history(ctx)
+        if len(history) == 0:
+            return []
+        verdict = check(history, model)
+        if verdict.ok:
+            return []
+        if verdict.status == "indeterminate":
+            description = (
+                f"{model} check indeterminate: "
+                f"{verdict.witness.description if verdict.witness else ''}"
+            )
+        else:
+            description = (
+                f"history violates {model} consistency"
+            )
+        details: Dict[str, object] = {
+            "status": verdict.status,
+            "transactions": len(history),
+            "dangling_refs": history.meta.get("dangling_refs", 0),
+        }
+        if verdict.witness is not None:
+            details["witness"] = verdict.witness.description
+            details["cycle"] = [
+                reason for _, _, reason in verdict.witness.edges
+            ]
+        return [Violation(name, description, details)]
+
+    return oracle
+
+
+#: the consistency-model oracle family: oracle name → checker model.
+CONSISTENCY_ORACLES: Dict[str, str] = {
+    "consistency_rc": "read_committed",
+    "consistency_ra": "read_atomic",
+    "consistency_causal": "causal",
+    "consistency_prefix": "prefix",
+}
+
 ORACLES: Dict[str, Oracle] = {
     "convergence": oracle_convergence,
     "conditions": oracle_conditions,
@@ -285,6 +369,10 @@ ORACLES: Dict[str, Oracle] = {
     "cost_bounds": oracle_cost_bounds,
     "fairness": oracle_fairness,
     "trace": oracle_trace,
+    **{
+        name: _make_consistency_oracle(name, model)
+        for name, model in CONSISTENCY_ORACLES.items()
+    },
 }
 
 
@@ -295,15 +383,22 @@ def run_oracles(
     """Run the named oracles, in registry order.
 
     The default set is every oracle whose invariant the configuration
-    promises: ``transitivity`` is dropped when ``ctx.expect_transitive``
-    is False (piggybacking off — intransitive prefixes are *expected*).
-    Naming an oracle explicitly always runs it, which is how the
-    weakened-ablation test demonstrates the violation.
+    promises: ``transitivity`` and ``consistency_causal`` are dropped
+    when ``ctx.expect_transitive`` is False (piggybacking off —
+    intransitive prefixes and causality gaps are *expected*), and
+    ``consistency_prefix`` never joins by itself (reordered gossip
+    legitimately yields non-prefix snapshots).  Naming an oracle
+    explicitly always runs it, which is how the weakened-ablation tests
+    demonstrate the violations.
     """
     if names is None:
         selected = tuple(
             name for name in ORACLES
-            if name != "transitivity" or ctx.expect_transitive
+            if name not in ("transitivity", "consistency_causal")
+            or ctx.expect_transitive
+        )
+        selected = tuple(
+            name for name in selected if name != "consistency_prefix"
         )
     else:
         selected = names
@@ -319,7 +414,13 @@ def run_oracles(
 def main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro.chaos.oracles --history DIR``: check a
     *recorded* run — the history files a runtime cluster left behind —
-    with the offline oracle set.  See :mod:`repro.chaos.offline`."""
+    with the offline oracle set (see :mod:`repro.chaos.offline`).
+
+    Exit codes and the ``--format=json`` field shapes follow
+    ``python -m repro.chaos``: 0 — all oracles passed; 1 — at least one
+    violation; 2 — usage error (missing records, unknown oracle).  The
+    JSON report's ``violations`` is a *count* and ``failures`` the
+    detailed list, matching the campaign report."""
     import argparse
     import json
 
@@ -335,6 +436,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--plan", default=None,
         help="optional FaultPlan JSON file the run replayed",
     )
+    parser.add_argument(
+        "--oracles", default=None,
+        help="comma-separated oracle names (default: the offline set)",
+    )
     parser.add_argument("--capacity", type=int, default=100)
     parser.add_argument("--format", choices=("text", "json"), default="text")
     args = parser.parse_args(argv)
@@ -343,11 +448,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     # history reader is only needed on this entry path.
     from ..apps.airline.state import AirlineState
     from ..runtime.history import load_history
-    from .offline import RecordedRun, check_recorded_run
+    from .offline import OFFLINE_ORACLES, RecordedRun, check_recorded_run
 
-    events, logs = load_history(args.history)
+    names = OFFLINE_ORACLES
+    if args.oracles is not None:
+        names = tuple(
+            name.strip() for name in args.oracles.split(",") if name.strip()
+        )
+        unknown = sorted(set(names) - set(ORACLES))
+        if unknown:
+            print(f"error: unknown oracle(s) {unknown}; "
+                  f"known: {sorted(ORACLES)}")
+            return 2
+    try:
+        events, logs = load_history(args.history)
+    except OSError as exc:
+        print(f"error: cannot load history from {args.history}: {exc}")
+        return 2
     if not logs:
-        print(f"no records-*.jsonl files under {args.history}")
+        print(f"error: no records-*.jsonl files under {args.history}")
         return 2
     plan = None
     if args.plan is not None:
@@ -355,15 +474,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             plan = FaultPlan.from_json(handle.read())
     run = RecordedRun(AirlineState(), logs, events)
     violations, execution = check_recorded_run(
-        run, plan=plan, capacity=args.capacity
+        run, plan=plan, capacity=args.capacity, names=names
     )
     if args.format == "json":
         print(json.dumps({
             "nodes": sorted(logs),
             "records": len(run.all_records()),
             "events": len(events),
+            "oracles": list(names),
             "transactions": len(execution) if execution is not None else 0,
-            "violations": [v.as_dict() for v in violations],
+            "violations": len(violations),
+            "failures": [v.as_dict() for v in violations],
             "ok": not violations,
         }, indent=2, sort_keys=True))
     else:

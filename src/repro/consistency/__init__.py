@@ -1,0 +1,71 @@
+"""Black-box transactional consistency checking over recorded histories.
+
+This package positions the paper's conditions (1)–(4) on the standard
+transactional consistency-model map.  It consumes a model-agnostic
+:class:`~repro.consistency.model.History` — transactions of read/write
+operations with per-node session order and a write-read relation — and
+decides, in polynomial time, whether the history satisfies read
+committed, read atomic, causal, or prefix consistency, returning a
+minimal witness on failure (Biswas & Enea's saturation and commit-order
+constructions; see PAPERS.md).
+
+Histories come from anywhere: the simulator and the asyncio runtime via
+:mod:`repro.consistency.adapters` (which read recorded update records
+and trace events only — never simulator or cluster internals), the JSON
+round-trip in :mod:`repro.consistency.model` for foreign systems, or
+the hypothesis generators in the test suite.
+
+``python -m repro.consistency --history DIR`` checks a recorded runtime
+history from its files alone; :mod:`repro.chaos.oracles` registers the
+checkers as the ``consistency_*`` oracle family for live campaigns.
+"""
+
+from .adapters import (
+    crash_times_from_events,
+    history_from_dir,
+    history_from_records,
+    history_from_trace,
+)
+from .checkers import (
+    ALIASES,
+    MODEL_ORDER,
+    Verdict,
+    Witness,
+    canonical_model,
+    check,
+    check_all,
+    check_causal,
+    check_read_atomic,
+    check_read_committed,
+)
+from .footprints import FootprintRegistry, airline_footprints
+from .model import INIT, History, HistoryError, HTransaction
+from .prefix import DEFAULT_STATE_BUDGET, check_prefix
+from .reference import brute_force_all, brute_force_check
+
+__all__ = [
+    "ALIASES",
+    "DEFAULT_STATE_BUDGET",
+    "FootprintRegistry",
+    "History",
+    "HistoryError",
+    "HTransaction",
+    "INIT",
+    "MODEL_ORDER",
+    "Verdict",
+    "Witness",
+    "airline_footprints",
+    "brute_force_all",
+    "brute_force_check",
+    "canonical_model",
+    "check",
+    "check_all",
+    "check_causal",
+    "check_prefix",
+    "check_read_atomic",
+    "check_read_committed",
+    "crash_times_from_events",
+    "history_from_dir",
+    "history_from_records",
+    "history_from_trace",
+]

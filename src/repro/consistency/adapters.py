@@ -1,0 +1,171 @@
+"""Build checker histories from recorded runs — records and events only.
+
+Both adapters are *black-box*: they consume exactly what a finished run
+leaves behind — :class:`~repro.replica.log.UpdateRecord` entries (the
+union of the surviving node logs) plus, optionally, trace events for
+crash times — and never touch a simulator or cluster object.  The same
+code therefore serves live chaos campaigns (records straight off the
+cluster), offline ``--history`` runs (records decoded from
+``records-<node>.jsonl``), and any foreign system that can produce the
+wire format.
+
+The mapping, per record:
+
+* **transaction** — txid, with reads and writes named by the footprint
+  registry (:mod:`repro.consistency.footprints`);
+* **write-read** — the decision saw ``seen_txids``; the source of a read
+  of key *k* is the max-timestamp visible writer of *k* (replicas apply
+  updates in timestamp order, so that writer's value is what the
+  observed state held), or the initial transaction when no visible
+  transaction wrote *k*;
+* **session order** — one session per node *incarnation*:
+  ``"<origin>"``, splitting to ``"<origin>.<n>"`` after the n-th crash
+  of that node.  A crash may lose volatile state, and the paper's
+  guarantees are per-surviving-session; splitting keeps the session
+  axioms honest without hiding cross-session anomalies (they still show
+  up through the write-read relation).
+
+``seen_txids`` entries whose records did not survive (lost to a
+volatile-state crash before any gossip) cannot be interpreted and are
+dropped; the count is recorded in ``History.meta["dangling_refs"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..replica.log import UpdateRecord
+from ..sim.trace import TraceEvent
+from .footprints import FootprintRegistry, airline_footprints
+from .model import History, HTransaction
+
+
+def crash_times_from_events(
+    events: Iterable[TraceEvent],
+) -> Dict[int, Tuple[float, ...]]:
+    """node → times it crashed, from ``crash`` trace events."""
+    out: Dict[int, List[float]] = {}
+    for event in events:
+        if event.kind == "crash" and event.node is not None:
+            out.setdefault(event.node, []).append(event.time)
+    return {node: tuple(sorted(times)) for node, times in out.items()}
+
+
+def _session(
+    origin: int,
+    real_time: float,
+    crash_times: Mapping[int, Tuple[float, ...]],
+) -> str:
+    incarnation = sum(
+        1 for at in crash_times.get(origin, ()) if at <= real_time
+    )
+    if incarnation == 0:
+        return str(origin)
+    return f"{origin}.{incarnation}"
+
+
+def history_from_records(
+    records: Iterable[UpdateRecord],
+    *,
+    crash_times: Optional[Mapping[int, Tuple[float, ...]]] = None,
+    footprints: Optional[FootprintRegistry] = None,
+) -> History:
+    """The checker history of a set of surviving update records."""
+    registry = footprints or airline_footprints()
+    crash_times = crash_times or {}
+    ordered = sorted(records, key=lambda r: r.ts)
+    universe: Dict[int, UpdateRecord] = {r.txid: r for r in ordered}
+    writes_of: Dict[int, Tuple[str, ...]] = {}
+    reads_of: Dict[int, Tuple[str, ...]] = {}
+    for record in ordered:
+        fp = registry.of(record)
+        reads_of[record.txid] = fp.reads
+        writes_of[record.txid] = fp.writes
+
+    dangling = 0
+    transactions: List[HTransaction] = []
+    for record in ordered:
+        visible: List[UpdateRecord] = []
+        for txid in record.seen_txids:
+            seen = universe.get(txid)
+            if seen is None:
+                dangling += 1
+            elif txid != record.txid:
+                visible.append(seen)
+        visible.sort(key=lambda r: r.ts)
+        reads: List[Tuple[str, Optional[int]]] = []
+        for key in reads_of[record.txid]:
+            src: Optional[int] = None
+            for candidate in visible:  # last wins: max-ts visible writer
+                if key in writes_of[candidate.txid]:
+                    src = candidate.txid
+            reads.append((key, src))
+        transactions.append(HTransaction(
+            txid=record.txid,
+            session=_session(record.origin, record.real_time, crash_times),
+            reads=tuple(reads),
+            writes=writes_of[record.txid],
+        ))
+    sessions = sorted({t.session for t in transactions})
+    return History(transactions, meta={
+        "transactions": len(transactions),
+        "dangling_refs": dangling,
+        "sessions": sessions,
+        "session_splits": sum(1 for s in sessions if "." in s),
+    })
+
+
+def history_from_trace(
+    records: Iterable[UpdateRecord],
+    events: Iterable[TraceEvent] = (),
+    *,
+    split_sessions_at_crash: bool = True,
+    footprints: Optional[FootprintRegistry] = None,
+) -> History:
+    """History of a recorded run: records plus crash times from events.
+
+    With ``split_sessions_at_crash`` disabled every node keeps a single
+    session across crashes — the stricter reading under which a
+    volatile-state loss *is* a session-guarantee violation (E18 measures
+    exactly this gap).
+    """
+    crash_times = (
+        crash_times_from_events(events) if split_sessions_at_crash else {}
+    )
+    return history_from_records(
+        records, crash_times=crash_times, footprints=footprints
+    )
+
+
+def history_from_dir(
+    history_dir: str,
+    *,
+    split_sessions_at_crash: bool = True,
+    footprints: Optional[FootprintRegistry] = None,
+) -> History:
+    """History of an on-disk run (``events-*.jsonl`` + ``records-*.jsonl``).
+
+    Node logs are merged by txid — every surviving copy of a record is
+    identical, so the union is the record universe.
+    """
+    from ..runtime.history import load_history
+
+    events, logs = load_history(history_dir)
+    merged: Dict[int, UpdateRecord] = {}
+    for _, log in sorted(logs.items()):
+        for record in log:
+            merged.setdefault(record.txid, record)
+    return history_from_trace(
+        merged.values(),
+        events,
+        split_sessions_at_crash=split_sessions_at_crash,
+        footprints=footprints,
+    )
+
+
+__all__ = [
+    "crash_times_from_events",
+    "history_from_dir",
+    "history_from_records",
+    "history_from_trace",
+]

@@ -1,0 +1,187 @@
+"""A labeled precedence graph over transactions, with cycle witnesses.
+
+The saturation checkers reduce each consistency model to "is this set of
+*must-precede* edges acyclic?": base edges (session order, write-read, the
+initial transaction before everything) plus the edges the model's axiom
+forces.  Every edge carries a human-readable reason, so a failed check
+can hand back a *minimal witness* — the shortest precedence cycle we can
+find, each hop annotated with why the edge must exist.
+
+Vertices are txids; ``None`` is the implicit initial transaction
+(:data:`repro.consistency.model.INIT`), which precedes every other
+vertex.  A forced edge *into* ``None`` is therefore always part of a
+cycle — the classic "stale read observed the initial value while a
+visible overwrite existed" shape.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+Node = Optional[int]
+Edge = Tuple[Node, Node, str]
+
+
+class PrecedenceGraph:
+    """Directed graph with first-reason-wins edge labels."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, List[Node]] = {}
+        self._edges: Dict[Tuple[Node, Node], str] = {}
+
+    def ensure(self, node: Node) -> None:
+        self._succ.setdefault(node, [])
+
+    def add(self, src: Node, dst: Node, reason: str) -> bool:
+        """Add ``src`` must-precede ``dst``; returns True if new."""
+        self.ensure(src)
+        self.ensure(dst)
+        if (src, dst) in self._edges:
+            return False
+        self._edges[(src, dst)] = reason
+        self._succ[src].append(dst)
+        return True
+
+    def __contains__(self, edge: Tuple[Node, Node]) -> bool:
+        return edge in self._edges
+
+    def reason(self, src: Node, dst: Node) -> str:
+        return self._edges[(src, dst)]
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def successors(self, node: Node) -> Tuple[Node, ...]:
+        return tuple(self._succ.get(node, ()))
+
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._succ)
+
+    def reachable(self, src: Node) -> frozenset:
+        """Every node reachable from ``src`` (excluding ``src`` unless it
+        lies on a cycle through itself)."""
+        seen = set()
+        queue = deque(self._succ.get(src, ()))
+        while queue:
+            node = queue.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            queue.extend(self._succ.get(node, ()))
+        return frozenset(seen)
+
+    def closure(self) -> Dict[Node, frozenset]:
+        """node → reachable-set, for co-independent relation queries."""
+        return {node: self.reachable(node) for node in self._succ}
+
+    # -- cycle witnesses -------------------------------------------------
+
+    def _sccs(self) -> List[List[Node]]:
+        """Tarjan's strongly connected components, iteratively."""
+        index: Dict[Node, int] = {}
+        low: Dict[Node, int] = {}
+        on_stack: Dict[Node, bool] = {}
+        stack: List[Node] = []
+        sccs: List[List[Node]] = []
+        counter = [0]
+
+        for root in self._succ:
+            if root in index:
+                continue
+            work: List[Tuple[Node, int]] = [(root, 0)]
+            while work:
+                node, child_i = work.pop()
+                if child_i == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                recursed = False
+                children = self._succ.get(node, ())
+                for i in range(child_i, len(children)):
+                    child = children[i]
+                    if child not in index:
+                        work.append((node, i + 1))
+                        work.append((child, 0))
+                        recursed = True
+                        break
+                    if on_stack.get(child, False):
+                        low[node] = min(low[node], index[child])
+                if recursed:
+                    continue
+                if low[node] == index[node]:
+                    component: List[Node] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(component)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sccs
+
+    def _shortest_cycle_through(
+        self, start: Node, component: frozenset
+    ) -> Optional[List[Node]]:
+        """Shortest path start → start staying inside ``component``."""
+        parent: Dict[Node, Node] = {}
+        queue = deque([start])
+        visited = {start}
+        while queue:
+            node = queue.popleft()
+            for child in self._succ.get(node, ()):
+                if child == start:
+                    path: List[Node] = []
+                    cursor = node
+                    while cursor != start:
+                        path.append(cursor)
+                        cursor = parent[cursor]
+                    path.append(start)
+                    path.reverse()  # [start, ..., node]
+                    return path
+                if child in component and child not in visited:
+                    visited.add(child)
+                    parent[child] = node
+                    queue.append(child)
+        return None
+
+    def find_cycle(self) -> Optional[Tuple[Edge, ...]]:
+        """A shortest labeled cycle, or None when the graph is acyclic.
+
+        Scans every non-trivial SCC (plus self-loops) and returns the
+        shortest cycle found — the witness handed back to the user.
+        """
+        best: Optional[List[Node]] = None
+        for src, dst in sorted(
+            self._edges, key=lambda e: (repr(e[0]), repr(e[1]))
+        ):
+            if src == dst:
+                best = [src]
+                break
+        if best is None:
+            for component in self._sccs():
+                if len(component) < 2:
+                    continue
+                members = frozenset(component)
+                for start in component:
+                    cycle = self._shortest_cycle_through(start, members)
+                    if cycle is not None and (
+                        best is None or len(cycle) < len(best)
+                    ):
+                        best = cycle
+                    if best is not None and len(best) == 2:
+                        break
+                if best is not None and len(best) == 2:
+                    break
+        if best is None:
+            return None
+        edges: List[Edge] = []
+        for i, node in enumerate(best):
+            succ = best[(i + 1) % len(best)]
+            edges.append((node, succ, self._edges[(node, succ)]))
+        return tuple(edges)

@@ -1,0 +1,113 @@
+"""Brute-force reference checkers: enumerate every commit order.
+
+These implement the Biswas & Enea axioms *literally* — try every total
+commit order extending session order and write-read, and test the
+model's visibility axiom under it — with none of the saturation or
+search machinery of the production checkers.  They are exponential
+(guarded to tiny histories) and exist purely so the test suite can
+assert, over generated histories, that the polynomial checkers accept
+and reject exactly the same inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from .checkers import MODEL_ORDER, canonical_model, causal_closure
+from .model import History
+
+#: refuse to enumerate beyond this many transactions (n! blowup).
+MAX_BRUTE_FORCE = 8
+
+
+def _base_edges(history: History) -> Set[Tuple[int, int]]:
+    """SO ∪ WR as txid pairs (init edges are implicit: init is first)."""
+    edges: Set[Tuple[int, int]] = set()
+    for _, ids in history.sessions().items():
+        for prev, succ in zip(ids, ids[1:]):
+            edges.add((prev, succ))
+    for txn in history.transactions:
+        for _, src in txn.reads:
+            if src is not None:
+                edges.add((src, txn.txid))
+    return edges
+
+
+def _axiom_holds(
+    history: History,
+    model: str,
+    position: Dict[Optional[int], int],
+    causal: Dict[Optional[int], FrozenSet[int]],
+) -> bool:
+    """Does the model's axiom hold under this commit order?
+
+    ``position[None] = -1``: the initial transaction commits first, so a
+    forced "t1 before init" always fails — the stale-initial-read case.
+    """
+    session_index = history.session_index()
+    writers = history.writers()
+    for txn in history.transactions:
+        for read_pos, (key, src) in enumerate(txn.reads):
+            for t1 in writers.get(key, ()):
+                if t1 == txn.txid or t1 == src:
+                    continue
+                if model == "read_committed":
+                    s1, i1 = session_index[t1]
+                    s2, i2 = session_index[txn.txid]
+                    visible = (s1 == s2 and i1 < i2) or any(
+                        earlier_src == t1
+                        for _, earlier_src in txn.reads[:read_pos]
+                    )
+                elif model == "read_atomic":
+                    s1, i1 = session_index[t1]
+                    s2, i2 = session_index[txn.txid]
+                    visible = (s1 == s2 and i1 < i2) or any(
+                        any_src == t1 for _, any_src in txn.reads
+                    )
+                elif model == "causal":
+                    visible = txn.txid in causal.get(t1, frozenset())
+                elif model == "prefix":
+                    visible = any(
+                        t1 == t_prime or position[t1] < position[t_prime]
+                        for t_prime in causal
+                        if t_prime is not None
+                        and txn.txid in causal[t_prime]
+                    )
+                else:  # pragma: no cover - guarded by canonical_model
+                    raise AssertionError(model)
+                if visible and position[t1] >= position[src]:
+                    return False
+    return True
+
+
+def brute_force_check(history: History, model: str) -> bool:
+    """True iff *some* commit order satisfies the model's axiom."""
+    resolved = canonical_model(model)
+    n = len(history)
+    if n > MAX_BRUTE_FORCE:
+        raise ValueError(
+            f"brute-force reference refuses {n} transactions "
+            f"(max {MAX_BRUTE_FORCE})"
+        )
+    edges = _base_edges(history)
+    causal = causal_closure(history)
+    for order in permutations(history.txids):
+        position: Dict[Optional[int], int] = {
+            txid: i for i, txid in enumerate(order)
+        }
+        position[None] = -1
+        if any(position[a] >= position[b] for a, b in edges):
+            continue
+        if _axiom_holds(history, resolved, position, causal):
+            return True
+    # No valid extension of SO ∪ WR at all also means "unsatisfiable":
+    # SO ∪ WR is cyclic, which every model rejects.
+    return False
+
+
+def brute_force_all(history: History) -> Dict[str, bool]:
+    return {model: brute_force_check(history, model) for model in MODEL_ORDER}
+
+
+__all__ = ["MAX_BRUTE_FORCE", "brute_force_all", "brute_force_check"]

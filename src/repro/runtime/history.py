@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+import warnings
+from typing import Callable, Dict, Iterable, List, Optional, TextIO, Tuple
 
 from ..replica import UpdateRecord
 from ..sim.trace import EVENT_SCHEMAS, TraceEvent
@@ -74,22 +75,49 @@ class HistoryWriter:
             self._handle = None
 
 
-def read_events(path: str) -> Tuple[TraceEvent, ...]:
-    """One file's events, in write order."""
-    out: List[TraceEvent] = []
+def _parse_jsonl(path: str, parse: Callable[[str], object]) -> List[object]:
+    """Parse one value per non-empty line, tolerating a *torn tail*.
+
+    A SIGKILL mid-write leaves at most one partial line, and only at the
+    end of the file (both writers append + flush whole lines).  An
+    unparseable *final* non-empty line is therefore expected crash
+    debris: warn and skip it.  An unparseable line with content after it
+    is real corruption and still raises.
+    """
+    out: List[object] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            data = json.loads(line)
-            out.append(TraceEvent(
-                time=data["time"],
-                kind=data["kind"],
-                node=data["node"],
-                detail=tuple(sorted(data["detail"].items())),
-            ))
-    return tuple(out)
+        lines = [line.strip() for line in handle]
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            out.append(parse(line))
+        except (ValueError, KeyError, TypeError) as exc:
+            if any(later for later in lines[index + 1:]):
+                raise
+            warnings.warn(
+                f"{path}: skipping torn final line "
+                f"({type(exc).__name__}: {exc})",
+                stacklevel=2,
+            )
+            break
+    return out
+
+
+def read_events(path: str) -> Tuple[TraceEvent, ...]:
+    """One file's events, in write order (a torn final line is skipped
+    with a warning — see :func:`_parse_jsonl`)."""
+
+    def parse(line: str) -> TraceEvent:
+        data = json.loads(line)
+        return TraceEvent(
+            time=data["time"],
+            kind=data["kind"],
+            node=data["node"],
+            detail=tuple(sorted(data["detail"].items())),
+        )
+
+    return tuple(_parse_jsonl(path, parse))  # type: ignore[arg-type]
 
 
 def merged_events(paths: Iterable[str]) -> Tuple[TraceEvent, ...]:
@@ -120,16 +148,18 @@ def dump_records(path: str, records: Iterable[UpdateRecord]) -> int:
 
 
 def load_records(path: str) -> Tuple[UpdateRecord, ...]:
-    out: List[UpdateRecord] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            record = decode(line)
-            assert isinstance(record, UpdateRecord)
-            out.append(record)
-    return tuple(out)
+    """One node's log snapshot (a torn final line is skipped with a
+    warning — see :func:`_parse_jsonl`)."""
+
+    def parse(line: str) -> UpdateRecord:
+        record = decode(line)
+        if not isinstance(record, UpdateRecord):
+            raise ValueError(
+                f"expected an UpdateRecord line, got {type(record).__name__}"
+            )
+        return record
+
+    return tuple(_parse_jsonl(path, parse))  # type: ignore[arg-type]
 
 
 def load_history(

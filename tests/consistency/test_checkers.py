@@ -1,0 +1,229 @@
+"""The saturation/search checkers on the classic anomaly zoo.
+
+Each anomaly is chosen to separate two adjacent models of the lattice
+RC ⊇ RA ⊇ causal ⊇ prefix, so these tests pin both the acceptance and
+the rejection side of every boundary.
+"""
+
+import pytest
+
+from repro.consistency import (
+    MODEL_ORDER,
+    History,
+    HistoryError,
+    HTransaction,
+    canonical_model,
+    check,
+    check_all,
+)
+
+
+def verdict_map(history, **kwargs):
+    return {v.model: v for v in check_all(history, **kwargs)}
+
+
+def ok_map(history):
+    return {v.model: v.ok for v in check_all(history)}
+
+
+class TestAnomalyZoo:
+    def test_healthy_chain_satisfies_everything(self):
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x",)),
+            HTransaction(2, "b", reads=(("x", 1),), writes=("x",)),
+            HTransaction(3, "a", reads=(("x", 2),), writes=()),
+        ])
+        assert all(ok_map(h).values())
+
+    def test_fractured_read_breaks_read_atomic_not_read_committed(self):
+        # t2 sees t1's write of x but misses its write of y — reading y
+        # *after* x makes t1 "already observed", so even RC rejects ...
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x", "y")),
+            HTransaction(2, "b", reads=(("x", 1), ("y", None)), writes=()),
+        ])
+        assert ok_map(h) == {
+            "read_committed": False, "read_atomic": False,
+            "causal": False, "prefix": False,
+        }
+        # ... while reading y first keeps the reads RC-monotone: only
+        # RA and stronger reject the fractured visibility.
+        h2 = History([
+            HTransaction(1, "a", reads=(), writes=("x", "y")),
+            HTransaction(2, "b", reads=(("y", None), ("x", 1)), writes=()),
+        ])
+        assert ok_map(h2) == {
+            "read_committed": True, "read_atomic": False,
+            "causal": False, "prefix": False,
+        }
+
+    def test_causality_gap_breaks_causal_not_read_atomic(self):
+        # t3 observes t2, which observed t1 — but t3 misses t1's write.
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x",)),
+            HTransaction(2, "b", reads=(("x", 1),), writes=("y",)),
+            HTransaction(3, "c", reads=(("y", 2), ("x", None)), writes=()),
+        ])
+        assert ok_map(h) == {
+            "read_committed": True, "read_atomic": True,
+            "causal": False, "prefix": False,
+        }
+
+    def test_long_fork_breaks_prefix_not_causal(self):
+        # two observers see the concurrent writes in opposite orders:
+        # fine causally, impossible against one commit-order prefix.
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x",)),
+            HTransaction(2, "b", reads=(), writes=("y",)),
+            HTransaction(3, "c", reads=(("x", 1), ("y", None)), writes=()),
+            HTransaction(4, "d", reads=(("y", 2), ("x", None)), writes=()),
+        ])
+        assert ok_map(h) == {
+            "read_committed": True, "read_atomic": True,
+            "causal": True, "prefix": False,
+        }
+
+    def test_write_skew_satisfies_prefix(self):
+        # the anomaly that separates prefix from serializability —
+        # prefix consistency must ACCEPT it.
+        h = History([
+            HTransaction(1, "a", reads=(("y", None),), writes=("x",)),
+            HTransaction(2, "b", reads=(("x", None),), writes=("y",)),
+        ])
+        assert all(ok_map(h).values())
+
+    def test_stale_read_in_session_breaks_read_committed(self):
+        # t2 follows t1 in the same session yet reads the initial value
+        # of a key t1 wrote: the weakest model already rejects.
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x",)),
+            HTransaction(2, "a", reads=(("x", None),), writes=()),
+        ])
+        assert not any(ok_map(h).values())
+
+
+class TestLattice:
+    def test_acceptance_is_monotone_on_the_zoo(self):
+        zoo = [
+            History([
+                HTransaction(1, "a", reads=(), writes=("x", "y")),
+                HTransaction(2, "b", reads=(("x", 1), ("y", None))),
+            ]),
+            History([
+                HTransaction(1, "a", reads=(), writes=("x",)),
+                HTransaction(2, "b", reads=(("x", 1),), writes=("y",)),
+                HTransaction(3, "c", reads=(("y", 2), ("x", None))),
+            ]),
+            History([
+                HTransaction(1, "a", reads=(), writes=("x",)),
+                HTransaction(2, "b", reads=(), writes=("y",)),
+                HTransaction(3, "c", reads=(("x", 1), ("y", None))),
+                HTransaction(4, "d", reads=(("y", 2), ("x", None))),
+            ]),
+        ]
+        for history in zoo:
+            oks = [check(history, m).ok for m in MODEL_ORDER]
+            # once a weaker model rejects, every stronger one must too.
+            assert oks == sorted(oks, reverse=True)
+
+
+class TestWitnesses:
+    def test_cycle_witness_names_every_edge(self):
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x",)),
+            HTransaction(2, "a", reads=(("x", None),), writes=()),
+        ])
+        verdict = check(h, "read_committed")
+        assert verdict.status == "violation"
+        witness = verdict.witness
+        assert witness.kind == "cycle"
+        assert len(witness.edges) >= 2
+        # the cycle is closed and every hop carries a reason.
+        srcs = [e[0] for e in witness.edges]
+        dsts = [e[1] for e in witness.edges]
+        assert sorted(map(repr, srcs)) == sorted(map(repr, dsts))
+        assert all(e[2] for e in witness.edges)
+        payload = verdict.as_dict()
+        assert payload["status"] == "violation"
+        assert payload["witness"]["edges"]
+
+    def test_minimal_witness_is_shortest_cycle(self):
+        # stale-initial-read forces t1 -> init against init -> t1: the
+        # witness must be exactly that 2-cycle, not anything longer.
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x",)),
+            HTransaction(2, "a", reads=(("x", None),), writes=()),
+            HTransaction(3, "a", reads=(("x", 1),), writes=("x",)),
+        ])
+        verdict = check(h, "read_committed")
+        assert verdict.status == "violation"
+        assert len(verdict.witness.edges) == 2
+
+    def test_prefix_exhausted_witness_explains_blockage(self):
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x",)),
+            HTransaction(2, "b", reads=(), writes=("y",)),
+            HTransaction(3, "c", reads=(("x", 1), ("y", None))),
+            HTransaction(4, "d", reads=(("y", 2), ("x", None))),
+        ])
+        verdict = check(h, "prefix")
+        assert verdict.status == "violation"
+        assert verdict.witness.kind in ("cycle", "exhausted")
+        assert verdict.witness.description
+
+    def test_prefix_budget_yields_indeterminate(self):
+        h = History([
+            HTransaction(i, f"s{i}", reads=(), writes=("x",))
+            for i in range(1, 7)
+        ])
+        verdict = check(h, "prefix", budget=1)
+        assert verdict.status == "indeterminate"
+        assert not verdict.ok
+
+
+class TestModelNames:
+    def test_aliases_resolve(self):
+        assert canonical_model("rc") == "read_committed"
+        assert canonical_model("ra") == "read_atomic"
+        assert canonical_model("cc") == "causal"
+        assert canonical_model("pc") == "prefix"
+        assert canonical_model("prefix") == "prefix"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown consistency model"):
+            canonical_model("linearizable")
+
+
+class TestHistoryValidation:
+    def test_duplicate_txid_rejected(self):
+        with pytest.raises(HistoryError, match="duplicate"):
+            History([
+                HTransaction(1, "a"), HTransaction(1, "b"),
+            ])
+
+    def test_read_from_unknown_writer_rejected(self):
+        with pytest.raises(HistoryError, match="unknown"):
+            History([HTransaction(1, "a", reads=(("x", 9),))])
+
+    def test_read_from_non_writer_rejected(self):
+        with pytest.raises(HistoryError, match="never wrote"):
+            History([
+                HTransaction(1, "a", writes=("y",)),
+                HTransaction(2, "b", reads=(("x", 1),)),
+            ])
+
+    def test_self_read_rejected(self):
+        with pytest.raises(HistoryError, match="itself"):
+            History([
+                HTransaction(1, "a", reads=(("x", 1),), writes=("x",)),
+            ])
+
+    def test_json_round_trip(self):
+        h = History([
+            HTransaction(1, "a", reads=(), writes=("x",)),
+            HTransaction(2, "b", reads=(("x", 1),), writes=()),
+        ], meta={"dangling_refs": 0})
+        again = History.from_json(h.to_json())
+        assert again.txids == h.txids
+        assert again[2].reads == h[2].reads
+        assert again.meta == h.meta

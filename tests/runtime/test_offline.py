@@ -107,8 +107,33 @@ class TestOracleCli:
         report = json.loads(capsys.readouterr().out)
         assert code == 0
         assert report["ok"] is True
-        assert report["violations"] == []
+        # campaign-report shape: a count plus the detailed list.
+        assert report["violations"] == 0
+        assert report["failures"] == []
         assert report["nodes"] == [0, 1, 2]
+        # the consistency checkers are part of the offline default set.
+        assert "consistency_rc" in report["oracles"]
+
+    def test_cli_rejects_unknown_oracles(self, tmp_path, capsys):
+        self.write_history(tmp_path, healthy_logs())
+        code = oracle_cli.main(
+            ["--history", str(tmp_path), "--oracles", "entropy"]
+        )
+        assert code == 2
+        assert "unknown oracle" in capsys.readouterr().out
+
+    def test_cli_runs_named_oracles_only(self, tmp_path, capsys):
+        self.write_history(tmp_path, healthy_logs())
+        code = oracle_cli.main(
+            ["--history", str(tmp_path), "--capacity", "3",
+             "--oracles", "consistency_rc,consistency_prefix",
+             "--format", "json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["oracles"] == [
+            "consistency_rc", "consistency_prefix"
+        ]
 
     def test_cli_convicts_a_tampered_history(self, tmp_path, capsys):
         logs = healthy_logs()

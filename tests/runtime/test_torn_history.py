@@ -1,0 +1,97 @@
+"""SIGKILL debris: a torn final JSONL line must not poison a history."""
+
+import pytest
+
+from repro.apps.airline.transactions import Request
+from repro.apps.airline.updates import RequestUpdate
+from repro.replica.log import UpdateRecord
+from repro.replica.timestamps import Timestamp
+from repro.runtime.history import (
+    HistoryWriter,
+    dump_records,
+    load_records,
+    read_events,
+)
+from repro.runtime.wire import encode
+
+
+def write_events(path, count=3):
+    writer = HistoryWriter(str(path))
+    for i in range(count):
+        writer.record(
+            float(i), "initiate", 0, txid=i, family="REQUEST", seen=i
+        )
+    writer.close()
+
+
+def make_record(txid):
+    return UpdateRecord(
+        ts=Timestamp(txid, 0),
+        txid=txid,
+        transaction=Request(f"P{txid}"),
+        update=RequestUpdate(f"P{txid}"),
+        origin=0,
+        real_time=float(txid),
+        seen_txids=frozenset(),
+    )
+
+
+class TestTornEvents:
+    def test_torn_final_line_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "events-0.jsonl"
+        write_events(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"time": 3.0, "kind": "init')  # killed mid-write
+        with pytest.warns(UserWarning, match="torn final line"):
+            events = read_events(str(path))
+        assert len(events) == 3
+        assert [e.get("txid") for e in events] == [0, 1, 2]
+
+    def test_torn_middle_line_still_raises(self, tmp_path):
+        path = tmp_path / "events-0.jsonl"
+        write_events(path, count=2)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0][:20]  # corruption, not crash debris
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_events(str(path))
+
+    def test_intact_file_reads_without_warning(self, tmp_path):
+        path = tmp_path / "events-0.jsonl"
+        write_events(path)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_events(str(path))) == 3
+
+
+class TestTornRecords:
+    def test_torn_final_record_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "records-0.jsonl"
+        records = [make_record(i) for i in range(1, 4)]
+        dump_records(str(path), records)
+        full_line = encode(make_record(4))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(full_line[: len(full_line) // 2])
+        with pytest.warns(UserWarning, match="torn final line"):
+            loaded = load_records(str(path))
+        assert [r.txid for r in loaded] == [1, 2, 3]
+
+    def test_torn_middle_record_still_raises(self, tmp_path):
+        path = tmp_path / "records-0.jsonl"
+        dump_records(str(path), [make_record(i) for i in range(1, 4)])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = lines[1][:10]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises((ValueError, KeyError)):
+            load_records(str(path))
+
+    def test_non_record_line_rejected(self, tmp_path):
+        path = tmp_path / "records-0.jsonl"
+        dump_records(str(path), [make_record(1)])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"%ts": [1, 2]}\n')
+            handle.write(encode(make_record(2)) + "\n")
+        with pytest.raises(ValueError, match="expected an UpdateRecord"):
+            load_records(str(path))
