@@ -17,6 +17,7 @@ from typing import Tuple
 from ..core.application import Application
 from ..core.constraint import IntegrityConstraint
 from ..core.monus import monus
+from ..core.properties import PropertyTable
 from ..core.relations import CostBound, linear_bound
 from ..core.state import State
 from ..core.transaction import Decision, ExternalAction, Transaction
@@ -108,6 +109,32 @@ class Release(Transaction):
                 AddUpdate(-1), (ExternalAction("revoked", state.value),)
             )
         return Decision(IDENTITY)
+
+
+#: the app's declared property matrix, the counter analogue of the
+#: airline table: ``add`` can raise the upper-bound cost (add(1) from a
+#: full counter), so ALLOCATE is unsafe but cost-preserving (it only
+#: allocates below the observed limit); RELEASE only lowers the counter,
+#: so it is safe, vacuously preserving, and compensating.  Verified
+#: against freshly derived certificates by the shared harness in
+#: ``tests/core/test_certify_tables.py``.
+PROPERTY_TABLE = PropertyTable(
+    application_name="counter",
+    update_increasing={
+        ("add", "upper_bound"): True,
+    },
+    transaction_safe={
+        ("ALLOCATE", "upper_bound"): False,
+        ("RELEASE", "upper_bound"): True,
+    },
+    transaction_preserves={
+        ("ALLOCATE", "upper_bound"): True,
+        ("RELEASE", "upper_bound"): True,
+    },
+    transaction_compensates={
+        ("RELEASE", "upper_bound"): True,
+    },
+)
 
 
 def make_counter_application(limit: int = 10, unit_cost: float = 1.0) -> Application:

@@ -1,0 +1,76 @@
+"""repro.certify — static + sampling commutativity certification.
+
+The paper's Section 4 machinery (increasing vs non-increasing updates,
+safe/unsafe transactions) is the invariant-confluence question: which
+updates may be applied in any order without re-coordination?  This
+package answers it with machine-checkable **certificates** per
+``(application, update_family, constraint)``:
+
+* **stage 1 — static** (:mod:`.static`): an AST pass over
+  ``Update.apply`` bodies, built on shardlint's shape grammar
+  (:mod:`repro.lint.astutil`), recognizes structurally order-insensitive
+  shapes — disjoint-key list rewrites, monotone appends, keyed-additive
+  counters — and derives a pairwise commutation verdict (``always`` /
+  ``disjoint`` / ``none``) with the read/write footprint as evidence;
+* **stage 2 — sampling** (:mod:`.sampling`): seeded pairwise-commutation
+  witnesses (``apply(u1, apply(u2, s)) == apply(u2, apply(u1, s))``)
+  plus the :mod:`repro.core.properties` checkers confirm or refute the
+  static claim; a certificate records both verdicts and takes their
+  *minimum* — static must find a structural reason AND sampling must
+  fail to refute it.
+
+Certificates persist as JSON under ``benchmarks/certificates/`` (the
+``python -m repro.certify`` CLI writes and re-checks them); the
+:class:`~repro.certify.oracle.CommutationOracle` turns one into the
+pairwise oracle :class:`~repro.replica.engine.MergeView` consults for
+its certified merge skip.
+"""
+
+from .certificate import (
+    build_certificate,
+    build_pair_table,
+    certificate_path,
+    load_certificate,
+    table_mismatches,
+    write_certificate,
+)
+from .oracle import CommutationOracle
+from .registry import (
+    CertifiableApp,
+    airline_spec,
+    all_specs,
+    banking_spec,
+    counter_spec,
+    spec_by_name,
+)
+from .sampling import CommutationWitness, commutation_level
+from .static import (
+    LEVELS,
+    StaticAnalysis,
+    analyze_update_class,
+    min_level,
+    pair_verdict,
+)
+
+__all__ = [
+    "CertifiableApp",
+    "CommutationOracle",
+    "CommutationWitness",
+    "LEVELS",
+    "StaticAnalysis",
+    "airline_spec",
+    "all_specs",
+    "analyze_update_class",
+    "banking_spec",
+    "build_certificate",
+    "build_pair_table",
+    "certificate_path",
+    "commutation_level",
+    "counter_spec",
+    "load_certificate",
+    "min_level",
+    "pair_verdict",
+    "spec_by_name",
+    "table_mismatches",
+    "write_certificate",
+]

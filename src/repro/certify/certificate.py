@@ -1,0 +1,236 @@
+"""Certificate construction, persistence, and cross-checking.
+
+A certificate is one JSON document per application recording, for every
+update family, what the static pass concluded (shape, guards, field
+effects, footprint) and what sampling derived (increasing per
+constraint); for every transaction, its sampled safety per constraint;
+and for every unordered family pair, the three-level commutation
+verdict: ``static`` (the structural claim), ``sampled`` (the refutation
+evidence), and ``certified = min(static, sampled)`` — the level the
+merge oracle may rely on.
+
+Certificates are deterministic (seeded pools and samples, sorted keys),
+so ``python -m repro.certify --check --strict`` can recertify the
+committed artifacts and fail CI on any drift between the analyzed code
+and what the engine's fast path was promised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from itertools import combinations_with_replacement
+from typing import Dict, List, Optional
+
+from ..core.properties import is_increasing_on, is_safe_on
+from .registry import CertifiableApp
+from .sampling import commutation_level
+from .static import StaticAnalysis, analyze_update_class, min_level, pair_verdict
+
+#: bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: where committed certificates live, relative to the repo root.
+DEFAULT_DIRECTORY = os.path.join("benchmarks", "certificates")
+
+
+def pair_key(family_a: str, family_b: str) -> str:
+    """The unordered pair key: sorted family names joined by ``|``."""
+    return "|".join(sorted((family_a, family_b)))
+
+
+def _analysis_entry(analysis: StaticAnalysis) -> Dict:
+    return {
+        "shape": analysis.shape,
+        "certifiable": analysis.certifiable,
+        "guards": [list(g) for g in analysis.guards],
+        "fields": {
+            field: [kind, attr]
+            for field, kind, attr in analysis.field_effects
+        },
+        "chain_method": analysis.chain_method,
+        "reads": list(analysis.reads),
+        "writes": list(analysis.writes),
+    }
+
+
+def build_pair_table(spec: CertifiableApp) -> Dict[str, Dict]:
+    """Just the ``pairs`` section — the part the merge oracle consumes.
+
+    Kept separate so benchmark harnesses can build an oracle without
+    paying for the (larger) increasing/safety sampling sweeps.
+    """
+    analyses = {
+        cls.name: analyze_update_class(cls, spec.state_cls)
+        for cls in spec.update_classes
+    }
+    states = spec.make_pair_states()
+    pairs: Dict[str, Dict] = {}
+    for family_a, family_b in combinations_with_replacement(
+        sorted(analyses), 2
+    ):
+        static = pair_verdict(analyses[family_a], analyses[family_b])
+        sampled, witness = commutation_level(
+            spec.pool(family_a), spec.pool(family_b), states
+        )
+        pairs[pair_key(family_a, family_b)] = {
+            "static": static,
+            "sampled": sampled,
+            "certified": min_level(static, sampled),
+            "witness": None if witness is None else witness.as_dict(),
+        }
+    return pairs
+
+
+def build_certificate(spec: CertifiableApp) -> Dict:
+    """Derive the full certificate document for one application."""
+    analyses = {
+        cls.name: analyze_update_class(cls, spec.state_cls)
+        for cls in spec.update_classes
+    }
+    property_states = spec.make_property_states()
+
+    families: Dict[str, Dict] = {}
+    for family in sorted(analyses):
+        entry = _analysis_entry(analyses[family])
+        entry["increasing"] = {
+            constraint.name: any(
+                is_increasing_on(update, constraint, property_states)
+                for update in spec.pool(family)
+            )
+            for constraint in spec.constraints
+        }
+        families[family] = entry
+
+    transactions: Dict[str, Dict] = {}
+    for txn in spec.transactions:
+        transactions[txn.name] = {
+            "safe": {
+                constraint.name: is_safe_on(
+                    txn, constraint, property_states
+                )
+                for constraint in spec.constraints
+            }
+        }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "application": spec.name,
+        "seed": spec.seed,
+        "sample": {
+            "pair_states": len(spec.make_pair_states()),
+            "property_states": len(property_states),
+        },
+        "families": families,
+        "transactions": transactions,
+        "pairs": build_pair_table(spec),
+    }
+
+
+# -- persistence -----------------------------------------------------------
+
+
+def certificate_path(application: str, directory: Optional[str] = None) -> str:
+    return os.path.join(directory or DEFAULT_DIRECTORY, f"{application}.json")
+
+
+def dumps_certificate(certificate: Dict) -> str:
+    return json.dumps(certificate, indent=2, sort_keys=True) + "\n"
+
+
+def write_certificate(
+    certificate: Dict, directory: Optional[str] = None
+) -> str:
+    directory = directory or DEFAULT_DIRECTORY
+    os.makedirs(directory, exist_ok=True)
+    path = certificate_path(certificate["application"], directory)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps_certificate(certificate))
+    return path
+
+
+def load_certificate(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def certificate_drift(committed: Dict, fresh: Dict) -> List[str]:
+    """Human-readable paths where two certificates disagree (empty when
+    they are semantically identical)."""
+    drift: List[str] = []
+
+    def walk(a, b, path: str) -> None:
+        if isinstance(a, dict) and isinstance(b, dict):
+            for key in sorted(set(a) | set(b)):
+                sub = f"{path}.{key}" if path else str(key)
+                if key not in a:
+                    drift.append(f"{sub}: only in fresh")
+                elif key not in b:
+                    drift.append(f"{sub}: only in committed")
+                else:
+                    walk(a[key], b[key], sub)
+        elif a != b:
+            drift.append(f"{path}: committed {a!r} != fresh {b!r}")
+
+    walk(committed, fresh, "")
+    return drift
+
+
+# -- declared-table cross-checking (PropertyTable ⇄ certificate) ----------
+
+
+def table_mismatches(spec: CertifiableApp, certificate: Dict) -> List[str]:
+    """Disagreements between the application's declared (paper-proved)
+    property table and the freshly derived certificate.
+
+    Checks the two sections both sides speak about: update-family
+    ``increasing`` per constraint, and transaction ``safe`` per
+    constraint.  Declared entries whose family/constraint the
+    certificate does not cover are skipped (the table may speak about
+    constraints the spec does not instantiate)."""
+    mismatches: List[str] = []
+    if spec.table is None:
+        return mismatches
+    constraint_names = {c.name for c in spec.constraints}
+
+    families = certificate["families"]
+    for (family, cname), declared in sorted(
+        spec.table.update_increasing.items()
+    ):
+        if family not in families or cname not in constraint_names:
+            continue
+        derived = families[family]["increasing"][cname]
+        if derived != declared:
+            mismatches.append(
+                f"update {family!r} increasing for {cname!r}: "
+                f"declared {declared}, derived {derived}"
+            )
+
+    transactions = certificate["transactions"]
+    for (txn_family, cname), declared in sorted(
+        spec.table.transaction_safe.items()
+    ):
+        if txn_family not in transactions or cname not in constraint_names:
+            continue
+        derived = transactions[txn_family]["safe"][cname]
+        if derived != declared:
+            mismatches.append(
+                f"transaction {txn_family!r} safe for {cname!r}: "
+                f"declared {declared}, derived {derived}"
+            )
+    return mismatches
+
+
+__all__ = [
+    "DEFAULT_DIRECTORY",
+    "SCHEMA_VERSION",
+    "build_certificate",
+    "build_pair_table",
+    "certificate_drift",
+    "certificate_path",
+    "dumps_certificate",
+    "load_certificate",
+    "pair_key",
+    "table_mismatches",
+    "write_certificate",
+]

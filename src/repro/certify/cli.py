@@ -1,0 +1,145 @@
+"""``python -m repro.certify`` — write or re-check certificates.
+
+Two modes:
+
+* default: derive certificates for the selected applications and write
+  them under ``--dir`` (``benchmarks/certificates/`` by default);
+* ``--check``: derive fresh certificates and compare them against the
+  committed artifacts, reporting any drift — with ``--strict`` drift
+  (or a missing artifact, or a declared-property-table disagreement)
+  fails the run, which is how CI pins the merge fast path's license to
+  the code it was derived from.
+
+Exit codes follow the shardlint convention: 0 clean, 1 failures under
+``--strict``, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .certificate import (
+    DEFAULT_DIRECTORY,
+    build_certificate,
+    certificate_drift,
+    certificate_path,
+    load_certificate,
+    table_mismatches,
+    write_certificate,
+)
+from .registry import all_specs, spec_by_name
+
+
+def _pair_summary(certificate: Dict) -> Dict[str, int]:
+    counts = {"always": 0, "disjoint": 0, "none": 0}
+    for entry in certificate["pairs"].values():
+        counts[entry["certified"]] += 1
+    return counts
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.certify",
+        description=(
+            "Derive static+sampling commutativity certificates, or "
+            "re-check the committed ones for drift."
+        ),
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare fresh certificates against the committed artifacts "
+             "instead of writing them",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on drift, missing artifacts, or declared-table "
+             "disagreements",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--dir", default=DEFAULT_DIRECTORY, metavar="DIR",
+        help=f"certificate directory (default: {DEFAULT_DIRECTORY})",
+    )
+    parser.add_argument(
+        "--apps", default=None, metavar="NAMES",
+        help="comma-separated application names (default: all)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.apps is None:
+        specs = all_specs()
+    else:
+        try:
+            specs = tuple(
+                spec_by_name(name.strip())
+                for name in args.apps.split(",") if name.strip()
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if not specs:
+            print("error: --apps selected no applications", file=sys.stderr)
+            return 2
+
+    results: List[Dict] = []
+    failures = 0
+    for spec in specs:
+        fresh = build_certificate(spec)
+        mismatches = table_mismatches(spec, fresh)
+        entry: Dict = {
+            "application": spec.name,
+            "pairs": _pair_summary(fresh),
+            "table_mismatches": mismatches,
+        }
+        if args.check:
+            path = certificate_path(spec.name, args.dir)
+            entry["path"] = path
+            if not os.path.exists(path):
+                entry["status"] = "missing"
+                entry["drift"] = []
+            else:
+                drift = certificate_drift(load_certificate(path), fresh)
+                entry["status"] = "ok" if not drift else "drift"
+                entry["drift"] = drift
+        else:
+            entry["path"] = write_certificate(fresh, args.dir)
+            entry["status"] = "written"
+        if entry["status"] in ("missing", "drift") or mismatches:
+            failures += 1
+        results.append(entry)
+
+    status = 1 if (failures and args.strict) else 0
+    if args.format == "json":
+        print(json.dumps(
+            {"status": status, "failures": failures, "results": results},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for entry in results:
+            summary = entry["pairs"]
+            print(
+                f"{entry['application']}: {entry['status']} "
+                f"({summary['always']} always / {summary['disjoint']} "
+                f"disjoint / {summary['none']} none) -> {entry['path']}"
+            )
+            for line in entry.get("drift", []):
+                print(f"  drift: {line}")
+            for line in entry["table_mismatches"]:
+                print(f"  table: {line}")
+        if failures and not args.strict:
+            print(f"warning: {failures} application(s) out of date "
+                  f"(run without --check to rewrite)")
+    return status
+
+
+__all__ = ["main"]

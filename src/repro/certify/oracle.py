@@ -1,0 +1,61 @@
+"""The pairwise commutation oracle the merge engine consults.
+
+:class:`CommutationOracle` turns a certificate's ``pairs`` section into
+the ``commutativity`` callable :class:`~repro.replica.engine.MergeView`
+takes: ``commutes(new, displaced)`` is True only when the certified
+level licenses swapping the two updates —
+
+* ``identity`` updates commute with everything (they are the unit);
+* a pair certified ``always`` commutes unconditionally;
+* a pair certified ``disjoint`` commutes iff the two updates' parameter
+  sets are disjoint;
+* unknown families and ``none`` pairs never commute (conservative: the
+  engine falls back to the full undo/redo replay).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..core.update import Update
+from .sampling import params_disjoint
+
+
+class CommutationOracle:
+    """Pair-level certified commutation lookups over one application."""
+
+    def __init__(self, levels: Mapping[str, str]):
+        #: unordered pair key ("a|b", sorted) → certified level.
+        self._levels: Dict[str, str] = dict(levels)
+
+    @classmethod
+    def from_certificate(cls, certificate: Mapping) -> "CommutationOracle":
+        return cls({
+            key: entry["certified"]
+            for key, entry in certificate["pairs"].items()
+        })
+
+    @classmethod
+    def from_pairs(cls, pairs: Mapping[str, Mapping]) -> "CommutationOracle":
+        return cls({key: entry["certified"] for key, entry in pairs.items()})
+
+    @staticmethod
+    def pair_key(family_a: str, family_b: str) -> str:
+        return "|".join(sorted((family_a, family_b)))
+
+    def level(self, family_a: str, family_b: str) -> str:
+        return self._levels.get(self.pair_key(family_a, family_b), "none")
+
+    def commutes(self, a: Update, b: Update) -> bool:
+        """May ``a`` and ``b`` be swapped without changing the fold?"""
+        if a.name == "identity" or b.name == "identity":
+            return True
+        level = self.level(a.name, b.name)
+        if level == "always":
+            return True
+        if level == "disjoint":
+            return params_disjoint(a, b)
+        return False
+
+
+__all__ = ["CommutationOracle"]

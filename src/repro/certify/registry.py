@@ -1,0 +1,255 @@
+"""The certifiable applications: what to analyze, how to sample.
+
+A :class:`CertifiableApp` bundles everything both stages need for one
+application: the update classes (static stage), seeded update pools and
+state samples (sampling stage), the transactions and constraints (for
+the certificate's increasing/safety sections), and — where the paper
+proved one — the declared :class:`~repro.core.properties.PropertyTable`
+the certificate is cross-checked against.
+
+Everything here is deterministic: pools are literal, state samples are
+seeded, so certificates are byte-stable across runs and Python versions
+— which is what lets CI fail on drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Optional, Sequence, Tuple, Type
+
+from ..apps.airline import (
+    Cancel,
+    CancelUpdate,
+    MoveDown,
+    MoveDownUpdate,
+    MoveUp,
+    MoveUpUpdate,
+    OverbookingConstraint,
+    Request,
+    RequestUpdate,
+    UnderbookingConstraint,
+)
+from ..apps.airline.application import (
+    PROPERTY_TABLE as AIRLINE_TABLE,
+    state_sample,
+)
+from ..apps.airline.state import AirlineState
+from ..apps.banking.application import OverdraftConstraint
+from ..apps.banking.operations import (
+    Cover,
+    CreditUpdate,
+    DebitUpdate,
+    Deposit,
+    Transfer,
+    TransferUpdate,
+    Withdraw,
+)
+from ..apps.banking.state import BankState
+from ..apps.counter import (
+    AddUpdate,
+    Allocate,
+    CounterState,
+    PROPERTY_TABLE as COUNTER_TABLE,
+    Release,
+    UpperBoundConstraint,
+)
+from ..core.constraint import IntegrityConstraint
+from ..core.properties import PropertyTable
+from ..core.state import State
+from ..core.transaction import Transaction
+from ..core.update import Update
+
+
+@dataclass(frozen=True)
+class CertifiableApp:
+    """One application's certification inputs."""
+
+    name: str
+    seed: int
+    state_cls: Type[State]
+    update_classes: Tuple[Type[Update], ...]
+    #: per-family seeded update pools driving the pairwise sampling.
+    pools: Tuple[Tuple[str, Tuple[Update, ...]], ...]
+    transactions: Tuple[Transaction, ...]
+    constraints: Tuple[IntegrityConstraint, ...]
+    #: deterministic states for the pairwise-commutation sweep.
+    make_pair_states: Callable[[], Sequence[State]]
+    #: deterministic states for the increasing/safety derivations
+    #: (typically a larger sample — these quantify over decisions too).
+    make_property_states: Callable[[], Sequence[State]]
+    #: the paper-proved table to cross-check, when one is declared.
+    table: Optional[PropertyTable] = None
+
+    def pool(self, family: str) -> Tuple[Update, ...]:
+        for name, pool in self.pools:
+            if name == family:
+                return pool
+        raise KeyError(f"no pool for family {family!r}")
+
+    @property
+    def families(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.pools)
+
+
+# -- airline (Section 2.3) -------------------------------------------------
+
+#: mirror of the long-standing property-table test sample: capacity 8,
+#: up to 20 people, so both constraints' interesting regions appear.
+_AIRLINE_CAPACITY = 8
+_AIRLINE_SEED = 7
+
+#: P1..P3 appear in most sampled states; P9 is mostly unknown, so the
+#: pools exercise both guard polarities.
+_PERSONS = ("P1", "P2", "P3", "P9")
+
+
+def _airline_pair_states() -> Sequence[State]:
+    return state_sample(seed=11, count=60, max_people=6, capacity=3)
+
+
+def _airline_property_states() -> Sequence[State]:
+    return state_sample(
+        seed=_AIRLINE_SEED, count=250, capacity=_AIRLINE_CAPACITY
+    )
+
+
+def airline_spec() -> CertifiableApp:
+    return CertifiableApp(
+        name="fly-by-night",
+        seed=_AIRLINE_SEED,
+        state_cls=AirlineState,
+        update_classes=(
+            RequestUpdate, CancelUpdate, MoveUpUpdate, MoveDownUpdate,
+        ),
+        pools=(
+            ("request", tuple(RequestUpdate(p) for p in _PERSONS)),
+            ("cancel", tuple(CancelUpdate(p) for p in _PERSONS)),
+            ("move_up", tuple(MoveUpUpdate(p) for p in _PERSONS)),
+            ("move_down", tuple(MoveDownUpdate(p) for p in _PERSONS)),
+        ),
+        transactions=(
+            Request("P1"),
+            Cancel("P1"),
+            MoveUp(_AIRLINE_CAPACITY),
+            MoveDown(_AIRLINE_CAPACITY),
+        ),
+        constraints=(
+            OverbookingConstraint(capacity=_AIRLINE_CAPACITY),
+            UnderbookingConstraint(capacity=_AIRLINE_CAPACITY),
+        ),
+        make_pair_states=_airline_pair_states,
+        make_property_states=_airline_property_states,
+        table=AIRLINE_TABLE,
+    )
+
+
+# -- counter ---------------------------------------------------------------
+
+_COUNTER_LIMIT = 8
+
+
+def _counter_states() -> Sequence[State]:
+    return [CounterState(v) for v in range(0, 15)]
+
+
+def counter_spec() -> CertifiableApp:
+    #: mixed-sign amounts: the clamp ``max(0, v + n)`` loses additivity
+    #: exactly when a negative add bottoms out — the certificate must
+    #: record that refutation.
+    amounts = (-3, -1, 1, 2)
+    return CertifiableApp(
+        name="counter",
+        seed=0,
+        state_cls=CounterState,
+        update_classes=(AddUpdate,),
+        pools=(
+            ("add", tuple(AddUpdate(n) for n in amounts)),
+        ),
+        transactions=(Allocate(_COUNTER_LIMIT), Release(_COUNTER_LIMIT)),
+        constraints=(UpperBoundConstraint(_COUNTER_LIMIT),),
+        make_pair_states=_counter_states,
+        make_property_states=_counter_states,
+        table=COUNTER_TABLE,
+    )
+
+
+# -- banking ---------------------------------------------------------------
+
+_ACCOUNTS = ("a", "b")
+
+
+def _banking_states() -> Sequence[State]:
+    states = [BankState()]
+    for bal_a, bal_b in product(range(-2, 4), range(-2, 4)):
+        states.append(
+            BankState((("a", bal_a), ("b", bal_b)))
+        )
+    return states
+
+
+def banking_spec() -> CertifiableApp:
+    return CertifiableApp(
+        name="banking",
+        seed=0,
+        state_cls=BankState,
+        update_classes=(CreditUpdate, DebitUpdate, TransferUpdate),
+        pools=(
+            (
+                "credit",
+                tuple(
+                    CreditUpdate(a, n)
+                    for a in _ACCOUNTS for n in (1, 2)
+                ),
+            ),
+            (
+                "debit",
+                tuple(
+                    DebitUpdate(a, n)
+                    for a in _ACCOUNTS for n in (1, 2)
+                ),
+            ),
+            (
+                "transfer",
+                (
+                    TransferUpdate("a", "b", 1),
+                    TransferUpdate("a", "b", 2),
+                    TransferUpdate("b", "a", 1),
+                ),
+            ),
+        ),
+        transactions=(
+            Deposit("a", 2),
+            Withdraw("a", 2),
+            Transfer("a", "b", 2),
+            Cover("a"),
+        ),
+        constraints=(
+            OverdraftConstraint("a"),
+            OverdraftConstraint("b"),
+        ),
+        make_pair_states=_banking_states,
+        make_property_states=_banking_states,
+        table=None,  # the paper proves no banking matrix; derived only
+    )
+
+
+def all_specs() -> Tuple[CertifiableApp, ...]:
+    return (airline_spec(), banking_spec(), counter_spec())
+
+
+def spec_by_name(name: str) -> CertifiableApp:
+    for spec in all_specs():
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no certifiable application named {name!r}")
+
+
+__all__ = [
+    "CertifiableApp",
+    "airline_spec",
+    "all_specs",
+    "banking_spec",
+    "counter_spec",
+    "spec_by_name",
+]

@@ -1,0 +1,100 @@
+"""Stage 2: sampling confirmation of commutation claims.
+
+A static verdict (:mod:`repro.certify.static`) is a syntactic claim; the
+sampling stage attacks it behaviourally.  For one unordered family pair
+it folds every ``(u1, u2, state)`` triple from the seeded pools both
+ways and compares — a mismatch is a *refutation witness*, recorded in
+the certificate as evidence:
+
+* a witness with **disjoint** parameters kills the pair outright
+  (``none``): not even parameter-disjointness rescues it;
+* witnesses only at **overlapping** parameters cap the pair at
+  ``disjoint``;
+* no witness at all leaves the sampled level at ``always``.
+
+Like the :mod:`repro.core.properties` checkers this is a sound refuter:
+a witness is a real non-commutation; absence of witnesses over the
+sample is evidence, not proof — which is why certificates take the
+minimum of the static and sampled levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.state import State
+from ..core.update import Update
+
+
+@dataclass(frozen=True)
+class CommutationWitness:
+    """One refutation: applying ``a`` then ``b`` from ``state`` differs
+    from applying ``b`` then ``a``."""
+
+    a: str
+    b: str
+    state: str
+    #: whether the two updates' parameter sets were disjoint — a
+    #: disjoint witness refutes even the ``disjoint`` level.
+    disjoint: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "state": self.state,
+            "disjoint": self.disjoint,
+        }
+
+
+def params_disjoint(a: Update, b: Update) -> bool:
+    return not (set(a.params) & set(b.params))
+
+
+def commutation_counterexample(
+    a: Update, b: Update, state: State
+) -> Optional[CommutationWitness]:
+    """The witness for one triple, or None if the pair commutes there."""
+    if not state.well_formed():
+        return None
+    one = b.apply(a.apply(state))
+    two = a.apply(b.apply(state))
+    if one == two:
+        return None
+    return CommutationWitness(
+        a=repr(a), b=repr(b), state=repr(state),
+        disjoint=params_disjoint(a, b),
+    )
+
+
+def commutation_level(
+    pool_a: Sequence[Update],
+    pool_b: Sequence[Update],
+    states: Sequence[State],
+) -> Tuple[str, Optional[CommutationWitness]]:
+    """The sampled commutation level for one family pair, with the
+    strongest refutation found (a disjoint-parameter witness beats an
+    overlapping one; the first of each kind is kept)."""
+    level = "always"
+    witness: Optional[CommutationWitness] = None
+    for a in pool_a:
+        for b in pool_b:
+            for state in states:
+                found = commutation_counterexample(a, b, state)
+                if found is None:
+                    continue
+                if found.disjoint:
+                    return "none", found
+                if witness is None:
+                    level = "disjoint"
+                    witness = found
+    return level, witness
+
+
+__all__ = [
+    "CommutationWitness",
+    "commutation_counterexample",
+    "commutation_level",
+    "params_disjoint",
+]

@@ -1,0 +1,329 @@
+"""Stage 1: static commutation analysis of ``Update.apply`` bodies.
+
+Built on shardlint's apply-shape grammar (:mod:`repro.lint.astutil`),
+enriched here with runtime knowledge the lint layer deliberately avoids:
+the state class's dataclass fields (to map positional constructor
+arguments onto the fields they rewrite) and the state class's own method
+bodies (to recognize the keyed-additive ``adjust`` shape).
+
+The output per family is a :class:`StaticAnalysis`; per *pair* of
+families, :func:`pair_verdict` derives one of three levels:
+
+* ``always`` — the two updates commute for every parameter choice
+  (disjoint-field identities, filter×filter removals, append×prepend,
+  keyed addition);
+* ``disjoint`` — they commute whenever their parameter sets are
+  disjoint (filter×append on the same field, membership guards probed
+  by one side and rewritten by the other);
+* ``none`` — no structural reason found (append×append is order-
+  visible; clamped counters are the monus-bounded negative example —
+  ``max(0, v + a)`` does not commute for mixed-sign amounts).
+
+Every verdict here is a *claim*; :mod:`repro.certify.sampling` must fail
+to refute it before a certificate grants the level (the certificate's
+``certified`` level is the minimum of the two stages).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Optional, Tuple, Type
+
+from ..lint.astutil import (
+    find_method,
+    infer_update_footprint,
+    parse_apply_shape,
+    positional_params,
+)
+
+#: the verdict lattice, weakest first: ``min`` over indices combines.
+LEVELS: Tuple[str, ...] = ("none", "disjoint", "always")
+
+
+def min_level(*levels: str) -> str:
+    """The weakest of the given levels."""
+    return min(levels, key=LEVELS.index)
+
+
+@dataclass(frozen=True)
+class StaticAnalysis:
+    """What the static pass concluded about one update family."""
+
+    family: str
+    #: "identity", "list-rewrite", "guarded-list-rewrite",
+    #: "keyed-additive", "clamped-counter", or "opaque".
+    shape: str
+    #: whether the shape was recognized well enough to ever certify a
+    #: pair involving this family.
+    certifiable: bool
+    #: recognized membership guards: (state method, self parameter).
+    guards: Tuple[Tuple[str, str], ...] = ()
+    #: non-identity field effects: (state field, kind, self parameter).
+    field_effects: Tuple[Tuple[str, str, Optional[str]], ...] = ()
+    #: for keyed-additive chains, the state method being chained.
+    chain_method: Optional[str] = None
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    #: distinct ``self`` parameters the body is keyed by; arity 1 means
+    #: a parameter collision implies the two updates are equal.
+    param_arity: int = 0
+
+
+def _method_ast(cls: type, name: str) -> Optional[ast.FunctionDef]:
+    """The parsed ``def name`` of ``cls``'s own source, or None."""
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError):
+        return None
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            return find_method(node, name)
+    return None
+
+
+def _skip_trivia(body) -> list:
+    out = []
+    for stmt in body:
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        if isinstance(stmt, ast.Assert):
+            continue
+        out.append(stmt)
+    return out
+
+
+def _is_keyed_additive(state_cls: type, method_name: str) -> bool:
+    """Does ``state_cls.<method_name>`` have the keyed-additive shape
+    ``return self.<store>(key, self.<read>(key) + delta)``?
+
+    That is ``BankState.adjust`` exactly: a per-key read-add-store whose
+    compositions commute because integer addition does.  The store and
+    read methods are not interpreted further — sampling confirms the
+    behavioural claim.
+    """
+    method = _method_ast(state_cls, method_name)
+    if method is None:
+        return False
+    params = positional_params(method)
+    if len(params) != 3:
+        return False
+    self_name, key_name, delta_name = params
+    body = _skip_trivia(method.body)
+    if len(body) != 1 or not isinstance(body[0], ast.Return):
+        return False
+    call = body[0].value
+    if not (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Attribute)
+        and isinstance(call.func.value, ast.Name)
+        and call.func.value.id == self_name
+        and len(call.args) == 2
+        and not call.keywords
+        and isinstance(call.args[0], ast.Name)
+        and call.args[0].id == key_name
+        and isinstance(call.args[1], ast.BinOp)
+        and isinstance(call.args[1].op, ast.Add)
+    ):
+        return False
+
+    def is_keyed_read(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == self_name
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == key_name
+        )
+
+    def is_delta(node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id == delta_name
+
+    left, right = call.args[1].left, call.args[1].right
+    return (is_keyed_read(left) and is_delta(right)) or (
+        is_keyed_read(right) and is_delta(left)
+    )
+
+
+def _recognized_guards(
+    shape_guards,
+) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """Guards as (membership method, self parameter), or None if any
+    guard falls outside the ``state.is_*(self.p)`` form."""
+    out = []
+    for guard in shape_guards:
+        call_methods = {m for m, _ in guard.calls}
+        if not guard.calls or set(guard.mentions) - call_methods:
+            return None
+        for method, attrs in guard.calls:
+            if not method.startswith("is_") or len(attrs) != 1:
+                return None
+            out.append((method, attrs[0]))
+    return tuple(out)
+
+
+def analyze_update_class(
+    update_cls: Type, state_cls: Type
+) -> StaticAnalysis:
+    """Analyze one update family's ``apply`` against ``state_cls``."""
+    family = getattr(update_cls, "name", update_cls.__name__)
+    method = _method_ast(update_cls, "apply")
+    if method is None:
+        return StaticAnalysis(family=family, shape="opaque", certifiable=False)
+    shape = parse_apply_shape(method)
+    footprint = infer_update_footprint(method) or ((), ())
+    reads, writes = footprint
+    if shape is None:
+        return StaticAnalysis(family=family, shape="opaque", certifiable=False)
+    arity = len(shape.self_attrs)
+
+    if shape.kind == "identity":
+        return StaticAnalysis(
+            family=family, shape="identity", certifiable=True,
+            reads=reads, writes=writes, param_arity=arity,
+        )
+
+    guards = _recognized_guards(shape.guards)
+
+    if shape.kind == "chain":
+        certifiable = (
+            guards == ()  # guarded chains would re-read what they write
+            and all(
+                key is not None and delta is not None
+                for key, delta in shape.chain_calls
+            )
+            and _is_keyed_additive(state_cls, shape.chain_method)
+        )
+        return StaticAnalysis(
+            family=family,
+            shape="keyed-additive" if certifiable else "opaque",
+            certifiable=certifiable,
+            chain_method=shape.chain_method if certifiable else None,
+            reads=reads, writes=writes, param_arity=arity,
+        )
+
+    # constructor rewrite: map positional arguments onto state fields.
+    state_fields = [f.name for f in dataclass_fields(state_cls)]
+    if shape.ctor != state_cls.__name__ or len(shape.args) != len(state_fields):
+        return StaticAnalysis(
+            family=family, shape="opaque", certifiable=False,
+            reads=reads, writes=writes, param_arity=arity,
+        )
+    effects = []
+    clamped = False
+    recognized = guards is not None
+    for field_name, arg in zip(state_fields, shape.args):
+        if arg.kind == "identity":
+            if arg.state_attr != field_name:
+                recognized = False  # cross-field pass-through
+            continue
+        if arg.kind in ("filter", "append", "prepend"):
+            if arg.state_attr != field_name:
+                recognized = False  # rewrites one field from another
+            effects.append((field_name, arg.kind, arg.self_attr))
+        elif arg.kind == "clamped":
+            clamped = True
+            effects.append((field_name, "clamped", None))
+        else:
+            recognized = False
+    if clamped:
+        return StaticAnalysis(
+            family=family, shape="clamped-counter", certifiable=False,
+            guards=guards or (), field_effects=tuple(effects),
+            reads=reads, writes=writes, param_arity=arity,
+        )
+    if not recognized:
+        return StaticAnalysis(
+            family=family, shape="opaque", certifiable=False,
+            reads=reads, writes=writes, param_arity=arity,
+        )
+    return StaticAnalysis(
+        family=family,
+        shape="guarded-list-rewrite" if guards else "list-rewrite",
+        certifiable=True,
+        guards=guards,
+        field_effects=tuple(effects),
+        reads=reads, writes=writes, param_arity=arity,
+    )
+
+
+#: field-effect pair → level, for the list-rewrite shapes.  Removals
+#: commute with removals; an end-append and a head-prepend land on
+#: opposite ends regardless of order; a removal and an insertion only
+#: commute when they concern different elements; two same-end
+#: insertions are order-visible.
+_FIELD_PAIR_LEVELS = {
+    frozenset({"filter"}): "always",
+    frozenset({"filter", "append"}): "disjoint",
+    frozenset({"filter", "prepend"}): "disjoint",
+    frozenset({"append", "prepend"}): "always",
+    frozenset({"append"}): "none",
+    frozenset({"prepend"}): "none",
+}
+
+
+def _field_pair_level(kind_a: str, kind_b: str) -> str:
+    if kind_a == "identity" or kind_b == "identity":
+        return "always"
+    return _FIELD_PAIR_LEVELS.get(frozenset({kind_a, kind_b}), "none")
+
+
+def pair_verdict(a: StaticAnalysis, b: StaticAnalysis) -> str:
+    """The static commutation level for one (unordered) family pair."""
+    if not (a.certifiable and b.certifiable):
+        return "none"
+    if a.shape == "identity" or b.shape == "identity":
+        return "always"
+    if a.shape == "keyed-additive" or b.shape == "keyed-additive":
+        # keyed addition commutes with itself unconditionally (per-key
+        # integer sums are order-free); mixing algebras is not claimed.
+        if (
+            a.shape == b.shape == "keyed-additive"
+            and a.chain_method == b.chain_method
+        ):
+            return "always"
+        return "none"
+
+    effects_a = {f: (kind, attr) for f, kind, attr in a.field_effects}
+    effects_b = {f: (kind, attr) for f, kind, attr in b.field_effects}
+    field_level = "always"
+    for field_name in sorted(set(effects_a) | set(effects_b)):
+        kind_a = effects_a.get(field_name, ("identity", None))[0]
+        kind_b = effects_b.get(field_name, ("identity", None))[0]
+        field_level = min_level(field_level, _field_pair_level(kind_a, kind_b))
+
+    # A membership guard (state.is_*(self.p)) is stable under the other
+    # side's list rewrites exactly when the parameters differ: a filter
+    # or insertion keyed by q can only change p's membership when p == q.
+    guard_level = "always"
+    for guards, other in ((a.guards, b), (b.guards, a)):
+        if guards and other.field_effects:
+            guard_level = "disjoint"
+
+    level = min_level(field_level, guard_level)
+    if (
+        level == "disjoint"
+        and field_level == "always"
+        and a.family == b.family
+        and a.param_arity == 1
+        and b.param_arity == 1
+    ):
+        # Same single-parameter family: a parameter collision means the
+        # two updates are *equal*, and swapping equal updates is vacuous
+        # — so the guard's disjointness requirement is never binding.
+        level = "always"
+    return level
+
+
+__all__ = [
+    "LEVELS",
+    "StaticAnalysis",
+    "analyze_update_class",
+    "min_level",
+    "pair_verdict",
+]

@@ -80,7 +80,7 @@ MOVER_FAMILIES = ("MOVE_UP", "MOVE_DOWN")
 #: lose_volatile legitimately fires while the node is down).
 ACTIVE_KINDS = frozenset({
     "initiate", "deliver", "merge_fastpath", "merge_undo", "merge_batch",
-    "gossip_syn", "gossip_delta", "gossip_skip",
+    "merge_certified", "gossip_syn", "gossip_delta", "gossip_skip",
 })
 
 

@@ -108,7 +108,30 @@ def airline_footprints() -> FootprintRegistry:
     return registry
 
 
+#: Declared *state-attribute-level* footprints per update family:
+#: ``family -> ((reads...), (writes...))``, where reads name the state
+#: attributes/methods the ``apply`` body consults (guards included,
+#: identity pass-throughs excluded) and writes name the attributes it
+#: rewrites.  These are the ground truth shardlint rule R6 holds every
+#: ``Update.apply`` body to — the static inference
+#: (:func:`repro.lint.astutil.infer_update_footprint`) must agree with
+#: this table exactly, so the key-level registry above and the bodies
+#: it abstracts can never drift apart silently.  The table is read both
+#: at runtime (repro.certify) and purely syntactically by shardlint, so
+#: it must stay a literal dict of string tuples.
+FAMILY_FIELD_FOOTPRINTS = {
+    "request": (("is_known", "waiting"), ("waiting",)),
+    "cancel": (("assigned", "is_known", "waiting"), ("assigned", "waiting")),
+    "move_up": (("assigned", "is_waiting", "waiting"), ("assigned", "waiting")),
+    "move_down": (
+        ("assigned", "is_assigned", "waiting"),
+        ("assigned", "waiting"),
+    ),
+}
+
+
 __all__ = [
+    "FAMILY_FIELD_FOOTPRINTS",
     "Footprint",
     "FootprintFn",
     "FootprintRegistry",

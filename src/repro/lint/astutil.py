@@ -12,6 +12,7 @@ so the heuristics lean precise.
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 # -- dotted names ---------------------------------------------------------
@@ -258,6 +259,372 @@ def set_typed_names(body: Sequence[ast.stmt]) -> frozenset:
         elif isinstance(node, ast.excepthandler) and node.name:
             poisoned.add(node.name)
     return frozenset(candidates - poisoned)
+
+
+# -- apply-body shape analysis (rule R6, repro.certify) ------------------
+#
+# ``Update.apply`` bodies in this codebase follow a tiny grammar:
+#
+#     def apply(self, state):
+#         [docstring] [asserts]
+#         (if <guard>: return state)*
+#         return Ctor(arg, ...)          # constructor rewrite
+#       | return state.m(...).m(...)     # state-method chain
+#       | return state                   # identity
+#
+# The parser below recognizes exactly that grammar — anything else is
+# ``None`` (unrecognized), which both consumers treat conservatively:
+# rule R6 skips the class, the certifier refuses to certify it.  Like
+# everything in this module the analysis is purely syntactic; the
+# certifier layers runtime knowledge (dataclass fields, state-method
+# bodies) on top.
+
+
+@dataclass(frozen=True)
+class ArgEffect:
+    """One constructor argument, classified.
+
+    ``kind`` is one of ``identity`` (a bare pass-through of one state
+    attribute), ``filter`` (a genexp dropping elements equal to one
+    ``self`` parameter), ``append`` / ``prepend`` (concatenating a
+    one-element tuple of a ``self`` parameter at the end / head),
+    ``clamped`` (wrapped in ``max``/``min`` — the monus-style bounded
+    shapes, which do *not* commute), or ``opaque``.
+    """
+
+    kind: str
+    self_attr: Optional[str] = None
+    state_attr: Optional[str] = None
+    #: state attributes/methods this argument reads (empty for identity
+    #: pass-throughs, which are excluded from footprints by convention).
+    mentions: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class GuardShape:
+    """One early-return guard ``if <test>: return state``.
+
+    ``calls`` records each ``state.<method>(self.<attr>, ...)``
+    membership probe in the test; ``mentions`` records every state
+    attribute/method the test touches (a superset of the call names).
+    """
+
+    calls: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    mentions: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ApplyShape:
+    """The parsed shape of one ``Update.apply`` body."""
+
+    #: "constructor", "chain", or "identity".
+    kind: str
+    guards: Tuple[GuardShape, ...] = ()
+    ctor: Optional[str] = None
+    args: Tuple[ArgEffect, ...] = ()
+    chain_method: Optional[str] = None
+    #: per chain call: (key self-attr, delta self-attr) — None entries
+    #: mean the argument was not a plain ``self.<attr>`` / ``-self.<attr>``.
+    chain_calls: Tuple[Tuple[Optional[str], Optional[str]], ...] = ()
+    state_param: str = "state"
+
+    @property
+    def self_attrs(self) -> Tuple[str, ...]:
+        """Every distinct ``self`` parameter the body is keyed by."""
+        attrs: Set[str] = set()
+        for guard in self.guards:
+            for _, call_attrs in guard.calls:
+                attrs.update(call_attrs)
+        for arg in self.args:
+            if arg.self_attr is not None:
+                attrs.add(arg.self_attr)
+        for key, delta in self.chain_calls:
+            attrs.update(a for a in (key, delta) if a is not None)
+        return tuple(sorted(attrs))
+
+
+def state_mentions(node: ast.AST, state_name: str) -> Tuple[str, ...]:
+    """Sorted attribute/method names accessed on ``state_name`` in
+    ``node`` (``state.waiting`` → ``waiting``, ``state.is_known(p)`` →
+    ``is_known``)."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == state_name
+        ):
+            out.add(sub.attr)
+    return tuple(sorted(out))
+
+
+def _bare_state_attr(node: ast.AST, state_name: str) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == state_name
+    ):
+        return node.attr
+    return None
+
+
+def _self_attr(node: ast.AST, self_name: str) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _single_self_tuple(node: ast.AST, self_name: str) -> Optional[str]:
+    """``(self.x,)`` → ``"x"``, else None."""
+    if isinstance(node, ast.Tuple) and len(node.elts) == 1:
+        return _self_attr(node.elts[0], self_name)
+    return None
+
+
+def _filter_genexp(
+    node: ast.AST, state_name: str, self_name: str
+) -> Optional[Tuple[str, str]]:
+    """``tuple(p for p in state.X if p != self.a)`` → ``("X", "a")``."""
+    if not (
+        isinstance(node, ast.Call)
+        and call_func_name(node) == "tuple"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.GeneratorExp)
+    ):
+        return None
+    genexp = node.args[0]
+    if len(genexp.generators) != 1:
+        return None
+    gen = genexp.generators[0]
+    if gen.is_async or len(gen.ifs) != 1:
+        return None
+    if not isinstance(gen.target, ast.Name):
+        return None
+    var = gen.target.id
+    if not (isinstance(genexp.elt, ast.Name) and genexp.elt.id == var):
+        return None
+    state_attr = _bare_state_attr(gen.iter, state_name)
+    if state_attr is None:
+        return None
+    cond = gen.ifs[0]
+    if not (
+        isinstance(cond, ast.Compare)
+        and len(cond.ops) == 1
+        and isinstance(cond.ops[0], ast.NotEq)
+    ):
+        return None
+    left, right = cond.left, cond.comparators[0]
+    for a, b in ((left, right), (right, left)):
+        if isinstance(a, ast.Name) and a.id == var:
+            key = _self_attr(b, self_name)
+            if key is not None:
+                return (state_attr, key)
+    return None
+
+
+def classify_ctor_arg(
+    node: ast.AST, state_name: str, self_name: str
+) -> ArgEffect:
+    """Classify one constructor argument per :class:`ArgEffect`."""
+    bare = _bare_state_attr(node, state_name)
+    if bare is not None:
+        return ArgEffect(kind="identity", state_attr=bare)
+    filt = _filter_genexp(node, state_name, self_name)
+    if filt is not None:
+        state_attr, key = filt
+        return ArgEffect(
+            kind="filter", self_attr=key, state_attr=state_attr,
+            mentions=(state_attr,),
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left_attr = _bare_state_attr(node.left, state_name)
+        right_key = _single_self_tuple(node.right, self_name)
+        if left_attr is not None and right_key is not None:
+            return ArgEffect(
+                kind="append", self_attr=right_key, state_attr=left_attr,
+                mentions=(left_attr,),
+            )
+        right_attr = _bare_state_attr(node.right, state_name)
+        left_key = _single_self_tuple(node.left, self_name)
+        if right_attr is not None and left_key is not None:
+            return ArgEffect(
+                kind="prepend", self_attr=left_key, state_attr=right_attr,
+                mentions=(right_attr,),
+            )
+    mentions = state_mentions(node, state_name)
+    if (
+        isinstance(node, ast.Call)
+        and call_func_name(node) in ("max", "min")
+        and mentions
+    ):
+        return ArgEffect(kind="clamped", mentions=mentions)
+    return ArgEffect(kind="opaque", mentions=mentions)
+
+
+def _parse_guard(
+    stmt: ast.stmt, state_name: str, self_name: str
+) -> Optional[GuardShape]:
+    """``if <test>: return state`` (no else) → its :class:`GuardShape`."""
+    if not (
+        isinstance(stmt, ast.If)
+        and not stmt.orelse
+        and len(stmt.body) == 1
+        and isinstance(stmt.body[0], ast.Return)
+        and isinstance(stmt.body[0].value, ast.Name)
+        and stmt.body[0].value.id == state_name
+    ):
+        return None
+    calls: List[Tuple[str, Tuple[str, ...]]] = []
+    for sub in ast.walk(stmt.test):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == state_name
+        ):
+            attrs = tuple(
+                a for a in (
+                    _self_attr(arg, self_name) for arg in sub.args
+                ) if a is not None
+            )
+            calls.append((sub.func.attr, attrs))
+    return GuardShape(
+        calls=tuple(calls),
+        mentions=state_mentions(stmt.test, state_name),
+    )
+
+
+def _parse_chain(
+    node: ast.AST, state_name: str, self_name: str
+) -> Optional[Tuple[str, Tuple[Tuple[Optional[str], Optional[str]], ...]]]:
+    """``state.m(k, d).m(k2, d2)...`` → (``m``, per-call key/delta attrs)."""
+
+    def call_arg_attr(arg: ast.AST) -> Optional[str]:
+        attr = _self_attr(arg, self_name)
+        if attr is not None:
+            return attr
+        if isinstance(arg, ast.UnaryOp) and isinstance(arg.op, ast.USub):
+            return _self_attr(arg.operand, self_name)
+        return None
+
+    calls: List[Tuple[str, Tuple[Optional[str], Optional[str]]]] = []
+    while isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        args = node.args
+        key = call_arg_attr(args[0]) if len(args) >= 1 else None
+        delta = call_arg_attr(args[1]) if len(args) >= 2 else None
+        calls.append((node.func.attr, (key, delta)))
+        node = node.func.value
+    if not calls:
+        return None
+    if not (isinstance(node, ast.Name) and node.id == state_name):
+        return None
+    methods = {m for m, _ in calls}
+    if len(methods) != 1:
+        return None
+    calls.reverse()
+    return (calls[0][0], tuple(kd for _, kd in calls))
+
+
+def parse_apply_shape(func: ast.FunctionDef) -> Optional[ApplyShape]:
+    """Parse an ``apply`` body against the grammar above, or ``None``."""
+    params = positional_params(func)
+    if len(params) < 2:
+        return None
+    self_name, state_name = params[0], params[1]
+
+    guards: List[GuardShape] = []
+    final: Optional[ast.Return] = None
+    for stmt in func.body:
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring
+        if isinstance(stmt, ast.Assert):
+            continue
+        if final is not None:
+            return None  # statements after the final return
+        guard = _parse_guard(stmt, state_name, self_name)
+        if guard is not None:
+            guards.append(guard)
+            continue
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            final = stmt
+            continue
+        return None  # locals, loops, multi-way branches: unrecognized
+    if final is None:
+        return None
+    value = final.value
+
+    if isinstance(value, ast.Name) and value.id == state_name:
+        return ApplyShape(
+            kind="identity", guards=tuple(guards), state_param=state_name
+        )
+    chain = _parse_chain(value, state_name, self_name)
+    if chain is not None:
+        method, chain_calls = chain
+        return ApplyShape(
+            kind="chain",
+            guards=tuple(guards),
+            chain_method=method,
+            chain_calls=chain_calls,
+            state_param=state_name,
+        )
+    if isinstance(value, ast.Call) and not value.keywords:
+        ctor = dotted_name(value.func)
+        if ctor is not None and ctor.split(".")[-1][:1].isupper():
+            args = tuple(
+                classify_ctor_arg(arg, state_name, self_name)
+                for arg in value.args
+            )
+            return ApplyShape(
+                kind="constructor",
+                guards=tuple(guards),
+                ctor=ctor.split(".")[-1],
+                args=args,
+                state_param=state_name,
+            )
+    return None
+
+
+def infer_update_footprint(
+    func: ast.FunctionDef,
+) -> Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """The statically inferred (reads, writes) footprint of one
+    ``apply`` body at state-attribute granularity, or ``None`` when the
+    body does not fit the recognized grammar.
+
+    Reads are the state attributes/methods the guards probe plus those
+    the non-identity constructor arguments consume; writes are the
+    attributes those arguments rewrite.  Identity pass-throughs
+    (``Ctor(state.assigned, ...)``) are excluded from both, matching
+    the convention of the declared family footprints.
+    """
+    shape = parse_apply_shape(func)
+    if shape is None:
+        return None
+    if shape.kind == "identity":
+        guard_reads: Set[str] = set()
+        for guard in shape.guards:
+            guard_reads.update(guard.mentions)
+        return (tuple(sorted(guard_reads)), ())
+    if shape.kind == "chain":
+        method = (shape.chain_method,)
+        reads: Set[str] = set(method)
+        for guard in shape.guards:
+            reads.update(guard.mentions)
+        return (tuple(sorted(reads)), method)
+    reads = set()
+    writes: Set[str] = set()
+    for guard in shape.guards:
+        reads.update(guard.mentions)
+    for arg in shape.args:
+        if arg.kind == "identity":
+            continue
+        reads.update(arg.mentions)
+        writes.update(arg.mentions)
+    return (tuple(sorted(reads)), tuple(sorted(writes)))
 
 
 # -- taint-based mutation analysis (rules R1/R2) -------------------------

@@ -1,9 +1,17 @@
 """Rule modules self-register on import; import them all here."""
 
-from . import determinism, iteration, purity, separation, traceschema
+from . import (
+    determinism,
+    footprints,
+    iteration,
+    purity,
+    separation,
+    traceschema,
+)
 
 __all__ = [
     "determinism",
+    "footprints",
     "iteration",
     "purity",
     "separation",

@@ -1,0 +1,98 @@
+"""R6 — declared footprint conformance.
+
+The key-level footprints in :mod:`repro.consistency.footprints` and the
+commutativity certificates in :mod:`repro.certify` both abstract what an
+``Update.apply`` body reads and writes — and both are only sound while
+that abstraction matches the body.  ``FAMILY_FIELD_FOOTPRINTS`` declares
+the ground truth per update family at state-attribute granularity; this
+rule re-infers each family's footprint from its ``apply`` AST
+(:func:`repro.lint.astutil.infer_update_footprint`) and flags any
+disagreement, so an edit to an update body that changes what it touches
+cannot land without the declared table (and everything derived from it)
+being updated in the same change.
+
+Classes whose ``name`` is not in the declared table are skipped — the
+table only speaks for the families it lists.  A declared family whose
+body no longer fits the recognized apply grammar is itself a finding:
+an uncheckable body silently exempts the family from the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..astutil import find_method, infer_update_footprint, subclasses_of
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: family name → (declared reads, declared writes).
+FootprintTable = Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]]
+
+
+def _default_footprints() -> FootprintTable:
+    from ...consistency.footprints import FAMILY_FIELD_FOOTPRINTS
+
+    return FAMILY_FIELD_FOOTPRINTS
+
+
+@register
+class FootprintConformanceRule(Rule):
+    rule_id = "R6"
+    title = (
+        "Update.apply bodies must match the declared family footprints "
+        "(consistency.footprints.FAMILY_FIELD_FOOTPRINTS)"
+    )
+
+    def __init__(self, footprints: Optional[FootprintTable] = None):
+        self.footprints = (
+            footprints if footprints is not None else _default_footprints()
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for classdef in subclasses_of(ctx.tree, "Update"):
+            family = self._family_name(ctx, classdef)
+            if family is None or family not in self.footprints:
+                continue
+            method = find_method(classdef, "apply")
+            if method is None:
+                continue
+            declared_reads, declared_writes = self.footprints[family]
+            inferred = infer_update_footprint(method)
+            if inferred is None:
+                yield ctx.finding(
+                    self.rule_id, method,
+                    f"{classdef.name}.apply does not fit the recognized "
+                    f"apply grammar, so it cannot be checked against the "
+                    f"declared {family!r} footprint",
+                )
+                continue
+            reads, writes = inferred
+            if reads != tuple(declared_reads) or writes != tuple(
+                declared_writes
+            ):
+                yield ctx.finding(
+                    self.rule_id, method,
+                    f"{classdef.name}.apply touches "
+                    f"reads={sorted(reads)} writes={sorted(writes)}, but "
+                    f"family {family!r} declares "
+                    f"reads={sorted(declared_reads)} "
+                    f"writes={sorted(declared_writes)} "
+                    f"(consistency.footprints.FAMILY_FIELD_FOOTPRINTS)",
+                )
+
+    @staticmethod
+    def _family_name(
+        ctx: ModuleContext, classdef: ast.ClassDef
+    ) -> Optional[str]:
+        """The class's ``name = "..."`` family attribute, if static."""
+        for stmt in classdef.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "name"
+            ):
+                return ctx.resolve_string(stmt.value)
+        return None

@@ -25,18 +25,36 @@ from .campaign import (
     run_parallel_campaign,
     run_parallel_cells,
 )
-from .cells import DEFAULT_CELLS, SMOKE_CELLS, CellSpec, run_cell
-from .gate import run_gate, smoke_baseline
+from .cells import (
+    CERTIFY_DEFAULT_CELLS,
+    CERTIFY_SMOKE_CELLS,
+    DEFAULT_CELLS,
+    SMOKE_CELLS,
+    CellSpec,
+    run_cell,
+    run_certify_cell,
+)
+from .gate import (
+    certify_smoke_baseline,
+    run_certify_gate,
+    run_gate,
+    smoke_baseline,
+)
 from .timer import PerfTimer, wall_clock
 
 __all__ = [
+    "CERTIFY_DEFAULT_CELLS",
+    "CERTIFY_SMOKE_CELLS",
     "CellSpec",
     "DEFAULT_CELLS",
     "PerfTimer",
     "SMOKE_CELLS",
     "aggregate_fingerprint",
     "campaign_json",
+    "certify_smoke_baseline",
     "run_cell",
+    "run_certify_cell",
+    "run_certify_gate",
     "run_gate",
     "run_parallel_campaign",
     "run_parallel_cells",

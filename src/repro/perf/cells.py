@@ -77,12 +77,20 @@ DEFAULT_CELLS: Tuple[CellSpec, ...] = _specs(60.0, "e11")
 SMOKE_CELLS: Tuple[CellSpec, ...] = _specs(15.0, "smoke")
 
 
-def run_cell(spec: CellSpec) -> Dict[str, object]:
-    """Run one cell to quiescence; returns its deterministic result row."""
+def run_cell(spec: CellSpec, commutativity=None) -> Dict[str, object]:
+    """Run one cell to quiescence; returns its deterministic result row.
+
+    With ``commutativity`` (a pairwise oracle callable) every node's
+    merge view also takes the certified skip on commuting out-of-order
+    inserts; the row then reports ``certified_hits`` > 0 wherever the
+    skip fired.
+    """
     (low, high), partition, overrides = REGIMES[spec.regime]
     cost_fn = make_airline_application(spec.capacity).cost
     factory = policy_engine_factory(
-        lambda: TailWindowPolicy(spec.window), cost_fn=cost_fn
+        lambda: TailWindowPolicy(spec.window),
+        cost_fn=cost_fn,
+        commutativity=commutativity,
     )
     partitions = (
         PartitionSchedule.split(partition[0], partition[1], [0], [1, 2])
@@ -121,6 +129,7 @@ def run_cell(spec: CellSpec) -> Dict[str, object]:
         "fastpath_hits": fastpath,
         "fastpath_rate": round(fastpath / inserts, 4) if inserts else 0.0,
         "undo_redo_merges": sum(s.undo_redo_merges for s in stats),
+        "certified_hits": sum(s.certified_hits for s in stats),
         "batch_merges": sum(s.batch_merges for s in stats),
         "batched_inserts": sum(s.batched_inserts for s in stats),
         "cost_evaluations": evaluations,
@@ -141,3 +150,64 @@ def aggregate_hit_rate(rows) -> float:
     evaluations = sum(r["cost_evaluations"] for r in rows)
     total = hits + evaluations
     return hits / total if total else 0.0
+
+
+# -- certified-skip cells (E19, repro.certify) ---------------------------
+
+#: regimes the certify comparison runs: the in-order control (skips
+#: cannot fire, nothing to gain) plus both out-of-order regimes where
+#: the displaced-suffix replay is the dominant merge cost.
+CERTIFY_REGIMES = ("in-order", "jittery", "partitioned")
+
+#: counters carried into each arm of a certify row.
+_CERTIFY_KEYS = (
+    "log_length", "inserts", "updates_applied", "fastpath_hits",
+    "undo_redo_merges", "certified_hits", "state_fingerprint",
+)
+
+
+def _certify_specs(duration: float, prefix: str) -> Tuple[CellSpec, ...]:
+    return tuple(
+        CellSpec(name=f"{prefix}:{regime}", regime=regime, duration=duration)
+        for regime in CERTIFY_REGIMES
+    )
+
+
+CERTIFY_DEFAULT_CELLS: Tuple[CellSpec, ...] = _certify_specs(60.0, "e19")
+CERTIFY_SMOKE_CELLS: Tuple[CellSpec, ...] = _certify_specs(15.0, "smoke")
+
+
+def certified_oracle():
+    """The airline commutation oracle, derived fresh from the code.
+
+    Imported lazily: :mod:`repro.certify` pulls in the application
+    registry, which the plain perf cells never need.
+    """
+    from ..certify import CommutationOracle, airline_spec, build_pair_table
+
+    return CommutationOracle.from_pairs(build_pair_table(airline_spec()))
+
+
+def run_certify_cell(spec: CellSpec) -> Dict[str, object]:
+    """One regime, twice: baseline undo/redo vs the certified skip.
+
+    Same spec, same seed — the two arms see the identical workload, so
+    equal state fingerprints prove the skip changed the repair cost and
+    nothing else.  ``replay_reduction`` is the number of update
+    applications the certified arm avoided.
+    """
+    baseline = run_cell(spec)
+    certified = run_cell(spec, commutativity=certified_oracle().commutes)
+    return {
+        "cell": spec.name,
+        "regime": spec.regime,
+        "spec": spec.as_dict(),
+        "baseline": {k: baseline[k] for k in _CERTIFY_KEYS},
+        "certified": {k: certified[k] for k in _CERTIFY_KEYS},
+        "states_agree": (
+            baseline["state_fingerprint"] == certified["state_fingerprint"]
+        ),
+        "replay_reduction": (
+            baseline["updates_applied"] - certified["updates_applied"]
+        ),
+    }

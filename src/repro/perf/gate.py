@@ -17,6 +17,12 @@ fresh smoke run, honestly split by what is comparable across machines:
   nothing.  With fewer than two usable cores the wall-clock check is
   recorded as skipped, not failed.
 
+``--certify`` switches to the certified-merge gate: fresh
+baseline-vs-certified smoke cells compared against the committed
+``benchmarks/results/BENCH_certify.json``, requiring exact counter
+agreement, state equivalence between the arms, and a certified skip
+that demonstrably fires.
+
 Exit status: 0 clean, 1 any regression, 2 usage/baseline errors.
 """
 
@@ -31,7 +37,12 @@ from typing import Dict, List, Optional, Tuple
 
 from ..chaos.harness import ChaosScenario
 from .campaign import run_parallel_campaign, run_parallel_cells
-from .cells import SMOKE_CELLS, aggregate_hit_rate
+from .cells import (
+    CERTIFY_SMOKE_CELLS,
+    SMOKE_CELLS,
+    aggregate_hit_rate,
+    run_certify_cell,
+)
 from .timer import PerfTimer
 
 #: the smoke workload re-run by the gate; small enough for CI, fixed so
@@ -48,6 +59,16 @@ EXACT_CELL_KEYS = (
 )
 
 DEFAULT_BASELINE = Path("benchmarks/results/BENCH_perf.json")
+CERTIFY_BASELINE = Path("benchmarks/results/BENCH_certify.json")
+
+#: per-arm counters of a certify cell that must match exactly.
+EXACT_CERTIFY_KEYS = (
+    "log_length", "inserts", "updates_applied", "fastpath_hits",
+    "undo_redo_merges", "certified_hits", "state_fingerprint",
+)
+
+#: regimes where the certified skip must demonstrably pay.
+CERTIFY_OUT_OF_ORDER = ("jittery", "partitioned")
 
 
 def usable_cores() -> int:
@@ -185,14 +206,98 @@ def run_gate(
     return (1 if problems else 0), report
 
 
+def certify_smoke_baseline() -> Dict[str, object]:
+    """The certify gate's deterministic smoke payload: every certify
+    regime run baseline-vs-certified at smoke duration."""
+    cells = [run_certify_cell(spec) for spec in CERTIFY_SMOKE_CELLS]
+    return {
+        "cells": cells,
+        "certified_hits": sum(r["certified"]["certified_hits"] for r in cells),
+        "replay_reduction": sum(r["replay_reduction"] for r in cells),
+    }
+
+
+def run_certify_gate(
+    baseline_path: Path = CERTIFY_BASELINE,
+) -> Tuple[int, Dict[str, object]]:
+    """The certified-merge gate: fresh smoke certify cells must match
+    the committed ``BENCH_certify.json`` exactly, the certified arm
+    must agree with the baseline state, and the skip must actually fire
+    (certified hits > 0, replays reduced in an out-of-order regime)."""
+    try:
+        committed = json.loads(Path(baseline_path).read_text())
+    except (OSError, ValueError) as exc:
+        return 2, {"error": f"cannot read baseline {baseline_path}: {exc}"}
+    expected = committed.get("smoke_baseline")
+    if not isinstance(expected, dict):
+        return 2, {
+            "error": f"baseline {baseline_path} has no smoke_baseline section"
+        }
+
+    fresh = certify_smoke_baseline()
+    problems: List[str] = []
+    committed_by_name = {
+        row["cell"]: row for row in expected.get("cells", ())
+    }
+    for row in fresh["cells"]:
+        committed_row = committed_by_name.pop(row["cell"], None)
+        if not row["states_agree"]:
+            problems.append(
+                f"cell {row['cell']}: certified arm diverged from baseline "
+                f"state"
+            )
+        if committed_row is None:
+            problems.append(f"cell {row['cell']}: missing from baseline")
+            continue
+        for arm in ("baseline", "certified"):
+            for key in EXACT_CERTIFY_KEYS:
+                got = row[arm].get(key)
+                want = committed_row.get(arm, {}).get(key)
+                if got != want:
+                    problems.append(
+                        f"cell {row['cell']}: {arm}.{key} changed "
+                        f"{want!r} -> {got!r}"
+                    )
+    for name in committed_by_name:
+        problems.append(f"cell {name}: in baseline but not re-run")
+
+    if fresh["certified_hits"] <= 0:
+        problems.append("certified skip never fired in the smoke cells")
+    if not any(
+        row["regime"] in CERTIFY_OUT_OF_ORDER
+        and row["certified"]["certified_hits"] > 0
+        and row["replay_reduction"] > 0
+        for row in fresh["cells"]
+    ):
+        problems.append(
+            "no out-of-order regime showed certified hits with a replay "
+            "reduction"
+        )
+
+    report = {
+        "baseline": str(baseline_path),
+        "mode": "certify",
+        "problems": problems,
+        "fresh": {
+            "certified_hits": fresh["certified_hits"],
+            "replay_reduction": fresh["replay_reduction"],
+        },
+    }
+    return (1 if problems else 0), report
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.gate",
         description="perf-regression gate: committed BENCH_perf.json vs "
         "a fresh smoke run",
     )
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
-                        help=f"baseline JSON (default {DEFAULT_BASELINE})")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline JSON (default {DEFAULT_BASELINE}, "
+                        f"or {CERTIFY_BASELINE} with --certify)")
+    parser.add_argument("--certify", action="store_true",
+                        help="gate the certified merge fast path against "
+                        "BENCH_certify.json instead of the perf smoke")
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="hit-rate tolerance band (default 0.02)")
     parser.add_argument("--wall-factor", type=float, default=2.0,
@@ -213,15 +318,22 @@ def _render_text(status: int, report: Dict[str, object]) -> str:
         f"perf gate vs {report['baseline']}: "
         + ("CLEAN" if status == 0 else "REGRESSED")
     ]
-    wall = report["wall_clock"]
-    lines.append(
-        f"  wall-clock [{wall['status']}]: serial {wall['serial_s']}s, "
-        f"parallel {wall['parallel_s']}s on {wall['cores']} core(s)"
-    )
-    lines.append(
-        f"  fresh fingerprint {report['fresh']['aggregate_fingerprint']}, "
-        f"cost-cache hit rate {report['fresh']['cost_hit_rate']}"
-    )
+    if report.get("mode") == "certify":
+        lines.append(
+            f"  certified hits {report['fresh']['certified_hits']}, "
+            f"replay reduction {report['fresh']['replay_reduction']}"
+        )
+    else:
+        wall = report["wall_clock"]
+        lines.append(
+            f"  wall-clock [{wall['status']}]: serial {wall['serial_s']}s, "
+            f"parallel {wall['parallel_s']}s on {wall['cores']} core(s)"
+        )
+        lines.append(
+            f"  fresh fingerprint "
+            f"{report['fresh']['aggregate_fingerprint']}, "
+            f"cost-cache hit rate {report['fresh']['cost_hit_rate']}"
+        )
     for problem in report["problems"]:
         lines.append(f"  problem: {problem}")
     return "\n".join(lines)
@@ -232,12 +344,17 @@ def main(argv=None) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
-    status, report = run_gate(
-        baseline_path=args.baseline,
-        tolerance=args.tolerance,
-        wall_factor=args.wall_factor,
-        workers=args.workers,
-    )
+    if args.certify:
+        status, report = run_certify_gate(
+            baseline_path=args.baseline or CERTIFY_BASELINE,
+        )
+    else:
+        status, report = run_gate(
+            baseline_path=args.baseline or DEFAULT_BASELINE,
+            tolerance=args.tolerance,
+            wall_factor=args.wall_factor,
+            workers=args.workers,
+        )
     if args.format == "json":
         print(json.dumps(report, sort_keys=True, indent=2))
     else:

@@ -9,6 +9,7 @@ baselines all store state through this package.
 """
 
 from .engine import (
+    CommutativityFn,
     CostCacheStats,
     ListUpdateSource,
     LogUpdateSource,
@@ -39,6 +40,7 @@ from .timestamps import LamportClock, Timestamp
 __all__ = [
     "AdaptiveWindowPolicy",
     "CheckpointPolicy",
+    "CommutativityFn",
     "CostCacheStats",
     "EngineFactory",
     "EveryPositionPolicy",

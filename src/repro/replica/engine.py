@@ -36,6 +36,23 @@ Two hot-path extensions (the performance pass):
   hand anyway); the surviving prefix entries are *hits* — evaluations a
   from-scratch recomputation of the series would have repeated.
   :class:`CostCacheStats` reports the hit rate.
+
+One certified extension (repro.certify):
+
+* **certified commutativity skip** — with a ``commutativity`` oracle
+  installed (see :mod:`repro.certify.oracle`), a single out-of-order
+  insertion whose displaced suffix consists entirely of updates the
+  oracle certifies as commuting with the new one is applied *in place*:
+  the new update bubbles to the tail (``fold(prefix + [u] + suffix) ==
+  fold(prefix + suffix + [u])``, by pairwise commutation), so one
+  ``apply`` against the cached tail state replaces the whole undo/redo
+  replay.  Counted in :attr:`MergeStats.certified_hits`; the skipped
+  replay length is reported in :attr:`MergeOutcome.skipped`.  A
+  certified skip drops the snapshots and cached prefix costs past the
+  insertion point without eagerly recomputing them — intermediate
+  prefix states changed even though the final state did not — so the
+  cost cache is *lazily* completed by :meth:`MergeView.prefix_cost` on
+  demand rather than eagerly between merges.
 """
 
 from __future__ import annotations
@@ -52,6 +69,13 @@ from .policy import CheckpointPolicy, EveryPositionPolicy
 #: integrity-constraint cost of one state (the paper's ``cost(s)``).
 CostFn = Callable[[State], float]
 
+#: a pairwise commutation oracle: ``commutes(new, displaced)`` answers
+#: whether the two updates may be swapped without changing the fold.
+#: Must be *sound* (True only when apply(a, apply(b, s)) ==
+#: apply(b, apply(a, s)) for every reachable state s); certificates from
+#: :mod:`repro.certify` provide exactly this.
+CommutativityFn = Callable[[Update, Update], bool]
+
 
 @dataclass
 class MergeStats:
@@ -62,6 +86,9 @@ class MergeStats:
     snapshots_held: int = 0
     fastpath_hits: int = 0
     undo_redo_merges: int = 0
+    #: out-of-order inserts resolved by the certified-commutativity
+    #: skip: one in-place apply instead of an undo/redo replay.
+    certified_hits: int = 0
     max_displacement: int = 0
     #: repairs that covered more than one freshly inserted record
     #: (gossip DELTA batches, quiescence exchanges), and how many
@@ -99,12 +126,21 @@ class CostCacheStats:
 class MergeOutcome:
     """What one repair cost: the fast path, or an undo/redo replay of
     ``replayed`` updates for a span of ``added`` insertions beginning
-    ``displacement`` positions from the pre-batch tail."""
+    ``displacement`` positions from the pre-batch tail.
+
+    A *certified* outcome is neither: the displaced suffix was entirely
+    certified-commutative with the new update, so the repair was one
+    in-place apply (``replayed == 1``) that skipped a replay of
+    ``skipped`` updates."""
 
     fastpath: bool
     replayed: int
     displacement: int
     added: int = 1
+    certified: bool = False
+    #: replay applications the certified skip avoided (what the
+    #: undo/redo branch would have replayed, minus the one apply paid).
+    skipped: int = 0
 
 
 class UpdateSource(Protocol):
@@ -164,10 +200,14 @@ class MergeView:
         policy: Optional[CheckpointPolicy] = None,
         fast_path: bool = True,
         cost_fn: Optional[CostFn] = None,
+        commutativity: Optional[CommutativityFn] = None,
     ):
         self.initial_state = initial_state
         self.policy = policy if policy is not None else EveryPositionPolicy()
         self.fast_path = fast_path
+        #: pairwise commutation oracle gating the certified skip; None
+        #: (the default) disables it and preserves seed behaviour.
+        self._commutes = commutativity
         self.stats = MergeStats()
         self.cost_stats = CostCacheStats()
         self._source: Optional[UpdateSource] = None
@@ -181,7 +221,9 @@ class MergeView:
         #: cost(fold(updates[:j], initial)).  Maintained eagerly (every
         #: position 0..len(source) is present between merges) and
         #: invalidated past the insertion point on non-tail inserts and
-        #: rewinds — see ``_drop_after``.
+        #: rewinds — see ``_drop_after``.  Certified skips relax the
+        #: eagerness: they invalidate without replaying, leaving the
+        #: suffix entries to ``prefix_cost``'s lazy recompute.
         self._prefix_costs: Dict[int, float] = {}
         if cost_fn is not None:
             self._prefix_costs[0] = self._evaluate_cost(initial_state)
@@ -275,6 +317,43 @@ class MergeView:
             outcome = MergeOutcome(
                 fastpath=True, replayed=added, displacement=0, added=added
             )
+        elif (
+            self.fast_path
+            and added == 1
+            and self._commutes is not None
+            and self._suffix_commutes(position, n)
+        ):
+            # The new update at ``position`` pairwise-commutes with the
+            # whole displaced suffix, so it bubbles to the tail: one
+            # apply against the cached state replaces the replay.  The
+            # intermediate prefix states past the insertion point *did*
+            # change, so their snapshots and cached costs are dropped
+            # (prefix_cost recomputes lazily if asked).
+            base = self._positions[
+                bisect.bisect_right(self._positions, position) - 1
+            ]
+            if self._cost_fn is not None:
+                self.cost_stats.hits += sum(
+                    1 for p in self._prefix_costs if p <= position
+                )
+            self._drop_after(position)
+            state = source.update_at(position).apply(self._state)
+            self.stats.updates_applied += 1
+            self._state = state
+            self._note_cost(n, state)
+            self._retain(n, state, n)
+            self.stats.certified_hits += 1
+            self.stats.max_displacement = max(
+                self.stats.max_displacement, displacement
+            )
+            outcome = MergeOutcome(
+                fastpath=False,
+                replayed=1,
+                displacement=displacement,
+                added=1,
+                certified=True,
+                skipped=(n - base) - 1,
+            )
         else:
             if self._cost_fn is not None:
                 # entries 0..position survive the insertion; a
@@ -308,6 +387,16 @@ class MergeView:
         if len(self._positions) > self.stats.snapshots_held:
             self.stats.snapshots_held = len(self._positions)
         return outcome
+
+    def _suffix_commutes(self, position: int, n: int) -> bool:
+        """Does the freshly inserted update at ``position`` commute with
+        every displaced record after it?"""
+        source = self.source
+        new = source.update_at(position)
+        return all(
+            self._commutes(new, source.update_at(j))
+            for j in range(position + 1, n)
+        )
 
     # -- crash recovery (repro.chaos) ------------------------------------
 

@@ -38,12 +38,15 @@ def policy_engine_factory(
     make_policy: Callable[[], CheckpointPolicy],
     fast_path: bool = True,
     cost_fn=None,
+    commutativity=None,
 ) -> EngineFactory:
     """An engine factory from a policy factory: each node gets a fresh
     policy instance (policies are stateful — the adaptive one resizes
     from per-node traffic) driving a fast-path merge view.  With
     ``cost_fn`` the view also maintains the incremental per-prefix
-    constraint-cost cache."""
+    constraint-cost cache; with ``commutativity`` (a pairwise oracle,
+    e.g. :meth:`repro.certify.oracle.CommutationOracle.commutes`) it
+    takes the certified skip on commuting out-of-order inserts."""
 
     def factory(initial_state: State) -> MergeView:
         return MergeView(
@@ -51,6 +54,7 @@ def policy_engine_factory(
             policy=make_policy(),
             fast_path=fast_path,
             cost_fn=cost_fn,
+            commutativity=commutativity,
         )
 
     return factory

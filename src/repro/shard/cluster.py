@@ -148,6 +148,12 @@ class ShardCluster:
                 )
             elif outcome.fastpath:
                 self._trace("merge_fastpath", node_id)
+            elif outcome.certified:
+                self._trace(
+                    "merge_certified", node_id,
+                    displacement=outcome.displacement,
+                    skipped=outcome.skipped,
+                )
             else:
                 self._trace(
                     "merge_undo", node_id,

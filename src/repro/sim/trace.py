@@ -21,6 +21,9 @@ checked against it by shardlint rule R5 — it cannot drift):
 * ``merge_batch`` — a whole record batch (a gossip DELTA, a quiescence
   exchange) repaired in one undo/redo cycle: ``count`` records entered
   the log for one repair with the given ``displacement``/``replayed``;
+* ``merge_certified`` — an out-of-order record whose displaced suffix
+  was certified commutative (repro.certify): applied in place at the
+  given ``displacement``, skipping a replay of ``skipped`` updates;
 * ``gossip_syn`` / ``gossip_delta`` / ``gossip_skip`` — one anti-entropy
   exchange: a digest SYN left a node, a DELTA shipped missing records,
   or the exchange found the peers already in sync;
@@ -49,6 +52,7 @@ EVENT_SCHEMAS: Dict[str, FrozenSet[str]] = {
     "merge_fastpath": frozenset(),
     "merge_undo": frozenset({"displacement", "replayed"}),
     "merge_batch": frozenset({"count", "displacement", "replayed"}),
+    "merge_certified": frozenset({"displacement", "skipped"}),
     # digest anti-entropy exchanges
     "gossip_syn": frozenset({"peer", "cells", "reason"}),
     "gossip_delta": frozenset({"peer", "pushed", "wanted"}),

@@ -1,6 +1,11 @@
 """Verify the paper's Section 4.1 property matrix against the generic
-sampling checkers — every claimed safe/unsafe, preserves, compensates and
-priority entry is re-checked on a deterministic sample of states.
+sampling checkers — every claimed preserves, compensates and priority
+entry is re-checked on a deterministic sample of states.
+
+The increasing and safety rows are no longer asserted here: the shared
+certificate harness (``tests/core/test_certify_tables.py``) verifies
+every application's declared table against its derived
+``repro.certify`` certificate, which samples exactly those entries.
 
 The sample uses capacity 8 (with up to 20 people) so both constraints'
 interesting regions are exercised; the paper's claims are capacity-
@@ -11,16 +16,12 @@ import pytest
 
 from repro.apps.airline import (
     Cancel,
-    CancelUpdate,
     MoveDown,
-    MoveDownUpdate,
     MoveUp,
-    MoveUpUpdate,
     OVERBOOKING,
     OverbookingConstraint,
     PROPERTY_TABLE,
     Request,
-    RequestUpdate,
     UNDERBOOKING,
     UnderbookingConstraint,
     make_airline_application,
@@ -28,8 +29,6 @@ from repro.apps.airline import (
 )
 from repro.core import (
     compensates_on,
-    is_increasing_on,
-    is_safe_on,
     preserves_cost_on,
     preserves_priority_on,
     strongly_preserves_priority_on,
@@ -41,12 +40,6 @@ CONSTRAINTS = {
     OVERBOOKING: OverbookingConstraint(capacity=CAPACITY),
     UNDERBOOKING: UnderbookingConstraint(capacity=CAPACITY),
 }
-UPDATES = {
-    "request": RequestUpdate,
-    "cancel": CancelUpdate,
-    "move_up": MoveUpUpdate,
-    "move_down": MoveDownUpdate,
-}
 TRANSACTIONS = {
     "REQUEST": Request("P1"),
     "CANCEL": Cancel("P1"),
@@ -54,29 +47,6 @@ TRANSACTIONS = {
     "MOVE_DOWN": MoveDown(CAPACITY),
 }
 APP = make_airline_application(capacity=CAPACITY)
-
-
-@pytest.mark.parametrize(
-    "family,constraint,expected",
-    [(f, c, v) for (f, c), v in sorted(PROPERTY_TABLE.update_increasing.items())],
-)
-def test_update_increasing_matches_table(family, constraint, expected):
-    # an increasing update family: some instance raises the cost somewhere.
-    update_cls = UPDATES[family]
-    found = any(
-        is_increasing_on(update_cls(f"P{i}"), CONSTRAINTS[constraint], SAMPLE)
-        for i in range(1, 6)
-    )
-    assert found == expected
-
-
-@pytest.mark.parametrize(
-    "family,constraint,expected",
-    [(f, c, v) for (f, c), v in sorted(PROPERTY_TABLE.transaction_safe.items())],
-)
-def test_transaction_safety_matches_table(family, constraint, expected):
-    txn = TRANSACTIONS[family]
-    assert is_safe_on(txn, CONSTRAINTS[constraint], SAMPLE) == expected
 
 
 @pytest.mark.parametrize(

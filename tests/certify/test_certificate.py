@@ -1,0 +1,184 @@
+"""Stage 2 + persistence: witnesses, certificates, drift, the oracle."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.airline import CancelUpdate, RequestUpdate
+from repro.apps.airline.state import AirlineState
+from repro.certify import (
+    CommutationOracle,
+    build_certificate,
+    build_pair_table,
+    commutation_level,
+    counter_spec,
+    load_certificate,
+    spec_by_name,
+    table_mismatches,
+    write_certificate,
+)
+from repro.certify.certificate import (
+    SCHEMA_VERSION,
+    certificate_drift,
+    certificate_path,
+    pair_key,
+)
+from repro.certify.sampling import commutation_counterexample, params_disjoint
+
+
+@pytest.fixture(scope="module")
+def airline_pairs():
+    return build_pair_table(spec_by_name("fly-by-night"))
+
+
+class TestSampling:
+    def test_disjoint_witness_refutes_outright(self):
+        # two unknown persons both append to `waiting`; the fold orders
+        # differ even though the parameter sets are disjoint.
+        witness = commutation_counterexample(
+            RequestUpdate("P3"), RequestUpdate("P9"), AirlineState()
+        )
+        assert witness is not None
+        assert witness.disjoint
+        level, strongest = commutation_level(
+            [RequestUpdate("P3")], [RequestUpdate("P9")], [AirlineState()]
+        )
+        assert level == "none"
+        assert strongest == witness
+
+    def test_overlapping_witness_caps_at_disjoint(self):
+        state = AirlineState(waiting=("P1",))
+        witness = commutation_counterexample(
+            RequestUpdate("P1"), CancelUpdate("P1"), state
+        )
+        assert witness is not None
+        assert not witness.disjoint
+        level, _ = commutation_level(
+            [RequestUpdate("P1")], [CancelUpdate("P1")], [state]
+        )
+        assert level == "disjoint"
+
+    def test_no_witness_leaves_always(self):
+        level, witness = commutation_level(
+            [CancelUpdate("P1")], [CancelUpdate("P2")],
+            [AirlineState(waiting=("P1", "P2"))],
+        )
+        assert level == "always"
+        assert witness is None
+
+    def test_ill_formed_states_are_skipped(self):
+        # P1 both assigned and waiting is not a reachable state; no
+        # witness may be drawn from it.
+        bogus = AirlineState(assigned=("P1",), waiting=("P1",))
+        assert not bogus.well_formed()
+        assert commutation_counterexample(
+            RequestUpdate("P3"), RequestUpdate("P9"), bogus
+        ) is None
+
+    def test_params_disjoint(self):
+        assert params_disjoint(RequestUpdate("P1"), CancelUpdate("P2"))
+        assert not params_disjoint(RequestUpdate("P1"), CancelUpdate("P1"))
+
+
+class TestPairTable:
+    def test_witnesses_back_every_downgrade(self, airline_pairs):
+        for key, entry in airline_pairs.items():
+            assert entry["certified"] in ("none", "disjoint", "always")
+            if entry["sampled"] != "always":
+                assert entry["witness"] is not None, key
+            else:
+                assert entry["witness"] is None, key
+
+    def test_certified_is_min_of_static_and_sampled(self, airline_pairs):
+        order = {"none": 0, "disjoint": 1, "always": 2}
+        for entry in airline_pairs.values():
+            assert order[entry["certified"]] == min(
+                order[entry["static"]], order[entry["sampled"]]
+            )
+
+    def test_pair_key_is_unordered(self):
+        assert pair_key("request", "cancel") == "cancel|request"
+        assert pair_key("cancel", "request") == "cancel|request"
+
+
+class TestCertificatePersistence:
+    @pytest.fixture(scope="class")
+    def certificate(self):
+        return build_certificate(counter_spec())
+
+    def test_roundtrip(self, certificate, tmp_path):
+        path = write_certificate(certificate, str(tmp_path))
+        assert path == certificate_path("counter", str(tmp_path))
+        loaded = load_certificate(path)
+        assert loaded == certificate
+        assert loaded["schema"] == SCHEMA_VERSION
+        assert certificate_drift(loaded, certificate) == []
+
+    def test_drift_names_the_diverging_path(self, certificate):
+        tampered = {
+            **certificate,
+            "pairs": {
+                "add|add": {
+                    **certificate["pairs"]["add|add"],
+                    "certified": "always",
+                }
+            },
+        }
+        drift = certificate_drift(tampered, certificate)
+        assert any(line.startswith("pairs.add|add.certified") for line in drift)
+
+    def test_drift_reports_missing_keys(self, certificate):
+        committed = dict(certificate)
+        del committed["pairs"]
+        drift = certificate_drift(committed, certificate)
+        assert "pairs: only in fresh" in drift
+
+    def test_declared_table_agrees(self, certificate):
+        assert table_mismatches(counter_spec(), certificate) == []
+
+    def test_wrong_declared_entry_is_flagged(self, certificate):
+        spec = counter_spec()
+        (family, cname), declared = next(
+            iter(sorted(spec.table.update_increasing.items()))
+        )
+        lying = dict(spec.table.update_increasing)
+        lying[(family, cname)] = not declared
+        forged = dataclasses.replace(spec.table, update_increasing=lying)
+        forged_spec = dataclasses.replace(spec, table=forged)
+        mismatches = table_mismatches(forged_spec, certificate)
+        assert len(mismatches) == 1
+        assert family in mismatches[0] and cname in mismatches[0]
+
+
+class TestCommutationOracle:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        return CommutationOracle.from_pairs(
+            build_pair_table(spec_by_name("fly-by-night"))
+        )
+
+    def test_always_pair_commutes_even_on_same_person(self, oracle):
+        assert oracle.commutes(CancelUpdate("P1"), CancelUpdate("P1"))
+
+    def test_disjoint_pair_needs_disjoint_params(self, oracle):
+        assert oracle.commutes(RequestUpdate("P1"), CancelUpdate("P2"))
+        assert not oracle.commutes(RequestUpdate("P1"), CancelUpdate("P1"))
+
+    def test_none_pair_never_commutes(self, oracle):
+        assert not oracle.commutes(RequestUpdate("P1"), RequestUpdate("P2"))
+
+    def test_unknown_families_are_conservative(self, oracle):
+        from repro.apps.counter import AddUpdate
+        assert not oracle.commutes(AddUpdate(1), AddUpdate(2))
+
+    def test_identity_commutes_with_everything(self, oracle):
+        from repro.core.update import IDENTITY
+        assert oracle.commutes(IDENTITY, RequestUpdate("P1"))
+        assert oracle.commutes(RequestUpdate("P1"), IDENTITY)
+
+    def test_from_certificate_matches_from_pairs(self, oracle):
+        cert = {"pairs": build_pair_table(spec_by_name("fly-by-night"))}
+        other = CommutationOracle.from_certificate(cert)
+        assert other.level("request", "cancel") == oracle.level(
+            "cancel", "request"
+        )

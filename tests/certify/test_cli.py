@@ -1,0 +1,91 @@
+"""The ``python -m repro.certify`` entry point: modes and exit codes."""
+
+import json
+import os
+
+import pytest
+
+from repro.certify.cli import main
+
+
+def run(capsys, *argv):
+    status = main(list(argv))
+    return status, capsys.readouterr()
+
+
+class TestWriteMode:
+    def test_writes_selected_certificates(self, capsys, tmp_path):
+        status, out = run(
+            capsys, "--apps", "counter", "--dir", str(tmp_path)
+        )
+        assert status == 0
+        assert os.path.exists(tmp_path / "counter.json")
+        assert "counter: written (0 always / 0 disjoint / 1 none)" in out.out
+
+    def test_json_report_shape(self, capsys, tmp_path):
+        status, out = run(
+            capsys, "--apps", "counter", "--dir", str(tmp_path),
+            "--format=json",
+        )
+        assert status == 0
+        report = json.loads(out.out)
+        assert report["status"] == 0 and report["failures"] == 0
+        (entry,) = report["results"]
+        assert entry["application"] == "counter"
+        assert entry["status"] == "written"
+        assert entry["table_mismatches"] == []
+
+
+class TestCheckMode:
+    @pytest.fixture()
+    def written(self, capsys, tmp_path):
+        assert main(["--apps", "counter", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        return tmp_path
+
+    def test_clean_recheck(self, capsys, written):
+        status, out = run(
+            capsys, "--check", "--strict", "--apps", "counter",
+            "--dir", str(written),
+        )
+        assert status == 0
+        assert "counter: ok" in out.out
+
+    def test_tampered_artifact_drifts(self, capsys, written):
+        path = written / "counter.json"
+        doc = json.loads(path.read_text())
+        doc["pairs"]["add|add"]["certified"] = "always"
+        path.write_text(json.dumps(doc))
+        status, out = run(
+            capsys, "--check", "--strict", "--apps", "counter",
+            "--dir", str(written),
+        )
+        assert status == 1
+        assert "counter: drift" in out.out
+        assert "pairs.add|add.certified" in out.out
+
+    def test_missing_artifact_fails_only_under_strict(self, capsys, tmp_path):
+        status, out = run(
+            capsys, "--check", "--apps", "counter", "--dir", str(tmp_path)
+        )
+        assert status == 0
+        assert "warning: 1 application(s) out of date" in out.out
+        status, _ = run(
+            capsys, "--check", "--strict", "--apps", "counter",
+            "--dir", str(tmp_path),
+        )
+        assert status == 1
+
+
+class TestUsageErrors:
+    def test_unknown_application(self, capsys, tmp_path):
+        status, out = run(
+            capsys, "--apps", "klingon-air", "--dir", str(tmp_path)
+        )
+        assert status == 2
+        assert "klingon-air" in out.err
+
+    def test_empty_selection(self, capsys, tmp_path):
+        status, out = run(capsys, "--apps", ",", "--dir", str(tmp_path))
+        assert status == 2
+        assert "selected no applications" in out.err

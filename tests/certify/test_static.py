@@ -1,0 +1,134 @@
+"""Stage 1: the static analyzer's shapes and pair verdicts.
+
+Ground truth for the three applications was hand-derived (and is
+re-confirmed behaviourally by the sampling stage): the airline families
+are guarded list rewrites whose commutation depends on which fields
+they touch and which guards they probe; banking's families all reduce
+to keyed addition; the counter's clamp is the deliberate negative —
+``max(0, v + n)`` is the monus shape and must never certify.
+"""
+
+import pytest
+
+from repro.apps.airline import (
+    CancelUpdate,
+    MoveDownUpdate,
+    MoveUpUpdate,
+    RequestUpdate,
+)
+from repro.apps.airline.state import AirlineState
+from repro.apps.banking.operations import (
+    CreditUpdate,
+    DebitUpdate,
+    TransferUpdate,
+)
+from repro.apps.banking.state import BankState
+from repro.apps.counter import AddUpdate, CounterState
+from repro.certify import LEVELS, analyze_update_class, min_level, pair_verdict
+from repro.core.update import IDENTITY
+
+
+def airline(update_cls):
+    return analyze_update_class(update_cls, AirlineState)
+
+
+AIRLINE = {
+    cls.name: airline(cls)
+    for cls in (RequestUpdate, CancelUpdate, MoveUpUpdate, MoveDownUpdate)
+}
+
+
+class TestMinLevel:
+    def test_lattice_order(self):
+        assert LEVELS == ("none", "disjoint", "always")
+        assert min_level("always", "disjoint") == "disjoint"
+        assert min_level("disjoint", "none") == "none"
+        assert min_level("always", "always") == "always"
+
+
+class TestAirlineShapes:
+    def test_all_four_families_are_certifiable_guarded_rewrites(self):
+        for family, analysis in AIRLINE.items():
+            assert analysis.certifiable, family
+            assert analysis.shape == "guarded-list-rewrite", family
+            assert analysis.param_arity == 1, family
+
+    def test_request_effects_and_footprint(self):
+        analysis = AIRLINE["request"]
+        assert analysis.guards == (("is_known", "person"),)
+        assert analysis.field_effects == (("waiting", "append", "person"),)
+        assert analysis.reads == ("is_known", "waiting")
+        assert analysis.writes == ("waiting",)
+
+    def test_cancel_filters_both_lists(self):
+        analysis = AIRLINE["cancel"]
+        assert analysis.field_effects == (
+            ("assigned", "filter", "person"),
+            ("waiting", "filter", "person"),
+        )
+
+    def test_movers_mix_insertion_ends(self):
+        up = dict(
+            (f, k) for f, k, _ in AIRLINE["move_up"].field_effects
+        )
+        down = dict(
+            (f, k) for f, k, _ in AIRLINE["move_down"].field_effects
+        )
+        assert up == {"assigned": "append", "waiting": "filter"}
+        assert down == {"assigned": "filter", "waiting": "prepend"}
+
+
+class TestBankingAndCounterShapes:
+    @pytest.mark.parametrize(
+        "update_cls", [CreditUpdate, DebitUpdate, TransferUpdate]
+    )
+    def test_banking_families_are_keyed_additive(self, update_cls):
+        analysis = analyze_update_class(update_cls, BankState)
+        assert analysis.shape == "keyed-additive"
+        assert analysis.certifiable
+        assert analysis.chain_method == "adjust"
+
+    def test_counter_clamp_is_not_certifiable(self):
+        analysis = analyze_update_class(AddUpdate, CounterState)
+        assert analysis.shape == "clamped-counter"
+        assert not analysis.certifiable
+
+    def test_identity_is_certifiable(self):
+        analysis = analyze_update_class(type(IDENTITY), AirlineState)
+        assert analysis.shape == "identity"
+        assert analysis.certifiable
+
+
+class TestPairVerdicts:
+    #: the hand-derived airline matrix (unordered pairs).
+    EXPECTED = {
+        frozenset({"cancel"}): "always",
+        frozenset({"request", "cancel"}): "disjoint",
+        frozenset({"request", "move_up"}): "disjoint",
+        frozenset({"request", "move_down"}): "disjoint",
+        frozenset({"cancel", "move_up"}): "disjoint",
+        frozenset({"cancel", "move_down"}): "disjoint",
+        frozenset({"move_up", "move_down"}): "disjoint",
+        frozenset({"request"}): "none",
+        frozenset({"move_up"}): "none",
+        frozenset({"move_down"}): "none",
+    }
+
+    def test_airline_matrix(self):
+        for pair, expected in self.EXPECTED.items():
+            names = sorted(pair) * (2 if len(pair) == 1 else 1)
+            got = pair_verdict(AIRLINE[names[0]], AIRLINE[names[1]])
+            assert got == expected, f"{names}: {got} != {expected}"
+
+    def test_verdict_is_symmetric(self):
+        a, b = AIRLINE["request"], AIRLINE["cancel"]
+        assert pair_verdict(a, b) == pair_verdict(b, a)
+
+    def test_keyed_additive_self_pair_always(self):
+        credit = analyze_update_class(CreditUpdate, BankState)
+        debit = analyze_update_class(DebitUpdate, BankState)
+        assert pair_verdict(credit, debit) == "always"
+
+    def test_uncertifiable_side_forces_none(self):
+        add = analyze_update_class(AddUpdate, CounterState)
+        assert pair_verdict(add, add) == "none"

@@ -1,0 +1,27 @@
+"""R6 fixture: an ``apply`` body drifted from its declared footprint.
+
+The ``request`` family declares reads ``(is_known, waiting)`` — the
+duplicate-suppression guard is part of the contract (Section 5.1).  This
+body dropped the guard, so its inferred footprint no longer matches the
+declared table.
+"""
+
+
+class Update:
+    """Local stand-in for :class:`repro.core.update.Update`."""
+
+    def apply(self, state):
+        raise NotImplementedError
+
+
+class AirlineState:
+    """Local stand-in for the airline state value."""
+
+
+class RequestUpdate(Update):
+    """Deliberate violation: forgets the ``is_known`` membership guard."""
+
+    name = "request"
+
+    def apply(self, state):
+        return AirlineState(state.assigned, state.waiting + (self.person,))

@@ -1,0 +1,25 @@
+"""Clean twin of ``bad_r6``: the ``apply`` body matches its declared
+``request`` footprint — guard read included, identity pass-through
+excluded."""
+
+
+class Update:
+    """Local stand-in for :class:`repro.core.update.Update`."""
+
+    def apply(self, state):
+        raise NotImplementedError
+
+
+class AirlineState:
+    """Local stand-in for the airline state value."""
+
+
+class RequestUpdate(Update):
+    """Guarded append: reads (is_known, waiting), writes (waiting)."""
+
+    name = "request"
+
+    def apply(self, state):
+        if state.is_known(self.person):
+            return state
+        return AirlineState(state.assigned, state.waiting + (self.person,))

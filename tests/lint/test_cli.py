@@ -31,7 +31,7 @@ def test_json_report_shape(capsys):
     report = json.loads(capsys.readouterr().out)
     assert status == 1
     assert report["files_checked"] == 1
-    assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5"]
+    assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5", "R6"]
     assert report["summary"]["findings"] == 1
     (finding,) = report["findings"]
     assert finding["rule"] == "R3"
@@ -70,5 +70,5 @@ def test_list_rules(capsys):
     status = main(["--list-rules"])
     out = capsys.readouterr().out
     assert status == 0
-    for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+    for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
         assert rule_id in out

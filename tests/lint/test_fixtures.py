@@ -23,11 +23,12 @@ BAD_CASES = [
     ("bad_r3.py", "R3", 8),   # time.time()
     ("bad_r4.py", "R4", 7),   # list(live)
     ("bad_r5.py", "R5", 11),  # self._trace("warp_drive", ...)
+    ("bad_r6.py", "R6", 26),  # unguarded request append
 ]
 
 CLEAN_FIXTURES = [
     "clean_r1.py", "clean_r2.py", "clean_r3.py", "clean_r4.py",
-    "clean_r5.py",
+    "clean_r5.py", "clean_r6.py",
 ]
 
 
@@ -49,7 +50,9 @@ def test_clean_twin_is_silent(name):
 
 
 def test_all_rules_registered():
-    assert [r.rule_id for r in all_rules()] == ["R1", "R2", "R3", "R4", "R5"]
+    assert [r.rule_id for r in all_rules()] == [
+        "R1", "R2", "R3", "R4", "R5", "R6",
+    ]
 
 
 def test_unknown_rule_selection_rejected():

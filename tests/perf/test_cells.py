@@ -3,12 +3,15 @@
 import pytest
 
 from repro.perf.cells import (
+    CERTIFY_REGIMES,
+    CERTIFY_SMOKE_CELLS,
     DEFAULT_CELLS,
     REGIMES,
     SMOKE_CELLS,
     CellSpec,
     aggregate_hit_rate,
     run_cell,
+    run_certify_cell,
 )
 
 
@@ -54,6 +57,31 @@ class TestRunCell:
         row = run_cell(smoke("jittery"))
         assert row["undo_redo_merges"] > 0
         assert row["cost_hits"] > 0
+
+
+class TestRunCertifyCell:
+    def test_certify_cells_cover_out_of_order_regimes(self):
+        regimes = [c.regime for c in CERTIFY_SMOKE_CELLS]
+        assert regimes == list(CERTIFY_REGIMES)
+        assert "jittery" in regimes and "partitioned" in regimes
+
+    def test_arms_agree_and_skip_pays(self):
+        row = run_certify_cell(
+            CellSpec(name="t:jittery", regime="jittery", duration=15.0)
+        )
+        assert row["states_agree"]
+        assert row["certified"]["certified_hits"] > 0
+        assert row["baseline"]["certified_hits"] == 0
+        assert row["replay_reduction"] > 0
+        assert (
+            row["certified"]["undo_redo_merges"]
+            <= row["baseline"]["undo_redo_merges"]
+        )
+
+    def test_repeat_runs_identical(self):
+        spec = CellSpec(name="t:partitioned", regime="partitioned",
+                        duration=15.0)
+        assert run_certify_cell(spec) == run_certify_cell(spec)
 
 
 class TestAggregateHitRate:

@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.perf import run_gate, smoke_baseline
+from repro.perf import certify_smoke_baseline, run_certify_gate, run_gate, smoke_baseline
 from repro.perf.gate import main
 
 
@@ -81,6 +81,46 @@ class TestTamperDetection:
                                   workers=1)
         assert status == 1
         assert any("missing from baseline" in p for p in report["problems"])
+
+
+class TestCertifyGate:
+    @pytest.fixture(scope="class")
+    def certify(self):
+        return certify_smoke_baseline()
+
+    def write(self, tmp_path, smoke):
+        path = tmp_path / "BENCH_certify.json"
+        path.write_text(json.dumps({"smoke_baseline": smoke}, indent=2))
+        return path
+
+    def test_fresh_run_matches_committed_baseline(self, tmp_path, certify):
+        status, report = run_certify_gate(self.write(tmp_path, certify))
+        assert status == 0, report["problems"]
+        assert report["fresh"]["certified_hits"] > 0
+
+    def test_changed_certified_counter_fails(self, tmp_path, certify):
+        cells = [
+            dict(row, certified=dict(row["certified"]))
+            for row in certify["cells"]
+        ]
+        cells[0]["certified"]["certified_hits"] += 1
+        tampered = dict(certify, cells=cells)
+        status, report = run_certify_gate(self.write(tmp_path, tampered))
+        assert status == 1
+        assert any("certified_hits" in p for p in report["problems"])
+
+    def test_missing_cell_fails(self, tmp_path, certify):
+        tampered = dict(certify, cells=list(certify["cells"][1:]))
+        status, report = run_certify_gate(self.write(tmp_path, tampered))
+        assert status == 1
+        assert any("missing from baseline" in p for p in report["problems"])
+
+    def test_missing_section_exits_two(self, tmp_path):
+        path = tmp_path / "BENCH_certify.json"
+        path.write_text(json.dumps({"experiment": "E19"}))
+        status, report = run_certify_gate(path)
+        assert status == 2
+        assert "smoke_baseline" in report["error"]
 
 
 class TestUsageErrors:
