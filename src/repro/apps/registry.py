@@ -1,0 +1,133 @@
+"""One registry over every runnable application in the tree.
+
+The paper claims its correctness conditions generalize across
+resource-allocation domains (Section 1.1); the repo backs that claim
+with six applications.  Until now each lived behind its own factory
+with its own initial state and cost function, so cross-app drivers
+(the workload generator, future comparison harnesses) had to hard-code
+the list.  This module is the single name -> application map.
+
+Each :class:`AppEntry` carries what a black-box driver needs:
+
+* the initial state every replica boots from;
+* a cost-function factory, parameterized by the same numeric knobs the
+  workload specs expose (``capacity``, ``limit``, ...);
+* the transaction families the app can emit, for sanity checks.
+
+Banking is the one special case: :func:`make_banking_application`
+builds a *per-account* constraint set, which is the right granularity
+for the paper's three-account example but not for a workload over a
+million Zipf-distributed accounts.  Its entry therefore prices the
+aggregate overdraft (the sum the per-account constraints would add up
+to), which is well-defined for any account population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+from ..core.state import State
+from .airline.application import make_airline_application
+from .airline.state import INITIAL_STATE as INITIAL_AIRLINE_STATE
+from .banking.state import INITIAL_BANK_STATE, BankState
+from .counter import CounterState, make_counter_application
+from .dictionary.dictionary import (
+    INITIAL_DICT_STATE,
+    make_dictionary_application,
+)
+from .inventory import INITIAL_INVENTORY_STATE, make_inventory_application
+from .nameserver.nameserver import (
+    INITIAL_NS_STATE,
+    make_nameserver_application,
+)
+
+CostFn = Callable[[State], float]
+#: knob name -> value, e.g. {"capacity": 10.0}; factories take what they
+#: need and ignore the rest.
+Params = Mapping[str, float]
+
+
+def _total_overdraft(state: State) -> float:
+    """Aggregate overdraft cost for arbitrary account populations (see
+    module docstring; deficits are ints, so summation order is moot)."""
+    assert isinstance(state, BankState)
+    return float(state.total_overdraft)
+
+
+@dataclass(frozen=True)
+class AppEntry:
+    """Everything a generic driver needs to run one application."""
+
+    name: str
+    initial_state: State
+    make_cost: Callable[[Params], CostFn]
+    families: Tuple[str, ...]
+
+
+_REGISTRY: Dict[str, AppEntry] = {
+    "airline": AppEntry(
+        name="airline",
+        initial_state=INITIAL_AIRLINE_STATE,
+        make_cost=lambda p: make_airline_application(
+            int(p.get("capacity", 10))
+        ).cost,
+        families=("REQUEST", "CANCEL", "MOVE_UP", "MOVE_DOWN"),
+    ),
+    "banking": AppEntry(
+        name="banking",
+        initial_state=INITIAL_BANK_STATE,
+        make_cost=lambda p: _total_overdraft,
+        families=(
+            "DEPOSIT", "WITHDRAW", "TRANSFER", "COVER", "COVER_WORST",
+            "AUDIT",
+        ),
+    ),
+    "counter": AppEntry(
+        name="counter",
+        initial_state=CounterState(0),
+        make_cost=lambda p: make_counter_application(
+            int(p.get("limit", 10))
+        ).cost,
+        families=("ALLOCATE", "RELEASE"),
+    ),
+    "dictionary": AppEntry(
+        name="dictionary",
+        initial_state=INITIAL_DICT_STATE,
+        make_cost=lambda p: make_dictionary_application(
+            int(p.get("capacity", 100))
+        ).cost,
+        families=("INSERT", "DELETE", "PRUNE", "QUERY"),
+    ),
+    "inventory": AppEntry(
+        name="inventory",
+        initial_state=INITIAL_INVENTORY_STATE,
+        make_cost=lambda p: make_inventory_application().cost,
+        families=(
+            "ORDER", "CANCEL_ORDER", "COMMIT", "RENEGE", "RESTOCK", "SHIP",
+        ),
+    ),
+    "nameserver": AppEntry(
+        name="nameserver",
+        initial_state=INITIAL_NS_STATE,
+        make_cost=lambda p: make_nameserver_application().cost,
+        families=(
+            "REGISTER", "UNREGISTER", "ADD_MEMBER", "REMOVE_MEMBER",
+            "SCRUB", "LOOKUP",
+        ),
+    ),
+}
+
+#: every registered application name, alphabetical.
+APP_NAMES: Tuple[str, ...] = tuple(sorted(_REGISTRY))
+
+
+def app_entry(name: str) -> AppEntry:
+    """The registry entry for ``name``; raises ``KeyError`` with the
+    known names listed otherwise."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {', '.join(APP_NAMES)}"
+        ) from None

@@ -22,6 +22,7 @@ repo already enforces:
 from .campaign import (
     aggregate_fingerprint,
     campaign_json,
+    fan_out,
     run_parallel_campaign,
     run_parallel_cells,
 )
@@ -38,7 +39,9 @@ from .gate import (
     certify_smoke_baseline,
     run_certify_gate,
     run_gate,
+    run_workloads_gate,
     smoke_baseline,
+    workloads_smoke_baseline,
 )
 from .timer import PerfTimer, wall_clock
 
@@ -52,12 +55,15 @@ __all__ = [
     "aggregate_fingerprint",
     "campaign_json",
     "certify_smoke_baseline",
+    "fan_out",
     "run_cell",
     "run_certify_cell",
     "run_certify_gate",
     "run_gate",
     "run_parallel_campaign",
     "run_parallel_cells",
+    "run_workloads_gate",
     "smoke_baseline",
     "wall_clock",
+    "workloads_smoke_baseline",
 ]

@@ -74,9 +74,13 @@ def _cell_task(task) -> Tuple[int, Dict[str, object], float]:
     return index, run_cell(spec), wall_clock() - start
 
 
-def _fan_out(worker, tasks, workers: int) -> List[Tuple]:
+def fan_out(worker, tasks, workers: int) -> List[Tuple]:
     """Run ``worker`` over ``tasks``; in-process when ``workers <= 1``,
-    else over an unordered pool (the caller re-sorts by index)."""
+    else over an unordered pool (the caller re-sorts by index).
+
+    ``worker`` must be module-level (picklable by reference) and return
+    index-tagged results — this is the shared fan-out primitive behind
+    chaos campaigns, merge seed cells and the workload leaderboard."""
     tasks = list(tasks)
     if workers <= 1 or len(tasks) <= 1:
         return [worker(task) for task in tasks]
@@ -108,7 +112,7 @@ def run_parallel_campaign(
     if timer is None:
         timer = PerfTimer()
     with timer.span("campaign"):
-        outcomes = _fan_out(_chaos_task, tasks, workers)
+        outcomes = fan_out(_chaos_task, tasks, workers)
     outcomes.sort(key=lambda outcome: outcome[0])
     results = [result for _, result, _ in outcomes]
     for _, _, elapsed in outcomes:
@@ -138,7 +142,7 @@ def run_parallel_cells(
     if timer is None:
         timer = PerfTimer()
     with timer.span("cells"):
-        outcomes = _fan_out(_cell_task, tasks, workers)
+        outcomes = fan_out(_cell_task, tasks, workers)
     outcomes.sort(key=lambda outcome: outcome[0])
     for _, _, elapsed in outcomes:
         timer.add("cell_run", elapsed)

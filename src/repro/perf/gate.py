@@ -23,6 +23,14 @@ baseline-vs-certified smoke cells compared against the committed
 agreement, state equivalence between the arms, and a certified skip
 that demonstrably fires.
 
+``--workloads`` switches to the workload-leaderboard gate: the smoke
+spec set (every app category under Zipfian skew over a million-key
+universe) re-run fresh at ``workers=1`` and ``workers=N``, the two
+payloads required identical, and every deterministic row counter plus
+the aggregate fingerprint required to match the committed
+``benchmarks/results/BENCH_workloads.json`` exactly — so the
+throughput leaderboard is a tracked PR-over-PR series, not a one-off.
+
 Exit status: 0 clean, 1 any regression, 2 usage/baseline errors.
 """
 
@@ -60,6 +68,18 @@ EXACT_CELL_KEYS = (
 
 DEFAULT_BASELINE = Path("benchmarks/results/BENCH_perf.json")
 CERTIFY_BASELINE = Path("benchmarks/results/BENCH_certify.json")
+WORKLOADS_BASELINE = Path("benchmarks/results/BENCH_workloads.json")
+
+#: per-workload leaderboard counters that must match the committed
+#: baseline exactly (everything deterministic in a row except the
+#: embedded spec echo and derived rates).
+EXACT_WORKLOAD_KEYS = (
+    "category", "events", "reads", "rejected", "ops_per_sim_sec",
+    "log_length", "inserts", "updates_applied", "fastpath_hits",
+    "undo_redo_merges", "certified_hits", "batch_merges",
+    "batched_inserts", "cost_evaluations", "cost_hits", "wire_bytes",
+    "convergence_lag", "final_cost", "consistent", "state_fingerprint",
+)
 
 #: per-arm counters of a certify cell that must match exactly.
 EXACT_CERTIFY_KEYS = (
@@ -286,6 +306,123 @@ def run_certify_gate(
     return (1 if problems else 0), report
 
 
+def workloads_smoke_baseline(
+    workers: int = 1, timer: Optional[PerfTimer] = None
+) -> Dict[str, object]:
+    """The workloads gate's deterministic smoke payload: the smoke spec
+    set's full leaderboard (identical for every worker count)."""
+    # imported here, not at module top: repro.workloads.runners pulls in
+    # the shard cluster stack, which the plain perf gates never need.
+    from ..workloads.leaderboard import build_leaderboard
+    from ..workloads.runners import run_parallel_workloads
+    from ..workloads.specs import SMOKE_SPECS
+
+    rows, _ = run_parallel_workloads(SMOKE_SPECS, workers=workers,
+                                     timer=timer)
+    return build_leaderboard(rows)
+
+
+def _compare_workload_rows(
+    fresh_rows, committed_rows, problems: List[str]
+) -> None:
+    committed_by_name = {row["workload"]: row for row in committed_rows}
+    for row in fresh_rows:
+        committed = committed_by_name.pop(row["workload"], None)
+        if committed is None:
+            problems.append(
+                f"workload {row['workload']}: missing from baseline"
+            )
+            continue
+        for key in EXACT_WORKLOAD_KEYS:
+            if row.get(key) != committed.get(key):
+                problems.append(
+                    f"workload {row['workload']}: {key} changed "
+                    f"{committed.get(key)!r} -> {row.get(key)!r}"
+                )
+    for name in committed_by_name:
+        problems.append(f"workload {name}: in baseline but not re-run")
+
+
+def run_workloads_gate(
+    baseline_path: Path = WORKLOADS_BASELINE,
+    wall_factor: float = 2.0,
+    workers: int = 2,
+) -> Tuple[int, Dict[str, object]]:
+    """The workload-leaderboard gate (see module docstring): worker
+    independence re-proven fresh, every deterministic row counter and
+    the aggregate fingerprint pinned to the committed baseline,
+    wall-clock compared within this machine only."""
+    try:
+        committed = json.loads(Path(baseline_path).read_text())
+    except (OSError, ValueError) as exc:
+        return 2, {"error": f"cannot read baseline {baseline_path}: {exc}"}
+    expected = committed.get("smoke_baseline")
+    if not isinstance(expected, dict):
+        return 2, {
+            "error": f"baseline {baseline_path} has no smoke_baseline section"
+        }
+
+    timer = PerfTimer()
+    with timer.span("gate_serial"):
+        fresh_serial = workloads_smoke_baseline(workers=1)
+    with timer.span("gate_parallel"):
+        fresh_parallel = workloads_smoke_baseline(workers=workers)
+
+    problems: List[str] = []
+    if fresh_serial != fresh_parallel:
+        problems.append(
+            f"worker count changed the deterministic payload "
+            f"(workers=1 vs workers={workers})"
+        )
+    if fresh_serial["fingerprint"] != expected.get("fingerprint"):
+        problems.append(
+            "leaderboard fingerprint drifted: "
+            f"{expected.get('fingerprint')!r} -> "
+            f"{fresh_serial['fingerprint']!r}"
+        )
+    if not fresh_serial["consistent"]:
+        problems.append(
+            "a fresh smoke workload failed mutual consistency"
+        )
+    _compare_workload_rows(
+        fresh_serial["rows"], expected.get("rows", ()), problems
+    )
+
+    cores = usable_cores()
+    serial_s = timer.timings.total("gate_serial")
+    parallel_s = timer.timings.total("gate_parallel")
+    wall_check: Dict[str, object] = {
+        "cores": cores,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "wall_factor": wall_factor,
+    }
+    if cores < 2 or workers < 2:
+        wall_check["status"] = "skipped (needs >= 2 cores and workers)"
+    elif parallel_s > serial_s * wall_factor:
+        wall_check["status"] = "failed"
+        problems.append(
+            f"parallel smoke took {parallel_s:.2f}s vs serial "
+            f"{serial_s:.2f}s (allowed factor {wall_factor})"
+        )
+    else:
+        wall_check["status"] = "ok"
+
+    report = {
+        "baseline": str(baseline_path),
+        "mode": "workloads",
+        "workers": workers,
+        "problems": problems,
+        "wall_clock": wall_check,
+        "fresh": {
+            "fingerprint": fresh_serial["fingerprint"],
+            "total_events": fresh_serial["total_events"],
+            "categories": fresh_serial["categories"],
+        },
+    }
+    return (1 if problems else 0), report
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.gate",
@@ -293,11 +430,15 @@ def build_parser() -> argparse.ArgumentParser:
         "a fresh smoke run",
     )
     parser.add_argument("--baseline", type=Path, default=None,
-                        help=f"baseline JSON (default {DEFAULT_BASELINE}, "
-                        f"or {CERTIFY_BASELINE} with --certify)")
+                        help=f"baseline JSON (default {DEFAULT_BASELINE}; "
+                        f"{CERTIFY_BASELINE} with --certify, "
+                        f"{WORKLOADS_BASELINE} with --workloads)")
     parser.add_argument("--certify", action="store_true",
                         help="gate the certified merge fast path against "
                         "BENCH_certify.json instead of the perf smoke")
+    parser.add_argument("--workloads", action="store_true",
+                        help="gate the workload leaderboard against "
+                        "BENCH_workloads.json instead of the perf smoke")
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="hit-rate tolerance band (default 0.02)")
     parser.add_argument("--wall-factor", type=float, default=2.0,
@@ -323,6 +464,18 @@ def _render_text(status: int, report: Dict[str, object]) -> str:
             f"  certified hits {report['fresh']['certified_hits']}, "
             f"replay reduction {report['fresh']['replay_reduction']}"
         )
+    elif report.get("mode") == "workloads":
+        wall = report["wall_clock"]
+        lines.append(
+            f"  wall-clock [{wall['status']}]: serial {wall['serial_s']}s, "
+            f"parallel {wall['parallel_s']}s on {wall['cores']} core(s)"
+        )
+        lines.append(
+            f"  fresh leaderboard fingerprint "
+            f"{report['fresh']['fingerprint']}, "
+            f"{len(report['fresh']['categories'])} categories, "
+            f"{report['fresh']['total_events']} events"
+        )
     else:
         wall = report["wall_clock"]
         lines.append(
@@ -344,9 +497,19 @@ def main(argv=None) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.certify and args.workloads:
+        print("--certify and --workloads are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.certify:
         status, report = run_certify_gate(
             baseline_path=args.baseline or CERTIFY_BASELINE,
+        )
+    elif args.workloads:
+        status, report = run_workloads_gate(
+            baseline_path=args.baseline or WORKLOADS_BASELINE,
+            wall_factor=args.wall_factor,
+            workers=args.workers,
         )
     else:
         status, report = run_gate(

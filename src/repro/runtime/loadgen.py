@@ -1,12 +1,27 @@
 """A load generator: sustained request streams against a live cluster.
 
-Drives the airline workload (the paper's running example) through the
-client API at a target rate: each operation picks a node and a
-transaction family from a seeded RNG, so workloads are nameable by
-``(seed, rate, duration)``.  Submissions to dead or partitioned-away
-nodes fail fast and are counted as rejections — precisely the
-availability behavior the paper trades consistency for; the generator
-keeps going, like real clients would.
+The live cluster and the simulator now consume **one workload
+definition**: a :class:`~repro.workloads.spec.WorkloadSpec`.  By
+default the generator runs the ``uniform`` airline spec — a
+spec-encoded rendering of the generator's historical behavior (uniform
+person pool, movers/request/cancel split) that is draw-for-draw
+identical to the legacy code path; any other spec (Zipfian key skew,
+different category mixes) plugs in unchanged.  ``legacy=True`` keeps
+the original hand-rolled synthesis as an A/B control — the parity test
+in ``tests/runtime`` holds the two paths equal, so the flag exists to
+*prove* equivalence, not to preserve divergent behavior.
+
+Submissions to dead or partitioned-away nodes fail fast and are counted
+as rejections — precisely the availability behavior the paper trades
+consistency for; the generator keeps going, like real clients would.
+
+Two driving modes:
+
+* :meth:`run` — open-loop pacing at a target ops/wall-second, node
+  chosen uniformly per op (the historical interface);
+* :meth:`run_stream` — replay the spec's full deterministic
+  ``(time, node, transaction)`` stream, the *same* events the
+  simulator executes, with sim times paced onto the wall axis.
 """
 
 from __future__ import annotations
@@ -17,6 +32,12 @@ from typing import List, Optional
 
 from ..apps.airline.transactions import Cancel, MoveDown, MoveUp, Request
 from ..ports import Rng
+from ..workloads.spec import WorkloadSpec
+from ..workloads.synth import (
+    Synthesizer,
+    make_synthesizer,
+    uniform_airline_spec,
+)
 from .client import ClusterClient, NodeUnreachable, RequestError
 
 
@@ -34,7 +55,7 @@ class LoadStats:
 
 
 class LoadGenerator:
-    """Seeded airline traffic against a ClusterClient."""
+    """Spec-driven traffic against a ClusterClient (see module docstring)."""
 
     def __init__(
         self,
@@ -43,14 +64,26 @@ class LoadGenerator:
         capacity: int = 2,
         persons: int = 12,
         mover_weight: float = 0.4,
+        spec: Optional[WorkloadSpec] = None,
+        legacy: bool = False,
     ):
         self.client = client
         self.rng = rng
         self.capacity = capacity
         self._persons = [f"p{i}" for i in range(persons)]
         self.mover_weight = mover_weight
+        self.legacy = legacy
+        self.spec = spec if spec is not None else uniform_airline_spec(
+            capacity=capacity, persons=persons, mover_weight=mover_weight
+        )
+        self._synth: Optional[Synthesizer] = (
+            None if legacy else make_synthesizer(self.spec)
+        )
 
     def _next_transaction(self):
+        if self._synth is not None:
+            return self._synth(self.rng)
+        # legacy A/B control: the original hand-rolled airline split.
         roll = self.rng.random()
         if roll < self.mover_weight / 2:
             return MoveUp(self.capacity)
@@ -60,6 +93,16 @@ class LoadGenerator:
         if roll < self.mover_weight + (1.0 - self.mover_weight) * 0.75:
             return Request(person)
         return Cancel(person)
+
+    async def _submit(
+        self, node_id: int, transaction, stats: LoadStats
+    ) -> None:
+        try:
+            txid = await self.client.submit(node_id, transaction)
+            stats.submitted += 1
+            stats.txids.append(txid)
+        except (NodeUnreachable, RequestError):
+            stats.rejected += 1
 
     async def run(
         self,
@@ -78,17 +121,40 @@ class LoadGenerator:
         for i in range(n_ops):
             node_id = self.rng.choice(targets)
             transaction = self._next_transaction()
-            try:
-                txid = await self.client.submit(node_id, transaction)
-                stats.submitted += 1
-                stats.txids.append(txid)
-            except (NodeUnreachable, RequestError):
-                stats.rejected += 1
+            await self._submit(node_id, transaction, stats)
             if rate is not None:
                 # pace on the wall axis: plan-time elapsed * scale.
                 target_wall = (i + 1) / rate
                 elapsed_wall = (clock.now - started) * clock.scale
                 if target_wall > elapsed_wall:
                     await asyncio.sleep(target_wall - elapsed_wall)
+        stats.elapsed = (clock.now - started) * clock.scale
+        return stats
+
+    async def run_stream(self, time_scale: float = 1.0) -> LoadStats:
+        """Replay the spec's deterministic event stream — identical to
+        what the simulator schedules — against the live cluster.
+
+        Event sim-times become wall deadlines (divided by
+        ``time_scale``; raise it to compress a 60-sim-second workload
+        into a short real-time run).  Node indices map onto the
+        cluster's node ids in order."""
+        # imported here: stream generation is only needed in this mode.
+        from ..workloads.stream import generate_stream
+
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be > 0, got {time_scale}")
+        events = generate_stream(self.spec)
+        targets = list(self.client.spec.node_ids)
+        stats = LoadStats()
+        clock = self.client.clock
+        started = clock.now
+        for event in events:
+            deadline = event.time / time_scale
+            elapsed_wall = (clock.now - started) * clock.scale
+            if deadline > elapsed_wall:
+                await asyncio.sleep(deadline - elapsed_wall)
+            node_id = targets[event.node % len(targets)]
+            await self._submit(node_id, event.transaction, stats)
         stats.elapsed = (clock.now - started) * clock.scale
         return stats

@@ -1,0 +1,93 @@
+"""The per-category workload vocabulary: ops, weights, knobs, keys.
+
+One table per application category (the names in
+:mod:`repro.apps.registry`):
+
+* ``CATEGORY_OPS`` — the operations a synthesizer can emit, **in
+  threshold order** with their default weights.  The order is part of
+  the determinism contract: the synthesizer walks the cumulative
+  weights with a single RNG draw, so reordering entries changes every
+  stream.  The airline order and defaults reproduce the legacy
+  ``runtime/loadgen.py`` split (movers first, then request/cancel at
+  3:1) so the uniform spec is draw-for-draw compatible with it.
+* ``CATEGORY_PARAMS`` — numeric knobs (constraint capacities, amount
+  bounds) with defaults, overridable per spec.
+* ``KEY_PREFIX`` — how sampled key ranks become entity names
+  (``p123``, ``a17``, ...).  The airline prefix matches the legacy
+  generator's ``p{i}`` person pool, again for parity.
+
+``READ_FAMILIES`` names the pure-read transactions (identity update +
+report action), so runners can report an observed read fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: category -> ((op, default weight), ...) in threshold order.
+CATEGORY_OPS: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "airline": (
+        ("move_up", 0.2),
+        ("move_down", 0.2),
+        ("request", 0.45),
+        ("cancel", 0.15),
+    ),
+    "banking": (
+        ("deposit", 2.0),
+        ("withdraw", 2.0),
+        ("transfer", 1.0),
+        ("audit", 0.25),
+    ),
+    "counter": (
+        ("allocate", 3.0),
+        ("release", 1.0),
+    ),
+    "dictionary": (
+        ("insert", 3.0),
+        ("delete", 1.0),
+        ("prune", 0.2),
+        ("query", 2.0),
+    ),
+    "inventory": (
+        ("order", 3.0),
+        ("cancel_order", 0.5),
+        ("commit", 1.0),
+        ("renege", 0.3),
+        ("restock", 0.6),
+        ("ship", 0.8),
+    ),
+    "nameserver": (
+        ("register", 2.0),
+        ("unregister", 0.3),
+        ("add_member", 2.5),
+        ("remove_member", 0.5),
+        ("lookup", 2.0),
+        ("scrub", 0.2),
+    ),
+}
+
+#: category -> {knob: default}.
+CATEGORY_PARAMS: Dict[str, Dict[str, float]] = {
+    "airline": {"capacity": 10.0},
+    "banking": {"max_amount": 20.0},
+    "counter": {"limit": 10.0},
+    "dictionary": {"capacity": 100.0},
+    "inventory": {"max_restock": 3.0},
+    "nameserver": {"groups": 100.0},
+}
+
+#: category -> entity-name prefix for sampled keys.
+KEY_PREFIX: Dict[str, str] = {
+    "airline": "p",
+    "banking": "a",
+    "counter": "k",  # unused: counter transactions carry no keys
+    "dictionary": "w",
+    "inventory": "o",
+    "nameserver": "u",
+}
+
+#: transaction families that are pure reads (identity update).
+READ_FAMILIES = frozenset({"AUDIT", "QUERY", "LOOKUP"})
+
+#: every workload category, alphabetical.
+CATEGORIES: Tuple[str, ...] = tuple(sorted(CATEGORY_OPS))

@@ -1,0 +1,149 @@
+"""The workload throughput leaderboard.
+
+Aggregates per-workload rows (from :mod:`repro.workloads.runners`) into
+one ranked report, in the style of the BFCL executable evaluator's
+per-category leaderboard: rows ranked by sustained arrival throughput,
+plus the merge/repair economics per category — undo/redo work,
+cost-cache and certified-hit rates, modeled wire bytes, convergence
+lag.
+
+The leaderboard payload is **deterministic**: ranking keys on the
+sim-axis throughput (a pure function of the spec) and ties break on
+the workload name, and the aggregate fingerprint hashes each row's
+final-state fingerprint in name order.  Host wall-clock (real ops/sec
+executed) travels in a separate ``profile`` section built by
+:func:`build_profile`, never inside the deterministic payload — the
+same honest split the perf campaign uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..perf.campaign import aggregate_fingerprint, campaign_json
+
+__all__ = [
+    "build_leaderboard",
+    "build_profile",
+    "leaderboard_json",
+    "render_text",
+]
+
+
+def build_leaderboard(
+    rows: Sequence[Dict[str, object]]
+) -> Dict[str, object]:
+    """Rank rows into the deterministic leaderboard payload."""
+    ordered = sorted(
+        rows, key=lambda r: (-r["ops_per_sim_sec"], r["workload"])
+    )
+    by_name = sorted(rows, key=lambda r: r["workload"])
+    return {
+        "rows": list(ordered),
+        "categories": sorted({r["category"] for r in rows}),
+        "total_events": sum(r["events"] for r in rows),
+        "total_undo_redo": sum(r["undo_redo_merges"] for r in rows),
+        "consistent": all(r["consistent"] for r in rows),
+        "fingerprint": aggregate_fingerprint(
+            [r["state_fingerprint"] for r in by_name]
+        ),
+    }
+
+
+def build_profile(
+    rows: Sequence[Dict[str, object]],
+    elapsed_by_name: Dict[str, float],
+    workers: int,
+) -> Dict[str, object]:
+    """Host-side throughput annotations (non-deterministic section).
+
+    ``wall_ops_per_sec`` is how many workload operations this machine
+    pushed through the full stack — decision, flood, merge, cost cache
+    — per real second, per workload and pooled."""
+    per_workload = {}
+    total_events = 0
+    total_elapsed = 0.0
+    for row in rows:
+        name = row["workload"]
+        elapsed = elapsed_by_name.get(name, 0.0)
+        total_events += row["events"]
+        total_elapsed += elapsed
+        per_workload[name] = {
+            "elapsed_s": round(elapsed, 3),
+            "wall_ops_per_sec": (
+                round(row["events"] / elapsed, 1) if elapsed > 0 else 0.0
+            ),
+        }
+    return {
+        "workers": workers,
+        "workloads": per_workload,
+        "total_events": total_events,
+        "total_elapsed_s": round(total_elapsed, 3),
+        "wall_ops_per_sec": (
+            round(total_events / total_elapsed, 1)
+            if total_elapsed > 0 else 0.0
+        ),
+    }
+
+
+def leaderboard_json(payload: Dict[str, object]) -> str:
+    """Canonical byte form (what determinism tests compare)."""
+    return campaign_json(payload)
+
+
+_COLUMNS = (
+    ("workload", "workload", "{}"),
+    ("category", "category", "{}"),
+    ("events", "events", "{}"),
+    ("ops/sim-s", "ops_per_sim_sec", "{}"),
+    ("fastpath", "fastpath_rate", "{:.1%}"),
+    ("undo/redo", "undo_redo_merges", "{}"),
+    ("cache", "cost_hit_rate", "{:.1%}"),
+    ("wire-KB", "wire_bytes", None),  # special-cased below
+    ("lag-s", "convergence_lag", "{}"),
+    ("ok", "consistent", None),
+)
+
+
+def render_text(
+    board: Dict[str, object],
+    profile: Optional[Dict[str, object]] = None,
+) -> str:
+    """A fixed-width text table of the leaderboard (plus wall-clock
+    column when a profile is supplied)."""
+    headers = [title for title, _, _ in _COLUMNS]
+    if profile is not None:
+        headers.append("wall-ops/s")
+    table: List[List[str]] = [headers]
+    for row in board["rows"]:
+        cells = []
+        for title, key, fmt in _COLUMNS:
+            value = row[key]
+            if title == "wire-KB":
+                cells.append(f"{value / 1024:.1f}")
+            elif title == "ok":
+                cells.append("yes" if value else "NO")
+            else:
+                cells.append(fmt.format(value))
+        if profile is not None:
+            entry = profile["workloads"].get(row["workload"], {})
+            cells.append(str(entry.get("wall_ops_per_sec", "-")))
+        table.append(cells)
+    widths = [
+        max(len(line[i]) for line in table) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in table
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    summary = (
+        f"categories={len(board['categories'])} "
+        f"events={board['total_events']} "
+        f"consistent={'yes' if board['consistent'] else 'NO'} "
+        f"fingerprint={board['fingerprint']}"
+    )
+    if profile is not None:
+        summary += f" wall-ops/s={profile['wall_ops_per_sec']}"
+    lines.append(summary)
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Per-category workload runners over the sim cluster.
+
+:func:`run_workload` executes one :class:`WorkloadSpec` against a fresh
+:class:`~repro.shard.cluster.ShardCluster` (tail-window merge engine
+with the category's cost function and the incremental cost cache) and
+returns one fully deterministic leaderboard row: submission counts,
+merge/undo-redo work, cost-cache and certified-hit counters, modeled
+wire bytes, convergence lag, and the final-state fingerprint.
+
+It is module-level and takes only the frozen spec, so
+:func:`run_parallel_workloads` can fan specs across the shared
+:func:`~repro.perf.campaign.fan_out` process pool with the usual
+contract: rows re-sorted into spec order, wall-clock handed back
+*outside* the deterministic payload, byte-identical results at any
+worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.registry import app_entry
+from ..network.link import UniformDelay
+from ..perf.campaign import fan_out
+from ..perf.timer import PerfTimer, wall_clock
+from ..replica import TailWindowPolicy, policy_engine_factory
+from ..shard.cluster import ClusterConfig, ShardCluster
+from .catalog import READ_FAMILIES
+from .spec import WorkloadSpec
+from .stream import generate_stream
+
+__all__ = ["run_workload", "run_parallel_workloads"]
+
+
+def run_workload(spec: WorkloadSpec) -> Dict[str, object]:
+    """Run ``spec`` to quiescence; returns its deterministic row."""
+    events = generate_stream(spec)
+    entry = app_entry(spec.category)
+    cost_fn = entry.make_cost(spec.param_values())
+    window = spec.window
+    factory = policy_engine_factory(
+        lambda: TailWindowPolicy(window), cost_fn=cost_fn
+    )
+    cluster = ShardCluster(
+        entry.initial_state,
+        ClusterConfig(
+            n_nodes=spec.n_nodes,
+            seed=spec.seed,
+            delay=UniformDelay(*spec.delay),
+            merge_factory=factory,
+        ),
+    )
+    for event in events:
+        cluster.submit(event.node, event.transaction, at=event.time)
+    cluster.run(until=spec.duration)
+    cluster.quiesce()
+    drained_at = cluster.sim.now
+
+    stats = [node.merge.stats for node in cluster.nodes]
+    costs = [node.merge.cost_stats for node in cluster.nodes]
+    inserts = sum(s.inserts for s in stats)
+    fastpath = sum(s.fastpath_hits for s in stats)
+    hits = sum(c.hits for c in costs)
+    evaluations = sum(c.evaluations for c in costs)
+    reads = sum(
+        1 for event in events if event.transaction.name in READ_FAMILIES
+    )
+    return {
+        "workload": spec.name,
+        "category": spec.category,
+        "spec": spec.as_dict(),
+        "events": len(events),
+        "reads": reads,
+        "rejected": cluster.rejected_submissions,
+        "ops_per_sim_sec": round(len(events) / spec.duration, 4),
+        "log_length": len(cluster.records),
+        "inserts": inserts,
+        "updates_applied": sum(s.updates_applied for s in stats),
+        "fastpath_hits": fastpath,
+        "fastpath_rate": round(fastpath / inserts, 4) if inserts else 0.0,
+        "undo_redo_merges": sum(s.undo_redo_merges for s in stats),
+        "certified_hits": sum(s.certified_hits for s in stats),
+        "batch_merges": sum(s.batch_merges for s in stats),
+        "batched_inserts": sum(s.batched_inserts for s in stats),
+        "cost_evaluations": evaluations,
+        "cost_hits": hits,
+        "cost_hit_rate": (
+            round(hits / (hits + evaluations), 4)
+            if hits + evaluations else 0.0
+        ),
+        "wire_bytes": cluster.broadcast.stats.wire.bytes,
+        "convergence_lag": round(max(0.0, drained_at - spec.duration), 4),
+        "final_cost": cluster.nodes[0].merge.state_cost,
+        "consistent": cluster.mutually_consistent(),
+        "state_fingerprint": _state_fingerprint(cluster),
+    }
+
+
+def _canonical(value: object) -> str:
+    """A hash-order-independent rendering of a state value: sets are
+    sorted, dataclasses walk their fields, everything else reprs.
+    ``repr`` alone is not enough — dictionary and nameserver states
+    hold frozensets, whose iteration order tracks ``PYTHONHASHSEED``."""
+    if isinstance(value, (frozenset, set)):
+        return "{" + ",".join(sorted(_canonical(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical(k), _canonical(v)) for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(_canonical(v) for v in value) + ")"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        inner = ",".join(
+            f"{f.name}={_canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__name__}({inner})"
+    return repr(value)
+
+
+def _state_fingerprint(cluster: ShardCluster) -> str:
+    return hashlib.sha256(
+        _canonical(cluster.nodes[0].state).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def _workload_task(task) -> Tuple[int, Dict[str, object], float]:
+    index, spec = task
+    start = wall_clock()
+    return index, run_workload(spec), wall_clock() - start
+
+
+def run_parallel_workloads(
+    specs: Sequence[WorkloadSpec],
+    workers: int = 1,
+    timer: Optional[PerfTimer] = None,
+) -> Tuple[List[Dict[str, object]], Dict[str, float]]:
+    """Fan specs over the pool; returns ``(rows, elapsed_by_name)``.
+
+    Rows come back in spec order and are byte-identical for any worker
+    count; ``elapsed_by_name`` is each workload's own wall-clock (for
+    the profile section only — never part of the deterministic
+    payload)."""
+    tasks = list(enumerate(specs))
+    if timer is None:
+        timer = PerfTimer()
+    with timer.span("workloads"):
+        outcomes = fan_out(_workload_task, tasks, workers)
+    outcomes.sort(key=lambda outcome: outcome[0])
+    for _, _, elapsed in outcomes:
+        timer.add("workload_run", elapsed)
+    rows = [row for _, row, _ in outcomes]
+    elapsed_by_name = {
+        row["workload"]: elapsed for _, row, elapsed in outcomes
+    }
+    return rows, elapsed_by_name

@@ -1,0 +1,107 @@
+"""The committed workload specs the leaderboard and CI gate run.
+
+:data:`DEFAULT_SPECS` is the production leaderboard: every application
+category under Zipfian key skew over a **one-million-key universe**
+(rank-frequency exponent near 1, like measured web/key-value traces),
+with diurnal and flash-crowd shapes exercising the merge path under
+load swings.  :data:`SMOKE_SPECS` are the same workloads at smoke
+duration — small enough for CI, and what the committed
+``BENCH_workloads.json`` smoke baseline pins byte-for-byte.
+
+The Zipf universe stays at 10**6 even in smoke: rejection-inversion
+sampling is O(1) per draw with no per-key setup, so "millions of
+simulated client keys" costs nothing and the CI gate genuinely runs at
+that scale.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .shapes import DiurnalShape, FlashCrowd
+from .spec import WorkloadSpec
+
+__all__ = ["DEFAULT_SPECS", "SMOKE_SPECS", "MILLION"]
+
+#: the headline key-universe size (>= 1M distinct simulated clients).
+MILLION = 1_000_000
+
+
+def _specs(duration: float, rate_scale: float, prefix: str) -> Tuple[WorkloadSpec, ...]:
+    diurnal = DiurnalShape(period=duration, amplitude=0.8)
+    flash = FlashCrowd(
+        at=duration / 3, duration=duration / 6, multiplier=4.0
+    )
+    return (
+        WorkloadSpec(
+            name=f"{prefix}:airline-diurnal",
+            seed=1,
+            category="airline",
+            duration=duration,
+            rate=6.0 * rate_scale,
+            universe=MILLION,
+            zipf=1.1,
+            shapes=(diurnal,),
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:airline-flash",
+            seed=2,
+            category="airline",
+            duration=duration,
+            rate=4.0 * rate_scale,
+            universe=MILLION,
+            zipf=1.1,
+            shapes=(flash,),
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:banking-zipf",
+            seed=3,
+            category="banking",
+            duration=duration,
+            rate=6.0 * rate_scale,
+            universe=MILLION,
+            zipf=1.2,
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:counter-steady",
+            seed=4,
+            category="counter",
+            duration=duration,
+            rate=6.0 * rate_scale,
+            universe=MILLION,
+            zipf=1.1,
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:dictionary-zipf",
+            seed=5,
+            category="dictionary",
+            duration=duration,
+            rate=6.0 * rate_scale,
+            universe=MILLION,
+            zipf=0.9,
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:inventory-diurnal",
+            seed=6,
+            category="inventory",
+            duration=duration,
+            rate=5.0 * rate_scale,
+            universe=MILLION,
+            zipf=1.1,
+            shapes=(diurnal,),
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:nameserver-flash",
+            seed=7,
+            category="nameserver",
+            duration=duration,
+            rate=5.0 * rate_scale,
+            universe=MILLION,
+            zipf=1.1,
+            shapes=(flash,),
+        ),
+    )
+
+
+DEFAULT_SPECS: Tuple[WorkloadSpec, ...] = _specs(60.0, 1.0, "e20")
+SMOKE_SPECS: Tuple[WorkloadSpec, ...] = _specs(12.0, 0.75, "smoke")

@@ -1,0 +1,130 @@
+"""Load shapes and thinning: statistical volume checks, window bounds,
+analytic-vs-numeric integrals, JSON round trips."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads.shapes import (
+    ConstantShape,
+    DiurnalShape,
+    FlashCrowd,
+    LoadCurve,
+    arrival_times,
+    shape_from_dict,
+)
+
+
+class TestShapeAlgebra:
+    def test_diurnal_integrates_to_nominal_over_full_periods(self):
+        shape = DiurnalShape(period=20.0, amplitude=0.8, phase=3.0)
+        # over whole periods the sinusoid cancels exactly.
+        assert shape.volume(40.0) == pytest.approx(40.0)
+        # and stays consistent with a numeric integral elsewhere.
+        horizon, steps = 27.0, 200_000
+        dt = horizon / steps
+        numeric = sum(
+            shape.intensity((i + 0.5) * dt) for i in range(steps)
+        ) * dt
+        assert shape.volume(horizon) == pytest.approx(numeric, rel=1e-6)
+
+    def test_flash_volume_counts_the_window_once(self):
+        shape = FlashCrowd(at=10.0, duration=5.0, multiplier=4.0)
+        assert shape.volume(30.0) == pytest.approx(30.0 + 3.0 * 5.0)
+        # horizon inside the window only counts the overlap.
+        assert shape.volume(12.0) == pytest.approx(12.0 + 3.0 * 2.0)
+        # horizon before the window sees nominal volume.
+        assert shape.volume(8.0) == pytest.approx(8.0)
+
+    def test_curve_volume_analytic_matches_trapezoid(self):
+        d = DiurnalShape(period=30.0, amplitude=0.5)
+        f = FlashCrowd(at=10.0, duration=6.0, multiplier=3.0)
+        product = LoadCurve((d, f))
+        assert product.volume(45.0, steps=4096) == pytest.approx(
+            product.volume(45.0, steps=32768), rel=1e-3
+        )
+        # degenerate cases are analytic.
+        assert LoadCurve(()).volume(45.0) == 45.0
+        assert LoadCurve((d,)).volume(45.0) == pytest.approx(d.volume(45.0))
+
+    def test_peak_bounds_intensity(self):
+        curve = LoadCurve((
+            DiurnalShape(period=17.0, amplitude=0.9, phase=2.0),
+            FlashCrowd(at=5.0, duration=4.0, multiplier=2.5),
+            ConstantShape(level=1.3),
+        ))
+        peak = curve.peak()
+        for i in range(2000):
+            assert curve.intensity(i * 0.02) <= peak + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantShape(level=0.0)
+        with pytest.raises(ValueError):
+            DiurnalShape(period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalShape(amplitude=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(at=-1.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(duration=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(multiplier=0.0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", [
+        ConstantShape(level=2.5),
+        DiurnalShape(period=45.0, amplitude=0.6, phase=7.0),
+        FlashCrowd(at=12.0, duration=3.0, multiplier=5.0),
+    ])
+    def test_as_dict_round_trips(self, shape):
+        assert shape_from_dict(shape.as_dict()) == shape
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown shape kind"):
+            shape_from_dict({"kind": "sawtooth"})
+
+
+class TestThinning:
+    def test_same_rng_same_arrivals(self):
+        curve = LoadCurve((DiurnalShape(period=20.0, amplitude=0.8),))
+        a = arrival_times(5.0, curve, 40.0, random.Random(11))
+        b = arrival_times(5.0, curve, 40.0, random.Random(11))
+        assert a == b
+        assert list(a) == sorted(a)
+        assert all(0.0 <= t < 40.0 for t in a)
+
+    def test_diurnal_arrival_count_matches_integral(self):
+        rate, duration = 50.0, 40.0
+        curve = LoadCurve((DiurnalShape(period=20.0, amplitude=0.8),))
+        expected = rate * curve.volume(duration)
+        times = arrival_times(rate, curve, duration, random.Random(7))
+        # Poisson count: mean = expected, sd = sqrt(expected);
+        # a 4.5-sigma band keeps the test sharp but stable.
+        assert abs(len(times) - expected) < 4.5 * math.sqrt(expected)
+
+    def test_flash_crowd_window_density(self):
+        rate, duration = 40.0, 30.0
+        flash = FlashCrowd(at=10.0, duration=5.0, multiplier=4.0)
+        times = arrival_times(
+            rate, LoadCurve((flash,)), duration, random.Random(13)
+        )
+        inside = [t for t in times if 10.0 <= t < 15.0]
+        outside = [t for t in times if not 10.0 <= t < 15.0]
+        density_in = len(inside) / 5.0
+        density_out = len(outside) / 25.0
+        # the spike multiplies density by 4; allow sampling noise.
+        assert 3.0 < density_in / density_out < 5.0
+        # both regions see their own Poisson expectation (4.5 sigma).
+        assert abs(len(inside) - rate * 4.0 * 5.0) < 4.5 * math.sqrt(
+            rate * 4.0 * 5.0
+        )
+        assert abs(len(outside) - rate * 25.0) < 4.5 * math.sqrt(rate * 25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            arrival_times(0.0, LoadCurve(()), 10.0, random.Random(0))
+        with pytest.raises(ValueError, match="duration"):
+            arrival_times(1.0, LoadCurve(()), 0.0, random.Random(0))

@@ -1,0 +1,94 @@
+"""Rejection-inversion Zipf sampler: bounds, determinism, and the
+rank-frequency law it exists to produce."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.zipf import ZipfSampler
+
+
+def _rank_counts(universe, exponent, n, seed=0):
+    sampler = ZipfSampler(universe, exponent)
+    rng = random.Random(seed)
+    return Counter(sampler.sample(rng) for _ in range(n))
+
+
+class TestBoundsAndDeterminism:
+    @pytest.mark.parametrize("universe", [1, 2, 10, 1_000_000])
+    @pytest.mark.parametrize("exponent", [0.0, 0.5, 1.0, 1.2])
+    def test_samples_stay_in_range(self, universe, exponent):
+        sampler = ZipfSampler(universe, exponent)
+        rng = random.Random(3)
+        for _ in range(2000):
+            assert 1 <= sampler.sample(rng) <= universe
+
+    def test_same_seed_same_draws(self):
+        sampler = ZipfSampler(1_000_000, 1.1)
+        rng1, rng2 = random.Random(42), random.Random(42)
+        seq1 = [sampler.sample(rng1) for _ in range(5000)]
+        seq2 = [sampler.sample(rng2) for _ in range(5000)]
+        assert seq1 == seq2
+
+    def test_sampler_owns_no_randomness(self):
+        # two sampler instances fed the same rng stream interleave
+        # identically: all randomness comes from the injected rng.
+        s1 = ZipfSampler(1000, 1.1)
+        s2 = ZipfSampler(1000, 1.1)
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        seq_a = [s1.sample(rng_a) for _ in range(1000)]
+        seq_b = [s2.sample(rng_b) for _ in range(1000)]
+        assert seq_a == seq_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="universe"):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError, match="exponent"):
+            ZipfSampler(10, -0.1)
+
+
+class TestDistribution:
+    def test_rank_frequency_slope_matches_exponent(self):
+        # log(freq) vs log(rank) over the hot head should fall on a
+        # line of slope -s (the defining Zipf property).
+        exponent = 1.1
+        counts = _rank_counts(10_000, exponent, 200_000, seed=1)
+        xs, ys = [], []
+        for rank in range(1, 21):
+            assert counts[rank] > 0
+            xs.append(math.log(rank))
+            ys.append(math.log(counts[rank]))
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        slope = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        ) / sum((x - mean_x) ** 2 for x in xs)
+        assert slope == pytest.approx(-exponent, abs=0.12)
+
+    def test_small_universe_matches_exact_pmf(self):
+        universe, exponent, n = 5, 1.3, 200_000
+        counts = _rank_counts(universe, exponent, n, seed=2)
+        z = sum(k ** -exponent for k in range(1, universe + 1))
+        for k in range(1, universe + 1):
+            expected = n * (k ** -exponent) / z
+            assert counts[k] == pytest.approx(expected, rel=0.05)
+
+    def test_exponent_zero_is_uniform(self):
+        universe, n = 100, 50_000
+        counts = _rank_counts(universe, 0.0, n, seed=3)
+        assert set(counts) <= set(range(1, universe + 1))
+        expected = n / universe
+        for k in range(1, universe + 1):
+            # ~4.5 sigma band around the binomial expectation.
+            assert abs(counts[k] - expected) < 100
+
+    def test_million_key_universe_is_cheap_and_skewed(self):
+        counts = _rank_counts(1_000_000, 1.1, 50_000, seed=4)
+        # the head dominates even over 10**6 keys...
+        assert counts[1] / 50_000 > 0.05
+        # ...while the deep tail is actually reached (max(counts)
+        # iterates ranks, i.e. the largest rank ever drawn).
+        assert max(counts) > 10_000
