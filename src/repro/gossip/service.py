@@ -30,6 +30,7 @@ intransitivity the paper warns about.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -284,6 +285,33 @@ class GossipService:
                 self.receive(_node, payload, src=src)
 
             self.transport.register(node_id, handler)
+
+    @contextmanager
+    def delivery_batch(self, node_id: int):
+        """Hold one delivery batch open across several :meth:`receive`
+        calls.
+
+        A runtime transport that receives one wire frame carrying many
+        gossip payloads wraps their dispatch in this window so every
+        record they release reaches the node's batch callback in a
+        *single* call — one ``merge_span`` undo/redo cycle per frame,
+        not per payload.  A no-op when the node has no batch callback or
+        a batch is already open (``_merge`` keeps its own window
+        otherwise, so per-payload semantics are unchanged).
+        """
+        opened = (
+            node_id in self._deliver_batch
+            and node_id not in self._batch_sink
+        )
+        if opened:
+            self._batch_sink[node_id] = []
+        try:
+            yield
+        finally:
+            if opened:
+                batch = tuple(self._batch_sink.pop(node_id))
+                if batch:
+                    self._deliver_batch[node_id](batch)
 
     def receive(
         self, node_id: int, payload: object, src: int = -1

@@ -39,6 +39,7 @@ from .gate import (
     certify_smoke_baseline,
     run_certify_gate,
     run_gate,
+    run_runtime_gate,
     run_workloads_gate,
     smoke_baseline,
     workloads_smoke_baseline,
@@ -62,6 +63,7 @@ __all__ = [
     "run_gate",
     "run_parallel_campaign",
     "run_parallel_cells",
+    "run_runtime_gate",
     "run_workloads_gate",
     "smoke_baseline",
     "wall_clock",

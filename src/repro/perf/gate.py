@@ -31,6 +31,18 @@ the aggregate fingerprint required to match the committed
 ``benchmarks/results/BENCH_workloads.json`` exactly — so the
 throughput leaderboard is a tracked PR-over-PR series, not a one-off.
 
+``--runtime`` switches to the E21 runtime-throughput gate over the
+committed ``benchmarks/results/BENCH_runtime.json``: the
+``smoke_baseline`` section must equal the deterministic rows recomputed
+from the committed smoke specs (the event stream is a pure function of
+the spec, so this is exact with no cluster boot), the committed
+headline must carry a >= 10x speedup over the pre-pipelining baseline
+with clean oracle + consistency verdicts, and — when CI hands the gate
+a fresh smoke bench via ``--fresh`` — the fresh payload's deterministic
+section must match the committed one exactly while its wall-clock
+numbers are only held to same-machine sanity (the pipelined arm at
+least matches the serial arm, verification clean).
+
 Exit status: 0 clean, 1 any regression, 2 usage/baseline errors.
 """
 
@@ -69,6 +81,11 @@ EXACT_CELL_KEYS = (
 DEFAULT_BASELINE = Path("benchmarks/results/BENCH_perf.json")
 CERTIFY_BASELINE = Path("benchmarks/results/BENCH_certify.json")
 WORKLOADS_BASELINE = Path("benchmarks/results/BENCH_workloads.json")
+RUNTIME_BASELINE = Path("benchmarks/results/BENCH_runtime.json")
+
+#: the headline speedup the committed runtime bench must demonstrate
+#: over the pre-pipelining closed-loop baseline.
+RUNTIME_MIN_SPEEDUP = 10.0
 
 #: per-workload leaderboard counters that must match the committed
 #: baseline exactly (everything deterministic in a row except the
@@ -423,6 +440,128 @@ def run_workloads_gate(
     return (1 if problems else 0), report
 
 
+def _runtime_smoke_rows() -> List[Dict[str, object]]:
+    """The deterministic half of the runtime smoke series, recomputed
+    from the committed specs — no cluster boot, exact by construction."""
+    # imported here: the runtime bench pulls in the asyncio cluster
+    # stack, which the plain perf gates never need.
+    from ..runtime.bench import (
+        DEFAULT_PIPELINE,
+        E21_SMOKE_SPECS,
+        deterministic_row,
+    )
+
+    return [
+        deterministic_row(workload, DEFAULT_PIPELINE)
+        for workload in sorted(E21_SMOKE_SPECS, key=lambda s: s.name)
+    ]
+
+
+def _headline_clean(headline: Dict[str, object]) -> bool:
+    checks = headline.get("checks")
+    return isinstance(checks, dict) and checks.get("clean") is True
+
+
+def run_runtime_gate(
+    baseline_path: Path = RUNTIME_BASELINE,
+    fresh_path: Optional[Path] = None,
+    min_speedup: float = RUNTIME_MIN_SPEEDUP,
+) -> Tuple[int, Dict[str, object]]:
+    """The E21 runtime-throughput gate (see module docstring)."""
+    try:
+        committed = json.loads(Path(baseline_path).read_text())
+    except (OSError, ValueError) as exc:
+        return 2, {"error": f"cannot read baseline {baseline_path}: {exc}"}
+    expected = committed.get("smoke_baseline")
+    if not isinstance(expected, dict):
+        return 2, {
+            "error": f"baseline {baseline_path} has no smoke_baseline section"
+        }
+
+    problems: List[str] = []
+    recomputed = _runtime_smoke_rows()
+    if expected.get("rows") != recomputed:
+        problems.append(
+            "committed smoke_baseline drifted from the rows the smoke "
+            "specs deterministically produce"
+        )
+
+    headline = committed.get("headline", {})
+    speedup = headline.get("speedup_vs_committed_baseline", 0.0)
+    if not isinstance(speedup, (int, float)) or speedup < min_speedup:
+        problems.append(
+            f"committed headline speedup {speedup!r} is below the "
+            f"required {min_speedup}x over the pre-pipelining baseline"
+        )
+    if not _headline_clean(headline):
+        problems.append(
+            "committed headline lacks clean oracle + consistency checks"
+        )
+    series = committed.get("series", ())
+    rates = [row.get("ops_per_sec", 0.0) for row in series]
+    if rates != sorted(rates, reverse=True):
+        problems.append("committed series is not ranked by ops_per_sec")
+    for row in series:
+        if not row.get("converged"):
+            problems.append(
+                f"committed series row {row.get('workload')!r} did not "
+                f"converge"
+            )
+
+    fresh_report: Optional[Dict[str, object]] = None
+    if fresh_path is not None:
+        try:
+            fresh = json.loads(Path(fresh_path).read_text())
+        except (OSError, ValueError) as exc:
+            return 2, {"error": f"cannot read fresh bench {fresh_path}: {exc}"}
+        if fresh.get("smoke_baseline") != {"rows": recomputed}:
+            problems.append(
+                "fresh smoke bench's deterministic section does not match "
+                "the committed smoke_baseline"
+            )
+        fresh_headline = fresh.get("headline", {})
+        serial = fresh_headline.get("serial_ops_per_sec", 0.0)
+        pipelined = fresh_headline.get("pipelined_ops_per_sec", 0.0)
+        # wall-clock is same-machine-only: both arms ran on this host,
+        # so the only claim gated is that pipelining does not lose.
+        if pipelined < serial:
+            problems.append(
+                f"fresh pipelined arm ({pipelined} ops/sec) fell below "
+                f"the fresh serial arm ({serial} ops/sec)"
+            )
+        if not _headline_clean(fresh_headline):
+            problems.append(
+                "fresh headline lacks clean oracle + consistency checks"
+            )
+        for row in fresh.get("series", ()):
+            if not row.get("converged"):
+                problems.append(
+                    f"fresh series row {row.get('workload')!r} did not "
+                    f"converge"
+                )
+        fresh_report = {
+            "path": str(fresh_path),
+            "serial_ops_per_sec": serial,
+            "pipelined_ops_per_sec": pipelined,
+        }
+
+    report = {
+        "baseline": str(baseline_path),
+        "mode": "runtime",
+        "min_speedup": min_speedup,
+        "problems": problems,
+        "committed": {
+            "speedup_vs_committed_baseline": speedup,
+            "pipelined_ops_per_sec": headline.get(
+                "pipelined_ops_per_sec"
+            ),
+        },
+    }
+    if fresh_report is not None:
+        report["fresh"] = fresh_report
+    return (1 if problems else 0), report
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.gate",
@@ -439,6 +578,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workloads", action="store_true",
                         help="gate the workload leaderboard against "
                         "BENCH_workloads.json instead of the perf smoke")
+    parser.add_argument("--runtime", action="store_true",
+                        help="gate the E21 runtime throughput series "
+                        "against BENCH_runtime.json instead of the perf "
+                        "smoke")
+    parser.add_argument("--fresh", type=Path, default=None,
+                        help="with --runtime: a fresh smoke bench JSON "
+                        "to hold against the committed deterministic "
+                        "section (wall numbers same-machine only)")
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="hit-rate tolerance band (default 0.02)")
     parser.add_argument("--wall-factor", type=float, default=2.0,
@@ -459,7 +606,22 @@ def _render_text(status: int, report: Dict[str, object]) -> str:
         f"perf gate vs {report['baseline']}: "
         + ("CLEAN" if status == 0 else "REGRESSED")
     ]
-    if report.get("mode") == "certify":
+    if report.get("mode") == "runtime":
+        committed = report["committed"]
+        lines.append(
+            f"  committed headline: "
+            f"{committed['pipelined_ops_per_sec']} ops/sec pipelined, "
+            f"{committed['speedup_vs_committed_baseline']}x the "
+            f"pre-pipelining baseline (min {report['min_speedup']}x)"
+        )
+        if "fresh" in report:
+            fresh = report["fresh"]
+            lines.append(
+                f"  fresh smoke (same machine): "
+                f"{fresh['pipelined_ops_per_sec']} ops/sec pipelined vs "
+                f"{fresh['serial_ops_per_sec']} serial"
+            )
+    elif report.get("mode") == "certify":
         lines.append(
             f"  certified hits {report['fresh']['certified_hits']}, "
             f"replay reduction {report['fresh']['replay_reduction']}"
@@ -497,11 +659,19 @@ def main(argv=None) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
-    if args.certify and args.workloads:
-        print("--certify and --workloads are mutually exclusive",
-              file=sys.stderr)
+    if sum((args.certify, args.workloads, args.runtime)) > 1:
+        print("--certify, --workloads and --runtime are mutually "
+              "exclusive", file=sys.stderr)
         return 2
-    if args.certify:
+    if args.fresh is not None and not args.runtime:
+        print("--fresh only applies with --runtime", file=sys.stderr)
+        return 2
+    if args.runtime:
+        status, report = run_runtime_gate(
+            baseline_path=args.baseline or RUNTIME_BASELINE,
+            fresh_path=args.fresh,
+        )
+    elif args.certify:
         status, report = run_certify_gate(
             baseline_path=args.baseline or CERTIFY_BASELINE,
         )

@@ -1,0 +1,337 @@
+"""E21: the spec-driven runtime throughput series.
+
+``python -m repro.runtime.bench`` drives committed
+:class:`~repro.workloads.spec.WorkloadSpec` streams against a live
+3-node cluster (real processes, real TCP) through the pipelined client
+and writes a ranked wall-ops/sec series to
+``benchmarks/results/BENCH_runtime.json``.  Two honesty rules, shared
+with every other bench in this repo:
+
+* **deterministic vs wall split.**  Which workloads run, their
+  category, the pipeline depth and the exact event count are
+  deterministic (the stream is a pure function of the spec) and live in
+  the ``smoke_baseline`` section the perf gate pins exactly; every
+  ops/sec number is wall-clock evidence about *this machine* and is
+  only ever compared within one machine's fresh runs.
+* **throughput is worthless if the answers change.**  The headline
+  pipelined run records its full history, and the bench replays it
+  through the offline oracle suite and the read-committed/read-atomic
+  consistency checkers before any number is written.  A fast wire that
+  corrupts convergence fails the bench, not the oracles later.
+
+The headline row runs the same workload serial (``pipeline=1``, the
+historical closed loop that measured ~32 ops/sec) and pipelined, and
+reports the speedup against both the fresh serial run and the committed
+pre-pipelining baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.airline.state import AirlineState
+from ..chaos.offline import RecordedRun, check_recorded_run
+from ..consistency.adapters import history_from_dir
+from ..consistency.checkers import check
+from ..sim.rng import SeededStreams
+from ..workloads.shapes import DiurnalShape, FlashCrowd
+from ..workloads.spec import WorkloadSpec
+from ..workloads.specs import MILLION
+from ..workloads.stream import generate_stream
+from ..workloads.synth import uniform_airline_spec
+from .client import ClusterClient
+from .history import load_history
+from .loadgen import LoadGenerator
+from .supervisor import ClusterSupervisor, make_spec
+
+#: the committed pre-pipelining sustained throughput (the closed-loop
+#: runtime smoke measured before batched frames + pipelined submits);
+#: the headline reports its speedup against this number.
+COMMITTED_SERIAL_OPS_PER_SEC = 31.99
+
+#: default submit window depth for the pipelined arms.
+DEFAULT_PIPELINE = 32
+
+#: sim-seconds per wall-second: high enough that every event is due
+#: immediately, so the stream replays flat-out (pure throughput).
+FLAT_OUT = 1e6
+
+#: consistency models the headline history must satisfy.
+HEADLINE_MODELS = ("read_committed", "read_atomic")
+
+
+def e21_specs(
+    duration: float, rate: float, prefix: str
+) -> Tuple[WorkloadSpec, ...]:
+    """The E21 spec set: airline-category only — the runtime node hosts
+    an AirlineState, so airline is the category a live cluster can
+    execute — across the repo's canonical load shapes."""
+    diurnal = DiurnalShape(period=duration, amplitude=0.8)
+    flash = FlashCrowd(
+        at=duration / 3, duration=duration / 6, multiplier=4.0
+    )
+    return (
+        uniform_airline_spec(
+            capacity=10, persons=12,
+            name=f"{prefix}:airline-uniform", seed=1,
+            duration=duration, rate=rate,
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:airline-zipf", seed=2, category="airline",
+            duration=duration, rate=rate, universe=MILLION, zipf=1.1,
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:airline-diurnal", seed=3, category="airline",
+            duration=duration, rate=rate, universe=MILLION, zipf=1.1,
+            shapes=(diurnal,),
+        ),
+        WorkloadSpec(
+            name=f"{prefix}:airline-flash", seed=4, category="airline",
+            duration=duration, rate=rate, universe=MILLION, zipf=1.1,
+            shapes=(flash,),
+        ),
+    )
+
+
+E21_SPECS: Tuple[WorkloadSpec, ...] = e21_specs(60.0, 10.0, "e21")
+E21_SMOKE_SPECS: Tuple[WorkloadSpec, ...] = e21_specs(12.0, 12.0, "smoke")
+
+
+def spec_capacity(workload: WorkloadSpec) -> int:
+    """The airline capacity this spec's transactions embed (the value
+    the offline oracles must replay with)."""
+    return int(dict(workload.params).get("capacity", 10.0))
+
+
+def deterministic_row(
+    workload: WorkloadSpec, pipeline: int
+) -> Dict[str, object]:
+    """The machine-independent half of a series row: pure functions of
+    the committed spec, pinned exactly by ``perf.gate --runtime``."""
+    return {
+        "workload": workload.name,
+        "category": workload.category,
+        "mode": "stream",
+        "pipeline": pipeline,
+        "events": len(generate_stream(workload)),
+    }
+
+
+async def _wait_converged(
+    client: ClusterClient, timeout_plan: float
+) -> bool:
+    clock = client.clock
+    deadline = clock.now + timeout_plan
+    while clock.now < deadline:
+        if await client.converged():
+            return True
+        await asyncio.sleep(clock.to_wall(1.0))
+    return False
+
+
+async def run_spec(
+    workload: WorkloadSpec,
+    pipeline: int,
+    scale: float = 0.05,
+    converge_window: float = 600.0,
+    history_dir: Optional[str] = None,
+    nodes: Optional[List[int]] = None,
+) -> Dict[str, object]:
+    """Boot a fresh cluster, replay ``workload``'s stream flat-out with
+    ``pipeline`` submits in flight, wait for convergence, dump history
+    and return the series row (deterministic fields + wall evidence)."""
+    if history_dir is None:
+        history_dir = tempfile.mkdtemp(prefix="repro-e21-")
+    spec = make_spec(
+        n_nodes=workload.n_nodes, seed=workload.seed, scale=scale,
+        history_dir=history_dir, capacity=spec_capacity(workload),
+    )
+    supervisor = ClusterSupervisor(spec)
+    client = ClusterClient(spec)
+    streams = SeededStreams(workload.seed)
+    generator = LoadGenerator(
+        client, streams.stream("loadgen"), spec=workload
+    )
+    await supervisor.start()
+    try:
+        stats = await generator.run_stream(
+            time_scale=FLAT_OUT, pipeline=pipeline, nodes=nodes
+        )
+        converged = await _wait_converged(client, converge_window)
+        node_profiles = {}
+        for node_id in spec.node_ids:
+            await client.dump(node_id)
+            node_profiles[str(node_id)] = await client.node_profile(
+                node_id
+            )
+    finally:
+        client.close()
+        await supervisor.stop()
+    row = deterministic_row(workload, pipeline)
+    row.update({
+        "submitted": stats.submitted,
+        "rejected": stats.rejected,
+        "converged": converged,
+        "wall_secs": round(stats.elapsed, 3),
+        "ops_per_sec": round(stats.ops_per_sec, 2),
+        "history_dir": history_dir,
+        "client_profile": client.profile.snapshot(),
+        "node_profiles": node_profiles,
+    })
+    return row
+
+
+def verify_history(
+    history_dir: str, capacity: int
+) -> Dict[str, object]:
+    """Offline oracles + RC/RA consistency over a recorded run — the
+    proof that the pipelined wire changed *when*, never *what*."""
+    events, logs = load_history(history_dir)
+    run = RecordedRun(AirlineState(), logs, events)
+    violations, execution = check_recorded_run(run, capacity=capacity)
+    verdicts: Dict[str, object] = {
+        "oracles": "clean" if not violations else [
+            f"[{v.oracle}] {v.description}" for v in violations
+        ],
+        "transactions": len(execution) if execution is not None else 0,
+    }
+    history = history_from_dir(history_dir)
+    for model in HEADLINE_MODELS:
+        verdict = check(history, model)
+        verdicts[f"consistency_{model}"] = (
+            "clean" if verdict.ok else verdict.status
+        )
+    verdicts["clean"] = verdicts["oracles"] == "clean" and all(
+        verdicts[f"consistency_{m}"] == "clean" for m in HEADLINE_MODELS
+    )
+    return verdicts
+
+
+async def run_bench(
+    specs: Tuple[WorkloadSpec, ...],
+    pipeline: int = DEFAULT_PIPELINE,
+    scale: float = 0.05,
+    verify: bool = True,
+) -> Dict[str, object]:
+    """The full E21 payload: the ranked pipelined series plus the
+    serial-vs-pipelined headline on the first spec."""
+    series: List[Dict[str, object]] = []
+    for workload in specs:
+        row = await run_spec(workload, pipeline, scale=scale)
+        series.append(row)
+    series.sort(key=lambda r: -float(r["ops_per_sec"]))
+
+    headline_spec = specs[0]
+    serial = await run_spec(headline_spec, pipeline=1, scale=scale)
+    pipelined = next(
+        row for row in series if row["workload"] == headline_spec.name
+    )
+    headline: Dict[str, object] = {
+        "workload": headline_spec.name,
+        "pipeline": pipeline,
+        "serial_ops_per_sec": serial["ops_per_sec"],
+        "pipelined_ops_per_sec": pipelined["ops_per_sec"],
+        "speedup_vs_fresh_serial": round(
+            float(pipelined["ops_per_sec"])
+            / max(float(serial["ops_per_sec"]), 1e-9), 2,
+        ),
+        "speedup_vs_committed_baseline": round(
+            float(pipelined["ops_per_sec"])
+            / COMMITTED_SERIAL_OPS_PER_SEC, 2,
+        ),
+    }
+    if verify:
+        headline["checks"] = verify_history(
+            str(pipelined["history_dir"]), spec_capacity(headline_spec)
+        )
+        headline["serial_checks"] = verify_history(
+            str(serial["history_dir"]), spec_capacity(headline_spec)
+        )
+
+    # The gate-pinned section: deterministic fields only, no wall data.
+    # Always derived from the smoke spec set — the stream is a pure
+    # function of the spec, so the committed full-size bench and a fresh
+    # CI smoke run pin the identical payload.
+    smoke_rows = [
+        deterministic_row(workload, pipeline)
+        for workload in sorted(E21_SMOKE_SPECS, key=lambda s: s.name)
+    ]
+    for row in series:
+        row.pop("history_dir", None)
+    return {
+        "experiment": "e21-runtime-throughput",
+        "nodes": specs[0].n_nodes,
+        "scale": scale,
+        "committed_serial_ops_per_sec": COMMITTED_SERIAL_OPS_PER_SEC,
+        "headline": headline,
+        "series": series,
+        "smoke_baseline": {"rows": smoke_rows},
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.bench",
+        description="E21: spec-driven runtime throughput series",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the smoke spec set (CI-sized)")
+    parser.add_argument("--pipeline", type=int, default=DEFAULT_PIPELINE,
+                        help=f"submit window depth "
+                        f"(default {DEFAULT_PIPELINE})")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="wall seconds per plan unit (default 0.05)")
+    parser.add_argument("--no-verify", dest="verify",
+                        action="store_false", default=True,
+                        help="skip the oracle + consistency replay")
+    parser.add_argument("--out", default=None,
+                        help="write the bench JSON here (default stdout)")
+    parser.add_argument("--deadline", type=float, default=480.0,
+                        help="hard wall-clock cap on the whole bench")
+    args = parser.parse_args(argv)
+
+    specs = E21_SMOKE_SPECS if args.smoke else E21_SPECS
+
+    async def bounded() -> Dict[str, object]:
+        return await asyncio.wait_for(
+            run_bench(
+                specs, pipeline=args.pipeline, scale=args.scale,
+                verify=args.verify,
+            ),
+            timeout=args.deadline,
+        )
+
+    try:
+        payload = asyncio.run(bounded())
+    except asyncio.TimeoutError:
+        print(f"FAIL: bench exceeded its {args.deadline:.0f}s deadline")
+        return 1
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        headline = payload["headline"]
+        print(
+            f"E21 written to {args.out}: "
+            f"{headline['pipelined_ops_per_sec']} ops/sec pipelined vs "
+            f"{headline['serial_ops_per_sec']} serial "
+            f"({headline['speedup_vs_committed_baseline']}x the "
+            f"committed baseline)"
+        )
+    else:
+        print(text, end="")
+    if args.verify:
+        checks = payload["headline"].get("checks", {})
+        if not checks.get("clean", False):
+            print("FAIL: pipelined history failed verification")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

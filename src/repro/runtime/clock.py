@@ -36,6 +36,18 @@ def wall_epoch() -> float:
     return time.time()
 
 
+def perf_ns() -> int:
+    """Monotonic nanoseconds for the runtime's profiling counters.
+
+    Profiling (codec time, frame accounting) is honest wall measurement
+    and therefore must live behind this module's R3 allowlist like every
+    other clock read; the counters it feeds stay outside deterministic
+    payloads (the same contract ``repro.perf.timer`` keeps for the
+    simulator side).
+    """
+    return time.perf_counter_ns()
+
+
 class _LoopTimer:
     """TimerHandle over ``loop.call_later``."""
 

@@ -29,6 +29,8 @@ import asyncio
 import sys
 from typing import Optional
 
+from collections import OrderedDict
+
 from ..apps.airline.state import AirlineState
 from ..gossip import GOSSIP_KINDS
 from ..network.broadcast import BroadcastConfig, ReliableBroadcast
@@ -40,15 +42,23 @@ from .clock import RuntimeClock
 from .config import NodeSpec
 from .faults import RuntimeFaultSeam
 from .history import HistoryWriter, dump_records, events_path, records_path
+from .profile import RuntimeProfile, profile_path
 from .transport import TcpTransport
-from .wire import encode_frame
+from .wire import encode
 
 #: request frame: ("req", request_id, op, args-tuple)
 REQ = "req"
 #: response frame: ("res", request_id, ok, value)
 RES = "res"
 
-OPS = ("ping", "get", "submit", "status", "snapshot", "skew", "dump", "stop")
+OPS = (
+    "ping", "get", "submit", "query", "status", "snapshot", "skew",
+    "dump", "stop",
+)
+
+#: retained submit results keyed by client idempotency token, so a
+#: client whose reply was lost can requery instead of resubmitting.
+TOKEN_CACHE = 4096
 
 
 class NodeServer:
@@ -69,8 +79,10 @@ class NodeServer:
                 streams.stream(f"chaos-{spec.node_id}"),
                 on_fault=self._on_message_fault,
             )
+        self.profile = RuntimeProfile()
         self.transport = TcpTransport(
-            cluster, spec.node_id, self.clock, faults=self.faults
+            cluster, spec.node_id, self.clock, faults=self.faults,
+            profile=self.profile,
         )
         self.transport.on_request = self._on_request
         self.node = ShardNode(spec.node_id, AirlineState())
@@ -95,6 +107,9 @@ class NodeServer:
             on_deliver_batch=self._deliver_batch,
         )
         self.transport.register(spec.node_id, self._dispatch)
+        # whole-frame delivery: one inbound batch frame's gossip
+        # payloads merge inside one delivery batch (one merge_span).
+        self.transport.register_batch(spec.node_id, self._dispatch_frame)
         self.sync = SyncManager(
             clock=self.clock,
             transport=self.transport,
@@ -107,6 +122,7 @@ class NodeServer:
                 events_path(cluster.history_dir, spec.node_id)
             )
         self._seq = 0
+        self._token_results: "OrderedDict[str, tuple]" = OrderedDict()
         self._stopping = asyncio.Event()
 
     # -- tracing ----------------------------------------------------------
@@ -144,6 +160,15 @@ class NodeServer:
             self.broadcast.receive(self.spec.node_id, payload, src=src)
         else:
             self.sync.handle(self.spec.node_id, src, payload)
+
+    def _dispatch_frame(self, envelopes: tuple) -> None:
+        """One wire frame's protocol payloads, delivered together: every
+        record they release joins a single delivery batch, so a batched
+        frame costs one ``merge_span`` cycle regardless of how many
+        DELTAs or rumors it carried."""
+        with self.broadcast.delivery_batch(self.spec.node_id):
+            for src, payload in envelopes:
+                self._dispatch(src, payload)
 
     def _deliver(self, key: object, item: object) -> None:
         assert isinstance(item, UpdateRecord)
@@ -183,24 +208,27 @@ class NodeServer:
 
     # -- client API --------------------------------------------------------
 
-    async def _on_request(
-        self, frame: object, writer: asyncio.StreamWriter
-    ) -> None:
+    async def _on_request(self, frame: object) -> Optional[str]:
         if not (
             isinstance(frame, tuple) and len(frame) == 4
             and frame[0] == REQ
         ):
-            return
+            return None
         _, request_id, op, args = frame
         try:
             value = self._handle_op(op, args)
             response = (RES, request_id, True, value)
         except Exception as exc:  # surfaces to the client, not the log
             response = (RES, request_id, False, f"{type(exc).__name__}: {exc}")
-        writer.write(encode_frame(response))
-        await writer.drain()
         if op == "stop":
-            self._stopping.set()
+            # let the transport flush the response before teardown.
+            asyncio.get_running_loop().call_soon(self._stopping.set)
+        return encode(response)
+
+    def _remember_token(self, token: str, result: tuple) -> None:
+        self._token_results[token] = result
+        while len(self._token_results) > TOKEN_CACHE:
+            self._token_results.popitem(last=False)
 
     def _handle_op(self, op: str, args: tuple) -> object:
         node_id = self.spec.node_id
@@ -210,15 +238,31 @@ class NodeServer:
             state = self.node.state
             return (state.assigned, state.waiting)
         if op == "submit":
-            (transaction,) = args
+            token: Optional[str] = None
+            if len(args) == 2:
+                transaction, token = args
+                if token is not None:
+                    cached = self._token_results.get(token)
+                    if cached is not None:
+                        return cached
+            else:
+                (transaction,) = args
             record = self.initiate_now(transaction)
-            return (record.txid, len(record.seen_txids))
+            result = (record.txid, len(record.seen_txids))
+            if token is not None:
+                self._remember_token(token, result)
+            return result
+        if op == "query":
+            # retry path: was a submit with this token already decided?
+            (token,) = args
+            return self._token_results.get(token)
         if op == "status":
             return (
                 len(self.node.log),
                 self.node.transactions_initiated,
                 self.spec.incarnation,
                 tuple(sorted(self.node.known_txids)),
+                self.profile.snapshot(),
             )
         if op == "snapshot":
             return tuple(self.node.log)
@@ -236,6 +280,9 @@ class NodeServer:
             count = dump_records(
                 records_path(self.spec.cluster.history_dir, node_id),
                 self.node.log,
+            )
+            self.profile.dump(
+                profile_path(self.spec.cluster.history_dir, node_id)
             )
             return count
         if op == "stop":

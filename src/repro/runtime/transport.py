@@ -16,30 +16,58 @@ Faithfulness to the port contract:
   reconnect lazily on the next send.
 * **The chaos seam sits where the cable is.**  An installed
   :class:`~repro.runtime.faults.RuntimeFaultSeam` is consulted per
-  outbound frame: partitioned edges drop at send time (the simulator's
-  convention), delay/reorder/duplicate faults map one frame onto
-  perturbed copies scheduled on the clock — the *same*
-  ``MessageFaultLayer`` arithmetic the simulator uses.
+  outbound *payload*, before any coalescing: partitioned edges drop at
+  send time (the simulator's convention), delay/reorder/duplicate
+  faults map one payload onto perturbed copies scheduled on the clock —
+  the *same* ``MessageFaultLayer`` arithmetic the simulator uses.
+  Batching is strictly a framing detail below the fault seam, so a
+  batched wire keeps sim-parity fault semantics: a dropped payload
+  simply never joins a batch, a duplicated one joins twice, a delayed
+  one joins whatever batch is forming when its timer fires.
+
+The hot path is write-side coalescing: ``send`` encodes each payload
+once (to its canonical JSON text) and queues the *text*; the per-peer
+sender task drains whatever has accumulated and splices it into a
+single ``Batch`` frame (:func:`~repro.runtime.wire.batch_frame_from_texts`)
+— flush triggers are batch size (``max_batch`` payloads), frame size
+(``MAX_FRAME`` guarded) and an optional wall deadline
+(``flush_interval`` seconds of extra coalescing after the first
+payload; 0 = greedy, which adds no latency because a busy writer
+naturally accumulates a queue).  Inbound, frame boundaries are kept
+(``FrameSplitter(expand=False)``) so one arriving batch frame becomes
+one delivery batch at the node — one ``merge_span`` undo/redo cycle no
+matter how many gossip payloads it carried.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable, Dict, Optional, Tuple
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
 
 from ..ports import Handler
-from .clock import RuntimeClock
+from .clock import RuntimeClock, perf_ns
 from .config import ClusterSpec
 from .faults import RuntimeFaultSeam
-from .wire import FrameSplitter, encode_frame
+from .profile import RuntimeProfile
+from .wire import (
+    Batch,
+    FrameSplitter,
+    MAX_FRAME,
+    batch_frame_from_texts,
+    encode,
+    frame_from_text,
+)
 
 #: protocol envelope tag (peer-to-peer); anything else is a request.
 MSG = "msg"
 
-#: non-protocol frames (client requests) are awaited on this hook.
-RequestHandler = Callable[
-    [object, asyncio.StreamWriter], Awaitable[None]
-]
+#: non-protocol frames (client requests) are awaited on this hook; the
+#: return value is the *pre-encoded* response payload text (or None for
+#: no response) — the transport owns framing, batching and draining.
+RequestHandler = Callable[[object], Awaitable[Optional[str]]]
+
+#: a whole inbound frame's protocol payloads, delivered together.
+BatchHandler = Callable[[Tuple[Tuple[int, object], ...]], None]
 
 
 class TcpTransport:
@@ -51,16 +79,21 @@ class TcpTransport:
         node_id: int,
         clock: RuntimeClock,
         faults: Optional[RuntimeFaultSeam] = None,
+        profile: Optional[RuntimeProfile] = None,
     ):
         self.spec = spec
         self.node_id = node_id
         self.clock = clock
         self.faults = faults
+        self.profile = profile if profile is not None else RuntimeProfile()
         self.on_request: Optional[RequestHandler] = None
         self._handlers: Dict[int, Handler] = {}
+        self._batch_handlers: Dict[int, BatchHandler] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._queues: Dict[int, asyncio.Queue] = {}
         self._senders: Dict[int, asyncio.Task] = {}
+        self.max_batch = spec.max_batch
+        self.flush_interval = spec.flush_interval
         self.sent = 0
         self.dropped = 0
         self.delivered = 0
@@ -70,6 +103,11 @@ class TcpTransport:
     def register(self, node_id: int, handler: Handler) -> None:
         self._handlers[node_id] = handler
 
+    def register_batch(self, node_id: int, handler: BatchHandler) -> None:
+        """Opt a node into whole-frame delivery: every inbound frame's
+        protocol payloads arrive as one call (singles as a 1-batch)."""
+        self._batch_handlers[node_id] = handler
+
     @property
     def node_ids(self) -> Tuple[int, ...]:
         return self.spec.node_ids
@@ -77,38 +115,52 @@ class TcpTransport:
     def send(self, src: int, dst: int, payload: object) -> bool:
         """Queue one protocol payload for ``dst``; never blocks."""
         self.sent += 1
+        self.profile.payloads_sent += 1
         now = self.clock.now
         if self.faults is not None and self.faults.partitioned(
             now, src, dst
         ):
             self.dropped += 1
+            self.profile.payloads_dropped += 1
             return False
         delays = (
             self.faults.deliveries(now, src, dst, payload, 0.0)
             if self.faults is not None
             else [0.0]
         )
-        frame = encode_frame((MSG, src, payload))
-        for delay in delays:
-            if delay <= 0.0:
-                self._enqueue(dst, frame)
-            else:
-                self.clock.schedule(
-                    delay, lambda d=dst, f=frame: self._enqueue(d, f)
-                )
-        return True
-
-    # -- outbound ---------------------------------------------------------
-
-    def _enqueue(self, dst: int, frame: bytes) -> None:
         if dst in self._handlers:
             # self-delivery short-circuits the socket (gossip never
             # self-sends, but the sync path may in degenerate configs).
-            splitter = FrameSplitter()
-            for _, src, payload in splitter.feed(frame):
-                self.delivered += 1
-                self._handlers[dst](src, payload)
-            return
+            for delay in delays:
+                if delay <= 0.0:
+                    self._deliver_local(dst, src, payload)
+                else:
+                    self.clock.schedule(
+                        delay,
+                        lambda d=dst, s=src, p=payload:
+                            self._deliver_local(d, s, p),
+                    )
+            return True
+        started = perf_ns()
+        text = encode((MSG, src, payload))
+        self.profile.encoded(perf_ns() - started)
+        for delay in delays:
+            if delay <= 0.0:
+                self._enqueue(dst, text)
+            else:
+                self.clock.schedule(
+                    delay, lambda d=dst, t=text: self._enqueue(d, t)
+                )
+        return True
+
+    def _deliver_local(self, dst: int, src: int, payload: object) -> None:
+        self.delivered += 1
+        self.profile.payloads_delivered += 1
+        self._handlers[dst](src, payload)
+
+    # -- outbound ---------------------------------------------------------
+
+    def _enqueue(self, dst: int, text: str) -> None:
         queue = self._queues.get(dst)
         if queue is None:
             queue = asyncio.Queue()
@@ -116,24 +168,55 @@ class TcpTransport:
             self._senders[dst] = asyncio.get_running_loop().create_task(
                 self._sender(dst, queue)
             )
-        queue.put_nowait(frame)
+        queue.put_nowait(text)
+        self.profile.queued(queue.qsize())
 
     async def _sender(self, dst: int, queue: asyncio.Queue) -> None:
         """Own the outbound connection to ``dst``: lazy connect, write
-        queued frames, drop them (and the connection) on any error."""
+        coalesced frames, drop them (and the connection) on any error."""
         writer: Optional[asyncio.StreamWriter] = None
         host, port = self.spec.address(dst)
-        while True:
-            frame = await queue.get()
-            if frame is None:
-                break
+        carry: Optional[str] = None  # a text deferred by the size cap
+        stopping = False
+        while not stopping:
+            if carry is not None:
+                text, carry = carry, None
+            else:
+                text = await queue.get()
+                if text is None:
+                    break
+            batch = [text]
+            if self.flush_interval > 0.0:
+                # deadline-based coalescing: give concurrent senders one
+                # flush window to pile on before the frame seals.
+                await asyncio.sleep(self.flush_interval)
+            size = len(text)
+            while len(batch) < self.max_batch:
+                try:
+                    more = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if more is None:
+                    stopping = True
+                    break
+                if size + len(more) > MAX_FRAME // 2:
+                    carry = more  # keep frames comfortably bounded
+                    break
+                batch.append(more)
+                size += len(more)
+            if len(batch) == 1:
+                frame = frame_from_text(batch[0])
+            else:
+                frame = batch_frame_from_texts(batch)
             try:
                 if writer is None:
                     _, writer = await asyncio.open_connection(host, port)
                 writer.write(frame)
+                self.profile.wrote_frame(len(frame), len(batch))
                 await writer.drain()
             except OSError:
-                self.dropped += 1
+                self.dropped += len(batch)
+                self.profile.payloads_dropped += len(batch)
                 if writer is not None:
                     writer.close()
                 writer = None
@@ -151,34 +234,85 @@ class TcpTransport:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        splitter = FrameSplitter()
+        # expand=False keeps frame boundaries: one batch frame becomes
+        # one delivery batch at the node.
+        splitter = FrameSplitter(expand=False)
         try:
             while True:
                 chunk = await reader.read(65536)
                 if not chunk:
                     break
-                for frame in splitter.feed(chunk):
-                    await self._dispatch(frame, writer)
+                started = perf_ns()
+                frames = list(splitter.feed(chunk))
+                self.profile.decoded(perf_ns() - started)
+                responses: List[str] = []
+                for frame in frames:
+                    await self._dispatch_frame(frame, responses)
+                if responses:
+                    if len(responses) == 1:
+                        writer.write(frame_from_text(responses[0]))
+                        self.profile.wrote_frame(
+                            len(responses[0]) + 4, 1
+                        )
+                    else:
+                        out = batch_frame_from_texts(responses)
+                        writer.write(out)
+                        self.profile.wrote_frame(len(out), len(responses))
+                    await writer.drain()
         except (OSError, ValueError, asyncio.IncompleteReadError):
             pass
         finally:
+            self.profile.absorb_splitter(splitter)
             writer.close()
 
-    async def _dispatch(
-        self, frame: object, writer: asyncio.StreamWriter
-    ) -> None:
-        if (
+    def _is_envelope(self, frame: object) -> bool:
+        return (
             isinstance(frame, tuple)
             and len(frame) == 3
             and frame[0] == MSG
-        ):
+        )
+
+    async def _dispatch_frame(
+        self, frame: object, responses: List[str]
+    ) -> None:
+        """Route one inbound frame: protocol envelopes to the node's
+        handler (whole-frame batches preserved), anything else to the
+        request hook, collecting its response text."""
+        if isinstance(frame, Batch):
+            envelopes = [
+                (f[1], f[2]) for f in frame if self._is_envelope(f)
+            ]
+            if envelopes:
+                self._deliver_inbound(tuple(envelopes))
+            for sub in frame:
+                if not self._is_envelope(sub):
+                    await self._request(sub, responses)
+        elif self._is_envelope(frame):
             _, src, payload = frame
-            handler = self._handlers.get(self.node_id)
-            if handler is not None:
-                self.delivered += 1
+            self._deliver_inbound(((src, payload),))
+        else:
+            await self._request(frame, responses)
+
+    def _deliver_inbound(
+        self, envelopes: Tuple[Tuple[int, object], ...]
+    ) -> None:
+        self.delivered += len(envelopes)
+        self.profile.payloads_delivered += len(envelopes)
+        batch_handler = self._batch_handlers.get(self.node_id)
+        if batch_handler is not None:
+            batch_handler(envelopes)
+            return
+        handler = self._handlers.get(self.node_id)
+        if handler is not None:
+            for src, payload in envelopes:
                 handler(src, payload)
-        elif self.on_request is not None:
-            await self.on_request(frame, writer)
+
+    async def _request(self, frame: object, responses: List[str]) -> None:
+        if self.on_request is None:
+            return
+        text = await self.on_request(frame)
+        if text is not None:
+            responses.append(text)
 
     async def close(self) -> None:
         for queue in self._queues.values():

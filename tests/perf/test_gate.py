@@ -5,8 +5,14 @@ import json
 
 import pytest
 
-from repro.perf import certify_smoke_baseline, run_certify_gate, run_gate, smoke_baseline
-from repro.perf.gate import main
+from repro.perf import (
+    certify_smoke_baseline,
+    run_certify_gate,
+    run_gate,
+    run_runtime_gate,
+    smoke_baseline,
+)
+from repro.perf.gate import RUNTIME_BASELINE, _runtime_smoke_rows, main
 
 
 @pytest.fixture(scope="module")
@@ -123,6 +129,130 @@ class TestCertifyGate:
         assert "smoke_baseline" in report["error"]
 
 
+class TestRuntimeGate:
+    @pytest.fixture(scope="class")
+    def smoke_rows(self):
+        """The deterministic runtime rows, recomputed once per class
+        (pure event-stream generation, no cluster boot)."""
+        return _runtime_smoke_rows()
+
+    @pytest.fixture()
+    def payload(self, smoke_rows):
+        """A well-formed BENCH_runtime.json payload built around the
+        real deterministic rows, with invented wall numbers."""
+        series = [
+            dict(row, submitted=row["events"], rejected=0, converged=True,
+                 wall_secs=1.0, ops_per_sec=500.0 - 10.0 * i)
+            for i, row in enumerate(smoke_rows)
+        ]
+        return {
+            "experiment": "E21",
+            "headline": {
+                "workload": smoke_rows[0]["workload"],
+                "pipeline": 32,
+                "serial_ops_per_sec": 40.0,
+                "pipelined_ops_per_sec": 500.0,
+                "speedup_vs_fresh_serial": 12.5,
+                "speedup_vs_committed_baseline": 15.6,
+                "checks": {"clean": True},
+                "serial_checks": {"clean": True},
+            },
+            "series": series,
+            "smoke_baseline": {"rows": smoke_rows},
+        }
+
+    def write(self, tmp_path, payload, name="BENCH_runtime.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    def test_committed_baseline_gates_clean(self):
+        status, report = run_runtime_gate(RUNTIME_BASELINE)
+        assert status == 0, report["problems"]
+
+    def test_well_formed_payload_gates_clean(self, tmp_path, payload):
+        status, report = run_runtime_gate(self.write(tmp_path, payload))
+        assert status == 0, report["problems"]
+        assert report["mode"] == "runtime"
+
+    def test_sub_minimum_speedup_fails(self, tmp_path, payload):
+        payload["headline"]["speedup_vs_committed_baseline"] = 9.9
+        status, report = run_runtime_gate(self.write(tmp_path, payload))
+        assert status == 1
+        assert any("below the required" in p for p in report["problems"])
+
+    def test_drifted_smoke_row_fails(self, tmp_path, payload):
+        rows = [dict(row) for row in payload["smoke_baseline"]["rows"]]
+        rows[0]["events"] += 1
+        payload["smoke_baseline"] = {"rows": rows}
+        status, report = run_runtime_gate(self.write(tmp_path, payload))
+        assert status == 1
+        assert any("drifted" in p for p in report["problems"])
+
+    def test_unclean_checks_fail(self, tmp_path, payload):
+        payload["headline"]["checks"] = {"clean": False}
+        status, report = run_runtime_gate(self.write(tmp_path, payload))
+        assert status == 1
+        assert any("clean oracle" in p for p in report["problems"])
+
+    def test_unranked_series_fails(self, tmp_path, payload):
+        payload["series"][0]["ops_per_sec"] = 1.0  # now below row 1
+        status, report = run_runtime_gate(self.write(tmp_path, payload))
+        assert status == 1
+        assert any("not ranked" in p for p in report["problems"])
+
+    def test_unconverged_series_row_fails(self, tmp_path, payload):
+        payload["series"][-1]["converged"] = False
+        status, report = run_runtime_gate(self.write(tmp_path, payload))
+        assert status == 1
+        assert any("did not converge" in p for p in report["problems"])
+
+    def test_fresh_smoke_bench_matching_passes(self, tmp_path, payload):
+        baseline = self.write(tmp_path, payload)
+        fresh = self.write(tmp_path, payload, name="fresh.json")
+        status, report = run_runtime_gate(baseline, fresh_path=fresh)
+        assert status == 0, report["problems"]
+        assert report["fresh"]["pipelined_ops_per_sec"] == 500.0
+
+    def test_fresh_deterministic_drift_fails(self, tmp_path, payload):
+        baseline = self.write(tmp_path, payload)
+        rows = [dict(row) for row in payload["smoke_baseline"]["rows"]]
+        rows[0]["events"] += 1
+        drifted = dict(payload, smoke_baseline={"rows": rows})
+        fresh = self.write(tmp_path, drifted, name="fresh.json")
+        status, report = run_runtime_gate(baseline, fresh_path=fresh)
+        assert status == 1
+        assert any(
+            "fresh smoke bench" in p for p in report["problems"]
+        )
+
+    def test_fresh_pipelined_below_serial_fails(self, tmp_path, payload):
+        baseline = self.write(tmp_path, payload)
+        slow = dict(payload)
+        slow["headline"] = dict(
+            payload["headline"],
+            serial_ops_per_sec=500.0, pipelined_ops_per_sec=40.0,
+        )
+        fresh = self.write(tmp_path, slow, name="fresh.json")
+        status, report = run_runtime_gate(baseline, fresh_path=fresh)
+        assert status == 1
+        assert any("fell below" in p for p in report["problems"])
+
+    def test_missing_section_exits_two(self, tmp_path):
+        path = self.write(tmp_path, {"experiment": "E21"})
+        status, report = run_runtime_gate(path)
+        assert status == 2
+        assert "smoke_baseline" in report["error"]
+
+    def test_unreadable_fresh_exits_two(self, tmp_path, payload):
+        baseline = self.write(tmp_path, payload)
+        status, report = run_runtime_gate(
+            baseline, fresh_path=tmp_path / "nope.json"
+        )
+        assert status == 2
+        assert "cannot read fresh bench" in report["error"]
+
+
 class TestUsageErrors:
     def test_unreadable_baseline_exits_two(self, tmp_path):
         status, report = run_gate(tmp_path / "nope.json", workers=1)
@@ -138,6 +268,14 @@ class TestUsageErrors:
 
     def test_cli_validates_workers(self, capsys):
         assert main(["--workers", "0"]) == 2
+        capsys.readouterr()
+
+    def test_cli_modes_are_mutually_exclusive(self, capsys):
+        assert main(["--certify", "--runtime"]) == 2
+        capsys.readouterr()
+
+    def test_cli_fresh_requires_runtime(self, tmp_path, capsys):
+        assert main(["--fresh", str(tmp_path / "x.json")]) == 2
         capsys.readouterr()
 
     def test_cli_json_reports_error(self, tmp_path, capsys):

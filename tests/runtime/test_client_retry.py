@@ -1,0 +1,213 @@
+"""Submit timeout/retry: a lost reply is recovered, never re-executed.
+
+Every submit carries a client idempotency token.  When the connection
+dies around the reply, the client reconnects once and *queries* the
+token — the node's cached result — before it would ever resubmit, so a
+retry can never double-initiate.  ``deadline`` caps the whole attempt.
+
+The lost-reply cases run against a scripted in-process node speaking
+the real wire protocol (the only way to make "the node executed the op
+but the reply never arrived" deterministic); the token-cache cases run
+against a real node process.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.apps.airline.transactions import Request
+from repro.runtime.client import ClusterClient, NodeClient, NodeUnreachable
+from repro.runtime.clock import wall_epoch
+from repro.runtime.config import ClusterSpec
+from repro.runtime.supervisor import ClusterSupervisor, free_ports, make_spec
+from repro.runtime.wire import FrameSplitter, encode, frame_from_text
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60.0))
+
+
+class ScriptedNode:
+    """A wire-compatible node that misbehaves on cue: it executes every
+    submit (assigning a txid, caching the token) but can drop the reply
+    by closing the connection, answer out of order, or go silent."""
+
+    def __init__(self, drop_replies=0, mute=False, reverse=False):
+        self.drop_replies = drop_replies
+        self.mute = mute
+        self.reverse = reverse
+        self.submits = 0
+        self.tokens = {}
+        self.server = None
+
+    async def start(self):
+        self.server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0
+        )
+        return self.server.sockets[0].getsockname()[1]
+
+    async def close(self):
+        self.server.close()
+        await self.server.wait_closed()
+
+    def _handle(self, frame):
+        _, request_id, op, args = frame
+        if op == "submit":
+            _transaction, token = args
+            if token not in self.tokens:
+                self.submits += 1
+                self.tokens[token] = 1000 + self.submits
+            value = (self.tokens[token], 1)
+        elif op == "query":
+            (token,) = args
+            cached = self.tokens.get(token)
+            value = (cached, 1) if cached is not None else None
+        else:
+            value = None
+        return ("res", request_id, True, value)
+
+    async def _serve(self, reader, writer):
+        splitter = FrameSplitter()
+        while True:
+            chunk = await reader.read(65536)
+            if not chunk:
+                break
+            responses = [self._handle(f) for f in splitter.feed(chunk)]
+            if self.mute:
+                continue
+            if self.drop_replies > 0:
+                self.drop_replies -= 1
+                writer.close()
+                return
+            if self.reverse:
+                responses.reverse()
+            for response in responses:
+                writer.write(frame_from_text(encode(response)))
+            await writer.drain()
+        writer.close()
+
+
+def one_node_spec(port):
+    return ClusterSpec(
+        n_nodes=1, ports=(port,), epoch=wall_epoch(), scale=0.02
+    )
+
+
+class TestLostReplyRecovery:
+    def test_lost_reply_recovers_without_resubmitting(self):
+        async def scenario():
+            node = ScriptedNode(drop_replies=1)
+            port = await node.start()
+            client = ClusterClient(one_node_spec(port),
+                                   record_history=False, timeout=2.0)
+            try:
+                txid = await client.submit(0, Request("p"))
+            finally:
+                client.close()
+                await node.close()
+            # the node executed the submit exactly once; the client got
+            # its txid back through the requery, not a second submit.
+            assert node.submits == 1
+            assert txid == 1001
+            assert client.submitted == 1
+            assert client.rejected == 0
+
+        run(scenario())
+
+    def test_pipelined_lost_replies_recover_per_token(self):
+        async def scenario():
+            node = ScriptedNode(drop_replies=1)
+            port = await node.start()
+            client = ClusterClient(one_node_spec(port),
+                                   record_history=False, timeout=2.0)
+            try:
+                txids = await client.submit_many(
+                    0, [Request(f"p{i}") for i in range(6)], window=3
+                )
+            finally:
+                client.close()
+                await node.close()
+            # one whole window's replies were dropped; every op still
+            # resolved through its own token requery, none re-executed.
+            assert node.submits == 6
+            assert sorted(txids) == [1001 + i for i in range(6)]
+
+        run(scenario())
+
+    def test_out_of_order_replies_map_back_by_request_id(self):
+        async def scenario():
+            node = ScriptedNode(reverse=True)
+            port = await node.start()
+            client = ClusterClient(one_node_spec(port),
+                                   record_history=False, timeout=2.0)
+            try:
+                txids = await client.submit_many(
+                    0, [Request(f"p{i}") for i in range(5)], window=5
+                )
+            finally:
+                client.close()
+                await node.close()
+            # replies arrived reversed; results are in submission order.
+            assert txids == [1001 + i for i in range(5)]
+
+        run(scenario())
+
+
+class TestDeadline:
+    def test_deadline_bounds_a_silent_node(self):
+        async def scenario():
+            node = ScriptedNode(mute=True)
+            port = await node.start()
+            client = ClusterClient(one_node_spec(port),
+                                   record_history=False, timeout=30.0)
+            started = asyncio.get_running_loop().time()
+            try:
+                with pytest.raises(NodeUnreachable):
+                    await client.submit(0, Request("p"), deadline=0.3)
+            finally:
+                elapsed = asyncio.get_running_loop().time() - started
+                client.close()
+                await node.close()
+            assert elapsed < 5.0, "deadline did not cut the attempt short"
+            assert client.rejected == 1
+            assert client.submitted == 0
+
+        run(scenario())
+
+
+class TestRealNodeTokenCache:
+    def test_duplicate_token_returns_cached_result(self, tmp_path):
+        async def scenario():
+            spec = make_spec(
+                n_nodes=1, seed=5, scale=0.02,
+                history_dir=str(tmp_path),
+            )
+            supervisor = ClusterSupervisor(spec)
+            await supervisor.start()
+            node = NodeClient(*spec.address(0), timeout=5.0)
+            try:
+                first = await node.request(
+                    "submit", Request("p"), "tok-1"
+                )
+                replay = await node.request(
+                    "submit", Request("p"), "tok-1"
+                )
+                fresh = await node.request(
+                    "submit", Request("p"), "tok-2"
+                )
+                cached = await node.request("query", "tok-1")
+                missing = await node.request("query", "tok-absent")
+                status = await node.request("status")
+            finally:
+                node.close()
+                await supervisor.stop()
+            # same token => same decision, not a second initiation.
+            assert tuple(replay) == tuple(first)
+            assert fresh[0] != first[0]
+            assert tuple(cached) == tuple(first)
+            assert missing is None
+            # the log holds exactly the two distinct initiations.
+            assert status[0] == 2
+            assert status[1] == 2
+
+        run(scenario())

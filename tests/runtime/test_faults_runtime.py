@@ -1,5 +1,6 @@
 """The runtime fault seam keeps the simulator's fault semantics."""
 
+import asyncio
 import random
 
 from repro.chaos.faults import (
@@ -12,7 +13,11 @@ from repro.chaos.faults import (
 )
 from repro.chaos.inject import MessageFaultLayer
 from repro.network.network import NetworkStats
+from repro.runtime.clock import RuntimeClock, wall_epoch
+from repro.runtime.config import ClusterSpec
 from repro.runtime.faults import RuntimeFaultSeam
+from repro.runtime.supervisor import free_ports
+from repro.runtime.transport import TcpTransport
 
 
 def seam(*faults, seed=0):
@@ -63,6 +68,140 @@ class TestMessageFaults:
             now = float(i)
             assert s.deliveries(now, 0, 1, f"m{i}", 1.0) == \
                 reference.deliveries(now, 0, 1, f"m{i}", 1.0)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30.0))
+
+
+async def wait_for(predicate, timeout=5.0, interval=0.02):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+class TransportPair:
+    """Two live TcpTransports over loopback: node 0 (with an optional
+    fault seam on its outbound edges) talking to node 1."""
+
+    def __init__(self, plan=None, seed=0, max_batch=8, scale=1.0):
+        self.spec = ClusterSpec(
+            n_nodes=2, ports=free_ports(2), epoch=wall_epoch(),
+            scale=scale, max_batch=max_batch,
+        )
+        self.clock = RuntimeClock(self.spec.epoch, self.spec.scale)
+        seam = (
+            RuntimeFaultSeam(plan, random.Random(seed))
+            if plan is not None else None
+        )
+        self.sender = TcpTransport(self.spec, 0, self.clock, faults=seam)
+        self.receiver = TcpTransport(self.spec, 1, self.clock)
+        self.received = []
+        self.receiver.register(
+            1, lambda src, payload: self.received.append((src, payload))
+        )
+
+    async def __aenter__(self):
+        await self.sender.start()
+        await self.receiver.start()
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.sender.close()
+        await self.receiver.close()
+
+
+class TestBatchedSendsKeepFaultSemantics:
+    """Coalescing is framing below the fault seam: faults are decided
+    per payload at send time, so a batched wire drops, duplicates and
+    delays exactly what an unbatched one would."""
+
+    def test_coalesced_payloads_arrive_in_order(self):
+        async def scenario():
+            async with TransportPair(max_batch=8) as pair:
+                payloads = [("items", (i,)) for i in range(40)]
+                for payload in payloads:
+                    assert pair.sender.send(0, 1, payload)
+                assert await wait_for(
+                    lambda: len(pair.received) == len(payloads)
+                )
+                assert pair.received == [(0, p) for p in payloads]
+                # the burst actually coalesced, under the size cap.
+                profile = pair.sender.profile
+                assert profile.batch_frames_out >= 1
+                assert 1 < profile.max_batch_out <= 8
+                assert profile.frames_out < len(payloads)
+
+        run(scenario())
+
+    def test_partitioned_payloads_never_join_a_batch(self):
+        plan = FaultPlan((
+            Partition(start=0.0, end=1e9, groups=((0,), (1,))),
+        ))
+
+        async def scenario():
+            async with TransportPair(plan=plan) as pair:
+                for i in range(20):
+                    assert not pair.sender.send(0, 1, ("items", (i,)))
+                await asyncio.sleep(0.2)
+                assert pair.received == []
+                assert pair.sender.dropped == 20
+                # dropped at the seam, before framing: nothing was sent.
+                assert pair.sender.profile.frames_out == 0
+
+        run(scenario())
+
+    def test_duplicates_join_twice_matching_the_simulator(self):
+        plan = FaultPlan((
+            Duplicate(start=0.0, end=1e9, probability=0.5, lag=0.05),
+        ))
+        seed = 42
+
+        async def scenario():
+            async with TransportPair(plan=plan, seed=seed) as pair:
+                sent = 0
+                for i in range(30):
+                    pair.sender.send(0, 1, ("items", (i,)))
+                    sent += 1
+                # the simulator's layer, same plan + seed, decides the
+                # same per-payload copy counts the live seam must have.
+                reference = MessageFaultLayer(
+                    plan, random.Random(seed), NetworkStats()
+                )
+                expected = sum(
+                    len(reference.deliveries(0.0, 0, 1, f"m{i}", 0.0))
+                    for i in range(sent)
+                )
+                assert expected > sent  # the fault actually fired
+                assert await wait_for(
+                    lambda: len(pair.received) == expected
+                )
+
+        run(scenario())
+
+    def test_delayed_payloads_join_a_later_batch(self):
+        plan = FaultPlan((
+            DelaySpike(start=0.0, end=1e9, extra_delay=0.2),
+        ))
+
+        async def scenario():
+            async with TransportPair(plan=plan, scale=1.0) as pair:
+                for i in range(10):
+                    pair.sender.send(0, 1, ("items", (i,)))
+                # nothing on time: every payload sits on the clock.
+                await asyncio.sleep(0.05)
+                assert pair.received == []
+                assert await wait_for(
+                    lambda: len(pair.received) == 10
+                )
+                assert sorted(pair.received) == [
+                    (0, ("items", (i,))) for i in range(10)
+                ]
+
+        run(scenario())
 
 
 class TestProcessSchedules:

@@ -114,3 +114,104 @@ class TestFraming:
     def test_unknown_family_is_loud(self):
         with pytest.raises(ValueError):
             wire.decode('{"%tx":["NO_SUCH",[]]}')
+
+
+class TestDictCodec:
+    def test_roundtrips_to_equal_dict(self):
+        value = {"frames_in": 3, "nested": (1, {"deep": [2]})}
+        assert wire.decode(wire.encode(value)) == value
+
+    def test_empty_dict(self):
+        assert wire.decode(wire.encode({})) == {}
+
+    def test_key_order_is_canonical(self):
+        assert wire.encode({"b": 1, "a": 2}) == wire.encode({"a": 2, "b": 1})
+
+    def test_non_str_keys_are_loud(self):
+        with pytest.raises(TypeError):
+            wire.encode({1: "x"})
+
+
+class TestBatchFrames:
+    payloads = (
+        ("msg", 0, ("gossip_syn", 1, None, None)),
+        ("req", 7, "get", ()),
+        ("msg", 2, ("sync_pull", 0, 2, None)),
+    )
+
+    def test_splice_equals_encoding_the_batch(self):
+        """batch_frame_from_texts pays the codec once per payload but
+        must stay byte-identical to encoding the Batch wholesale."""
+        texts = [wire.encode(p) for p in self.payloads]
+        assert wire.batch_frame_from_texts(texts) == wire.encode_frame(
+            wire.Batch(self.payloads)
+        )
+
+    def test_frame_from_text_equals_encode_frame(self):
+        payload = ("msg", 1, ("items", (1, 2)))
+        assert wire.frame_from_text(wire.encode(payload)) == \
+            wire.encode_frame(payload)
+
+    def test_batch_roundtrips_as_batch(self):
+        batch = wire.decode(wire.encode(wire.Batch(self.payloads)))
+        assert isinstance(batch, wire.Batch)
+        assert tuple(batch) == self.payloads
+
+    @given(st.lists(st.tuples(st.integers(), persons), min_size=1,
+                    max_size=4))
+    def test_mixed_stream_expands_in_order_byte_at_a_time(self, extra):
+        """A stream interleaving legacy single frames and batch frames,
+        fed one byte at a time, expands to the payloads in send order."""
+        legacy = ("single", 0)
+        stream = (
+            wire.encode_frame(legacy)
+            + wire.batch_frame_from_texts(
+                [wire.encode(p) for p in self.payloads]
+            )
+            + b"".join(wire.encode_frame(p) for p in extra)
+        )
+        splitter = wire.FrameSplitter()
+        out = []
+        for i in range(len(stream)):
+            out.extend(splitter.feed(stream[i:i + 1]))
+        assert out == [legacy, *self.payloads, *extra]
+
+    def test_expand_false_keeps_frame_boundaries(self):
+        stream = wire.encode_frame(("a",)) + wire.batch_frame_from_texts(
+            [wire.encode(p) for p in self.payloads]
+        )
+        splitter = wire.FrameSplitter(expand=False)
+        out = list(splitter.feed(stream))
+        assert out[0] == ("a",)
+        assert isinstance(out[1], wire.Batch)
+        assert tuple(out[1]) == self.payloads
+
+    def test_torn_final_frame_is_held_back_not_fatal(self):
+        """A stream cut mid-frame (the SIGKILL case) yields every
+        complete frame and silently retains the torn tail."""
+        whole = wire.batch_frame_from_texts(
+            [wire.encode(p) for p in self.payloads]
+        )
+        torn = whole + wire.encode_frame(("tail",))[:-3]
+        splitter = wire.FrameSplitter()
+        assert list(splitter.feed(torn)) == list(self.payloads)
+        # the remainder arrives later: the frame completes normally.
+        assert list(splitter.feed(wire.encode_frame(("tail",))[-3:])) == \
+            [("tail",)]
+
+    def test_splitter_counts_batches(self):
+        stream = wire.encode_frame(("a",)) + wire.batch_frame_from_texts(
+            [wire.encode(p) for p in self.payloads]
+        )
+        splitter = wire.FrameSplitter()
+        list(splitter.feed(stream))
+        assert splitter.frames == 2
+        assert splitter.bytes_in == len(stream)
+        assert splitter.batch_frames == 1
+        assert splitter.batched_payloads == len(self.payloads)
+
+    def test_oversized_batch_is_loud(self):
+        text = wire.encode(("x" * 1024,))
+        too_many = [text] * (wire.MAX_FRAME // len(text) + 1)
+        with pytest.raises(ValueError):
+            wire.batch_frame_from_texts(too_many)
